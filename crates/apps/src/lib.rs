@@ -1,0 +1,38 @@
+//! # slfe-apps
+//!
+//! The graph applications of the paper's Table 1, implemented on the SLFE
+//! programming API (`slfe-core`'s [`GraphProgram`]).
+//!
+//! Min/max-aggregation applications (optimised by "start late"):
+//!
+//! * [`sssp`] — Single Source Shortest Path
+//! * [`bfs`] — Breadth-First Search (hop distance)
+//! * [`cc`] — Connected Components (on a symmetrised graph)
+//! * [`widestpath`] — Widest Path (maximum bottleneck capacity)
+//!
+//! Arithmetic-aggregation applications (optimised by "finish early"):
+//!
+//! * [`pagerank`] — PageRank
+//! * [`tunkrank`] — TunkRank (follower influence)
+//! * [`spmv`] — Sparse matrix-vector multiplication
+//! * [`heat`] — Heat simulation (mass-conserving diffusion)
+//! * [`numpaths`] — Number of paths from a root in a DAG
+//!
+//! Every module provides the [`GraphProgram`] implementation, a `run` helper that
+//! executes it on a [`slfe_core::SlfeEngine`], and a sequential `reference`
+//! implementation used as the correctness oracle by the test suite (the empirical
+//! counterpart of the paper's Theorem 1).
+
+pub mod bfs;
+pub mod cc;
+pub mod heat;
+pub mod numpaths;
+pub mod pagerank;
+pub mod registry;
+pub mod spmv;
+pub mod sssp;
+pub mod tunkrank;
+pub mod widestpath;
+
+pub use registry::AppKind;
+pub use slfe_core::{AggregationKind, GraphProgram};

@@ -1,0 +1,124 @@
+//! Application registry: the classification of Table 1.
+
+use slfe_core::AggregationKind;
+
+/// The applications implemented in this crate, tagged with their aggregation
+/// family. The first five (`Sssp`, `ConnectedComponents`, `WidestPath`, `PageRank`,
+/// `TunkRank`) are the ones the paper's evaluation uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppKind {
+    /// Single Source Shortest Path.
+    Sssp,
+    /// Breadth-first search (hop distance).
+    Bfs,
+    /// Connected components via min-label propagation.
+    ConnectedComponents,
+    /// Widest (maximum bottleneck) path.
+    WidestPath,
+    /// PageRank.
+    PageRank,
+    /// TunkRank follower-influence.
+    TunkRank,
+    /// Sparse matrix-vector multiplication.
+    SpMV,
+    /// Heat diffusion.
+    HeatSimulation,
+    /// Number of paths from a root in a DAG.
+    NumPaths,
+}
+
+impl AppKind {
+    /// Every implemented application.
+    pub const ALL: [AppKind; 9] = [
+        AppKind::Sssp,
+        AppKind::Bfs,
+        AppKind::ConnectedComponents,
+        AppKind::WidestPath,
+        AppKind::PageRank,
+        AppKind::TunkRank,
+        AppKind::SpMV,
+        AppKind::HeatSimulation,
+        AppKind::NumPaths,
+    ];
+
+    /// The five applications of the paper's evaluation (§4.1), in table order.
+    pub const PAPER_EVALUATION: [AppKind; 5] = [
+        AppKind::Sssp,
+        AppKind::ConnectedComponents,
+        AppKind::WidestPath,
+        AppKind::PageRank,
+        AppKind::TunkRank,
+    ];
+
+    /// Which aggregation family the application belongs to (Table 1).
+    pub fn aggregation(self) -> AggregationKind {
+        match self {
+            AppKind::Sssp
+            | AppKind::Bfs
+            | AppKind::ConnectedComponents
+            | AppKind::WidestPath => AggregationKind::MinMax,
+            AppKind::PageRank
+            | AppKind::TunkRank
+            | AppKind::SpMV
+            | AppKind::HeatSimulation
+            | AppKind::NumPaths => AggregationKind::Arithmetic,
+        }
+    }
+
+    /// Short name used by reports and the harness.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::Sssp => "SSSP",
+            AppKind::Bfs => "BFS",
+            AppKind::ConnectedComponents => "CC",
+            AppKind::WidestPath => "WP",
+            AppKind::PageRank => "PR",
+            AppKind::TunkRank => "TR",
+            AppKind::SpMV => "SpMV",
+            AppKind::HeatSimulation => "Heat",
+            AppKind::NumPaths => "NumPaths",
+        }
+    }
+}
+
+impl std::fmt::Display for AppKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_evaluation_apps_match_section_4_1() {
+        let names: Vec<&str> = AppKind::PAPER_EVALUATION.iter().map(|a| a.name()).collect();
+        assert_eq!(names, vec!["SSSP", "CC", "WP", "PR", "TR"]);
+    }
+
+    #[test]
+    fn table1_classification_is_respected() {
+        assert_eq!(AppKind::Sssp.aggregation(), AggregationKind::MinMax);
+        assert_eq!(AppKind::ConnectedComponents.aggregation(), AggregationKind::MinMax);
+        assert_eq!(AppKind::WidestPath.aggregation(), AggregationKind::MinMax);
+        assert_eq!(AppKind::PageRank.aggregation(), AggregationKind::Arithmetic);
+        assert_eq!(AppKind::TunkRank.aggregation(), AggregationKind::Arithmetic);
+        assert_eq!(AppKind::SpMV.aggregation(), AggregationKind::Arithmetic);
+        assert_eq!(AppKind::HeatSimulation.aggregation(), AggregationKind::Arithmetic);
+    }
+
+    #[test]
+    fn all_contains_every_paper_app() {
+        for app in AppKind::PAPER_EVALUATION {
+            assert!(AppKind::ALL.contains(&app));
+        }
+        assert_eq!(AppKind::ALL.len(), 9);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(AppKind::PageRank.to_string(), "PR");
+        assert_eq!(format!("{}", AppKind::NumPaths), "NumPaths");
+    }
+}

@@ -1,0 +1,27 @@
+//! Criterion benchmark backing Figure 8: the cost of generating the
+//! redundancy-reduction guidance (Algorithm 1) relative to one SSSP execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slfe_cluster::ClusterConfig;
+use slfe_core::{EngineConfig, RrGuidance, SlfeEngine};
+use slfe_graph::datasets::Dataset;
+
+fn bench_preprocessing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_rrg_overhead");
+    group.sample_size(10);
+    for dataset in [Dataset::Pokec, Dataset::LiveJournal, Dataset::Friendster] {
+        let graph = dataset.load_scaled(16_000);
+        group.bench_function(format!("rrg_generation_{}", dataset.abbreviation()), |b| {
+            b.iter(|| RrGuidance::generate(&graph))
+        });
+        group.bench_function(format!("sssp_execution_{}", dataset.abbreviation()), |b| {
+            let engine = SlfeEngine::build(&graph, ClusterConfig::new(8, 4), EngineConfig::default());
+            let root = slfe_graph::stats::highest_out_degree_vertex(&graph).unwrap_or(0);
+            b.iter(|| slfe_apps::sssp::run(&engine, root))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_preprocessing);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments [EXPERIMENT] [--scale N] [--nodes N] [--workers N] [--out DIR]
+//!
+//! EXPERIMENT: all (default) | table1 | table2 | table5 | fig2 | fig4 | fig5 |
+//!             fig6 | fig7 | fig8 | fig9 | fig10 | ablation
+//! ```
+//!
+//! Each report is printed to stdout and written to `<out>/<experiment>.txt`
+//! (default `reports/`). Run in release mode: the full suite executes several
+//! hundred engine runs.
+
+use slfe_bench::experiments;
+use slfe_bench::ExperimentContext;
+use std::path::PathBuf;
+
+struct Options {
+    experiment: String,
+    ctx: ExperimentContext,
+    out_dir: PathBuf,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut experiment = "all".to_string();
+    let mut ctx = ExperimentContext::default();
+    let mut out_dir = PathBuf::from("reports");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value_for = |name: &str, args: &mut dyn Iterator<Item = String>| {
+            args.next().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--scale" => {
+                ctx.scale = value_for("--scale", &mut args)?
+                    .parse()
+                    .map_err(|e| format!("invalid --scale: {e}"))?;
+            }
+            "--nodes" => {
+                ctx.nodes = value_for("--nodes", &mut args)?
+                    .parse()
+                    .map_err(|e| format!("invalid --nodes: {e}"))?;
+            }
+            "--workers" => {
+                ctx.workers = value_for("--workers", &mut args)?
+                    .parse()
+                    .map_err(|e| format!("invalid --workers: {e}"))?;
+            }
+            "--out" => {
+                out_dir = PathBuf::from(value_for("--out", &mut args)?);
+            }
+            "--help" | "-h" => {
+                return Err("usage: experiments [EXPERIMENT] [--scale N] [--nodes N] [--workers N] [--out DIR]".into());
+            }
+            name if !name.starts_with("--") => experiment = name.to_string(),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(Options { experiment, ctx, out_dir })
+}
+
+fn all_experiments() -> Vec<(&'static str, fn(&ExperimentContext) -> String)> {
+    vec![
+        ("table1", experiments::table1 as fn(&ExperimentContext) -> String),
+        ("table2", experiments::table2),
+        ("fig2", experiments::fig2),
+        ("fig4", experiments::fig4),
+        ("table5", experiments::table5),
+        ("fig5", experiments::fig5),
+        ("fig6", experiments::fig6),
+        ("fig7", experiments::fig7),
+        ("fig8", experiments::fig8),
+        ("fig9", experiments::fig9),
+        ("fig10", experiments::fig10),
+        ("ablation", experiments::ablation),
+    ]
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let selected: Vec<_> = all_experiments()
+        .into_iter()
+        .filter(|(name, _)| options.experiment == "all" || options.experiment == *name)
+        .collect();
+    if selected.is_empty() {
+        eprintln!("unknown experiment '{}'", options.experiment);
+        std::process::exit(2);
+    }
+    if let Err(e) = std::fs::create_dir_all(&options.out_dir) {
+        eprintln!("cannot create {}: {e}", options.out_dir.display());
+        std::process::exit(1);
+    }
+    println!(
+        "# SLFE experiment harness: scale 1/{}, {} nodes x {} workers\n",
+        options.ctx.scale, options.ctx.nodes, options.ctx.workers
+    );
+    for (name, f) in selected {
+        let start = std::time::Instant::now();
+        let report = f(&options.ctx);
+        println!("{report}");
+        println!("[{name} completed in {:.1}s]\n", start.elapsed().as_secs_f64());
+        let path = options.out_dir.join(format!("{name}.txt"));
+        if let Err(e) = std::fs::write(&path, &report) {
+            eprintln!("cannot write {}: {e}", path.display());
+        }
+    }
+}

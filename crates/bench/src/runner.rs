@@ -1,0 +1,241 @@
+//! Uniform "run application X on engine Y over graph G" harness.
+
+use slfe_apps::{cc, pagerank, sssp, tunkrank, widestpath, AppKind};
+use slfe_baselines::{
+    BaselineEngine, GeminiEngine, GraphChiEngine, LigraEngine, PowerGraphEngine, PowerLyraEngine,
+};
+use slfe_cluster::ClusterConfig;
+use slfe_core::{EngineConfig, GraphProgram, ProgramResult, SlfeEngine};
+use slfe_graph::{datasets::Dataset, Graph, VertexId};
+use slfe_metrics::ExecutionStats;
+
+/// Engines the harness can drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// SLFE with redundancy reduction (the paper's system).
+    Slfe,
+    /// SLFE with redundancy reduction disabled (ablation).
+    SlfeNoRr,
+    /// Gemini-like baseline.
+    Gemini,
+    /// PowerGraph-like baseline.
+    PowerGraph,
+    /// PowerLyra-like baseline.
+    PowerLyra,
+    /// Ligra-like single-machine baseline.
+    Ligra,
+    /// GraphChi-like out-of-core baseline.
+    GraphChi,
+}
+
+impl EngineKind {
+    /// Report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Slfe => "SLFE",
+            EngineKind::SlfeNoRr => "SLFE (w/o RR)",
+            EngineKind::Gemini => "Gemini",
+            EngineKind::PowerGraph => "PowerG",
+            EngineKind::PowerLyra => "PowerL",
+            EngineKind::Ligra => "Ligra",
+            EngineKind::GraphChi => "GraphChi",
+        }
+    }
+}
+
+/// Global experiment parameters (graph scale and cluster shape).
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentContext {
+    /// Divisor applied to the paper's dataset sizes (Table 4).
+    pub scale: usize,
+    /// Number of simulated cluster nodes.
+    pub nodes: usize,
+    /// Worker threads per node.
+    pub workers: usize,
+}
+
+impl Default for ExperimentContext {
+    fn default() -> Self {
+        Self { scale: 4000, nodes: 8, workers: 4 }
+    }
+}
+
+impl ExperimentContext {
+    /// Load the proxy for `dataset` at this context's scale.
+    pub fn load(&self, dataset: Dataset) -> Graph {
+        dataset.load_scaled(self.scale)
+    }
+
+    /// Cluster configuration with this context's default topology.
+    pub fn cluster(&self) -> ClusterConfig {
+        ClusterConfig::new(self.nodes, self.workers)
+    }
+
+    /// Cluster configuration with an explicit node count (scalability sweeps).
+    pub fn cluster_with_nodes(&self, nodes: usize) -> ClusterConfig {
+        ClusterConfig::new(nodes, self.workers)
+    }
+}
+
+/// Uniform per-run summary consumed by the experiment renderers.
+#[derive(Debug, Clone)]
+pub struct AppRun {
+    /// Full execution statistics (counters, trace, phases, per-node work).
+    pub stats: ExecutionStats,
+    /// Fraction of vertices early-converged at 90% of the iterations (Figure 2).
+    pub ec_fraction_90: f64,
+    /// Per node, per worker busy work (Figure 10a).
+    pub per_node_worker_work: Vec<Vec<u64>>,
+    /// Whether the run reached a fixpoint before the iteration cap.
+    pub converged: bool,
+}
+
+impl AppRun {
+    fn from_result(result: ProgramResult<f32>) -> Self {
+        Self {
+            ec_fraction_90: result.early_converged_fraction(0.9),
+            per_node_worker_work: result.per_node_worker_work.clone(),
+            converged: result.converged,
+            stats: result.stats,
+        }
+    }
+
+    /// Simulated end-to-end seconds (preprocessing + execution).
+    pub fn total_seconds(&self) -> f64 {
+        self.stats.phases.total_seconds()
+    }
+}
+
+/// Pick the traversal root the harness uses for SSSP/BFS/WP: the highest-out-degree
+/// vertex, mirroring the paper's practice of rooting traversals at a well-connected
+/// vertex so most of the graph is reachable.
+pub fn default_root(graph: &Graph) -> VertexId {
+    slfe_graph::stats::highest_out_degree_vertex(graph).unwrap_or(0)
+}
+
+/// Prepare the graph an application actually consumes: CC requires the symmetrised
+/// graph (weakly-connected-component semantics), everything else runs on the
+/// directed graph as-is.
+pub fn prepare_graph(app: AppKind, graph: &Graph) -> Graph {
+    match app {
+        AppKind::ConnectedComponents => cc::symmetrize(graph),
+        _ => graph.clone(),
+    }
+}
+
+fn run_program<P: GraphProgram<Value = f32>>(
+    engine: EngineKind,
+    program: &P,
+    graph: &Graph,
+    cluster: ClusterConfig,
+) -> ProgramResult<f32> {
+    match engine {
+        EngineKind::Slfe => {
+            SlfeEngine::build(graph, cluster, EngineConfig::default()).run(program)
+        }
+        EngineKind::SlfeNoRr => {
+            SlfeEngine::build(graph, cluster, EngineConfig::without_rr()).run(program)
+        }
+        EngineKind::Gemini => GeminiEngine::build(graph, cluster).run(program),
+        EngineKind::PowerGraph => PowerGraphEngine::build(graph, cluster).run(program),
+        EngineKind::PowerLyra => PowerLyraEngine::build(graph, cluster).run(program),
+        EngineKind::Ligra => LigraEngine::build(graph, cluster.workers_per_node).run(program),
+        EngineKind::GraphChi => GraphChiEngine::build(graph, cluster.workers_per_node).run(program),
+    }
+}
+
+/// Run `app` on `engine` over `graph` (already prepared with [`prepare_graph`]).
+pub fn run_app(engine: EngineKind, app: AppKind, graph: &Graph, cluster: ClusterConfig) -> AppRun {
+    let result = match app {
+        AppKind::Sssp => {
+            run_program(engine, &sssp::SsspProgram { root: default_root(graph) }, graph, cluster)
+        }
+        AppKind::Bfs => run_program(
+            engine,
+            &slfe_apps::bfs::BfsProgram { root: default_root(graph) },
+            graph,
+            cluster,
+        ),
+        AppKind::ConnectedComponents => run_program(engine, &cc::CcProgram, graph, cluster),
+        AppKind::WidestPath => run_program(
+            engine,
+            &widestpath::WidestPathProgram { root: default_root(graph) },
+            graph,
+            cluster,
+        ),
+        AppKind::PageRank => run_program(
+            engine,
+            &pagerank::PageRankProgram::new(graph.num_vertices()),
+            graph,
+            cluster,
+        ),
+        AppKind::TunkRank => {
+            run_program(engine, &tunkrank::TunkRankProgram::default(), graph, cluster)
+        }
+        other => panic!("the harness does not drive {other} (not part of the paper's evaluation)"),
+    };
+    AppRun::from_result(result)
+}
+
+/// Convenience: load the dataset proxy, prepare it for `app` and run.
+pub fn run_on_dataset(
+    ctx: &ExperimentContext,
+    engine: EngineKind,
+    app: AppKind,
+    dataset: Dataset,
+) -> AppRun {
+    let graph = prepare_graph(app, &ctx.load(dataset));
+    run_app(engine, app, &graph, ctx.cluster())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_ctx() -> ExperimentContext {
+        ExperimentContext { scale: 64_000, nodes: 4, workers: 2 }
+    }
+
+    #[test]
+    fn harness_runs_every_paper_app_on_slfe() {
+        let ctx = tiny_ctx();
+        for app in AppKind::PAPER_EVALUATION {
+            let run = run_on_dataset(&ctx, EngineKind::Slfe, app, Dataset::Pokec);
+            assert!(run.stats.totals.edge_computations > 0, "{app} did no work");
+            assert_eq!(run.stats.engine, "slfe");
+        }
+    }
+
+    #[test]
+    fn harness_runs_every_engine_on_sssp() {
+        let ctx = tiny_ctx();
+        for engine in [
+            EngineKind::Slfe,
+            EngineKind::SlfeNoRr,
+            EngineKind::Gemini,
+            EngineKind::PowerGraph,
+            EngineKind::PowerLyra,
+            EngineKind::Ligra,
+            EngineKind::GraphChi,
+        ] {
+            let run = run_on_dataset(&ctx, engine, AppKind::Sssp, Dataset::Pokec);
+            assert!(run.converged, "{} did not converge", engine.name());
+        }
+    }
+
+    #[test]
+    fn cc_gets_a_symmetrized_graph() {
+        let g = slfe_graph::generators::path(6);
+        let prepared = prepare_graph(AppKind::ConnectedComponents, &g);
+        assert_eq!(prepared.num_edges(), 2 * g.num_edges());
+        let unchanged = prepare_graph(AppKind::Sssp, &g);
+        assert_eq!(unchanged.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not drive")]
+    fn harness_rejects_non_evaluation_apps() {
+        let ctx = tiny_ctx();
+        let _ = run_on_dataset(&ctx, EngineKind::Slfe, AppKind::SpMV, Dataset::Pokec);
+    }
+}

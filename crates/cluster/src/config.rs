@@ -1,0 +1,118 @@
+//! Cluster topology and cost-model configuration.
+
+use crate::comm::CommCostModel;
+
+/// Configuration of the simulated cluster.
+///
+/// The paper's testbed is 8 nodes × 68 cores; the defaults here are a scaled-down
+/// 8 × 4 configuration so that the full experiment suite runs quickly on a laptop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of logical cluster nodes (graph partitions).
+    pub num_nodes: usize,
+    /// Number of worker threads per node (intra-node parallelism).
+    pub workers_per_node: usize,
+    /// Mini-chunk size used by the work-stealing scheduler (the paper fixes 256).
+    pub chunk_size: usize,
+    /// Cost model converting counted messages into simulated communication seconds.
+    pub comm_cost: CommCostModel,
+}
+
+impl ClusterConfig {
+    /// Create a configuration with `num_nodes` nodes and `workers_per_node` workers,
+    /// using the default chunk size and communication cost model.
+    pub fn new(num_nodes: usize, workers_per_node: usize) -> Self {
+        assert!(num_nodes >= 1, "cluster needs at least one node");
+        assert!(workers_per_node >= 1, "each node needs at least one worker");
+        Self {
+            num_nodes,
+            workers_per_node,
+            chunk_size: crate::stealing::DEFAULT_CHUNK_SIZE,
+            comm_cost: CommCostModel::default(),
+        }
+    }
+
+    /// A single node with a single worker — the degenerate "shared memory" setup
+    /// used by the Ligra/GraphChi comparisons and by unit tests.
+    pub fn single_node() -> Self {
+        Self::new(1, 1)
+    }
+
+    /// The paper's 8-node setup with a laptop-friendly 4 workers per node.
+    pub fn paper_default() -> Self {
+        Self::new(8, 4)
+    }
+
+    /// Override the mini-chunk size.
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        assert!(chunk_size >= 1, "chunk size must be positive");
+        self.chunk_size = chunk_size;
+        self
+    }
+
+    /// Override the communication cost model.
+    pub fn with_comm_cost(mut self, model: CommCostModel) -> Self {
+        self.comm_cost = model;
+        self
+    }
+
+    /// Total worker count across the cluster.
+    pub fn total_workers(&self) -> usize {
+        self.num_nodes * self.workers_per_node
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_sets_topology() {
+        let c = ClusterConfig::new(4, 3);
+        assert_eq!(c.num_nodes, 4);
+        assert_eq!(c.workers_per_node, 3);
+        assert_eq!(c.total_workers(), 12);
+        assert_eq!(c.chunk_size, crate::stealing::DEFAULT_CHUNK_SIZE);
+    }
+
+    #[test]
+    fn single_node_is_one_by_one() {
+        let c = ClusterConfig::single_node();
+        assert_eq!(c.num_nodes, 1);
+        assert_eq!(c.workers_per_node, 1);
+    }
+
+    #[test]
+    fn paper_default_matches_eight_nodes() {
+        let c = ClusterConfig::paper_default();
+        assert_eq!(c.num_nodes, 8);
+        assert_eq!(c, ClusterConfig::default());
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let c = ClusterConfig::new(2, 2)
+            .with_chunk_size(64)
+            .with_comm_cost(CommCostModel::free());
+        assert_eq!(c.chunk_size, 64);
+        assert_eq!(c.comm_cost, CommCostModel::free());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        ClusterConfig::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_size_panics() {
+        let _ = ClusterConfig::new(1, 1).with_chunk_size(0);
+    }
+}

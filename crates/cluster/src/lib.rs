@@ -1,0 +1,31 @@
+//! # slfe-cluster
+//!
+//! The simulated distributed runtime underneath every engine in the workspace.
+//!
+//! The paper runs on an 8-node InfiniBand cluster and exchanges vertex updates over
+//! MPI. That hardware is replaced here by an in-process model that preserves what
+//! the evaluation actually measures:
+//!
+//! * [`config`] — [`ClusterConfig`]: number of logical nodes, workers per node and
+//!   the communication cost model used to convert counted messages into simulated
+//!   network seconds.
+//! * [`comm`] — per node-pair message accounting ([`CommTracker`]) plus the
+//!   [`CommCostModel`] (per-message latency + per-byte cost, loosely calibrated to
+//!   a 100 Gb/s InfiniBand link as used in the paper's testbed).
+//! * [`stealing`] — the 256-vertex mini-chunk work-stealing scheduler of §3.6, with
+//!   a deterministic simulated mode (used by the experiments for reproducible
+//!   imbalance/scalability numbers) and a threaded mode (real `std::thread` workers
+//!   claiming chunks from an atomic cursor).
+//! * [`cluster`] — [`Cluster`]: a partitioned view of a graph across nodes with
+//!   helpers every engine shares (ownership tests, per-node vertex ranges, per-node
+//!   work accounting).
+
+pub mod cluster;
+pub mod comm;
+pub mod config;
+pub mod stealing;
+
+pub use cluster::Cluster;
+pub use comm::{CommCostModel, CommStats, CommTracker};
+pub use config::ClusterConfig;
+pub use stealing::{ChunkScheduler, ScheduleOutcome, SchedulingPolicy, DEFAULT_CHUNK_SIZE};

@@ -1,0 +1,174 @@
+//! Engine configuration: redundancy reduction, scheduling, tracing and cost model.
+
+use slfe_cluster::SchedulingPolicy;
+
+/// Whether the engine applies the paper's redundancy-reduction guidance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RedundancyMode {
+    /// Apply "start late" (min/max apps) and "finish early" (arithmetic apps).
+    #[default]
+    Enabled,
+    /// Ignore the guidance — process every vertex every iteration, like the
+    /// baseline systems. Used for the w/o-RR curves of Figure 9 and the ablations.
+    Disabled,
+}
+
+impl RedundancyMode {
+    /// `true` when redundancy reduction is active.
+    pub fn is_enabled(self) -> bool {
+        matches!(self, RedundancyMode::Enabled)
+    }
+}
+
+/// Deterministic cost model that converts counted work into simulated seconds.
+///
+/// The experiments report *simulated* time = `work_units * seconds_per_work_unit`
+/// (plus network seconds from the cluster's communication model), so results are
+/// machine-independent and reproducible; wall-clock time is still measured and kept
+/// alongside in [`slfe_metrics::ExecutionStats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Simulated seconds per counted work unit (one edge computation or one vertex
+    /// update). The default, 5 ns, approximates a few cache-resident arithmetic
+    /// operations plus an update on the paper's Knights-Landing cores.
+    pub seconds_per_work_unit: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self { seconds_per_work_unit: 5.0e-9 }
+    }
+}
+
+impl CostModel {
+    /// Simulated seconds for `work` counted units.
+    pub fn seconds(&self, work: u64) -> f64 {
+        work as f64 * self.seconds_per_work_unit
+    }
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Redundancy-reduction mode (default: enabled).
+    pub redundancy: RedundancyMode,
+    /// Intra-node scheduling policy (default: work stealing, as in §3.6).
+    pub scheduling: SchedulingPolicy,
+    /// Record a per-iteration trace (needed by the Figure 4/9 experiments).
+    pub trace: bool,
+    /// Hard iteration cap. Min/max applications normally terminate on an empty
+    /// active set well before this; arithmetic applications iterate until no vertex
+    /// changes or the cap is reached.
+    pub max_iterations: u32,
+    /// Convergence tolerance for arithmetic applications: a vertex is "unchanged"
+    /// when `|new - old| <= tolerance`. Zero reproduces the paper's exact-equality
+    /// stability test.
+    pub tolerance: f64,
+    /// Simulated compute cost model.
+    pub cost: CostModel,
+    /// Fraction of edges that must be active for the engine to prefer pull over
+    /// push (Gemini's direction-switching heuristic; the paper inherits it).
+    pub pull_threshold: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            redundancy: RedundancyMode::Enabled,
+            scheduling: SchedulingPolicy::WorkStealing,
+            trace: true,
+            max_iterations: 200,
+            tolerance: 1.0e-7,
+            cost: CostModel::default(),
+            pull_threshold: 0.05,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Configuration with redundancy reduction disabled (baseline-style execution).
+    pub fn without_rr() -> Self {
+        Self { redundancy: RedundancyMode::Disabled, ..Self::default() }
+    }
+
+    /// Builder-style override of the redundancy mode.
+    pub fn with_redundancy(mut self, mode: RedundancyMode) -> Self {
+        self.redundancy = mode;
+        self
+    }
+
+    /// Builder-style override of the scheduling policy.
+    pub fn with_scheduling(mut self, policy: SchedulingPolicy) -> Self {
+        self.scheduling = policy;
+        self
+    }
+
+    /// Builder-style override of the iteration cap.
+    pub fn with_max_iterations(mut self, max: u32) -> Self {
+        assert!(max >= 1, "need at least one iteration");
+        self.max_iterations = max;
+        self
+    }
+
+    /// Builder-style override of the arithmetic convergence tolerance.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        assert!(tolerance >= 0.0, "tolerance must be non-negative");
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Builder-style toggle for tracing.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_enables_rr_and_stealing() {
+        let c = EngineConfig::default();
+        assert!(c.redundancy.is_enabled());
+        assert_eq!(c.scheduling, SchedulingPolicy::WorkStealing);
+        assert!(c.trace);
+        assert!(c.max_iterations >= 100);
+    }
+
+    #[test]
+    fn without_rr_flips_only_the_redundancy_mode() {
+        let c = EngineConfig::without_rr();
+        assert!(!c.redundancy.is_enabled());
+        assert_eq!(c.scheduling, EngineConfig::default().scheduling);
+    }
+
+    #[test]
+    fn builders_override_individual_fields() {
+        let c = EngineConfig::default()
+            .with_redundancy(RedundancyMode::Disabled)
+            .with_scheduling(SchedulingPolicy::StaticBlocks)
+            .with_max_iterations(10)
+            .with_tolerance(0.0)
+            .with_trace(false);
+        assert!(!c.redundancy.is_enabled());
+        assert_eq!(c.scheduling, SchedulingPolicy::StaticBlocks);
+        assert_eq!(c.max_iterations, 10);
+        assert_eq!(c.tolerance, 0.0);
+        assert!(!c.trace);
+    }
+
+    #[test]
+    fn cost_model_converts_work_to_seconds() {
+        let m = CostModel { seconds_per_work_unit: 1e-6 };
+        assert!((m.seconds(2_000_000) - 2.0).abs() < 1e-9);
+        assert_eq!(CostModel::default().seconds(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iteration_cap_panics() {
+        let _ = EngineConfig::default().with_max_iterations(0);
+    }
+}

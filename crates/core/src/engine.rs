@@ -1,0 +1,804 @@
+//! The RR-aware execution engine (paper Algorithms 2–4 and §3.3–3.6).
+//!
+//! The engine owns a partitioned view of the graph (the simulated cluster), the
+//! redundancy-reduction guidance produced at build time, and the configuration. A
+//! [`crate::GraphProgram`] is executed iteratively:
+//!
+//! * **Mode selection.** Min/max programs switch between *push* (scatter along the
+//!   outgoing edges of active vertices) and *pull* (gather along the incoming edges
+//!   of every scheduled vertex) using Gemini's active-edge-fraction heuristic.
+//!   Arithmetic programs always pull (§3.3, footnote 2).
+//! * **Start late.** With redundancy reduction enabled, a min/max destination vertex
+//!   is only pulled once the iteration number (the *single ruler*) has reached its
+//!   `last_iter` from the guidance.
+//! * **Finish early.** An arithmetic vertex whose value has been stable for
+//!   `last_iter` consecutive iterations (the *multi ruler*) is early-converged and
+//!   skipped for the rest of the run.
+//! * **Correctness.** On every pull→push transition all vertices are re-activated so
+//!   updates made by since-deactivated vertices still reach their successors
+//!   (Algorithm 3, lines 2–4). A redundancy-reduced min/max run additionally never
+//!   terminates straight out of pull mode: if the active set empties while the last
+//!   iteration was a pull, one "flush" push with full reactivation runs first, so
+//!   every vertex that "started late" still receives the updates it skipped.
+//!
+//! All work is counted (edge computations, vertex updates, messages) and per-node /
+//! per-worker loads are accumulated through the mini-chunk scheduler, which is what
+//! the scalability and imbalance experiments consume.
+
+use crate::config::{EngineConfig, RedundancyMode};
+use crate::program::{AggregationKind, GraphProgram};
+use crate::result::ProgramResult;
+use crate::rrg::RrGuidance;
+use slfe_cluster::{Cluster, ClusterConfig};
+use slfe_graph::Graph;
+use slfe_metrics::{Counters, ExecutionStats, IterationRecord, IterationTrace, Mode, PhaseBreakdown};
+use std::time::Instant;
+
+/// Size in bytes of one vertex update message: a 4-byte vertex id + 4-byte value.
+const UPDATE_MESSAGE_BYTES: u64 = 8;
+
+/// The SLFE engine bound to one graph and one simulated cluster.
+#[derive(Debug)]
+pub struct SlfeEngine<'g> {
+    graph: &'g Graph,
+    cluster: Cluster,
+    config: EngineConfig,
+    rrg: RrGuidance,
+    preprocessing_seconds: f64,
+    preprocessing_wall_seconds: f64,
+}
+
+impl<'g> SlfeEngine<'g> {
+    /// Partition `graph` across a fresh cluster and generate the RR guidance.
+    pub fn build(graph: &'g Graph, cluster_config: ClusterConfig, config: EngineConfig) -> Self {
+        let cluster = Cluster::build(graph, cluster_config);
+        Self::with_cluster(graph, cluster, config)
+    }
+
+    /// Build the engine around an existing cluster (custom partitioning).
+    pub fn with_cluster(graph: &'g Graph, cluster: Cluster, config: EngineConfig) -> Self {
+        let wall_start = Instant::now();
+        let rrg = RrGuidance::generate(graph);
+        let preprocessing_wall_seconds = wall_start.elapsed().as_secs_f64();
+        // Simulated preprocessing cost: the guidance pass is embarrassingly parallel
+        // over the frontier, so its counted work is spread over every worker in the
+        // cluster — matching the paper's claim that the overhead is negligible and
+        // amortised (§4.4).
+        let workers = cluster.config().total_workers().max(1) as f64;
+        let preprocessing_seconds = config.cost.seconds(rrg.generation_work()) / workers;
+        Self { graph, cluster, config, rrg, preprocessing_seconds, preprocessing_wall_seconds }
+    }
+
+    /// The processed graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The simulated cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The redundancy-reduction guidance generated at build time.
+    pub fn guidance(&self) -> &RrGuidance {
+        &self.rrg
+    }
+
+    /// Simulated seconds spent generating the guidance (Figure 8 overhead).
+    pub fn preprocessing_seconds(&self) -> f64 {
+        self.preprocessing_seconds
+    }
+
+    /// Wall-clock seconds spent generating the guidance.
+    pub fn preprocessing_wall_seconds(&self) -> f64 {
+        self.preprocessing_wall_seconds
+    }
+
+    /// Execute `program` to convergence (or the configured iteration cap) and
+    /// return its values plus full execution statistics.
+    pub fn run<P: GraphProgram>(&self, program: &P) -> ProgramResult<P::Value> {
+        self.cluster.reset_run_state();
+        let graph = self.graph;
+        let n = graph.num_vertices();
+        let arithmetic = program.aggregation() == AggregationKind::Arithmetic;
+        let rr = self.config.redundancy == RedundancyMode::Enabled;
+        let tolerance = self.config.tolerance;
+        let max_level = self.rrg.max_level();
+        // Highest guidance level whose vertices are guaranteed to have gathered from
+        // all their in-neighbors at least once: a pull at iteration `i` covers every
+        // vertex with `last_iter <= i`, and a push with full reactivation (the
+        // Algorithm 3 transition) covers everything. A redundancy-reduced min/max
+        // run may only terminate once every level is covered; otherwise a "late
+        // starting" vertex could still be missing updates it skipped.
+        let mut covered_level: u32 = if rr && !arithmetic { 0 } else { max_level };
+
+        let mut values: Vec<P::Value> = graph
+            .vertices()
+            .map(|v| program.initial_value(v, graph))
+            .collect();
+        let mut active: Vec<bool> = graph
+            .vertices()
+            .map(|v| program.initial_active(v, graph))
+            .collect();
+        let mut active_count = active.iter().filter(|&&a| a).count();
+
+        // Multi-ruler state ("finish early"): per-vertex stability counters.
+        let mut stable_count = vec![0u32; n];
+        let mut stable_value = values.clone();
+        let mut last_changed_iter = vec![0u32; n];
+
+        let num_nodes = self.cluster.num_nodes();
+        let mut per_node_worker_work: Vec<Vec<u64>> =
+            vec![vec![0u64; self.cluster.config().workers_per_node]; num_nodes];
+
+        let mut trace = IterationTrace::new();
+        let mut totals = Counters::zero();
+        let mut simulated_exec_seconds = 0.0f64;
+        let wall_start = Instant::now();
+
+        let mut last_mode_was_pull = false;
+        let mut converged = false;
+        let mut iterations_run = 0u32;
+
+        for iter in 1..=self.config.max_iterations {
+            let mut force_flush = false;
+            if !arithmetic && active_count == 0 {
+                // The active set is empty. Without RR every vertex was computed in
+                // every pull, so the fixpoint is reached. With RR, vertices whose
+                // guidance level was never covered may still be missing updates they
+                // skipped; Algorithm 3's transition handles this, so force one flush
+                // push (full reactivation) before declaring convergence.
+                if covered_level >= max_level {
+                    converged = true;
+                    break;
+                }
+                force_flush = true;
+            }
+            iterations_run = iter;
+            let mode = if force_flush {
+                Mode::Push
+            } else {
+                self.select_mode(program, &active, active_count)
+            };
+            let full_push = mode == Mode::Push && (last_mode_was_pull || force_flush);
+            let iter_wall_start = Instant::now();
+            let comm_before = self.cluster.comm_stats();
+
+            let mut iter_counters = Counters::zero();
+            let mut next_active = vec![false; n];
+            let mut next_active_count = 0usize;
+            let mut changed_this_iter = 0usize;
+            let mut iteration_node_makespan = 0u64;
+
+            // Algorithm 3 lines 2-4: re-activate everything on a pull -> push
+            // transition (or a forced flush) so updates from vertices that RR
+            // deactivated still reach their successors.
+            if full_push {
+                active.iter_mut().for_each(|a| *a = true);
+                active_count = n;
+            }
+
+            // Synchronous (BSP) semantics: every edge computation of this iteration
+            // reads the values of the *previous* iteration, exactly like the paper's
+            // Bellman-Ford-style iteration plot (Figure 1b) and like a distributed
+            // engine whose remote values only refresh at iteration boundaries.
+            let prev_values: Vec<P::Value> = values.clone();
+
+            for node in self.cluster.nodes() {
+                let owned = self.cluster.vertices_of(node);
+                let scheduler = self.cluster.node_scheduler();
+                let num_chunks = scheduler.num_chunks(owned.len());
+                let mut chunk_costs = vec![0u64; num_chunks];
+
+                for chunk in 0..num_chunks {
+                    let mut chunk_work = 0u64;
+                    for idx in scheduler.chunk_range(chunk, owned.len()) {
+                        let v = owned[idx];
+                        let vertex_work = match mode {
+                            Mode::Pull => self.pull_vertex(
+                                program,
+                                v,
+                                iter,
+                                rr,
+                                arithmetic,
+                                tolerance,
+                                &prev_values,
+                                &mut values,
+                                &mut stable_count,
+                                &mut stable_value,
+                                &mut next_active,
+                                &mut next_active_count,
+                                &mut changed_this_iter,
+                                &mut last_changed_iter,
+                                &mut iter_counters,
+                            ),
+                            Mode::Push => self.push_vertex(
+                                program,
+                                v,
+                                iter,
+                                tolerance,
+                                &active,
+                                &prev_values,
+                                &mut values,
+                                &mut next_active,
+                                &mut next_active_count,
+                                &mut changed_this_iter,
+                                &mut last_changed_iter,
+                                &mut iter_counters,
+                            ),
+                        };
+                        chunk_work += vertex_work;
+                    }
+                    chunk_costs[chunk] = chunk_work;
+                }
+
+                let outcome = scheduler.simulate(owned.len(), self.config.scheduling, |c| chunk_costs[c]);
+                for (w, load) in per_node_worker_work[node].iter_mut().zip(&outcome.per_worker_work) {
+                    *w += load;
+                }
+                self.cluster.record_node_work(node, outcome.total_work);
+                // The node's simulated time for this iteration is its busiest
+                // worker; nodes run in parallel, so the iteration is bounded by the
+                // slowest node.
+                iteration_node_makespan = iteration_node_makespan.max(outcome.makespan());
+            }
+
+            // Arithmetic programs apply vertexUpdate inside pull_vertex (the update
+            // is part of the per-vertex computation, Algorithm 5); nothing extra to
+            // do here.
+
+            let comm_after = self.cluster.comm_stats();
+            let iter_messages = comm_after.messages - comm_before.messages;
+            let iter_bytes = comm_after.bytes - comm_before.bytes;
+            iter_counters.messages_sent = iter_messages;
+            iter_counters.bytes_sent = iter_bytes;
+
+            let comm_seconds = self
+                .cluster
+                .config()
+                .comm_cost
+                .seconds(iter_messages, iter_bytes);
+            let compute_seconds = self.config.cost.seconds(iteration_node_makespan);
+            simulated_exec_seconds += compute_seconds + comm_seconds;
+
+            totals += iter_counters;
+            if self.config.trace {
+                trace.push(IterationRecord {
+                    iteration: iter,
+                    mode,
+                    active_vertices: active_count,
+                    counters: iter_counters,
+                    seconds: compute_seconds + comm_seconds,
+                });
+            }
+            let _ = iter_wall_start;
+
+            active = next_active;
+            active_count = next_active_count;
+            last_mode_was_pull = mode == Mode::Pull;
+            match mode {
+                // A pull at iteration `iter` gathered every vertex with
+                // `last_iter <= iter` from all of its in-neighbors.
+                Mode::Pull => covered_level = covered_level.max(iter),
+                // A fully re-activated push delivered every vertex's value to every
+                // successor, which covers all remaining levels.
+                Mode::Push if full_push => covered_level = max_level,
+                Mode::Push => {}
+            }
+
+            // Arithmetic termination: a fixpoint is reached when no vertex changed.
+            // Min/max termination is handled at the top of the next iteration so the
+            // RR flush push can run first if needed.
+            if arithmetic && changed_this_iter == 0 {
+                converged = true;
+                break;
+            }
+        }
+        if !arithmetic && active_count == 0 && covered_level >= max_level {
+            converged = true;
+        }
+
+        let wall_seconds = wall_start.elapsed().as_secs_f64();
+        let mut stats = ExecutionStats::new("slfe", program.name());
+        stats.num_vertices = n;
+        stats.num_edges = graph.num_edges();
+        stats.num_nodes = num_nodes;
+        stats.workers_per_node = self.cluster.config().workers_per_node;
+        stats.iterations = iterations_run;
+        stats.totals = totals;
+        stats.phases = PhaseBreakdown {
+            preprocessing_seconds: if rr { self.preprocessing_seconds } else { 0.0 },
+            execution_seconds: simulated_exec_seconds,
+        };
+        stats.trace = trace;
+        stats.per_node_work = self.cluster.per_node_work();
+        let _ = wall_seconds;
+
+        ProgramResult {
+            values,
+            stats,
+            last_changed_iter,
+            per_node_worker_work,
+            converged,
+        }
+    }
+
+    /// Direction selection: arithmetic programs always pull; min/max programs pull
+    /// when the active edge fraction exceeds the threshold (dense frontier) and push
+    /// otherwise (Gemini's heuristic, inherited by the paper).
+    fn select_mode<P: GraphProgram>(
+        &self,
+        program: &P,
+        active: &[bool],
+        active_count: usize,
+    ) -> Mode {
+        if program.aggregation() == AggregationKind::Arithmetic {
+            return Mode::Pull;
+        }
+        if active_count == 0 {
+            // Only reachable for the RR flush: a push with full reactivation
+            // delivers any updates that "late started" vertices missed.
+            return Mode::Push;
+        }
+        let active_edges: u64 = self
+            .graph
+            .vertices()
+            .filter(|&v| active[v as usize])
+            .map(|v| self.graph.out_degree(v) as u64)
+            .sum();
+        let threshold = self.graph.num_edges() as f64 * self.config.pull_threshold;
+        if active_edges as f64 > threshold {
+            Mode::Pull
+        } else {
+            Mode::Push
+        }
+    }
+
+    /// Pull-mode processing of one destination vertex (Algorithm 2).
+    /// Returns the counted work performed.
+    #[allow(clippy::too_many_arguments)]
+    fn pull_vertex<P: GraphProgram>(
+        &self,
+        program: &P,
+        dst: slfe_graph::VertexId,
+        iter: u32,
+        rr: bool,
+        arithmetic: bool,
+        tolerance: f64,
+        prev_values: &[P::Value],
+        values: &mut [P::Value],
+        stable_count: &mut [u32],
+        stable_value: &mut [P::Value],
+        next_active: &mut [bool],
+        next_active_count: &mut usize,
+        changed_this_iter: &mut usize,
+        last_changed_iter: &mut [u32],
+        counters: &mut Counters,
+    ) -> u64 {
+        let d = dst as usize;
+        if rr {
+            if arithmetic {
+                // Multi ruler ("finish early"): skip early-converged vertices. Every
+                // vertex computes at least once (threshold of at least 1).
+                let threshold = self.rrg.last_iter(dst).max(1);
+                if stable_count[d] >= threshold {
+                    return 0;
+                }
+            } else {
+                // Single ruler ("start late"): skip until the iteration number
+                // reaches the vertex's last propagation level.
+                if iter < self.rrg.last_iter(dst) {
+                    return 0;
+                }
+            }
+        }
+
+        let mut work = 0u64;
+        let mut gathered = program.identity();
+        let mut has_contribution = false;
+        let dst_owner = self.cluster.owner_of(dst);
+        // Pull-mode communication follows Gemini's mirror aggregation: each remote
+        // node combines the contributions of its local in-edges and sends a single
+        // partial result to the destination's owner. In-neighbor lists are sorted by
+        // vertex id and chunking makes ownership monotone in the id, so de-duplicating
+        // consecutive owners counts exactly one message per contributing remote node.
+        let mut last_remote_owner = usize::MAX;
+        for (src, weight) in self.graph.in_edges(dst) {
+            work += 1;
+            counters.edge_computations += 1;
+            if let Some(contribution) =
+                program.edge_contribution(src, prev_values[src as usize], weight)
+            {
+                gathered = program.combine(gathered, contribution);
+                has_contribution = true;
+                let src_owner = self.cluster.owner_of(src);
+                if src_owner != dst_owner && src_owner != last_remote_owner {
+                    self.cluster.record_update_message(src, dst, UPDATE_MESSAGE_BYTES);
+                    last_remote_owner = src_owner;
+                }
+            }
+        }
+
+        let old = values[d];
+        // Min/max programs must not fold the identity (e.g. +inf) into a vertex that
+        // received no contribution; arithmetic programs always re-apply, because an
+        // empty gather legitimately means "the sum of my in-neighbors is zero"
+        // (PageRank's pure-teleport vertices, TunkRank accounts with no followers).
+        let mut new = if has_contribution || arithmetic {
+            program.apply(dst, old, gathered)
+        } else {
+            old
+        };
+        if arithmetic {
+            new = program.vertex_update(dst, new, self.graph);
+            work += 1;
+        }
+        let changed = program.changed(old, new, tolerance);
+        if changed {
+            values[d] = new;
+            counters.vertex_updates += 1;
+            work += 1;
+            last_changed_iter[d] = iter;
+            *changed_this_iter += 1;
+            if !next_active[d] {
+                next_active[d] = true;
+                *next_active_count += 1;
+            }
+        }
+        if arithmetic {
+            // Stability bookkeeping for the multi ruler (Algorithm 5, lines 15-18).
+            if program.changed(stable_value[d], new, tolerance) {
+                stable_value[d] = new;
+                stable_count[d] = 0;
+            } else {
+                stable_count[d] += 1;
+            }
+        }
+        work
+    }
+
+    /// Push-mode processing of one source vertex (Algorithm 3).
+    /// Returns the counted work performed.
+    #[allow(clippy::too_many_arguments)]
+    fn push_vertex<P: GraphProgram>(
+        &self,
+        program: &P,
+        src: slfe_graph::VertexId,
+        iter: u32,
+        tolerance: f64,
+        active: &[bool],
+        prev_values: &[P::Value],
+        values: &mut [P::Value],
+        next_active: &mut [bool],
+        next_active_count: &mut usize,
+        changed_this_iter: &mut usize,
+        last_changed_iter: &mut [u32],
+        counters: &mut Counters,
+    ) -> u64 {
+        let s = src as usize;
+        if !active[s] || self.graph.out_degree(src) == 0 {
+            return 0;
+        }
+        let mut work = 0u64;
+        let src_owner = self.cluster.owner_of(src);
+        let src_value = prev_values[s];
+        for (dst, weight) in self.graph.out_edges(src) {
+            work += 1;
+            counters.edge_computations += 1;
+            let Some(contribution) = program.edge_contribution(src, src_value, weight) else {
+                continue;
+            };
+            let d = dst as usize;
+            let old = values[d];
+            let new = program.apply(dst, old, contribution);
+            if program.changed(old, new, tolerance) {
+                values[d] = new;
+                counters.vertex_updates += 1;
+                work += 1;
+                last_changed_iter[d] = iter;
+                *changed_this_iter += 1;
+                if !next_active[d] {
+                    next_active[d] = true;
+                    *next_active_count += 1;
+                }
+                // Remote destinations receive the update as a message.
+                if self.cluster.owner_of(dst) != src_owner {
+                    self.cluster.record_update_message(src, dst, UPDATE_MESSAGE_BYTES);
+                }
+            }
+        }
+        work
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::AggregationKind;
+    use slfe_graph::{generators, EdgeWeight, GraphBuilder, VertexId};
+
+    /// Minimal SSSP used to exercise the engine without depending on `slfe-apps`.
+    struct TestSssp {
+        root: VertexId,
+    }
+
+    impl GraphProgram for TestSssp {
+        type Value = f32;
+
+        fn aggregation(&self) -> AggregationKind {
+            AggregationKind::MinMax
+        }
+        fn name(&self) -> &'static str {
+            "test-sssp"
+        }
+        fn initial_value(&self, v: VertexId, _graph: &Graph) -> f32 {
+            if v == self.root {
+                0.0
+            } else {
+                f32::INFINITY
+            }
+        }
+        fn initial_active(&self, v: VertexId, _graph: &Graph) -> bool {
+            v == self.root
+        }
+        fn identity(&self) -> f32 {
+            f32::INFINITY
+        }
+        fn edge_contribution(&self, _src: VertexId, src_value: f32, weight: EdgeWeight) -> Option<f32> {
+            if src_value.is_finite() {
+                Some(src_value + weight)
+            } else {
+                None
+            }
+        }
+        fn combine(&self, a: f32, b: f32) -> f32 {
+            a.min(b)
+        }
+        fn apply(&self, _dst: VertexId, old: f32, gathered: f32) -> f32 {
+            old.min(gathered)
+        }
+    }
+
+    /// Minimal PageRank-style arithmetic program.
+    struct TestRank {
+        damping: f32,
+        n: usize,
+    }
+
+    impl GraphProgram for TestRank {
+        type Value = f32;
+
+        fn aggregation(&self) -> AggregationKind {
+            AggregationKind::Arithmetic
+        }
+        fn name(&self) -> &'static str {
+            "test-rank"
+        }
+        fn initial_value(&self, _v: VertexId, _graph: &Graph) -> f32 {
+            1.0 / self.n as f32
+        }
+        fn initial_active(&self, _v: VertexId, _graph: &Graph) -> bool {
+            true
+        }
+        fn identity(&self) -> f32 {
+            0.0
+        }
+        fn edge_contribution(&self, _src: VertexId, src_value: f32, _w: EdgeWeight) -> Option<f32> {
+            Some(src_value)
+        }
+        fn combine(&self, a: f32, b: f32) -> f32 {
+            a + b
+        }
+        fn apply(&self, _dst: VertexId, _old: f32, gathered: f32) -> f32 {
+            gathered
+        }
+        fn vertex_update(&self, v: VertexId, value: f32, graph: &Graph) -> f32 {
+            let rank = (1.0 - self.damping) / self.n as f32 + self.damping * value;
+            let out = graph.out_degree(v);
+            if out > 0 {
+                rank / out as f32
+            } else {
+                rank
+            }
+        }
+        fn changed(&self, old: f32, new: f32, tolerance: f64) -> bool {
+            (old - new).abs() as f64 > tolerance
+        }
+    }
+
+    fn weighted_diamond() -> slfe_graph::Graph {
+        // 0 -> 1 (1), 1 -> 2 (1), 0 -> 3 (2), 3 -> 4 (2), 2 -> 4 (1), 4 -> 5 (1), 0 -> 5 (10)
+        let mut b = GraphBuilder::new();
+        b.extend_weighted([
+            (0, 1, 1.0),
+            (1, 2, 1.0),
+            (0, 3, 2.0),
+            (3, 4, 2.0),
+            (2, 4, 1.0),
+            (4, 5, 1.0),
+            (0, 5, 10.0),
+        ]);
+        b.build()
+    }
+
+    fn dijkstra(graph: &Graph, root: VertexId) -> Vec<f32> {
+        let mut dist = vec![f32::INFINITY; graph.num_vertices()];
+        dist[root as usize] = 0.0;
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push(std::cmp::Reverse((ordered_float(0.0), root)));
+        while let Some(std::cmp::Reverse((d, v))) = heap.pop() {
+            let d = d as f32 / 1000.0;
+            if d > dist[v as usize] {
+                continue;
+            }
+            for (u, w) in graph.out_edges(v) {
+                let nd = dist[v as usize] + w;
+                if nd < dist[u as usize] {
+                    dist[u as usize] = nd;
+                    heap.push(std::cmp::Reverse((ordered_float(nd), u)));
+                }
+            }
+        }
+        dist
+    }
+
+    fn ordered_float(f: f32) -> u64 {
+        (f * 1000.0) as u64
+    }
+
+    #[test]
+    fn sssp_on_diamond_matches_dijkstra_with_and_without_rr() {
+        let g = weighted_diamond();
+        let expected = dijkstra(&g, 0);
+        for config in [EngineConfig::default(), EngineConfig::without_rr()] {
+            let engine = SlfeEngine::build(&g, ClusterConfig::new(2, 2), config);
+            let result = engine.run(&TestSssp { root: 0 });
+            for (v, (&got, &want)) in result.values.iter().zip(&expected).enumerate() {
+                assert!(
+                    (got - want).abs() < 1e-5,
+                    "vertex {v}: got {got}, want {want}"
+                );
+            }
+            assert!(result.converged);
+        }
+    }
+
+    #[test]
+    fn sssp_on_rmat_is_identical_with_and_without_rr() {
+        let g = generators::rmat(300, 2400, 0.57, 0.19, 0.19, 21);
+        let root = slfe_graph::stats::highest_out_degree_vertex(&g).unwrap();
+        let with_rr = SlfeEngine::build(&g, ClusterConfig::new(4, 2), EngineConfig::default())
+            .run(&TestSssp { root });
+        let without_rr = SlfeEngine::build(&g, ClusterConfig::new(4, 2), EngineConfig::without_rr())
+            .run(&TestSssp { root });
+        assert_eq!(with_rr.values.len(), without_rr.values.len());
+        for v in 0..with_rr.values.len() {
+            let a = with_rr.values[v];
+            let b = without_rr.values[v];
+            assert!(
+                (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-4,
+                "vertex {v}: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn rr_reduces_counted_work_for_sssp_on_a_deep_graph() {
+        // Layered graphs have a deep propagation structure with a wide (pull-mode)
+        // frontier — the regime where "start late" saves the most (paper §2.2).
+        let g = generators::layered(12, 60, 6, 4);
+        let with_rr = SlfeEngine::build(&g, ClusterConfig::new(4, 2), EngineConfig::default())
+            .run(&TestSssp { root: 0 });
+        let without_rr = SlfeEngine::build(&g, ClusterConfig::new(4, 2), EngineConfig::without_rr())
+            .run(&TestSssp { root: 0 });
+        // Correctness: identical distances.
+        for v in 0..g.num_vertices() {
+            let a = with_rr.values[v];
+            let b = without_rr.values[v];
+            assert!((a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-4);
+        }
+        // Redundancy reduction: strictly less counted work.
+        assert!(
+            with_rr.stats.totals.work() < without_rr.stats.totals.work(),
+            "RR should reduce work: {} vs {}",
+            with_rr.stats.totals.work(),
+            without_rr.stats.totals.work()
+        );
+        assert!(with_rr.stats.totals.vertex_updates <= without_rr.stats.totals.vertex_updates);
+    }
+
+    #[test]
+    fn rank_converges_and_rr_matches_non_rr_values() {
+        let g = generators::rmat(150, 900, 0.57, 0.19, 0.19, 12);
+        let program = TestRank { damping: 0.85, n: g.num_vertices() };
+        let config = EngineConfig::default().with_max_iterations(100);
+        let with_rr = SlfeEngine::build(&g, ClusterConfig::new(2, 2), config.clone()).run(&program);
+        let without_rr = SlfeEngine::build(
+            &g,
+            ClusterConfig::new(2, 2),
+            config.with_redundancy(RedundancyMode::Disabled),
+        )
+        .run(&program);
+        for v in 0..g.num_vertices() {
+            assert!(
+                (with_rr.values[v] - without_rr.values[v]).abs() < 1e-3,
+                "vertex {v}: {} vs {}",
+                with_rr.values[v],
+                without_rr.values[v]
+            );
+        }
+        assert!(with_rr.stats.totals.edge_computations <= without_rr.stats.totals.edge_computations);
+    }
+
+    #[test]
+    fn trace_records_every_iteration_and_mode() {
+        let g = generators::path(50);
+        let engine = SlfeEngine::build(&g, ClusterConfig::single_node(), EngineConfig::default());
+        let result = engine.run(&TestSssp { root: 0 });
+        assert_eq!(result.stats.trace.len() as u32, result.stats.iterations);
+        // A path from a single root keeps a tiny frontier: push should appear.
+        let modes: Vec<Mode> = result.stats.trace.records().iter().map(|r| r.mode).collect();
+        assert!(modes.contains(&Mode::Push) || modes.contains(&Mode::Pull));
+    }
+
+    #[test]
+    fn preprocessing_overhead_is_reported_only_with_rr() {
+        let g = generators::rmat(200, 1600, 0.57, 0.19, 0.19, 5);
+        let rr = SlfeEngine::build(&g, ClusterConfig::new(2, 1), EngineConfig::default());
+        let no_rr = SlfeEngine::build(&g, ClusterConfig::new(2, 1), EngineConfig::without_rr());
+        assert!(rr.preprocessing_seconds() > 0.0);
+        let r1 = rr.run(&TestSssp { root: 0 });
+        let r2 = no_rr.run(&TestSssp { root: 0 });
+        assert!(r1.stats.phases.preprocessing_seconds > 0.0);
+        assert_eq!(r2.stats.phases.preprocessing_seconds, 0.0);
+    }
+
+    #[test]
+    fn per_node_and_per_worker_work_are_populated() {
+        let g = generators::rmat(300, 2400, 0.57, 0.19, 0.19, 7);
+        let engine = SlfeEngine::build(&g, ClusterConfig::new(4, 3), EngineConfig::default());
+        let result = engine.run(&TestSssp { root: 0 });
+        assert_eq!(result.stats.per_node_work.len(), 4);
+        assert_eq!(result.per_node_worker_work.len(), 4);
+        assert!(result.per_node_worker_work.iter().all(|w| w.len() == 3));
+        let total_worker: u64 = result.all_worker_work().iter().sum();
+        let total_node: u64 = result.stats.per_node_work.iter().sum();
+        assert_eq!(total_worker, total_node);
+    }
+
+    #[test]
+    fn messages_are_zero_on_a_single_node() {
+        let g = generators::rmat(200, 1200, 0.57, 0.19, 0.19, 3);
+        let engine = SlfeEngine::build(&g, ClusterConfig::single_node(), EngineConfig::default());
+        let result = engine.run(&TestSssp { root: 0 });
+        assert_eq!(result.stats.totals.messages_sent, 0);
+        let multi = SlfeEngine::build(&g, ClusterConfig::new(4, 1), EngineConfig::default());
+        let result_multi = multi.run(&TestSssp { root: 0 });
+        assert!(result_multi.stats.totals.messages_sent > 0);
+    }
+
+    #[test]
+    fn arithmetic_runs_hit_the_iteration_cap_when_not_converged() {
+        let g = generators::rmat(100, 700, 0.57, 0.19, 0.19, 19);
+        let program = TestRank { damping: 0.85, n: g.num_vertices() };
+        let config = EngineConfig::default().with_max_iterations(3).with_tolerance(0.0);
+        let engine = SlfeEngine::build(&g, ClusterConfig::single_node(), config);
+        let result = engine.run(&program);
+        assert_eq!(result.stats.iterations, 3);
+        assert!(!result.converged);
+    }
+
+    #[test]
+    fn empty_graph_runs_trivially() {
+        let g = slfe_graph::Graph::from_edges(0, vec![]);
+        let engine = SlfeEngine::build(&g, ClusterConfig::new(2, 2), EngineConfig::default());
+        let result = engine.run(&TestRank { damping: 0.85, n: 1 });
+        assert!(result.values.is_empty());
+        assert!(result.converged);
+    }
+}

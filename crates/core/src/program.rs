@@ -1,0 +1,163 @@
+//! The application-facing programming model (paper Table 3).
+//!
+//! An application describes *what* happens along an edge and at a vertex; the
+//! engine decides *when* it happens (push or pull, which iteration, which vertices
+//! to skip under redundancy reduction). The split mirrors the paper's API:
+//!
+//! | paper                          | this trait                                   |
+//! |--------------------------------|----------------------------------------------|
+//! | `pushFunc(vsrc, outgoing)`     | [`GraphProgram::edge_contribution`] applied  |
+//! |                                | along outgoing edges + [`GraphProgram::apply`] |
+//! | `pullFunc(vdst, incoming)`     | the same two hooks applied along incoming edges, folded with [`GraphProgram::combine`] |
+//! | `vertexUpdate(vertexFunc)`     | [`GraphProgram::vertex_update`]              |
+//! | `edgeProc(..., Ruler)`         | handled by the engine from the RRG           |
+
+use slfe_graph::{EdgeWeight, Graph, VertexId};
+
+/// The two aggregation families of Table 1. The family decides which
+/// redundancy-reduction rule applies (start late vs finish early) and whether the
+/// engine may use push mode at all (arithmetic applications always pull, §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggregationKind {
+    /// `min()`/`max()` aggregation (SSSP, CC, WidestPath, ...). Optimised by
+    /// "start late".
+    MinMax,
+    /// Arithmetic (`sum`/`product`) aggregation (PageRank, TunkRank, SpMV, ...).
+    /// Optimised by "finish early" on early-converged vertices.
+    Arithmetic,
+}
+
+impl std::fmt::Display for AggregationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AggregationKind::MinMax => write!(f, "min/max"),
+            AggregationKind::Arithmetic => write!(f, "arithmetic"),
+        }
+    }
+}
+
+/// A vertex-centric graph application.
+///
+/// Implementations must be cheap to call: the engine invokes these hooks once per
+/// edge/vertex per iteration, so anything expensive belongs in precomputed state on
+/// the program struct itself.
+pub trait GraphProgram: Sync {
+    /// The per-vertex property type (distance, component label, rank, ...).
+    type Value: Copy + PartialEq + Send + Sync + std::fmt::Debug;
+
+    /// Which aggregation family the program belongs to (Table 1).
+    fn aggregation(&self) -> AggregationKind;
+
+    /// Short name used in reports ("sssp", "pagerank", ...).
+    fn name(&self) -> &'static str;
+
+    /// Initial property of vertex `v`.
+    fn initial_value(&self, v: VertexId, graph: &Graph) -> Self::Value;
+
+    /// Whether `v` starts in the active set (e.g. only the SSSP root does).
+    fn initial_active(&self, v: VertexId, graph: &Graph) -> bool;
+
+    /// Identity element of [`GraphProgram::combine`]: `+inf` for a min fold, `0`
+    /// for a sum fold. Pull mode starts each gather from this value.
+    fn identity(&self) -> Self::Value;
+
+    /// Contribution of source vertex `src` (currently holding `src_value`) along an
+    /// edge with weight `weight`. Returning `None` means the source has nothing to
+    /// offer yet (e.g. an unreached SSSP vertex) and the edge is skipped.
+    fn edge_contribution(
+        &self,
+        src: VertexId,
+        src_value: Self::Value,
+        weight: EdgeWeight,
+    ) -> Option<Self::Value>;
+
+    /// Aggregate two contributions (the fold operator: `min`, `max`, `+`, ...).
+    fn combine(&self, a: Self::Value, b: Self::Value) -> Self::Value;
+
+    /// Merge the gathered contribution into the destination's current value and
+    /// return the new value. For monotone min/max programs this is typically
+    /// `min(old, gathered)`; for arithmetic programs it usually ignores `old` and
+    /// returns `gathered`.
+    fn apply(&self, dst: VertexId, old: Self::Value, gathered: Self::Value) -> Self::Value;
+
+    /// Per-vertex post-processing applied after the edge phase of an iteration
+    /// (the paper's `vertexUpdate`, e.g. PageRank's damping). Defaults to identity.
+    fn vertex_update(&self, _v: VertexId, value: Self::Value, _graph: &Graph) -> Self::Value {
+        value
+    }
+
+    /// Whether the transition `old -> new` counts as a change (drives activation,
+    /// convergence detection and the update counters). `tolerance` comes from the
+    /// engine configuration; min/max programs normally ignore it.
+    fn changed(&self, old: Self::Value, new: Self::Value, _tolerance: f64) -> bool {
+        old != new
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy min-propagation program used to exercise the trait's default methods.
+    struct MinLabel;
+
+    impl GraphProgram for MinLabel {
+        type Value = u32;
+
+        fn aggregation(&self) -> AggregationKind {
+            AggregationKind::MinMax
+        }
+        fn name(&self) -> &'static str {
+            "min-label"
+        }
+        fn initial_value(&self, v: VertexId, _graph: &Graph) -> u32 {
+            v
+        }
+        fn initial_active(&self, _v: VertexId, _graph: &Graph) -> bool {
+            true
+        }
+        fn identity(&self) -> u32 {
+            u32::MAX
+        }
+        fn edge_contribution(&self, _src: VertexId, src_value: u32, _w: EdgeWeight) -> Option<u32> {
+            Some(src_value)
+        }
+        fn combine(&self, a: u32, b: u32) -> u32 {
+            a.min(b)
+        }
+        fn apply(&self, _dst: VertexId, old: u32, gathered: u32) -> u32 {
+            old.min(gathered)
+        }
+    }
+
+    #[test]
+    fn default_vertex_update_is_identity() {
+        let g = slfe_graph::generators::path(3);
+        let p = MinLabel;
+        assert_eq!(p.vertex_update(1, 42, &g), 42);
+    }
+
+    #[test]
+    fn default_changed_is_inequality() {
+        let p = MinLabel;
+        assert!(p.changed(3, 2, 0.0));
+        assert!(!p.changed(2, 2, 1.0));
+    }
+
+    #[test]
+    fn aggregation_kinds_display() {
+        assert_eq!(AggregationKind::MinMax.to_string(), "min/max");
+        assert_eq!(AggregationKind::Arithmetic.to_string(), "arithmetic");
+    }
+
+    #[test]
+    fn toy_program_hooks_behave_like_a_min_fold() {
+        let p = MinLabel;
+        let folded = [5u32, 3, 9]
+            .into_iter()
+            .fold(p.identity(), |acc, x| p.combine(acc, x));
+        assert_eq!(folded, 3);
+        assert_eq!(p.apply(0, 2, folded), 2);
+        assert_eq!(p.apply(0, 7, folded), 3);
+    }
+}

@@ -1,0 +1,193 @@
+//! Mutable edge-list accumulator producing an immutable [`Graph`].
+
+use crate::graph::Graph;
+use crate::types::{Edge, EdgeWeight, VertexId};
+
+/// Accumulates edges and produces a [`Graph`].
+///
+/// The builder tracks the maximum vertex id seen so callers do not need to declare
+/// the vertex count up front, although [`GraphBuilder::with_vertices`] can reserve a
+/// minimum count (useful when the tail of the id space is made of isolated vertices).
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    edges: Vec<Edge>,
+    min_vertices: usize,
+    dedup: bool,
+    drop_self_loops: bool,
+    symmetric: bool,
+}
+
+impl GraphBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Guarantee that the built graph has at least `n` vertices even if the edge
+    /// list does not reference the tail of the id space.
+    pub fn with_vertices(mut self, n: usize) -> Self {
+        self.min_vertices = n;
+        self
+    }
+
+    /// Remove duplicate `(src, dst)` pairs, keeping the smallest weight.
+    pub fn deduplicate(mut self, yes: bool) -> Self {
+        self.dedup = yes;
+        self
+    }
+
+    /// Drop self loops (`src == dst`).
+    pub fn drop_self_loops(mut self, yes: bool) -> Self {
+        self.drop_self_loops = yes;
+        self
+    }
+
+    /// For every inserted edge also insert the reverse edge, producing a symmetric
+    /// (undirected-as-directed) graph. Connected Components in the paper treats
+    /// graphs as undirected, so the CC proxies are built this way.
+    pub fn symmetric(mut self, yes: bool) -> Self {
+        self.symmetric = yes;
+        self
+    }
+
+    /// Add a weighted edge.
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId, weight: EdgeWeight) -> &mut Self {
+        self.edges.push(Edge::new(src, dst, weight));
+        self
+    }
+
+    /// Add an unweighted (weight 1.0) edge.
+    pub fn add_unweighted(&mut self, src: VertexId, dst: VertexId) -> &mut Self {
+        self.add_edge(src, dst, 1.0)
+    }
+
+    /// Add many edges from an iterator of `(src, dst, weight)` triples.
+    pub fn extend_weighted(
+        &mut self,
+        iter: impl IntoIterator<Item = (VertexId, VertexId, EdgeWeight)>,
+    ) -> &mut Self {
+        self.edges
+            .extend(iter.into_iter().map(|(s, d, w)| Edge::new(s, d, w)));
+        self
+    }
+
+    /// Add many edges from an iterator of `(src, dst)` pairs with weight 1.0.
+    pub fn extend_unweighted(
+        &mut self,
+        iter: impl IntoIterator<Item = (VertexId, VertexId)>,
+    ) -> &mut Self {
+        self.edges
+            .extend(iter.into_iter().map(|(s, d)| Edge::unweighted(s, d)));
+        self
+    }
+
+    /// Number of edges currently buffered (before symmetrisation / dedup).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` if no edges have been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Finalize into an immutable [`Graph`].
+    pub fn build(self) -> Graph {
+        let mut edges = self.edges;
+        // The vertex-id space is determined by every edge *mentioned*, even ones that
+        // later filters (self-loop removal, dedup) drop: a vertex with only a self
+        // loop is still a vertex of the graph.
+        let max_id = edges
+            .iter()
+            .map(|e| e.src.max(e.dst) as usize + 1)
+            .max()
+            .unwrap_or(0);
+        if self.symmetric {
+            let reversed: Vec<Edge> = edges.iter().map(|e| e.reversed()).collect();
+            edges.extend(reversed);
+        }
+        if self.drop_self_loops {
+            edges.retain(|e| e.src != e.dst);
+        }
+        if self.dedup {
+            edges.sort_unstable_by(|a, b| {
+                (a.src, a.dst)
+                    .cmp(&(b.src, b.dst))
+                    .then(a.weight.partial_cmp(&b.weight).unwrap_or(std::cmp::Ordering::Equal))
+            });
+            edges.dedup_by(|a, b| a.src == b.src && a.dst == b.dst);
+        }
+        let num_vertices = max_id.max(self.min_vertices);
+        Graph::from_edges(num_vertices, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_graph_with_inferred_vertex_count() {
+        let mut b = GraphBuilder::new();
+        b.add_unweighted(0, 5).add_unweighted(2, 3);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn with_vertices_extends_id_space() {
+        let mut b = GraphBuilder::new().with_vertices(100);
+        b.add_unweighted(0, 1);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 100);
+    }
+
+    #[test]
+    fn dedup_keeps_minimum_weight() {
+        let mut b = GraphBuilder::new().deduplicate(true);
+        b.add_edge(0, 1, 5.0).add_edge(0, 1, 2.0).add_edge(0, 1, 9.0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.out_weights(0), &[2.0]);
+    }
+
+    #[test]
+    fn self_loops_are_dropped_when_requested() {
+        let mut b = GraphBuilder::new().drop_self_loops(true);
+        b.add_unweighted(3, 3).add_unweighted(1, 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        // Vertex 3 stays part of the graph even though its only (self-loop) edge
+        // was dropped.
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.out_degree(3), 0);
+    }
+
+    #[test]
+    fn symmetric_builder_mirrors_every_edge() {
+        let mut b = GraphBuilder::new().symmetric(true);
+        b.add_unweighted(0, 1).add_unweighted(1, 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_neighbors(1), &[0, 2]);
+        assert_eq!(g.in_neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn empty_builder_produces_empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn extend_helpers_add_all_edges() {
+        let mut b = GraphBuilder::new();
+        b.extend_unweighted([(0, 1), (1, 2)]);
+        b.extend_weighted([(2, 3, 4.0)]);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.out_weights(2), &[4.0]);
+    }
+}

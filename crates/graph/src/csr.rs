@@ -1,0 +1,208 @@
+//! Compressed sparse row adjacency structure.
+//!
+//! [`Adjacency`] stores, for every vertex, a contiguous slice of `(neighbor, weight)`
+//! pairs. The same structure serves as CSR (when built from outgoing edges) and as
+//! CSC (when built from incoming edges); [`crate::Graph`] keeps one of each so the
+//! engine can switch between *push* (outgoing) and *pull* (incoming) traversal.
+
+use crate::types::{Edge, EdgeWeight, VertexId};
+
+/// Compressed adjacency: `offsets[v]..offsets[v+1]` indexes into `targets`/`weights`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Adjacency {
+    offsets: Vec<usize>,
+    targets: Vec<VertexId>,
+    weights: Vec<EdgeWeight>,
+}
+
+impl Adjacency {
+    /// Build a CSR structure from a list of edges, keyed by `key` (the vertex whose
+    /// adjacency list the edge belongs to) and storing `other` as the neighbor.
+    ///
+    /// `num_vertices` must be at least `max(vertex id) + 1`.
+    fn from_keyed_edges(
+        num_vertices: usize,
+        edges: &[Edge],
+        key: impl Fn(&Edge) -> VertexId,
+        other: impl Fn(&Edge) -> VertexId,
+    ) -> Self {
+        let mut counts = vec![0usize; num_vertices + 1];
+        for e in edges {
+            counts[key(e) as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![0 as VertexId; edges.len()];
+        let mut weights = vec![0.0 as EdgeWeight; edges.len()];
+        for e in edges {
+            let k = key(e) as usize;
+            let pos = cursor[k];
+            targets[pos] = other(e);
+            weights[pos] = e.weight;
+            cursor[k] += 1;
+        }
+        // Sort each adjacency list by neighbor id for deterministic iteration and
+        // cache-friendly scans. Lists are typically short, so insertion-style sort
+        // via `sort_unstable` on index pairs is fine.
+        let mut adj = Self { offsets, targets, weights };
+        adj.sort_neighbor_lists();
+        adj
+    }
+
+    /// Build the *outgoing* adjacency (CSR): `neighbors(v)` are targets of edges
+    /// whose source is `v`.
+    pub fn outgoing(num_vertices: usize, edges: &[Edge]) -> Self {
+        Self::from_keyed_edges(num_vertices, edges, |e| e.src, |e| e.dst)
+    }
+
+    /// Build the *incoming* adjacency (CSC): `neighbors(v)` are sources of edges
+    /// whose destination is `v`.
+    pub fn incoming(num_vertices: usize, edges: &[Edge]) -> Self {
+        Self::from_keyed_edges(num_vertices, edges, |e| e.dst, |e| e.src)
+    }
+
+    fn sort_neighbor_lists(&mut self) {
+        for v in 0..self.num_vertices() {
+            let (lo, hi) = (self.offsets[v], self.offsets[v + 1]);
+            let mut pairs: Vec<(VertexId, EdgeWeight)> = self.targets[lo..hi]
+                .iter()
+                .copied()
+                .zip(self.weights[lo..hi].iter().copied())
+                .collect();
+            pairs.sort_unstable_by_key(|(t, _)| *t);
+            for (i, (t, w)) in pairs.into_iter().enumerate() {
+                self.targets[lo + i] = t;
+                self.weights[lo + i] = w;
+            }
+        }
+    }
+
+    /// Number of vertices covered by this adjacency.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of stored edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Degree of `v` (number of neighbors in this direction).
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Neighbors of `v` in this direction.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Weights parallel to [`Self::neighbors`].
+    pub fn weights(&self, v: VertexId) -> &[EdgeWeight] {
+        let v = v as usize;
+        &self.weights[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Iterate `(neighbor, weight)` pairs of `v`.
+    pub fn neighbors_with_weights(
+        &self,
+        v: VertexId,
+    ) -> impl Iterator<Item = (VertexId, EdgeWeight)> + '_ {
+        self.neighbors(v)
+            .iter()
+            .copied()
+            .zip(self.weights(v).iter().copied())
+    }
+
+    /// `true` if the adjacency list of `v` contains `u`.
+    pub fn contains_edge(&self, v: VertexId, u: VertexId) -> bool {
+        self.neighbors(v).binary_search(&u).is_ok()
+    }
+
+    /// Raw offsets array (length `num_vertices + 1`). Useful for the partitioner,
+    /// which balances on edge counts.
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges() -> Vec<Edge> {
+        vec![
+            Edge::new(0, 1, 1.0),
+            Edge::new(0, 3, 2.0),
+            Edge::new(1, 2, 1.0),
+            Edge::new(3, 4, 1.0),
+            Edge::new(2, 4, 1.0),
+            Edge::new(4, 5, 1.0),
+            Edge::new(0, 5, 1.0),
+        ]
+    }
+
+    #[test]
+    fn outgoing_degrees_match_edge_list() {
+        let adj = Adjacency::outgoing(6, &edges());
+        assert_eq!(adj.num_vertices(), 6);
+        assert_eq!(adj.num_edges(), 7);
+        assert_eq!(adj.degree(0), 3);
+        assert_eq!(adj.degree(1), 1);
+        assert_eq!(adj.degree(5), 0);
+    }
+
+    #[test]
+    fn incoming_degrees_match_edge_list() {
+        let adj = Adjacency::incoming(6, &edges());
+        assert_eq!(adj.degree(0), 0);
+        assert_eq!(adj.degree(5), 2);
+        assert_eq!(adj.degree(4), 2);
+        assert_eq!(adj.neighbors(5), &[0, 4]);
+    }
+
+    #[test]
+    fn neighbor_lists_are_sorted() {
+        let adj = Adjacency::outgoing(6, &edges());
+        assert_eq!(adj.neighbors(0), &[1, 3, 5]);
+        let ws = adj.weights(0);
+        assert_eq!(ws, &[1.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn contains_edge_uses_binary_search() {
+        let adj = Adjacency::outgoing(6, &edges());
+        assert!(adj.contains_edge(0, 3));
+        assert!(!adj.contains_edge(0, 2));
+        assert!(!adj.contains_edge(5, 0));
+    }
+
+    #[test]
+    fn neighbors_with_weights_pairs_up() {
+        let adj = Adjacency::outgoing(6, &edges());
+        let pairs: Vec<_> = adj.neighbors_with_weights(0).collect();
+        assert_eq!(pairs, vec![(1, 1.0), (3, 2.0), (5, 1.0)]);
+    }
+
+    #[test]
+    fn empty_graph_has_no_edges() {
+        let adj = Adjacency::outgoing(4, &[]);
+        assert_eq!(adj.num_edges(), 0);
+        for v in 0..4 {
+            assert_eq!(adj.degree(v), 0);
+            assert!(adj.neighbors(v).is_empty());
+        }
+    }
+
+    #[test]
+    fn isolated_trailing_vertices_are_represented() {
+        let adj = Adjacency::outgoing(10, &[Edge::unweighted(0, 1)]);
+        assert_eq!(adj.num_vertices(), 10);
+        assert_eq!(adj.degree(9), 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! The immutable [`Graph`] type: CSR + CSC views over a directed weighted graph.
+
+use crate::csr::Adjacency;
+use crate::types::{Edge, EdgeWeight, VertexId};
+
+/// A directed, weighted graph with both outgoing (CSR) and incoming (CSC) adjacency.
+///
+/// Both directions are materialised because the SLFE computation model (paper §3.3)
+/// switches between *push* over outgoing edges and *pull* over incoming edges at
+/// runtime; the same is true of the Gemini and Ligra baselines.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    num_vertices: usize,
+    out: Adjacency,
+    incoming: Adjacency,
+    edges: Vec<Edge>,
+}
+
+impl Graph {
+    /// Construct a graph from an explicit vertex count and edge list.
+    ///
+    /// Panics if any edge references a vertex `>= num_vertices`.
+    pub fn from_edges(num_vertices: usize, edges: Vec<Edge>) -> Self {
+        for e in &edges {
+            assert!(
+                (e.src as usize) < num_vertices && (e.dst as usize) < num_vertices,
+                "edge ({}, {}) out of range for {} vertices",
+                e.src,
+                e.dst,
+                num_vertices
+            );
+        }
+        let out = Adjacency::outgoing(num_vertices, &edges);
+        let incoming = Adjacency::incoming(num_vertices, &edges);
+        Self { num_vertices, out, incoming, edges }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Average out-degree (`|E| / |V|`), the figure the paper's Table 4 reports.
+    pub fn average_degree(&self) -> f64 {
+        if self.num_vertices == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_vertices as f64
+        }
+    }
+
+    /// Iterate over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        0..self.num_vertices as VertexId
+    }
+
+    /// The raw edge list (order unspecified).
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out.degree(v)
+    }
+
+    /// In-degree of `v`.
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.incoming.degree(v)
+    }
+
+    /// Outgoing neighbors of `v` (targets of edges leaving `v`), sorted.
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.out.neighbors(v)
+    }
+
+    /// Incoming neighbors of `v` (sources of edges entering `v`), sorted.
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.incoming.neighbors(v)
+    }
+
+    /// Weights parallel to [`Self::out_neighbors`].
+    pub fn out_weights(&self, v: VertexId) -> &[EdgeWeight] {
+        self.out.weights(v)
+    }
+
+    /// Weights parallel to [`Self::in_neighbors`].
+    pub fn in_weights(&self, v: VertexId) -> &[EdgeWeight] {
+        self.incoming.weights(v)
+    }
+
+    /// `(neighbor, weight)` pairs over outgoing edges of `v`.
+    pub fn out_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeWeight)> + '_ {
+        self.out.neighbors_with_weights(v)
+    }
+
+    /// `(neighbor, weight)` pairs over incoming edges of `v`.
+    pub fn in_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeWeight)> + '_ {
+        self.incoming.neighbors_with_weights(v)
+    }
+
+    /// `true` if the directed edge `src -> dst` exists.
+    pub fn has_edge(&self, src: VertexId, dst: VertexId) -> bool {
+        self.out.contains_edge(src, dst)
+    }
+
+    /// Access the outgoing adjacency (CSR) directly.
+    pub fn out_adjacency(&self) -> &Adjacency {
+        &self.out
+    }
+
+    /// Access the incoming adjacency (CSC) directly.
+    pub fn in_adjacency(&self) -> &Adjacency {
+        &self.incoming
+    }
+
+    /// Build a new graph with every edge direction flipped.
+    pub fn transpose(&self) -> Graph {
+        let edges = self.edges.iter().map(|e| e.reversed()).collect();
+        Graph::from_edges(self.num_vertices, edges)
+    }
+
+    /// Consistency check used by tests and property tests: CSR and CSC must describe
+    /// the same edge set and every degree sum must equal the edge count.
+    pub fn validate(&self) -> Result<(), String> {
+        let out_sum: usize = self.vertices().map(|v| self.out_degree(v)).sum();
+        let in_sum: usize = self.vertices().map(|v| self.in_degree(v)).sum();
+        if out_sum != self.num_edges() {
+            return Err(format!(
+                "out-degree sum {} != edge count {}",
+                out_sum,
+                self.num_edges()
+            ));
+        }
+        if in_sum != self.num_edges() {
+            return Err(format!(
+                "in-degree sum {} != edge count {}",
+                in_sum,
+                self.num_edges()
+            ));
+        }
+        for v in self.vertices() {
+            for &u in self.out_neighbors(v) {
+                if !self.in_neighbors(u).contains(&v) {
+                    return Err(format!("edge {v}->{u} present in CSR but missing in CSC"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn diamond() -> Graph {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3
+        let mut b = GraphBuilder::new();
+        b.extend_weighted([(0, 1, 1.0), (1, 3, 2.0), (0, 2, 4.0), (2, 3, 1.0)]);
+        b.build()
+    }
+
+    #[test]
+    fn degrees_and_counts() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(3), 2);
+        assert!((g.average_degree() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adjacency_views_are_consistent() {
+        let g = diamond();
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn transpose_flips_edges() {
+        let g = diamond();
+        let t = g.transpose();
+        assert!(t.has_edge(1, 0));
+        assert!(t.has_edge(3, 2));
+        assert!(!t.has_edge(0, 1));
+        assert_eq!(t.num_edges(), g.num_edges());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        Graph::from_edges(2, vec![Edge::unweighted(0, 5)]);
+    }
+
+    #[test]
+    fn empty_graph_is_valid() {
+        let g = Graph::from_edges(0, vec![]);
+        assert_eq!(g.num_vertices(), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn edge_weights_follow_sorted_neighbor_order() {
+        let g = diamond();
+        assert_eq!(g.out_weights(0), &[1.0, 4.0]);
+        assert_eq!(g.in_weights(3), &[2.0, 1.0]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Plain-text edge-list I/O.
+//!
+//! The format is the SNAP-style whitespace-separated edge list the paper's datasets
+//! ship in: one edge per line, `src dst [weight]`, with `#`-prefixed comment lines.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::types::{EdgeWeight, VertexId};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Errors produced while parsing an edge list.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line could not be parsed; carries the 1-based line number and its content.
+    Parse { line: usize, content: String },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::Parse { line, content } => {
+                write!(f, "parse error on line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Parse an edge list from any reader. Lines beginning with `#` or `%` and blank
+/// lines are skipped. Each remaining line must be `src dst` or `src dst weight`.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Graph, LoadError> {
+    let mut builder = GraphBuilder::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> Option<VertexId> { tok?.parse().ok() };
+        let src = parse(parts.next());
+        let dst = parse(parts.next());
+        let weight: Option<EdgeWeight> = match parts.next() {
+            None => Some(1.0),
+            Some(tok) => tok.parse().ok(),
+        };
+        match (src, dst, weight) {
+            (Some(s), Some(d), Some(w)) if parts.next().is_none() => {
+                builder.add_edge(s, d, w);
+            }
+            _ => {
+                return Err(LoadError::Parse { line: idx + 1, content: line });
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Load an edge-list file from disk.
+pub fn load_edge_list(path: impl AsRef<Path>) -> Result<Graph, LoadError> {
+    let file = File::open(path)?;
+    read_edge_list(BufReader::new(file))
+}
+
+/// Write a graph as a weighted edge list.
+pub fn write_edge_list<W: Write>(graph: &Graph, mut writer: W) -> io::Result<()> {
+    writeln!(writer, "# slfe edge list: {} vertices, {} edges", graph.num_vertices(), graph.num_edges())?;
+    for v in graph.vertices() {
+        for (u, w) in graph.out_edges(v) {
+            writeln!(writer, "{v} {u} {w}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Save a graph as a weighted edge-list file.
+pub fn save_edge_list(graph: &Graph, path: impl AsRef<Path>) -> io::Result<()> {
+    let file = File::create(path)?;
+    let mut writer = BufWriter::new(file);
+    write_edge_list(graph, &mut writer)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_unweighted_and_weighted_lines() {
+        let input = "# comment\n0 1\n1 2 3.5\n\n% another comment\n2 0 1\n";
+        let g = read_edge_list(Cursor::new(input)).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.out_weights(1), &[3.5]);
+        assert_eq!(g.out_weights(0), &[1.0]);
+    }
+
+    #[test]
+    fn reports_parse_error_with_line_number() {
+        let input = "0 1\nnot an edge\n";
+        let err = read_edge_list(Cursor::new(input)).unwrap_err();
+        match err {
+            LoadError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        let input = "0 1 2.0 junk\n";
+        assert!(read_edge_list(Cursor::new(input)).is_err());
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let g = crate::generators::rmat(32, 100, 0.57, 0.19, 0.19, 5);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(Cursor::new(buf)).unwrap();
+        assert_eq!(g.num_edges(), g2.num_edges());
+        // The text format only records edges, so trailing isolated vertices are not
+        // reconstructed; every vertex of the re-read graph must match the original.
+        assert!(g2.num_vertices() <= g.num_vertices());
+        for v in g2.vertices() {
+            assert_eq!(g.out_neighbors(v), g2.out_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("slfe_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.el");
+        let g = crate::generators::path(6);
+        save_edge_list(&g, &path).unwrap();
+        let g2 = load_edge_list(&path).unwrap();
+        assert_eq!(g2.num_edges(), 5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = load_edge_list("/definitely/not/here.el").unwrap_err();
+        assert!(matches!(err, LoadError::Io(_)));
+        assert!(err.to_string().contains("i/o error"));
+    }
+}

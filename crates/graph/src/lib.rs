@@ -1,0 +1,32 @@
+//! # slfe-graph
+//!
+//! In-memory graph storage for the SLFE reproduction.
+//!
+//! The crate provides:
+//!
+//! * [`GraphBuilder`] — an edge-list accumulator with optional de-duplication and
+//!   self-loop removal, producing an immutable [`Graph`].
+//! * [`Graph`] — a directed, weighted graph stored in both CSR (outgoing adjacency)
+//!   and CSC (incoming adjacency) form, because the SLFE engine's *push* mode walks
+//!   outgoing edges while its *pull* mode walks incoming edges (paper §3.3).
+//! * [`generators`] — synthetic graph generators (RMAT, Erdős–Rényi, paths, stars,
+//!   grids, complete graphs, trees) used to build laptop-scale proxies of the paper's
+//!   datasets.
+//! * [`io`] — plain-text edge-list load/save.
+//! * [`datasets`] — a registry of the seven named graphs of the paper (PK, OK, LJ,
+//!   WK, DI, ST, FS) as scaled-down synthetic proxies, plus the RMAT scale-out graph.
+//! * [`stats`] — degree statistics used by the partitioner and the evaluation harness.
+
+pub mod builder;
+pub mod csr;
+pub mod datasets;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod stats;
+pub mod types;
+
+pub use builder::GraphBuilder;
+pub use csr::Adjacency;
+pub use graph::Graph;
+pub use types::{EdgeWeight, VertexId, INVALID_VERTEX};

@@ -1,0 +1,77 @@
+//! Fundamental scalar types shared across the workspace.
+
+/// Identifier of a vertex. Vertices are densely numbered `0..num_vertices`.
+///
+/// A `u32` bounds graphs to ~4.29 billion vertices, which covers every dataset in
+/// the paper (the largest, Friendster, has 65.6 M vertices) and halves the memory
+/// footprint of adjacency arrays compared to `usize` on 64-bit machines.
+pub type VertexId = u32;
+
+/// Weight attached to an edge. Single precision is what the paper's applications
+/// (SSSP, WidestPath, PageRank) use for vertex properties as well.
+pub type EdgeWeight = f32;
+
+/// Sentinel for "no vertex". Used by traversal results (e.g. parent pointers).
+pub const INVALID_VERTEX: VertexId = VertexId::MAX;
+
+/// A directed, weighted edge `(src, dst, weight)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+    /// Edge weight (1.0 for unweighted inputs).
+    pub weight: EdgeWeight,
+}
+
+impl Edge {
+    /// Create a new edge.
+    pub fn new(src: VertexId, dst: VertexId, weight: EdgeWeight) -> Self {
+        Self { src, dst, weight }
+    }
+
+    /// Create an unweighted (weight = 1.0) edge.
+    pub fn unweighted(src: VertexId, dst: VertexId) -> Self {
+        Self::new(src, dst, 1.0)
+    }
+
+    /// The same edge with direction flipped. Weight is preserved.
+    pub fn reversed(self) -> Self {
+        Self { src: self.dst, dst: self.src, weight: self.weight }
+    }
+}
+
+/// Identifier of a (simulated) cluster node that owns a graph partition.
+pub type NodeId = usize;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_constructors() {
+        let e = Edge::new(1, 2, 3.5);
+        assert_eq!(e.src, 1);
+        assert_eq!(e.dst, 2);
+        assert_eq!(e.weight, 3.5);
+
+        let u = Edge::unweighted(4, 5);
+        assert_eq!(u.weight, 1.0);
+    }
+
+    #[test]
+    fn edge_reversed_swaps_endpoints_and_keeps_weight() {
+        let e = Edge::new(7, 9, 2.25);
+        let r = e.reversed();
+        assert_eq!(r.src, 9);
+        assert_eq!(r.dst, 7);
+        assert_eq!(r.weight, 2.25);
+        assert_eq!(r.reversed(), e);
+    }
+
+    #[test]
+    fn invalid_vertex_is_max() {
+        assert_eq!(INVALID_VERTEX, u32::MAX);
+    }
+}

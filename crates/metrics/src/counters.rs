@@ -1,0 +1,178 @@
+//! Computation and communication counters.
+//!
+//! Two flavours are provided: [`Counters`], a plain value type used for snapshots
+//! and arithmetic, and [`AtomicCounters`], which concurrent workers update with
+//! relaxed atomics and which converts into a [`Counters`] snapshot at the end of an
+//! iteration. Relaxed ordering is sufficient because the counters are statistics,
+//! never used for synchronisation.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A snapshot of work performed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counters {
+    /// Number of edge computations (one per edge visited by a pull/push function).
+    pub edge_computations: u64,
+    /// Number of vertex property updates (writes that changed a value).
+    pub vertex_updates: u64,
+    /// Number of inter-node messages sent.
+    pub messages_sent: u64,
+    /// Number of bytes carried by those messages.
+    pub bytes_sent: u64,
+}
+
+impl Counters {
+    /// A zeroed counter set.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Updates per vertex — the Table 2 metric. Returns 0 for an empty graph.
+    pub fn updates_per_vertex(&self, num_vertices: usize) -> f64 {
+        if num_vertices == 0 {
+            0.0
+        } else {
+            self.vertex_updates as f64 / num_vertices as f64
+        }
+    }
+
+    /// Total work units: edge computations + vertex updates. Used as the
+    /// machine-independent "runtime" proxy in the counted-cost experiments.
+    pub fn work(&self) -> u64 {
+        self.edge_computations + self.vertex_updates
+    }
+}
+
+impl Add for Counters {
+    type Output = Counters;
+    fn add(self, rhs: Counters) -> Counters {
+        Counters {
+            edge_computations: self.edge_computations + rhs.edge_computations,
+            vertex_updates: self.vertex_updates + rhs.vertex_updates,
+            messages_sent: self.messages_sent + rhs.messages_sent,
+            bytes_sent: self.bytes_sent + rhs.bytes_sent,
+        }
+    }
+}
+
+impl AddAssign for Counters {
+    fn add_assign(&mut self, rhs: Counters) {
+        *self = *self + rhs;
+    }
+}
+
+/// Concurrent counters updated by worker threads.
+#[derive(Debug, Default)]
+pub struct AtomicCounters {
+    edge_computations: AtomicU64,
+    vertex_updates: AtomicU64,
+    messages_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+}
+
+impl AtomicCounters {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` edge computations.
+    pub fn add_edge_computations(&self, n: u64) {
+        self.edge_computations.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` vertex updates.
+    pub fn add_vertex_updates(&self, n: u64) {
+        self.vertex_updates.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one message of `bytes` bytes.
+    pub fn add_message(&self, bytes: u64) {
+        self.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Take a consistent-enough snapshot (individual fields are read relaxed).
+    pub fn snapshot(&self) -> Counters {
+        Counters {
+            edge_computations: self.edge_computations.load(Ordering::Relaxed),
+            vertex_updates: self.vertex_updates.load(Ordering::Relaxed),
+            messages_sent: self.messages_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.edge_computations.store(0, Ordering::Relaxed);
+        self.vertex_updates.store(0, Ordering::Relaxed);
+        self.messages_sent.store(0, Ordering::Relaxed);
+        self.bytes_sent.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn add_and_add_assign_accumulate() {
+        let a = Counters { edge_computations: 1, vertex_updates: 2, messages_sent: 3, bytes_sent: 4 };
+        let b = Counters { edge_computations: 10, vertex_updates: 20, messages_sent: 30, bytes_sent: 40 };
+        let mut c = a + b;
+        assert_eq!(c.edge_computations, 11);
+        assert_eq!(c.bytes_sent, 44);
+        c += a;
+        assert_eq!(c.vertex_updates, 24);
+    }
+
+    #[test]
+    fn updates_per_vertex_matches_table2_semantics() {
+        let c = Counters { vertex_updates: 90, ..Counters::zero() };
+        assert!((c.updates_per_vertex(10) - 9.0).abs() < 1e-9);
+        assert_eq!(c.updates_per_vertex(0), 0.0);
+    }
+
+    #[test]
+    fn work_sums_computations_and_updates() {
+        let c = Counters { edge_computations: 5, vertex_updates: 7, ..Counters::zero() };
+        assert_eq!(c.work(), 12);
+    }
+
+    #[test]
+    fn atomic_counters_accumulate_across_threads() {
+        let counters = Arc::new(AtomicCounters::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&counters);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.add_edge_computations(1);
+                        c.add_vertex_updates(2);
+                        c.add_message(8);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = counters.snapshot();
+        assert_eq!(snap.edge_computations, 4000);
+        assert_eq!(snap.vertex_updates, 8000);
+        assert_eq!(snap.messages_sent, 4000);
+        assert_eq!(snap.bytes_sent, 32000);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let c = AtomicCounters::new();
+        c.add_edge_computations(5);
+        c.add_message(100);
+        c.reset();
+        assert_eq!(c.snapshot(), Counters::zero());
+    }
+}

@@ -1,0 +1,28 @@
+//! # slfe-metrics
+//!
+//! Instrumentation shared by every engine in the workspace.
+//!
+//! The paper's evaluation is largely expressed in *counted* units — updates per
+//! vertex (Table 2), early-converged vertices (Figure 2), computations per iteration
+//! (Figure 9), pull/push time share (Figure 4), node imbalance (Figure 10) — so this
+//! crate provides:
+//!
+//! * [`counters`] — cheap computation/communication counters, with an atomic variant
+//!   for concurrent workers.
+//! * [`stats`] — the [`ExecutionStats`] summary every engine run returns.
+//! * [`trace`] — per-iteration traces used to regenerate the figure 9 curves.
+//! * [`imbalance`] — intra-/inter-node imbalance measures (figure 10).
+//! * [`report`] — plain-text table and series rendering used by the experiments
+//!   harness to print paper-style tables.
+
+pub mod counters;
+pub mod imbalance;
+pub mod report;
+pub mod stats;
+pub mod trace;
+
+pub use counters::{AtomicCounters, Counters};
+pub use imbalance::{inter_node_spread, intra_node_speedup, BusyTimes};
+pub use report::{Series, Table};
+pub use stats::{ExecutionStats, PhaseBreakdown};
+pub use trace::{IterationRecord, IterationTrace, Mode};

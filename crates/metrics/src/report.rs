@@ -1,0 +1,207 @@
+//! Plain-text table and series rendering.
+//!
+//! The experiments harness prints every reproduced table/figure as monospace text so
+//! the output can be diffed against `EXPERIMENTS.md`. Tables render with aligned
+//! columns; series render as labelled `(x, y)` columns plus a coarse ASCII bar chart
+//! for quick visual inspection of a figure's shape.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row. Rows shorter than the header are padded with empty cells;
+    /// longer rows are truncated.
+    pub fn add_row<S: ToString>(&mut self, cells: &[S]) -> &mut Self {
+        let mut row: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render the table to a string.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+                if i + 1 < cells.len() {
+                    line.push_str("  ");
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&fmt_row(&sep, &widths));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+/// A named `(x, y)` series, rendered as a column listing plus an ASCII bar chart.
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    title: String,
+    points: Vec<(String, f64)>,
+}
+
+impl Series {
+    /// Create an empty series.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self { title: title.into(), points: Vec::new() }
+    }
+
+    /// Append a labelled point.
+    pub fn push(&mut self, label: impl Into<String>, value: f64) -> &mut Self {
+        self.points.push((label.into(), value));
+        self
+    }
+
+    /// The collected points.
+    pub fn points(&self) -> &[(String, f64)] {
+        &self.points
+    }
+
+    /// Render as text with bars scaled to `width` characters for the maximum value.
+    pub fn render(&self, width: usize) -> String {
+        let mut out = format!("-- {} --\n", self.title);
+        let max = self
+            .points
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(0.0f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+        let label_width = self.points.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        for (label, value) in &self.points {
+            let bar_len = ((value / max) * width as f64).round().max(0.0) as usize;
+            out.push_str(&format!(
+                "{:<lw$}  {:>12.4}  {}\n",
+                label,
+                value,
+                "#".repeat(bar_len),
+                lw = label_width
+            ));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Series {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.render(40))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_title_headers_and_rows() {
+        let mut t = Table::new("Table 2", &["Graph", "Updates/vertex"]);
+        t.add_row(&["OK", "9.91"]);
+        t.add_row(&["LJ", "7.66"]);
+        let s = t.render();
+        assert!(s.contains("== Table 2 =="));
+        assert!(s.contains("Graph"));
+        assert!(s.contains("OK"));
+        assert!(s.contains("7.66"));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn table_columns_are_aligned() {
+        let mut t = Table::new("align", &["a", "bbbb"]);
+        t.add_row(&["xxxxxx", "1"]);
+        let s = t.render();
+        // Header row and data row must have consistent column starts.
+        let lines: Vec<&str> = s.lines().collect();
+        let header = lines[1];
+        let data = lines[3];
+        let header_second_col = header.find("bbbb").unwrap();
+        let data_second_col = data.find('1').unwrap();
+        assert_eq!(header_second_col, data_second_col);
+    }
+
+    #[test]
+    fn short_rows_are_padded_and_long_rows_truncated() {
+        let mut t = Table::new("pad", &["a", "b"]);
+        t.add_row(&["only"]);
+        t.add_row(&["x", "y", "z"]);
+        let s = t.render();
+        assert!(s.contains("only"));
+        assert!(!s.contains('z'));
+    }
+
+    #[test]
+    fn series_renders_bars_proportional_to_values() {
+        let mut s = Series::new("Figure 2");
+        s.push("OK", 0.99).push("LJ", 0.5).push("FS", 0.25);
+        let text = s.render(40);
+        let bar_len = |label: &str| {
+            text.lines()
+                .find(|l| l.starts_with(label))
+                .unwrap()
+                .chars()
+                .filter(|&c| c == '#')
+                .count()
+        };
+        assert_eq!(bar_len("OK"), 40);
+        assert!(bar_len("LJ") >= 19 && bar_len("LJ") <= 21);
+        assert!(bar_len("FS") >= 9 && bar_len("FS") <= 11);
+    }
+
+    #[test]
+    fn empty_series_renders_just_the_header() {
+        let s = Series::new("empty");
+        let text = s.render(10);
+        assert_eq!(text.lines().count(), 1);
+    }
+
+    #[test]
+    fn display_impls_delegate_to_render() {
+        let mut t = Table::new("t", &["c"]);
+        t.add_row(&["v"]);
+        assert_eq!(format!("{t}"), t.render());
+        let mut s = Series::new("s");
+        s.push("p", 1.0);
+        assert_eq!(format!("{s}"), s.render(40));
+    }
+}

@@ -1,0 +1,36 @@
+//! # slfe-partition
+//!
+//! Graph partitioning for the simulated distributed cluster.
+//!
+//! The paper (§3.1) partitions with "the fastest chunking partitioning technique
+//! available", i.e. Gemini's contiguous chunking: each node owns a contiguous range
+//! of vertex ids, with range boundaries chosen so that the per-node *edge* counts
+//! are balanced (vertex counts alone would leave the node owning the hubs with most
+//! of the work). A hash partitioner is provided as the comparison point used by the
+//! PowerGraph/PowerLyra-style baselines, and [`quality`] exposes the imbalance and
+//! edge-cut metrics reported in §4.5 / Figure 10(b).
+
+pub mod chunking;
+pub mod hash;
+pub mod partitioning;
+pub mod quality;
+
+pub use chunking::ChunkingPartitioner;
+pub use hash::HashPartitioner;
+pub use partitioning::Partitioning;
+pub use quality::PartitionQuality;
+
+use slfe_graph::Graph;
+
+/// A strategy that assigns every vertex of a graph to one of `num_parts` nodes.
+pub trait Partitioner {
+    /// Produce a [`Partitioning`] of `graph` into `num_parts` parts.
+    ///
+    /// Implementations must assign every vertex exactly once and must work for any
+    /// `num_parts >= 1`, including `num_parts > graph.num_vertices()` (some parts
+    /// are then empty).
+    fn partition(&self, graph: &Graph, num_parts: usize) -> Partitioning;
+
+    /// Human-readable strategy name used in reports.
+    fn name(&self) -> &'static str;
+}

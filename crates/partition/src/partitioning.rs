@@ -1,0 +1,165 @@
+//! The result of partitioning: a vertex → node assignment with lookup helpers.
+
+use slfe_graph::{Graph, VertexId};
+
+/// Identifier of a logical cluster node (partition owner).
+pub type NodeId = usize;
+
+/// An assignment of every vertex to one of `num_parts` nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioning {
+    owner: Vec<NodeId>,
+    parts: Vec<Vec<VertexId>>,
+}
+
+impl Partitioning {
+    /// Build a partitioning from an explicit owner array.
+    ///
+    /// Panics if any owner id is `>= num_parts`.
+    pub fn from_owners(owner: Vec<NodeId>, num_parts: usize) -> Self {
+        assert!(num_parts >= 1, "need at least one partition");
+        let mut parts = vec![Vec::new(); num_parts];
+        for (v, &o) in owner.iter().enumerate() {
+            assert!(o < num_parts, "owner {o} of vertex {v} out of range ({num_parts} parts)");
+            parts[o].push(v as VertexId);
+        }
+        Self { owner, parts }
+    }
+
+    /// Number of partitions (some may be empty).
+    pub fn num_parts(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Number of vertices assigned.
+    pub fn num_vertices(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// The node that owns vertex `v`.
+    pub fn owner_of(&self, v: VertexId) -> NodeId {
+        self.owner[v as usize]
+    }
+
+    /// The vertices owned by `node`, in ascending id order.
+    pub fn vertices_of(&self, node: NodeId) -> &[VertexId] {
+        &self.parts[node]
+    }
+
+    /// Whole owner array (indexed by vertex id).
+    pub fn owners(&self) -> &[NodeId] {
+        &self.owner
+    }
+
+    /// Number of vertices owned by each node.
+    pub fn vertex_counts(&self) -> Vec<usize> {
+        self.parts.iter().map(|p| p.len()).collect()
+    }
+
+    /// Number of *outgoing* edges whose source is owned by each node — the measure
+    /// Gemini-style chunking balances on.
+    pub fn edge_counts(&self, graph: &Graph) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_parts()];
+        for v in graph.vertices() {
+            counts[self.owner_of(v)] += graph.out_degree(v);
+        }
+        counts
+    }
+
+    /// Number of edges crossing partition boundaries (src and dst owned by different
+    /// nodes). Every such edge becomes an inter-node message in the push model.
+    pub fn cut_edges(&self, graph: &Graph) -> usize {
+        let mut cut = 0usize;
+        for v in graph.vertices() {
+            let o = self.owner_of(v);
+            for &u in graph.out_neighbors(v) {
+                if self.owner_of(u) != o {
+                    cut += 1;
+                }
+            }
+        }
+        cut
+    }
+
+    /// Check that every vertex of `graph` is assigned to exactly one existing part.
+    pub fn validate(&self, graph: &Graph) -> Result<(), String> {
+        if self.owner.len() != graph.num_vertices() {
+            return Err(format!(
+                "owner array covers {} vertices but graph has {}",
+                self.owner.len(),
+                graph.num_vertices()
+            ));
+        }
+        let total: usize = self.parts.iter().map(|p| p.len()).sum();
+        if total != graph.num_vertices() {
+            return Err(format!(
+                "parts hold {total} vertices but graph has {}",
+                graph.num_vertices()
+            ));
+        }
+        for (node, part) in self.parts.iter().enumerate() {
+            for &v in part {
+                if self.owner[v as usize] != node {
+                    return Err(format!("vertex {v} listed under node {node} but owned by {}", self.owner[v as usize]));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slfe_graph::generators;
+
+    #[test]
+    fn from_owners_builds_consistent_parts() {
+        let p = Partitioning::from_owners(vec![0, 1, 0, 1, 2], 3);
+        assert_eq!(p.num_parts(), 3);
+        assert_eq!(p.num_vertices(), 5);
+        assert_eq!(p.vertices_of(0), &[0, 2]);
+        assert_eq!(p.vertices_of(1), &[1, 3]);
+        assert_eq!(p.vertices_of(2), &[4]);
+        assert_eq!(p.owner_of(3), 1);
+        assert_eq!(p.vertex_counts(), vec![2, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_owner_panics() {
+        Partitioning::from_owners(vec![0, 5], 2);
+    }
+
+    #[test]
+    fn edge_counts_and_cut_edges() {
+        // path 0->1->2->3 split in half: one cut edge (1->2).
+        let g = generators::path(4);
+        let p = Partitioning::from_owners(vec![0, 0, 1, 1], 2);
+        assert_eq!(p.edge_counts(&g), vec![2, 1]);
+        assert_eq!(p.cut_edges(&g), 1);
+        p.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn validate_detects_size_mismatch() {
+        let g = generators::path(4);
+        let p = Partitioning::from_owners(vec![0, 0, 1], 2);
+        assert!(p.validate(&g).is_err());
+    }
+
+    #[test]
+    fn single_part_owns_everything_with_no_cut() {
+        let g = generators::rmat(64, 256, 0.57, 0.19, 0.19, 1);
+        let p = Partitioning::from_owners(vec![0; 64], 1);
+        assert_eq!(p.cut_edges(&g), 0);
+        assert_eq!(p.edge_counts(&g)[0], g.num_edges());
+    }
+
+    #[test]
+    fn empty_parts_are_allowed() {
+        let p = Partitioning::from_owners(vec![0, 0], 4);
+        assert_eq!(p.vertex_counts(), vec![2, 0, 0, 0]);
+        assert!(p.vertices_of(3).is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Partition quality metrics: balance and edge cut.
+//!
+//! §4.5 of the paper reports inter-node imbalance as the relative time difference
+//! between the earliest- and latest-finishing node; before execution that imbalance
+//! is bounded by how evenly the partitioner spread vertices and edges, which is what
+//! these metrics quantify.
+
+use crate::partitioning::Partitioning;
+use slfe_graph::Graph;
+
+/// Quality summary of a partitioning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionQuality {
+    /// max / mean of per-node vertex counts (1.0 = perfect balance).
+    pub vertex_imbalance: f64,
+    /// max / mean of per-node outgoing-edge counts (1.0 = perfect balance).
+    pub edge_imbalance: f64,
+    /// Fraction of edges whose endpoints live on different nodes, in `[0, 1]`.
+    pub edge_cut_fraction: f64,
+    /// Relative spread `(max - min) / max` of per-node edge counts; the static
+    /// analogue of the paper's inter-node time difference (Figure 10b).
+    pub edge_spread: f64,
+}
+
+impl PartitionQuality {
+    /// Measure the quality of `partitioning` over `graph`.
+    pub fn measure(graph: &Graph, partitioning: &Partitioning) -> Self {
+        let vertex_counts = partitioning.vertex_counts();
+        let edge_counts = partitioning.edge_counts(graph);
+        let cut = partitioning.cut_edges(graph);
+        let total_edges = graph.num_edges();
+
+        Self {
+            vertex_imbalance: imbalance(&vertex_counts),
+            edge_imbalance: imbalance(&edge_counts),
+            edge_cut_fraction: if total_edges == 0 {
+                0.0
+            } else {
+                cut as f64 / total_edges as f64
+            },
+            edge_spread: spread(&edge_counts),
+        }
+    }
+}
+
+/// max / mean over the non-empty distribution; 1.0 when all values equal or empty.
+fn imbalance(counts: &[usize]) -> f64 {
+    if counts.is_empty() {
+        return 1.0;
+    }
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let mean = total as f64 / counts.len() as f64;
+    let max = *counts.iter().max().expect("non-empty") as f64;
+    max / mean
+}
+
+/// `(max - min) / max`; 0.0 when all equal or all zero.
+fn spread(counts: &[usize]) -> f64 {
+    let max = counts.iter().copied().max().unwrap_or(0);
+    let min = counts.iter().copied().min().unwrap_or(0);
+    if max == 0 {
+        0.0
+    } else {
+        (max - min) as f64 / max as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChunkingPartitioner, HashPartitioner, Partitioner};
+    use slfe_graph::generators;
+
+    #[test]
+    fn perfectly_balanced_partition_scores_one() {
+        let g = generators::cycle(8);
+        let p = HashPartitioner::modulo().partition(&g, 4);
+        let q = PartitionQuality::measure(&g, &p);
+        assert!((q.vertex_imbalance - 1.0).abs() < 1e-9);
+        assert!((q.edge_imbalance - 1.0).abs() < 1e-9);
+        assert_eq!(q.edge_spread, 0.0);
+    }
+
+    #[test]
+    fn cut_fraction_of_a_path_split_in_two() {
+        let g = generators::path(10); // 9 edges
+        let p = ChunkingPartitioner::with_alpha(0.0).partition(&g, 2);
+        let q = PartitionQuality::measure(&g, &p);
+        // Exactly one edge crosses the boundary.
+        assert!((q.edge_cut_fraction - 1.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn star_concentrates_edges_on_hub_owner() {
+        let g = generators::star(100);
+        let p = HashPartitioner::modulo().partition(&g, 4);
+        let q = PartitionQuality::measure(&g, &p);
+        // All edges leave vertex 0, so one node owns every edge: imbalance = parts.
+        assert!((q.edge_imbalance - 4.0).abs() < 1e-9);
+        assert_eq!(q.edge_spread, 1.0);
+    }
+
+    #[test]
+    fn empty_graph_quality_is_neutral() {
+        let g = slfe_graph::Graph::from_edges(0, vec![]);
+        let p = ChunkingPartitioner::default().partition(&g, 3);
+        let q = PartitionQuality::measure(&g, &p);
+        assert_eq!(q.edge_cut_fraction, 0.0);
+        assert_eq!(q.vertex_imbalance, 1.0);
+    }
+
+    #[test]
+    fn imbalance_helper_handles_degenerate_inputs() {
+        assert_eq!(imbalance(&[]), 1.0);
+        assert_eq!(imbalance(&[0, 0]), 1.0);
+        assert!((imbalance(&[3, 1]) - 1.5).abs() < 1e-9);
+        assert_eq!(spread(&[]), 0.0);
+        assert_eq!(spread(&[5, 5]), 0.0);
+        assert!((spread(&[4, 1]) - 0.75).abs() < 1e-9);
+    }
+}

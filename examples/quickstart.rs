@@ -1,0 +1,80 @@
+//! Quickstart: build a graph, build the SLFE engine, run SSSP and PageRank, and
+//! print what redundancy reduction saved.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use slfe::prelude::*;
+
+fn main() {
+    // A laptop-scale proxy of the paper's pokec graph (Table 4), generated with the
+    // same skew characteristics.
+    let graph = slfe::graph::datasets::Dataset::Pokec.load_scaled(8_000);
+    println!(
+        "graph: {} vertices, {} edges (avg degree {:.1})",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.average_degree()
+    );
+
+    // An 8-node simulated cluster with 4 workers per node, as in the paper's setup.
+    let cluster = ClusterConfig::new(8, 4);
+
+    // Build the engine: this partitions the graph (chunking) and generates the
+    // redundancy-reduction guidance (Algorithm 1).
+    let engine = SlfeEngine::build(&graph, cluster.clone(), EngineConfig::default());
+    println!(
+        "RR guidance: max propagation level = {}, generation work = {} edges",
+        engine.guidance().max_level(),
+        engine.guidance().generation_work()
+    );
+
+    // SSSP with redundancy reduction ("start late").
+    let root = slfe::graph::stats::highest_out_degree_vertex(&graph).expect("non-empty graph");
+    let with_rr = sssp::run(&engine, root);
+
+    // The same run without redundancy reduction (the Gemini-style baseline).
+    let baseline_engine = SlfeEngine::build(&graph, cluster, EngineConfig::without_rr());
+    let without_rr = sssp::run(&baseline_engine, root);
+
+    println!("\n== SSSP from vertex {root} ==");
+    println!(
+        "  with RR:    {:>10} edge computations, {:>8} updates, {} iterations",
+        with_rr.stats.totals.edge_computations,
+        with_rr.stats.totals.vertex_updates,
+        with_rr.iterations()
+    );
+    println!(
+        "  without RR: {:>10} edge computations, {:>8} updates, {} iterations",
+        without_rr.stats.totals.edge_computations,
+        without_rr.stats.totals.vertex_updates,
+        without_rr.iterations()
+    );
+    println!(
+        "  updates/vertex: {:.2} (RR) vs {:.2} (no RR)  [Table 2 metric]",
+        with_rr.stats.updates_per_vertex(),
+        without_rr.stats.updates_per_vertex()
+    );
+
+    // Correctness: both runs agree with Dijkstra.
+    let oracle = sssp::reference(&graph, root);
+    let agree = with_rr
+        .values
+        .iter()
+        .zip(&oracle)
+        .all(|(a, b)| (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-3);
+    println!("  matches Dijkstra: {agree}");
+
+    // PageRank with "finish early".
+    let pr = pagerank::run(&engine);
+    println!("\n== PageRank ==");
+    println!(
+        "  converged in {} iterations; {:.1}% of vertices were early-converged (Figure 2 metric)",
+        pr.iterations(),
+        pr.early_converged_fraction(0.9) * 100.0
+    );
+    println!(
+        "  total work: {} counted units, {} inter-node messages",
+        pr.stats.totals.work(),
+        pr.stats.totals.messages_sent
+    );
+}

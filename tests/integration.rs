@@ -1,0 +1,134 @@
+//! Cross-crate integration tests: build graphs, partition them, run every
+//! application on every engine and check results against the sequential oracles —
+//! the end-to-end counterpart of the paper's Theorem 1 (redundancy reduction does
+//! not change any application's output).
+
+use slfe::baselines::{
+    BaselineEngine, GeminiEngine, GraphChiEngine, LigraEngine, PowerGraphEngine, PowerLyraEngine,
+};
+use slfe::graph::datasets::Dataset;
+use slfe::prelude::*;
+
+fn proxy() -> slfe::graph::Graph {
+    Dataset::Pokec.load_scaled(16_000)
+}
+
+fn assert_distances_eq(a: &[f32], b: &[f32], tolerance: f32) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            (x.is_infinite() && y.is_infinite()) || (x - y).abs() <= tolerance,
+            "vertex {i}: {x} vs {y}"
+        );
+    }
+}
+
+#[test]
+fn every_engine_agrees_with_dijkstra_on_sssp() {
+    let graph = proxy();
+    let root = slfe::graph::stats::highest_out_degree_vertex(&graph).unwrap();
+    let oracle = slfe::apps::sssp::reference(&graph, root);
+    let program = slfe::apps::sssp::SsspProgram { root };
+    let cluster = ClusterConfig::new(4, 2);
+
+    let slfe_rr = SlfeEngine::build(&graph, cluster.clone(), EngineConfig::default()).run(&program);
+    let slfe_norr = SlfeEngine::build(&graph, cluster.clone(), EngineConfig::without_rr()).run(&program);
+    let gemini = GeminiEngine::build(&graph, cluster.clone()).run(&program);
+    let powergraph = PowerGraphEngine::build(&graph, cluster.clone()).run(&program);
+    let powerlyra = PowerLyraEngine::build(&graph, cluster).run(&program);
+    let ligra = LigraEngine::build(&graph, 2).run(&program);
+    let graphchi = GraphChiEngine::build(&graph, 2).run(&program);
+
+    for result in [&slfe_rr, &slfe_norr, &gemini, &powergraph, &powerlyra, &ligra, &graphchi] {
+        assert_distances_eq(&result.values, &oracle, 1e-3);
+        assert!(result.converged, "{} did not converge", result.stats.engine);
+    }
+}
+
+#[test]
+fn every_engine_agrees_with_union_find_on_cc() {
+    let graph = slfe::apps::cc::symmetrize(&Dataset::STwitter.load_scaled(32_000));
+    let oracle = slfe::apps::cc::reference(&graph);
+    let cluster = ClusterConfig::new(4, 2);
+    let program = slfe::apps::cc::CcProgram;
+
+    let engines: Vec<(String, Vec<f32>)> = vec![
+        (
+            "slfe".into(),
+            SlfeEngine::build(&graph, cluster.clone(), EngineConfig::default()).run(&program).values,
+        ),
+        ("gemini".into(), GeminiEngine::build(&graph, cluster.clone()).run(&program).values),
+        ("powergraph".into(), PowerGraphEngine::build(&graph, cluster.clone()).run(&program).values),
+        ("powerlyra".into(), PowerLyraEngine::build(&graph, cluster).run(&program).values),
+    ];
+    for (name, values) in engines {
+        assert_eq!(values, oracle, "{name} disagrees with union-find");
+    }
+}
+
+#[test]
+fn pagerank_mass_is_preserved_across_engines_on_a_sink_free_graph() {
+    // On a cycle every vertex has an out-edge, so the total rank must stay 1.
+    let graph = slfe::graph::generators::cycle(500);
+    let program = slfe::apps::pagerank::PageRankProgram::new(graph.num_vertices());
+    for cluster in [ClusterConfig::single_node(), ClusterConfig::new(4, 2)] {
+        let result = SlfeEngine::build(&graph, cluster, EngineConfig::default()).run(&program);
+        let total: f32 = slfe::apps::pagerank::ranks(&graph, &result.values).iter().sum();
+        assert!((total - 1.0).abs() < 1e-3, "rank mass {total}");
+    }
+}
+
+#[test]
+fn rrg_guidance_is_reusable_across_applications_on_the_same_engine() {
+    // §3.2: the guidance is generated once per graph and reused by every app.
+    let graph = proxy();
+    let engine = SlfeEngine::build(&graph, ClusterConfig::new(4, 2), EngineConfig::default());
+    let guidance_before = engine.guidance().clone();
+
+    let root = slfe::graph::stats::highest_out_degree_vertex(&graph).unwrap();
+    let _ = slfe::apps::sssp::run(&engine, root);
+    let _ = slfe::apps::widestpath::run(&engine, root);
+    let _ = slfe::apps::pagerank::run(&engine);
+
+    assert_eq!(engine.guidance(), &guidance_before, "guidance must not be mutated by runs");
+    assert!(engine.preprocessing_seconds() > 0.0);
+}
+
+#[test]
+fn partitioners_cover_every_vertex_and_chunking_balances_edges() {
+    let graph = Dataset::Orkut.load_scaled(64_000);
+    for nodes in [1usize, 2, 4, 8] {
+        let chunked = ChunkingPartitioner::default().partition(&graph, nodes);
+        chunked.validate(&graph).expect("chunking produces a valid partitioning");
+        let quality = slfe::partition::PartitionQuality::measure(&graph, &chunked);
+        assert!(quality.edge_imbalance < 2.0, "imbalance {} at {nodes} nodes", quality.edge_imbalance);
+    }
+}
+
+#[test]
+fn stats_speedup_helpers_are_consistent_between_rr_and_non_rr_runs() {
+    let graph = slfe::graph::generators::layered(16, 80, 6, 3);
+    let program = slfe::apps::sssp::SsspProgram { root: 0 };
+    let rr = SlfeEngine::build(&graph, ClusterConfig::new(4, 2), EngineConfig::default()).run(&program);
+    let norr = SlfeEngine::build(&graph, ClusterConfig::new(4, 2), EngineConfig::without_rr()).run(&program);
+    let speedup = rr.stats.work_speedup_over(&norr.stats);
+    let improvement = rr.stats.work_improvement_percent_over(&norr.stats);
+    assert!(speedup >= 1.0, "start-late should win on a deep layered graph, got {speedup}");
+    assert!(improvement > 0.0);
+}
+
+#[test]
+fn edge_list_round_trip_preserves_application_results() {
+    let graph = Dataset::Delicious.load_scaled(256_000);
+    let dir = std::env::temp_dir().join("slfe_integration_io");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("delicious_proxy.el");
+    slfe::graph::io::save_edge_list(&graph, &path).unwrap();
+    let reloaded = slfe::graph::io::load_edge_list(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let root = 0;
+    let a = slfe::apps::bfs::reference(&graph, root);
+    let b = slfe::apps::bfs::reference(&reloaded, root);
+    assert_eq!(&a[..reloaded.num_vertices()], &b[..]);
+}

@@ -1,0 +1,125 @@
+//! Property-based tests over the core data structures and the Theorem-1 invariant
+//! (redundancy reduction never changes an application's fixpoint).
+
+use proptest::prelude::*;
+use slfe::prelude::*;
+
+/// Strategy: a random weighted edge list over up to `max_v` vertices.
+fn edge_list(max_v: u32, max_e: usize) -> impl Strategy<Value = Vec<(u32, u32, f32)>> {
+    prop::collection::vec(
+        (0..max_v, 0..max_v, 1.0f32..10.0).prop_map(|(s, d, w)| (s, d, w)),
+        0..max_e,
+    )
+}
+
+fn build(edges: &[(u32, u32, f32)], min_vertices: usize) -> slfe::graph::Graph {
+    let mut b = GraphBuilder::new().with_vertices(min_vertices).drop_self_loops(true).deduplicate(true);
+    for &(s, d, w) in edges {
+        b.add_edge(s, d, w);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// CSR/CSC consistency: the two adjacency views always describe the same edges.
+    #[test]
+    fn graph_csr_and_csc_stay_consistent(edges in edge_list(64, 300)) {
+        let g = build(&edges, 1);
+        prop_assert!(g.validate().is_ok());
+        let out_sum: usize = g.vertices().map(|v| g.out_degree(v)).sum();
+        let in_sum: usize = g.vertices().map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(out_sum, g.num_edges());
+        prop_assert_eq!(in_sum, g.num_edges());
+    }
+
+    /// Every partitioner assigns every vertex exactly once, for any part count.
+    #[test]
+    fn partitioners_always_cover_the_graph(edges in edge_list(96, 400), parts in 1usize..12) {
+        let g = build(&edges, 4);
+        for partitioning in [
+            ChunkingPartitioner::default().partition(&g, parts),
+            slfe::partition::HashPartitioner::new().partition(&g, parts),
+        ] {
+            prop_assert!(partitioning.validate(&g).is_ok());
+            let total: usize = partitioning.vertex_counts().iter().sum();
+            prop_assert_eq!(total, g.num_vertices());
+        }
+    }
+
+    /// The RR guidance never exceeds the vertex count in level and never blocks
+    /// unreached vertices (their level stays 0).
+    #[test]
+    fn rr_guidance_levels_are_bounded(edges in edge_list(64, 250)) {
+        let g = build(&edges, 2);
+        let rrg = slfe::core::RrGuidance::generate(&g);
+        prop_assert_eq!(rrg.num_vertices(), g.num_vertices());
+        prop_assert!(rrg.max_level() as usize <= g.num_vertices());
+        for v in g.vertices() {
+            prop_assert!(rrg.last_iter(v) <= rrg.max_level());
+        }
+        prop_assert!(rrg.generation_work() <= g.num_edges() as u64);
+    }
+
+    /// Theorem 1 (empirical): SSSP with redundancy reduction converges to the same
+    /// distances as the unoptimised engine and as Dijkstra.
+    #[test]
+    fn sssp_rr_matches_dijkstra_on_random_graphs(edges in edge_list(48, 220), root in 0u32..48) {
+        let g = build(&edges, 48);
+        let oracle = slfe::apps::sssp::reference(&g, root);
+        for config in [EngineConfig::default(), EngineConfig::without_rr()] {
+            let engine = SlfeEngine::build(&g, ClusterConfig::new(3, 2), config);
+            let result = slfe::apps::sssp::run(&engine, root);
+            for v in 0..g.num_vertices() {
+                let (a, b) = (result.values[v], oracle[v]);
+                prop_assert!(
+                    (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-3,
+                    "vertex {} with rr={:?}: {} vs {}", v, engine.config().redundancy, a, b
+                );
+            }
+        }
+    }
+
+    /// Connected components with RR equals union-find on arbitrary symmetrised graphs.
+    #[test]
+    fn cc_rr_matches_union_find_on_random_graphs(edges in edge_list(40, 150)) {
+        let g = slfe::apps::cc::symmetrize(&build(&edges, 40));
+        let oracle = slfe::apps::cc::reference(&g);
+        let engine = SlfeEngine::build(&g, ClusterConfig::new(2, 2), EngineConfig::default());
+        let result = slfe::apps::cc::run(&engine);
+        prop_assert_eq!(result.values, oracle);
+    }
+
+    /// The mini-chunk scheduler conserves work, and the stealing (greedy) schedule
+    /// obeys the classic list-scheduling bound: makespan <= mean load + max chunk.
+    #[test]
+    fn work_stealing_conserves_work_and_bounds_the_makespan(costs in prop::collection::vec(0u64..1000, 1..200), workers in 1usize..9) {
+        let scheduler = slfe::cluster::ChunkScheduler::new(workers, 1);
+        let static_outcome =
+            scheduler.simulate(costs.len(), slfe::cluster::SchedulingPolicy::StaticBlocks, |c| costs[c]);
+        let stealing_outcome =
+            scheduler.simulate(costs.len(), slfe::cluster::SchedulingPolicy::WorkStealing, |c| costs[c]);
+        prop_assert_eq!(static_outcome.total_work, stealing_outcome.total_work);
+        let total = stealing_outcome.total_work;
+        let max_chunk = costs.iter().copied().max().unwrap_or(0);
+        let bound = total / workers as u64 + max_chunk;
+        prop_assert!(
+            stealing_outcome.makespan() <= bound,
+            "makespan {} exceeds list-scheduling bound {}", stealing_outcome.makespan(), bound
+        );
+    }
+
+    /// PageRank rank mass stays bounded and non-negative on arbitrary graphs.
+    #[test]
+    fn pagerank_ranks_are_non_negative_and_bounded(edges in edge_list(40, 200)) {
+        let g = build(&edges, 8);
+        let engine = SlfeEngine::build(&g, ClusterConfig::new(2, 2), EngineConfig::default());
+        let result = slfe::apps::pagerank::run(&engine);
+        let ranks = slfe::apps::pagerank::ranks(&g, &result.values);
+        let total: f32 = ranks.iter().sum();
+        prop_assert!(ranks.iter().all(|r| *r >= 0.0 && r.is_finite()));
+        // Sinks leak rank mass, so the total is at most ~1 (plus float slack).
+        prop_assert!(total <= 1.05);
+    }
+}
