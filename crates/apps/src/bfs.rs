@@ -43,7 +43,7 @@ impl GraphProgram for BfsProgram {
     }
 
     fn edge_contribution(&self, _src: VertexId, src_value: f32, _weight: EdgeWeight) -> Option<f32> {
-        src_value.is_finite().then(|| src_value + 1.0)
+        src_value.is_finite().then_some(src_value + 1.0)
     }
 
     fn combine(&self, a: f32, b: f32) -> f32 {

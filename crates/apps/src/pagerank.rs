@@ -217,7 +217,7 @@ mod tests {
     #[test]
     fn most_vertices_converge_early_on_skewed_graphs() {
         // Figure 2's premise: a large share of vertices are early-converged.
-        let g = Dataset::Delicious.load_scaled(256_000);
+        let g = Dataset::Delicious.load_scaled(64_000);
         let engine = SlfeEngine::build(&g, ClusterConfig::new(4, 2), EngineConfig::without_rr());
         let result = run(&engine);
         let ec = result.early_converged_fraction(0.9);

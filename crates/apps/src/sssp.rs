@@ -46,7 +46,7 @@ impl GraphProgram for SsspProgram {
     }
 
     fn edge_contribution(&self, _src: VertexId, src_value: f32, weight: EdgeWeight) -> Option<f32> {
-        src_value.is_finite().then(|| src_value + weight)
+        src_value.is_finite().then_some(src_value + weight)
     }
 
     fn combine(&self, a: f32, b: f32) -> f32 {

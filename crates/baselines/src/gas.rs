@@ -9,7 +9,7 @@
 
 use slfe_cluster::{Cluster, ClusterConfig};
 use slfe_core::{AggregationKind, GraphProgram, ProgramResult};
-use slfe_graph::{Graph, VertexId};
+use slfe_graph::{Bitset, Graph, VertexId};
 use slfe_metrics::{Counters, ExecutionStats, IterationRecord, IterationTrace, Mode, PhaseBreakdown};
 use slfe_partition::{ChunkingPartitioner, HashPartitioner, Partitioner};
 
@@ -130,10 +130,13 @@ impl<'g> GasEngine<'g> {
 
         let mut values: Vec<P::Value> =
             graph.vertices().map(|v| program.initial_value(v, graph)).collect();
-        let mut active: Vec<bool> =
-            graph.vertices().map(|v| program.initial_active(v, graph)).collect();
-        let mut active_count = active.iter().filter(|&&a| a).count();
+        let mut active = Bitset::from_fn(n, |v| program.initial_active(v as VertexId, graph));
+        let mut active_count = active.count_ones();
         let mut last_changed_iter = vec![0u32; n];
+
+        // Buffers hoisted out of the iteration loop and reused.
+        let mut prev_values = values.clone();
+        let mut next_active = Bitset::new(n);
 
         let num_nodes = self.cluster.num_nodes();
         let workers = self.cluster.config().workers_per_node;
@@ -151,11 +154,10 @@ impl<'g> GasEngine<'g> {
                 break;
             }
             iterations_run = iter;
-            let prev_values = values.clone();
+            prev_values.copy_from_slice(&values);
+            next_active.clear();
             let comm_before = self.cluster.comm_stats();
             let mut iter_counters = Counters::zero();
-            let mut next_active = vec![false; n];
-            let mut next_active_count = 0usize;
             let mut changed_this_iter = 0usize;
             let mut iteration_makespan = 0u64;
 
@@ -165,11 +167,11 @@ impl<'g> GasEngine<'g> {
                 let num_chunks = scheduler.num_chunks(owned.len());
                 let mut chunk_costs = vec![0u64; num_chunks];
 
-                for chunk in 0..num_chunks {
+                for (chunk, chunk_cost) in chunk_costs.iter_mut().enumerate() {
                     let mut chunk_work = 0u64;
                     for idx in scheduler.chunk_range(chunk, owned.len()) {
                         let v = owned[idx];
-                        if !process_everyone && !active[v as usize] {
+                        if !process_everyone && !active.get(v as usize) {
                             continue;
                         }
                         chunk_work += self.process_vertex(
@@ -180,13 +182,12 @@ impl<'g> GasEngine<'g> {
                             &prev_values,
                             &mut values,
                             &mut next_active,
-                            &mut next_active_count,
                             &mut changed_this_iter,
                             &mut last_changed_iter,
                             &mut iter_counters,
                         );
                     }
-                    chunk_costs[chunk] = chunk_work;
+                    *chunk_cost = chunk_work;
                 }
 
                 let outcome = scheduler.simulate(
@@ -227,8 +228,8 @@ impl<'g> GasEngine<'g> {
                 seconds: compute_seconds + comm_seconds + io_seconds,
             });
 
-            active = next_active;
-            active_count = next_active_count;
+            std::mem::swap(&mut active, &mut next_active);
+            active_count = active.count_ones();
 
             // Engines that process every vertex every iteration (arithmetic apps,
             // and GraphChi's streaming model even for min/max apps) reach their
@@ -266,8 +267,7 @@ impl<'g> GasEngine<'g> {
         arithmetic: bool,
         prev_values: &[P::Value],
         values: &mut [P::Value],
-        next_active: &mut [bool],
-        next_active_count: &mut usize,
+        next_active: &mut Bitset,
         changed_this_iter: &mut usize,
         last_changed_iter: &mut [u32],
         counters: &mut Counters,
@@ -340,10 +340,7 @@ impl<'g> GasEngine<'g> {
             for &dst in self.graph.out_neighbors(v) {
                 work += 1;
                 counters.edge_computations += 1;
-                if !next_active[dst as usize] {
-                    next_active[dst as usize] = true;
-                    *next_active_count += 1;
-                }
+                next_active.set(dst as usize);
                 let remote = self.cluster.owner_of(dst) != owner;
                 if remote && self.config.replication != ReplicationModel::None {
                     self.cluster.record_update_message(v, dst, UPDATE_MESSAGE_BYTES);
@@ -385,7 +382,7 @@ mod tests {
             f32::INFINITY
         }
         fn edge_contribution(&self, _s: VertexId, sv: f32, w: f32) -> Option<f32> {
-            sv.is_finite().then(|| sv + w)
+            sv.is_finite().then_some(sv + w)
         }
         fn combine(&self, a: f32, b: f32) -> f32 {
             a.min(b)

@@ -60,8 +60,7 @@ mod tests {
         let engine = PowerGraphEngine::build(&g, ClusterConfig::new(8, 2));
         let result = engine.run(&sssp::SsspProgram { root });
         let expected = sssp::reference(&g, root);
-        for v in 0..g.num_vertices() {
-            let (x, y) = (result.values[v], expected[v]);
+        for (&x, &y) in result.values.iter().zip(&expected) {
             assert!((x.is_infinite() && y.is_infinite()) || (x - y).abs() < 1e-3);
         }
         assert_eq!(result.stats.engine, "powergraph");

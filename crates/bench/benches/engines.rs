@@ -1,49 +1,44 @@
-//! Criterion micro-benchmarks backing Table 5 / Figure 5: wall-clock cost of one
+//! Wall-clock micro-benchmarks backing Table 5 / Figure 5: the real cost of one
 //! full application run per engine on the pokec proxy.
 //!
 //! The `experiments` binary reproduces the actual tables (it reports the simulated,
 //! machine-independent metrics); these benches measure the real wall-clock cost of
 //! the engines in this repository so regressions in the implementations themselves
-//! are caught.
+//! are caught. Plain `harness = false` programs — run with `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use slfe_bench::{runner, EngineKind};
 use slfe_apps::AppKind;
+use slfe_bench::timing::{report, time_best_of};
+use slfe_bench::{runner, EngineKind};
 use slfe_cluster::ClusterConfig;
 use slfe_graph::datasets::Dataset;
 
-fn bench_engines(c: &mut Criterion) {
+fn main() {
     let graph = Dataset::Pokec.load_scaled(16_000);
     let cc_graph = runner::prepare_graph(AppKind::ConnectedComponents, &graph);
     let cluster = ClusterConfig::new(8, 4);
+    let runs = 5;
 
-    let mut group = c.benchmark_group("table5_sssp_pokec");
-    group.sample_size(10);
-    for engine in [EngineKind::Slfe, EngineKind::Gemini, EngineKind::PowerLyra, EngineKind::PowerGraph] {
-        group.bench_function(engine.name(), |b| {
-            b.iter(|| runner::run_app(engine, AppKind::Sssp, &graph, cluster.clone()))
-        });
+    println!("== table5_sssp_pokec ==");
+    for engine in [EngineKind::Slfe, EngineKind::Gemini, EngineKind::PowerLyra, EngineKind::PowerGraph]
+    {
+        let sample =
+            time_best_of(runs, || runner::run_app(engine, AppKind::Sssp, &graph, cluster.clone()));
+        report(engine.name(), sample);
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("fig5_pagerank_pokec");
-    group.sample_size(10);
+    println!("== fig5_pagerank_pokec ==");
     for engine in [EngineKind::Slfe, EngineKind::SlfeNoRr, EngineKind::Gemini] {
-        group.bench_function(engine.name(), |b| {
-            b.iter(|| runner::run_app(engine, AppKind::PageRank, &graph, cluster.clone()))
+        let sample = time_best_of(runs, || {
+            runner::run_app(engine, AppKind::PageRank, &graph, cluster.clone())
         });
+        report(engine.name(), sample);
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("table5_cc_pokec");
-    group.sample_size(10);
+    println!("== table5_cc_pokec ==");
     for engine in [EngineKind::Slfe, EngineKind::Gemini, EngineKind::PowerLyra] {
-        group.bench_function(engine.name(), |b| {
-            b.iter(|| runner::run_app(engine, AppKind::ConnectedComponents, &cc_graph, cluster.clone()))
+        let sample = time_best_of(runs, || {
+            runner::run_app(engine, AppKind::ConnectedComponents, &cc_graph, cluster.clone())
         });
+        report(engine.name(), sample);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_engines);
-criterion_main!(benches);

@@ -1,27 +1,31 @@
-//! Criterion benchmark backing Figure 8: the cost of generating the
-//! redundancy-reduction guidance (Algorithm 1) relative to one SSSP execution.
+//! Wall-clock benchmark backing Figure 8: the cost of generating the
+//! redundancy-reduction guidance (Algorithm 1) — sequentially and on the parallel
+//! frontier pass — relative to one SSSP execution.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use slfe_bench::timing::{report, time_best_of};
 use slfe_cluster::ClusterConfig;
 use slfe_core::{EngineConfig, RrGuidance, SlfeEngine};
 use slfe_graph::datasets::Dataset;
 
-fn bench_preprocessing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig8_rrg_overhead");
-    group.sample_size(10);
+fn main() {
+    let runs = 5;
+    println!("== fig8_rrg_overhead ==");
     for dataset in [Dataset::Pokec, Dataset::LiveJournal, Dataset::Friendster] {
         let graph = dataset.load_scaled(16_000);
-        group.bench_function(format!("rrg_generation_{}", dataset.abbreviation()), |b| {
-            b.iter(|| RrGuidance::generate(&graph))
-        });
-        group.bench_function(format!("sssp_execution_{}", dataset.abbreviation()), |b| {
-            let engine = SlfeEngine::build(&graph, ClusterConfig::new(8, 4), EngineConfig::default());
-            let root = slfe_graph::stats::highest_out_degree_vertex(&graph).unwrap_or(0);
-            b.iter(|| slfe_apps::sssp::run(&engine, root))
-        });
+        let ab = dataset.abbreviation();
+        report(
+            &format!("rrg_generation_{ab}"),
+            time_best_of(runs, || RrGuidance::generate(&graph)),
+        );
+        report(
+            &format!("rrg_generation_parallel4_{ab}"),
+            time_best_of(runs, || RrGuidance::generate_parallel(&graph, 4)),
+        );
+        let engine = SlfeEngine::build(&graph, ClusterConfig::new(8, 4), EngineConfig::default());
+        let root = slfe_graph::stats::highest_out_degree_vertex(&graph).unwrap_or(0);
+        report(
+            &format!("sssp_execution_{ab}"),
+            time_best_of(runs, || slfe_apps::sssp::run(&engine, root)),
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_preprocessing);
-criterion_main!(benches);

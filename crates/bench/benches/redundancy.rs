@@ -1,44 +1,53 @@
-//! Criterion benchmarks backing Table 2 / Figure 2 / Figure 9: the cost of running
+//! Wall-clock benchmarks backing Table 2 / Figure 2 / Figure 9: the cost of running
 //! the redundancy-heavy applications with and without redundancy reduction.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use slfe_bench::{runner, EngineKind};
 use slfe_apps::AppKind;
+use slfe_bench::timing::{report, time_best_of};
+use slfe_bench::{runner, EngineKind};
 use slfe_cluster::ClusterConfig;
 use slfe_graph::{datasets::Dataset, generators};
 
-fn bench_redundancy(c: &mut Criterion) {
+fn main() {
     let cluster = ClusterConfig::new(8, 4);
+    let runs = 5;
 
     // Table 2 / Figure 9 workload: SSSP with and without RR on a deep layered graph
     // (the regime where "start late" has redundancy to remove) and on the ST proxy.
     let layered = generators::layered(24, 400, 8, 11);
     let st = Dataset::STwitter.load_scaled(16_000);
-    let mut group = c.benchmark_group("fig9_sssp_redundancy");
-    group.sample_size(10);
-    group.bench_function("layered_with_rr", |b| {
-        b.iter(|| runner::run_app(EngineKind::Slfe, AppKind::Sssp, &layered, cluster.clone()))
-    });
-    group.bench_function("layered_without_rr", |b| {
-        b.iter(|| runner::run_app(EngineKind::SlfeNoRr, AppKind::Sssp, &layered, cluster.clone()))
-    });
-    group.bench_function("st_with_rr", |b| {
-        b.iter(|| runner::run_app(EngineKind::Slfe, AppKind::Sssp, &st, cluster.clone()))
-    });
-    group.finish();
+    println!("== fig9_sssp_redundancy ==");
+    report(
+        "layered_with_rr",
+        time_best_of(runs, || {
+            runner::run_app(EngineKind::Slfe, AppKind::Sssp, &layered, cluster.clone())
+        }),
+    );
+    report(
+        "layered_without_rr",
+        time_best_of(runs, || {
+            runner::run_app(EngineKind::SlfeNoRr, AppKind::Sssp, &layered, cluster.clone())
+        }),
+    );
+    report(
+        "st_with_rr",
+        time_best_of(runs, || {
+            runner::run_app(EngineKind::Slfe, AppKind::Sssp, &st, cluster.clone())
+        }),
+    );
 
     // Figure 2 workload: PageRank early convergence on the DI proxy.
     let di = Dataset::Delicious.load_scaled(32_000);
-    let mut group = c.benchmark_group("fig2_pagerank_finish_early");
-    group.sample_size(10);
-    group.bench_function("with_rr", |b| {
-        b.iter(|| runner::run_app(EngineKind::Slfe, AppKind::PageRank, &di, cluster.clone()))
-    });
-    group.bench_function("without_rr", |b| {
-        b.iter(|| runner::run_app(EngineKind::SlfeNoRr, AppKind::PageRank, &di, cluster.clone()))
-    });
-    group.finish();
+    println!("== fig2_pagerank_finish_early ==");
+    report(
+        "with_rr",
+        time_best_of(runs, || {
+            runner::run_app(EngineKind::Slfe, AppKind::PageRank, &di, cluster.clone())
+        }),
+    );
+    report(
+        "without_rr",
+        time_best_of(runs, || {
+            runner::run_app(EngineKind::SlfeNoRr, AppKind::PageRank, &di, cluster.clone())
+        }),
+    );
 }
-
-criterion_group!(benches, bench_redundancy);
-criterion_main!(benches);

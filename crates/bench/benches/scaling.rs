@@ -1,54 +1,48 @@
-//! Criterion benchmarks backing Figures 6, 7 and 10: worker-count scaling of the
-//! mini-chunk scheduler, node-count scaling of the engine, and the work-stealing
-//! ablation.
+//! Wall-clock benchmarks backing Figures 6, 7 and 10: worker-count scaling of the
+//! engine's real thread pool, node-count scaling, and the work-stealing ablation.
+//!
+//! The dedicated `parallel_bench` binary produces the machine-readable
+//! `BENCH_parallel.json` scaling record; this bench is the quick human-readable
+//! spot check.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use slfe_bench::{runner, EngineKind};
 use slfe_apps::AppKind;
+use slfe_bench::timing::{report, time_best_of};
+use slfe_bench::{runner, EngineKind};
 use slfe_cluster::{ChunkScheduler, ClusterConfig, SchedulingPolicy};
 use slfe_graph::datasets::Dataset;
 
-fn bench_scaling(c: &mut Criterion) {
+fn main() {
     let graph = Dataset::LiveJournal.load_scaled(16_000);
+    let runs = 5;
 
-    // Figure 6: intra-node worker sweep (wall clock of the whole run).
-    let mut group = c.benchmark_group("fig6_intra_node_workers");
-    group.sample_size(10);
+    // Figure 6: intra-node worker sweep (wall clock of the whole run, real threads).
+    println!("== fig6_intra_node_workers ==");
     for workers in [1usize, 4, 16] {
-        group.bench_function(format!("pagerank_{workers}_workers"), |b| {
-            b.iter(|| {
-                runner::run_app(EngineKind::Slfe, AppKind::PageRank, &graph, ClusterConfig::new(1, workers))
-            })
+        let sample = time_best_of(runs, || {
+            runner::run_app(EngineKind::Slfe, AppKind::PageRank, &graph, ClusterConfig::new(1, workers))
         });
+        report(&format!("pagerank_{workers}_workers"), sample);
     }
-    group.finish();
 
     // Figure 7: inter-node sweep.
-    let mut group = c.benchmark_group("fig7_inter_node_nodes");
-    group.sample_size(10);
+    println!("== fig7_inter_node_nodes ==");
     for nodes in [1usize, 4, 8] {
-        group.bench_function(format!("pagerank_{nodes}_nodes"), |b| {
-            b.iter(|| {
-                runner::run_app(EngineKind::Slfe, AppKind::PageRank, &graph, ClusterConfig::new(nodes, 4))
-            })
+        let sample = time_best_of(runs, || {
+            runner::run_app(EngineKind::Slfe, AppKind::PageRank, &graph, ClusterConfig::new(nodes, 4))
         });
+        report(&format!("pagerank_{nodes}_nodes"), sample);
     }
-    group.finish();
 
     // Figure 10a: scheduler ablation on a synthetic skewed chunk-cost distribution.
-    let mut group = c.benchmark_group("fig10a_stealing_ablation");
-    group.sample_size(20);
+    println!("== fig10a_stealing_ablation ==");
     let scheduler = ChunkScheduler::new(8, 256);
     let items = 256 * 512;
-    let cost = |chunk: usize| if chunk % 37 == 0 { 2000u64 } else { 50 };
+    let cost = |chunk: usize| if chunk.is_multiple_of(37) { 2000u64 } else { 50 };
     for (name, policy) in [
         ("static_blocks", SchedulingPolicy::StaticBlocks),
         ("work_stealing", SchedulingPolicy::WorkStealing),
     ] {
-        group.bench_function(name, |b| b.iter(|| scheduler.simulate(items, policy, cost)));
+        let sample = time_best_of(20, || scheduler.simulate(items, policy, cost));
+        report(name, sample);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_scaling);
-criterion_main!(benches);

@@ -27,7 +27,7 @@ fn parse_args() -> Result<Options, String> {
     let mut out_dir = PathBuf::from("reports");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut value_for = |name: &str, args: &mut dyn Iterator<Item = String>| {
+        let value_for = |name: &str, args: &mut dyn Iterator<Item = String>| {
             args.next().ok_or_else(|| format!("missing value for {name}"))
         };
         match arg.as_str() {
@@ -59,9 +59,11 @@ fn parse_args() -> Result<Options, String> {
     Ok(Options { experiment, ctx, out_dir })
 }
 
-fn all_experiments() -> Vec<(&'static str, fn(&ExperimentContext) -> String)> {
+type ExperimentFn = fn(&ExperimentContext) -> String;
+
+fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
     vec![
-        ("table1", experiments::table1 as fn(&ExperimentContext) -> String),
+        ("table1", experiments::table1 as ExperimentFn),
         ("table2", experiments::table2),
         ("fig2", experiments::fig2),
         ("fig4", experiments::fig4),

@@ -1,7 +1,8 @@
 //! # slfe-bench
 //!
 //! Shared harness used by the `experiments` binary (which regenerates every table
-//! and figure of the paper's evaluation section) and by the Criterion benches.
+//! and figure of the paper's evaluation section), by the wall-clock benches under
+//! `benches/`, and by the `parallel_bench` binary that emits `BENCH_parallel.json`.
 //!
 //! The harness runs one of the paper's five evaluation applications (SSSP, CC, WP,
 //! PR, TR — plus BFS as an extra) on one of the engines (SLFE with/without RR,
@@ -11,5 +12,7 @@
 
 pub mod experiments;
 pub mod runner;
+pub mod timing;
 
 pub use runner::{AppRun, EngineKind, ExperimentContext};
+pub use timing::{time_best_of, BenchSample};

@@ -1,0 +1,64 @@
+//! Minimal wall-clock measurement helpers for the dependency-free benches.
+//!
+//! The benches under `benches/` are plain `harness = false` programs: they warm
+//! up, run a closure a fixed number of times, and report best/mean wall-clock
+//! seconds. Best-of-k is the robust statistic on noisy shared machines — the
+//! minimum is the run least disturbed by the scheduler, which is what a
+//! throughput comparison wants.
+
+use std::time::Instant;
+
+/// Wall-clock observations of one benchmark case.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchSample {
+    /// Fastest observed run, in seconds.
+    pub best_seconds: f64,
+    /// Mean over all measured runs, in seconds.
+    pub mean_seconds: f64,
+    /// Number of measured runs.
+    pub runs: usize,
+}
+
+/// Run `f` once as warm-up and then `runs` measured times; report best and mean
+/// wall-clock seconds.
+pub fn time_best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> BenchSample {
+    assert!(runs >= 1, "need at least one measured run");
+    let _warmup = f();
+    let mut best = f64::INFINITY;
+    let mut total = 0.0f64;
+    for _ in 0..runs {
+        let start = Instant::now();
+        let _keep = f();
+        let secs = start.elapsed().as_secs_f64();
+        best = best.min(secs);
+        total += secs;
+    }
+    BenchSample { best_seconds: best, mean_seconds: total / runs as f64, runs }
+}
+
+/// Print one `name  best  mean` line in the format shared by all benches.
+pub fn report(name: &str, sample: BenchSample) {
+    println!(
+        "{name:<44} best {:>9.4}s  mean {:>9.4}s  ({} runs)",
+        sample.best_seconds, sample.mean_seconds, sample.runs
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_is_never_above_mean() {
+        let sample = time_best_of(5, || std::hint::black_box((0..1000).sum::<u64>()));
+        assert!(sample.best_seconds <= sample.mean_seconds + 1e-12);
+        assert_eq!(sample.runs, 5);
+        assert!(sample.best_seconds >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one measured run")]
+    fn zero_runs_panics() {
+        let _ = time_best_of(0, || ());
+    }
+}

@@ -91,6 +91,14 @@ impl Cluster {
         self.comm.record(self.owner_of(src), self.owner_of(dst), bytes);
     }
 
+    /// Flush `messages` pre-aggregated updates (carrying `bytes` bytes in total)
+    /// from `src_node` to `dst_node` — the batched form of
+    /// [`Cluster::record_update_message`] used by the parallel executor's
+    /// per-worker communication scratch.
+    pub fn record_node_messages(&self, src_node: usize, dst_node: usize, messages: u64, bytes: u64) {
+        self.comm.record_many(src_node, dst_node, messages, bytes);
+    }
+
     /// Record `work` counted units performed by `node`.
     pub fn record_node_work(&self, node: usize, work: u64) {
         self.per_node_work[node].fetch_add(work, Ordering::Relaxed);

@@ -6,7 +6,7 @@
 //! network seconds, which the harness adds to the computation time for experiments
 //! that depend on the computation/communication trade-off (Figures 4, 7, 10b).
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Cost model for inter-node traffic.
 ///
@@ -98,7 +98,7 @@ impl CommTracker {
     /// `bytes` bytes. Same-node updates are counted separately and carry no cost.
     pub fn record(&self, src_node: usize, dst_node: usize, bytes: u64) {
         assert!(src_node < self.num_nodes && dst_node < self.num_nodes);
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         if src_node == dst_node {
             inner.local_updates += 1;
         } else {
@@ -108,9 +108,28 @@ impl CommTracker {
         }
     }
 
+    /// Record `messages` pre-aggregated updates travelling from `src_node` to
+    /// `dst_node`, carrying `bytes` payload bytes in total. Used by the parallel
+    /// executor to flush per-worker message scratch in one lock acquisition per
+    /// node pair instead of one per edge.
+    pub fn record_many(&self, src_node: usize, dst_node: usize, messages: u64, bytes: u64) {
+        assert!(src_node < self.num_nodes && dst_node < self.num_nodes);
+        if messages == 0 && bytes == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        if src_node == dst_node {
+            inner.local_updates += messages;
+        } else {
+            let idx = src_node * self.num_nodes + dst_node;
+            inner.messages[idx] += messages;
+            inner.bytes[idx] += bytes;
+        }
+    }
+
     /// Aggregate statistics across all node pairs.
     pub fn stats(&self) -> CommStats {
-        let inner = self.inner.lock();
+        let inner = self.inner.lock().unwrap();
         CommStats {
             messages: inner.messages.iter().sum(),
             bytes: inner.bytes.iter().sum(),
@@ -120,18 +139,18 @@ impl CommTracker {
 
     /// Messages sent from `src_node` to `dst_node`.
     pub fn messages_between(&self, src_node: usize, dst_node: usize) -> u64 {
-        let inner = self.inner.lock();
+        let inner = self.inner.lock().unwrap();
         inner.messages[src_node * self.num_nodes + dst_node]
     }
 
     /// Total messages *received* by each node — the quantity that skews inter-node
     /// balance in push mode (paper §4.5).
     pub fn per_node_incoming(&self) -> Vec<u64> {
-        let inner = self.inner.lock();
+        let inner = self.inner.lock().unwrap();
         let mut incoming = vec![0u64; self.num_nodes];
         for src in 0..self.num_nodes {
-            for dst in 0..self.num_nodes {
-                incoming[dst] += inner.messages[src * self.num_nodes + dst];
+            for (dst, total) in incoming.iter_mut().enumerate() {
+                *total += inner.messages[src * self.num_nodes + dst];
             }
         }
         incoming
@@ -139,7 +158,7 @@ impl CommTracker {
 
     /// Reset all counts.
     pub fn reset(&self) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         inner.messages.iter_mut().for_each(|m| *m = 0);
         inner.bytes.iter_mut().for_each(|b| *b = 0);
         inner.local_updates = 0;

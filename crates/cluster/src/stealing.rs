@@ -118,11 +118,8 @@ impl ChunkScheduler {
             total += cost;
             let worker = match policy {
                 SchedulingPolicy::StaticBlocks => {
-                    if num_chunks == 0 {
-                        0
-                    } else {
-                        (chunk * self.num_workers) / num_chunks
-                    }
+                    // The loop guarantees num_chunks > 0 here.
+                    (chunk * self.num_workers).checked_div(num_chunks).unwrap_or(0)
                 }
                 SchedulingPolicy::WorkStealing => {
                     // Greedy least-loaded assignment approximates chunk-grained
@@ -148,22 +145,91 @@ impl ChunkScheduler {
     where
         F: Fn(usize) -> u64 + Sync,
     {
+        let mut states = vec![(); self.num_workers];
+        self.run_workers(num_items, SchedulingPolicy::WorkStealing, &mut states, |_, chunk| {
+            process_chunk(chunk)
+        })
+    }
+
+    /// The chunk ids statically assigned to `worker` under
+    /// [`SchedulingPolicy::StaticBlocks`]: the contiguous block `i` with
+    /// `i * num_workers / num_chunks == worker`, matching the deterministic
+    /// [`ChunkScheduler::simulate`] assignment exactly.
+    fn static_block(&self, worker: usize, num_chunks: usize) -> std::ops::Range<usize> {
+        if num_chunks == 0 {
+            return 0..0;
+        }
+        // Smallest i with (i * W) / C == w is ceil(w * C / W).
+        let start = (worker * num_chunks).div_ceil(self.num_workers);
+        let end = ((worker + 1) * num_chunks).div_ceil(self.num_workers);
+        start..end.min(num_chunks)
+    }
+
+    /// Run every chunk covering `num_items` items on real worker threads, with one
+    /// mutable state per worker — the engine hot loop's executor.
+    ///
+    /// * [`SchedulingPolicy::WorkStealing`]: workers claim chunks one at a time
+    ///   from a shared atomic cursor, so an idle worker keeps taking work (§3.6).
+    ///   Which worker processes which chunk is nondeterministic, but every chunk is
+    ///   processed exactly once.
+    /// * [`SchedulingPolicy::StaticBlocks`]: worker `w` processes the same
+    ///   contiguous chunk block the deterministic simulation assigns it.
+    ///
+    /// `process(state, chunk_index)` returns the work units performed and may
+    /// freely mutate its worker-local state (frontier buffers, counters, scratch);
+    /// the caller merges the states after this barrier. With a single worker (or a
+    /// single chunk) everything runs inline on the calling thread — no threads are
+    /// spawned, and chunks are processed in ascending order, which keeps
+    /// single-worker runs bit-for-bit identical to the old sequential loop.
+    pub fn run_workers<S, F>(
+        &self,
+        num_items: usize,
+        policy: SchedulingPolicy,
+        states: &mut [S],
+        process: F,
+    ) -> ScheduleOutcome
+    where
+        S: Send,
+        F: Fn(&mut S, usize) -> u64 + Sync,
+    {
+        assert_eq!(states.len(), self.num_workers, "one state per worker");
         let num_chunks = self.num_chunks(num_items);
-        let cursor = AtomicUsize::new(0);
         let mut per_worker = vec![0u64; self.num_workers];
+
+        if self.num_workers == 1 || num_chunks <= 1 {
+            let mut local = 0u64;
+            if let Some(state) = states.first_mut() {
+                for chunk in 0..num_chunks {
+                    local += process(state, chunk);
+                }
+            }
+            per_worker[0] = local;
+            let total = local;
+            return ScheduleOutcome { per_worker_work: per_worker, total_work: total };
+        }
+
+        let cursor = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.num_workers);
-            for _ in 0..self.num_workers {
+            for (worker, state) in states.iter_mut().enumerate() {
                 let cursor = &cursor;
-                let process_chunk = &process_chunk;
+                let process = &process;
+                let this = &*self;
                 handles.push(scope.spawn(move || {
                     let mut local = 0u64;
-                    loop {
-                        let chunk = cursor.fetch_add(1, Ordering::Relaxed);
-                        if chunk >= num_chunks {
-                            break;
+                    match policy {
+                        SchedulingPolicy::WorkStealing => loop {
+                            let chunk = cursor.fetch_add(1, Ordering::Relaxed);
+                            if chunk >= num_chunks {
+                                break;
+                            }
+                            local += process(state, chunk);
+                        },
+                        SchedulingPolicy::StaticBlocks => {
+                            for chunk in this.static_block(worker, num_chunks) {
+                                local += process(state, chunk);
+                            }
                         }
-                        local += process_chunk(chunk);
                     }
                     local
                 }));
@@ -272,5 +338,61 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_panics() {
         ChunkScheduler::new(0, 256);
+    }
+
+    #[test]
+    fn run_workers_gives_each_worker_its_own_state() {
+        let s = ChunkScheduler::new(4, 8);
+        let n = 512;
+        let mut states = vec![Vec::<usize>::new(); 4];
+        let outcome = s.run_workers(n, SchedulingPolicy::WorkStealing, &mut states, |seen, chunk| {
+            seen.push(chunk);
+            s.chunk_range(chunk, n).len() as u64
+        });
+        assert_eq!(outcome.total_work, n as u64);
+        let mut all: Vec<usize> = states.into_iter().flatten().collect();
+        all.sort_unstable();
+        let expected: Vec<usize> = (0..s.num_chunks(n)).collect();
+        assert_eq!(all, expected, "every chunk processed exactly once");
+    }
+
+    #[test]
+    fn run_workers_single_worker_is_inline_and_ordered() {
+        let s = ChunkScheduler::new(1, 4);
+        let caller = std::thread::current().id();
+        let mut states = vec![Vec::<(usize, std::thread::ThreadId)>::new()];
+        s.run_workers(32, SchedulingPolicy::WorkStealing, &mut states, |seen, chunk| {
+            seen.push((chunk, std::thread::current().id()));
+            1
+        });
+        let order: Vec<usize> = states[0].iter().map(|(c, _)| *c).collect();
+        assert_eq!(order, (0..8).collect::<Vec<_>>(), "chunks in ascending order");
+        assert!(states[0].iter().all(|(_, id)| *id == caller), "no thread spawned");
+    }
+
+    #[test]
+    fn static_blocks_match_the_deterministic_simulation() {
+        for (workers, chunk_size, items) in [(4usize, 8usize, 515usize), (3, 16, 1000), (8, 1, 5)] {
+            let s = ChunkScheduler::new(workers, chunk_size);
+            let num_chunks = s.num_chunks(items);
+            // Real static execution: record which worker ran each chunk.
+            let assignment = std::sync::Mutex::new(vec![usize::MAX; num_chunks]);
+            let mut states: Vec<usize> = (0..workers).collect();
+            s.run_workers(items, SchedulingPolicy::StaticBlocks, &mut states, |worker, chunk| {
+                assignment.lock().unwrap()[chunk] = *worker;
+                1
+            });
+            let got = assignment.into_inner().unwrap();
+            for (chunk, &worker) in got.iter().enumerate() {
+                let simulated = (chunk * workers) / num_chunks;
+                // With >1 chunk the real executor honours the simulated mapping;
+                // the single-chunk fast path runs inline on worker 0.
+                if num_chunks > 1 {
+                    assert_eq!(worker, simulated, "chunk {chunk} of {num_chunks}");
+                } else {
+                    assert_eq!(worker, 0);
+                }
+            }
+        }
     }
 }

@@ -1,4 +1,4 @@
-//! The RR-aware execution engine (paper Algorithms 2–4 and §3.3–3.6).
+//! The RR-aware parallel execution engine (paper Algorithms 2–4 and §3.3–3.6).
 //!
 //! The engine owns a partitioned view of the graph (the simulated cluster), the
 //! redundancy-reduction guidance produced at build time, and the configuration. A
@@ -7,7 +7,9 @@
 //! * **Mode selection.** Min/max programs switch between *push* (scatter along the
 //!   outgoing edges of active vertices) and *pull* (gather along the incoming edges
 //!   of every scheduled vertex) using Gemini's active-edge-fraction heuristic.
-//!   Arithmetic programs always pull (§3.3, footnote 2).
+//!   Arithmetic programs always pull (§3.3, footnote 2). The active frontier is a
+//!   dense [`Bitset`] (one bit per vertex, popcount-based counting), reused across
+//!   iterations.
 //! * **Start late.** With redundancy reduction enabled, a min/max destination vertex
 //!   is only pulled once the iteration number (the *single ruler*) has reached its
 //!   `last_iter` from the guidance.
@@ -21,21 +23,144 @@
 //!   iteration was a pull, one "flush" push with full reactivation runs first, so
 //!   every vertex that "started late" still receives the updates it skipped.
 //!
-//! All work is counted (edge computations, vertex updates, messages) and per-node /
-//! per-worker loads are accumulated through the mini-chunk scheduler, which is what
-//! the scalability and imbalance experiments consume.
+//! # Real parallelism vs. simulation
+//!
+//! Each iteration's owned-vertex chunks are driven through a **real thread pool**
+//! ([`slfe_cluster::ChunkScheduler::run_workers`]): one OS thread per configured
+//! worker claims 256-vertex mini-chunks from a shared atomic cursor (work
+//! stealing) or processes its static block. Wall-clock time therefore scales with
+//! the worker count on real hardware. What remains *simulated* is the cluster
+//! dimension: logical nodes execute their phases one after another inside the
+//! process, inter-node messages are counted (never sent over a network) and priced
+//! by the communication cost model, and the per-iteration "simulated seconds" are
+//! derived from the busiest worker's counted work plus the priced traffic. In
+//! short: intra-node parallelism is measured, inter-node distribution is modelled.
+//!
+//! # Parallel execution and determinism
+//!
+//! Workers never share mutable state during a phase. Each worker owns a scratch
+//! ([`Counters`], a next-frontier [`Bitset`], a per-node-pair message tally, and —
+//! for push mode — a local gather buffer); scratches are merged at the phase
+//! barrier. The guarantees, per aggregation kind:
+//!
+//! * **Pull mode** (both kinds): every destination vertex is written by exactly one
+//!   worker, and its gather folds the incoming edges in the fixed CSC order. Values
+//!   — including arithmetic (floating-point) sums — are **bit-for-bit identical**
+//!   for every worker count, as are all counters and message tallies.
+//! * **Push mode** (min/max only — arithmetic programs never push): workers fold
+//!   contributions into worker-local buffers which are combined once per
+//!   destination at the barrier. Because a min/max `combine` is idempotent,
+//!   commutative and associative, the merged values are **bit-for-bit identical**
+//!   to the sequential result for every worker count. Work/update counters in
+//!   parallel push are counted per merged destination (not per improving edge), so
+//!   with more than one worker they can differ slightly from the single-worker
+//!   tally; messages are charged once per changed remote destination per node
+//!   (sender-side aggregation).
+//! * **`workers_per_node: 1`** runs every phase inline on the calling thread in
+//!   ascending chunk order and keeps the historical per-edge counting — it
+//!   reproduces the pre-parallelism sequential engine bit-for-bit and serves as
+//!   the deterministic oracle for the parallel paths.
+//!
+//! Under work stealing the *assignment* of chunks to workers (and therefore the
+//! per-worker busy-work split and the makespan-derived simulated seconds) is
+//! nondeterministic; every result, counter total and message tally above is not.
 
 use crate::config::{EngineConfig, RedundancyMode};
 use crate::program::{AggregationKind, GraphProgram};
 use crate::result::ProgramResult;
 use crate::rrg::RrGuidance;
 use slfe_cluster::{Cluster, ClusterConfig};
-use slfe_graph::Graph;
+use slfe_graph::{Bitset, Graph, VertexId};
 use slfe_metrics::{Counters, ExecutionStats, IterationRecord, IterationTrace, Mode, PhaseBreakdown};
 use std::time::Instant;
 
 /// Size in bytes of one vertex update message: a 4-byte vertex id + 4-byte value.
 const UPDATE_MESSAGE_BYTES: u64 = 8;
+
+/// A raw-pointer view of a slice that worker threads write through.
+///
+/// Safety contract: callers must guarantee that no index is accessed by more than
+/// one worker during a phase. The engine upholds this by construction — in pull
+/// mode every index written is a destination vertex, and each destination belongs
+/// to exactly one mini-chunk, which is processed by exactly one worker.
+struct SharedSlice<T> {
+    ptr: *mut T,
+    #[cfg(debug_assertions)]
+    len: usize,
+}
+
+unsafe impl<T: Send> Send for SharedSlice<T> {}
+unsafe impl<T: Send> Sync for SharedSlice<T> {}
+
+impl<T: Copy> SharedSlice<T> {
+    fn new(slice: &mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            #[cfg(debug_assertions)]
+            len: slice.len(),
+        }
+    }
+
+    /// # Safety
+    /// `i` must be in bounds and not concurrently written by another worker.
+    #[inline]
+    unsafe fn get(&self, i: usize) -> T {
+        #[cfg(debug_assertions)]
+        debug_assert!(i < self.len);
+        *self.ptr.add(i)
+    }
+
+    /// # Safety
+    /// `i` must be in bounds and not concurrently accessed by another worker.
+    #[inline]
+    unsafe fn set(&self, i: usize, value: T) {
+        #[cfg(debug_assertions)]
+        debug_assert!(i < self.len);
+        *self.ptr.add(i) = value;
+    }
+}
+
+/// Per-worker scratch, allocated once per run and reused every iteration.
+struct WorkerScratch<V> {
+    /// Vertices this worker activated during the current phase.
+    next_frontier: Bitset,
+    /// Work counters accumulated during the current phase.
+    counters: Counters,
+    /// Number of vertex-value changes this worker observed (pull mode).
+    changed: usize,
+    /// Message tally per `(src_node, dst_node)` pair, flushed at the barrier.
+    messages: Vec<u64>,
+    /// Byte tally parallel to `messages`.
+    bytes: Vec<u64>,
+    /// Push mode: worker-local gather buffer, first-write guarded by `touched`.
+    local_values: Vec<V>,
+    /// Push mode: which entries of `local_values` hold live contributions.
+    touched: Bitset,
+}
+
+impl<V: Copy> WorkerScratch<V> {
+    /// `needs_push` gates the O(n) gather buffers: arithmetic programs never
+    /// push, so their workers skip the per-worker value buffer entirely.
+    fn new(n: usize, num_nodes: usize, identity: V, needs_push: bool) -> Self {
+        let push_len = if needs_push { n } else { 0 };
+        Self {
+            next_frontier: Bitset::new(n),
+            counters: Counters::zero(),
+            changed: 0,
+            messages: vec![0u64; num_nodes * num_nodes],
+            bytes: vec![0u64; num_nodes * num_nodes],
+            local_values: vec![identity; push_len],
+            touched: Bitset::new(push_len),
+        }
+    }
+
+    #[inline]
+    fn record_message(&mut self, num_nodes: usize, src_node: usize, dst_node: usize, bytes: u64) {
+        let idx = src_node * num_nodes + dst_node;
+        self.messages[idx] += 1;
+        self.bytes[idx] += bytes;
+    }
+}
 
 /// The SLFE engine bound to one graph and one simulated cluster.
 #[derive(Debug)]
@@ -58,7 +183,7 @@ impl<'g> SlfeEngine<'g> {
     /// Build the engine around an existing cluster (custom partitioning).
     pub fn with_cluster(graph: &'g Graph, cluster: Cluster, config: EngineConfig) -> Self {
         let wall_start = Instant::now();
-        let rrg = RrGuidance::generate(graph);
+        let rrg = RrGuidance::generate_parallel(graph, cluster.config().workers_per_node);
         let preprocessing_wall_seconds = wall_start.elapsed().as_secs_f64();
         // Simulated preprocessing cost: the guidance pass is embarrassingly parallel
         // over the frontier, so its counted work is spread over every worker in the
@@ -121,11 +246,8 @@ impl<'g> SlfeEngine<'g> {
             .vertices()
             .map(|v| program.initial_value(v, graph))
             .collect();
-        let mut active: Vec<bool> = graph
-            .vertices()
-            .map(|v| program.initial_active(v, graph))
-            .collect();
-        let mut active_count = active.iter().filter(|&&a| a).count();
+        let mut active = Bitset::from_fn(n, |v| program.initial_active(v as VertexId, graph));
+        let mut active_count = active.count_ones();
 
         // Multi-ruler state ("finish early"): per-vertex stability counters.
         let mut stable_count = vec![0u32; n];
@@ -133,8 +255,19 @@ impl<'g> SlfeEngine<'g> {
         let mut last_changed_iter = vec![0u32; n];
 
         let num_nodes = self.cluster.num_nodes();
-        let mut per_node_worker_work: Vec<Vec<u64>> =
-            vec![vec![0u64; self.cluster.config().workers_per_node]; num_nodes];
+        let workers = self.cluster.config().workers_per_node;
+        let mut per_node_worker_work: Vec<Vec<u64>> = vec![vec![0u64; workers]; num_nodes];
+
+        // Buffers hoisted out of the iteration loop — zero per-iteration allocation.
+        let mut prev_values: Vec<P::Value> = values.clone();
+        let mut next_active = Bitset::new(n);
+        let needs_push = !arithmetic;
+        let mut worker_states: Vec<WorkerScratch<P::Value>> = (0..workers)
+            .map(|_| WorkerScratch::new(n, num_nodes, program.identity(), needs_push))
+            .collect();
+        let push_len = if needs_push { n } else { 0 };
+        let mut merged_values: Vec<P::Value> = vec![program.identity(); push_len];
+        let mut merged_touched = Bitset::new(push_len);
 
         let mut trace = IterationTrace::new();
         let mut totals = Counters::zero();
@@ -166,20 +299,18 @@ impl<'g> SlfeEngine<'g> {
                 self.select_mode(program, &active, active_count)
             };
             let full_push = mode == Mode::Push && (last_mode_was_pull || force_flush);
-            let iter_wall_start = Instant::now();
             let comm_before = self.cluster.comm_stats();
 
             let mut iter_counters = Counters::zero();
-            let mut next_active = vec![false; n];
-            let mut next_active_count = 0usize;
             let mut changed_this_iter = 0usize;
             let mut iteration_node_makespan = 0u64;
+            next_active.clear();
 
             // Algorithm 3 lines 2-4: re-activate everything on a pull -> push
             // transition (or a forced flush) so updates from vertices that RR
             // deactivated still reach their successors.
             if full_push {
-                active.iter_mut().for_each(|a| *a = true);
+                active.fill();
                 active_count = n;
             }
 
@@ -187,58 +318,85 @@ impl<'g> SlfeEngine<'g> {
             // reads the values of the *previous* iteration, exactly like the paper's
             // Bellman-Ford-style iteration plot (Figure 1b) and like a distributed
             // engine whose remote values only refresh at iteration boundaries.
-            let prev_values: Vec<P::Value> = values.clone();
+            prev_values.copy_from_slice(&values);
 
             for node in self.cluster.nodes() {
-                let owned = self.cluster.vertices_of(node);
-                let scheduler = self.cluster.node_scheduler();
-                let num_chunks = scheduler.num_chunks(owned.len());
-                let mut chunk_costs = vec![0u64; num_chunks];
+                let outcome = match mode {
+                    Mode::Pull => self.pull_phase(
+                        program,
+                        node,
+                        iter,
+                        rr,
+                        arithmetic,
+                        tolerance,
+                        &prev_values,
+                        &mut values,
+                        &mut stable_count,
+                        &mut stable_value,
+                        &mut last_changed_iter,
+                        &mut worker_states,
+                    ),
+                    Mode::Push if workers == 1 => self.push_phase_sequential(
+                        program,
+                        node,
+                        iter,
+                        tolerance,
+                        &active,
+                        &prev_values,
+                        &mut values,
+                        &mut next_active,
+                        &mut changed_this_iter,
+                        &mut last_changed_iter,
+                        &mut iter_counters,
+                    ),
+                    Mode::Push => self.push_phase_parallel(
+                        program,
+                        node,
+                        iter,
+                        tolerance,
+                        &active,
+                        &prev_values,
+                        &mut values,
+                        &mut next_active,
+                        &mut changed_this_iter,
+                        &mut last_changed_iter,
+                        &mut iter_counters,
+                        &mut worker_states,
+                        &mut merged_values,
+                        &mut merged_touched,
+                    ),
+                };
 
-                for chunk in 0..num_chunks {
-                    let mut chunk_work = 0u64;
-                    for idx in scheduler.chunk_range(chunk, owned.len()) {
-                        let v = owned[idx];
-                        let vertex_work = match mode {
-                            Mode::Pull => self.pull_vertex(
-                                program,
-                                v,
-                                iter,
-                                rr,
-                                arithmetic,
-                                tolerance,
-                                &prev_values,
-                                &mut values,
-                                &mut stable_count,
-                                &mut stable_value,
-                                &mut next_active,
-                                &mut next_active_count,
-                                &mut changed_this_iter,
-                                &mut last_changed_iter,
-                                &mut iter_counters,
-                            ),
-                            Mode::Push => self.push_vertex(
-                                program,
-                                v,
-                                iter,
-                                tolerance,
-                                &active,
-                                &prev_values,
-                                &mut values,
-                                &mut next_active,
-                                &mut next_active_count,
-                                &mut changed_this_iter,
-                                &mut last_changed_iter,
-                                &mut iter_counters,
-                            ),
-                        };
-                        chunk_work += vertex_work;
+                // Merge per-worker scratch at the phase barrier: counters, change
+                // tallies, activated frontier bits and the message matrix.
+                for ws in worker_states.iter_mut() {
+                    iter_counters += ws.counters;
+                    ws.counters = Counters::zero();
+                    changed_this_iter += ws.changed;
+                    ws.changed = 0;
+                    if ws.next_frontier.any() {
+                        next_active.union_with(&ws.next_frontier);
+                        ws.next_frontier.clear();
                     }
-                    chunk_costs[chunk] = chunk_work;
+                    for src_node in 0..num_nodes {
+                        for dst_node in 0..num_nodes {
+                            let idx = src_node * num_nodes + dst_node;
+                            if ws.messages[idx] != 0 {
+                                self.cluster.record_node_messages(
+                                    src_node,
+                                    dst_node,
+                                    ws.messages[idx],
+                                    ws.bytes[idx],
+                                );
+                                ws.messages[idx] = 0;
+                                ws.bytes[idx] = 0;
+                            }
+                        }
+                    }
                 }
 
-                let outcome = scheduler.simulate(owned.len(), self.config.scheduling, |c| chunk_costs[c]);
-                for (w, load) in per_node_worker_work[node].iter_mut().zip(&outcome.per_worker_work) {
+                for (w, load) in per_node_worker_work[node].iter_mut().zip(&outcome.per_worker_work)
+                {
                     *w += load;
                 }
                 self.cluster.record_node_work(node, outcome.total_work);
@@ -248,9 +406,9 @@ impl<'g> SlfeEngine<'g> {
                 iteration_node_makespan = iteration_node_makespan.max(outcome.makespan());
             }
 
-            // Arithmetic programs apply vertexUpdate inside pull_vertex (the update
-            // is part of the per-vertex computation, Algorithm 5); nothing extra to
-            // do here.
+            // Arithmetic programs apply vertexUpdate inside the pull computation
+            // (the update is part of the per-vertex work, Algorithm 5); nothing
+            // extra to do here.
 
             let comm_after = self.cluster.comm_stats();
             let iter_messages = comm_after.messages - comm_before.messages;
@@ -276,10 +434,9 @@ impl<'g> SlfeEngine<'g> {
                     seconds: compute_seconds + comm_seconds,
                 });
             }
-            let _ = iter_wall_start;
 
-            active = next_active;
-            active_count = next_active_count;
+            std::mem::swap(&mut active, &mut next_active);
+            active_count = active.count_ones();
             last_mode_was_pull = mode == Mode::Pull;
             match mode {
                 // A pull at iteration `iter` gathered every vertex with
@@ -308,7 +465,7 @@ impl<'g> SlfeEngine<'g> {
         stats.num_vertices = n;
         stats.num_edges = graph.num_edges();
         stats.num_nodes = num_nodes;
-        stats.workers_per_node = self.cluster.config().workers_per_node;
+        stats.workers_per_node = workers;
         stats.iterations = iterations_run;
         stats.totals = totals;
         stats.phases = PhaseBreakdown {
@@ -334,7 +491,7 @@ impl<'g> SlfeEngine<'g> {
     fn select_mode<P: GraphProgram>(
         &self,
         program: &P,
-        active: &[bool],
+        active: &Bitset,
         active_count: usize,
     ) -> Mode {
         if program.aggregation() == AggregationKind::Arithmetic {
@@ -345,11 +502,9 @@ impl<'g> SlfeEngine<'g> {
             // delivers any updates that "late started" vertices missed.
             return Mode::Push;
         }
-        let active_edges: u64 = self
-            .graph
-            .vertices()
-            .filter(|&v| active[v as usize])
-            .map(|v| self.graph.out_degree(v) as u64)
+        let active_edges: u64 = active
+            .iter_ones()
+            .map(|v| self.graph.out_degree(v as VertexId) as u64)
             .sum();
         let threshold = self.graph.num_edges() as f64 * self.config.pull_threshold;
         if active_edges as f64 > threshold {
@@ -359,13 +514,14 @@ impl<'g> SlfeEngine<'g> {
         }
     }
 
-    /// Pull-mode processing of one destination vertex (Algorithm 2).
-    /// Returns the counted work performed.
+    /// One node's pull phase: every owned destination gathers over its incoming
+    /// edges on the worker pool. Each destination is written by exactly one worker,
+    /// so workers share the value/ruler slices without synchronisation.
     #[allow(clippy::too_many_arguments)]
-    fn pull_vertex<P: GraphProgram>(
+    fn pull_phase<P: GraphProgram>(
         &self,
         program: &P,
-        dst: slfe_graph::VertexId,
+        node: usize,
         iter: u32,
         rr: bool,
         arithmetic: bool,
@@ -374,11 +530,66 @@ impl<'g> SlfeEngine<'g> {
         values: &mut [P::Value],
         stable_count: &mut [u32],
         stable_value: &mut [P::Value],
-        next_active: &mut [bool],
-        next_active_count: &mut usize,
-        changed_this_iter: &mut usize,
         last_changed_iter: &mut [u32],
-        counters: &mut Counters,
+        worker_states: &mut [WorkerScratch<P::Value>],
+    ) -> slfe_cluster::ScheduleOutcome {
+        let owned = self.cluster.vertices_of(node);
+        let scheduler = self.cluster.node_scheduler();
+        let num_items = owned.len();
+        let values_shared = SharedSlice::new(values);
+        let stable_count_shared = SharedSlice::new(stable_count);
+        let stable_value_shared = SharedSlice::new(stable_value);
+        let last_changed_shared = SharedSlice::new(last_changed_iter);
+
+        scheduler.run_workers(num_items, self.config.scheduling, worker_states, |ws, chunk| {
+            let mut chunk_work = 0u64;
+            for idx in scheduler.chunk_range(chunk, num_items) {
+                let dst = owned[idx];
+                // Safety: `dst` is owned by exactly one chunk, and each chunk is
+                // processed by exactly one worker, so every shared-slice index
+                // below is touched by this worker only.
+                chunk_work += unsafe {
+                    self.pull_vertex(
+                        program,
+                        dst,
+                        iter,
+                        rr,
+                        arithmetic,
+                        tolerance,
+                        prev_values,
+                        &values_shared,
+                        &stable_count_shared,
+                        &stable_value_shared,
+                        &last_changed_shared,
+                        ws,
+                    )
+                };
+            }
+            chunk_work
+        })
+    }
+
+    /// Pull-mode processing of one destination vertex (Algorithm 2).
+    /// Returns the counted work performed.
+    ///
+    /// # Safety
+    /// The caller must guarantee exclusive access to index `dst` of every shared
+    /// slice for the duration of the call.
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn pull_vertex<P: GraphProgram>(
+        &self,
+        program: &P,
+        dst: VertexId,
+        iter: u32,
+        rr: bool,
+        arithmetic: bool,
+        tolerance: f64,
+        prev_values: &[P::Value],
+        values: &SharedSlice<P::Value>,
+        stable_count: &SharedSlice<u32>,
+        stable_value: &SharedSlice<P::Value>,
+        last_changed_iter: &SharedSlice<u32>,
+        ws: &mut WorkerScratch<P::Value>,
     ) -> u64 {
         let d = dst as usize;
         if rr {
@@ -386,7 +597,7 @@ impl<'g> SlfeEngine<'g> {
                 // Multi ruler ("finish early"): skip early-converged vertices. Every
                 // vertex computes at least once (threshold of at least 1).
                 let threshold = self.rrg.last_iter(dst).max(1);
-                if stable_count[d] >= threshold {
+                if stable_count.get(d) >= threshold {
                     return 0;
                 }
             } else {
@@ -398,6 +609,7 @@ impl<'g> SlfeEngine<'g> {
             }
         }
 
+        let num_nodes = self.cluster.num_nodes();
         let mut work = 0u64;
         let mut gathered = program.identity();
         let mut has_contribution = false;
@@ -410,7 +622,7 @@ impl<'g> SlfeEngine<'g> {
         let mut last_remote_owner = usize::MAX;
         for (src, weight) in self.graph.in_edges(dst) {
             work += 1;
-            counters.edge_computations += 1;
+            ws.counters.edge_computations += 1;
             if let Some(contribution) =
                 program.edge_contribution(src, prev_values[src as usize], weight)
             {
@@ -418,13 +630,13 @@ impl<'g> SlfeEngine<'g> {
                 has_contribution = true;
                 let src_owner = self.cluster.owner_of(src);
                 if src_owner != dst_owner && src_owner != last_remote_owner {
-                    self.cluster.record_update_message(src, dst, UPDATE_MESSAGE_BYTES);
+                    ws.record_message(num_nodes, src_owner, dst_owner, UPDATE_MESSAGE_BYTES);
                     last_remote_owner = src_owner;
                 }
             }
         }
 
-        let old = values[d];
+        let old = values.get(d);
         // Min/max programs must not fold the identity (e.g. +inf) into a vertex that
         // received no contribution; arithmetic programs always re-apply, because an
         // empty gather legitimately means "the sum of my in-neighbors is zero"
@@ -440,48 +652,82 @@ impl<'g> SlfeEngine<'g> {
         }
         let changed = program.changed(old, new, tolerance);
         if changed {
-            values[d] = new;
-            counters.vertex_updates += 1;
+            values.set(d, new);
+            ws.counters.vertex_updates += 1;
             work += 1;
-            last_changed_iter[d] = iter;
-            *changed_this_iter += 1;
-            if !next_active[d] {
-                next_active[d] = true;
-                *next_active_count += 1;
-            }
+            last_changed_iter.set(d, iter);
+            ws.changed += 1;
+            ws.next_frontier.set(d);
         }
         if arithmetic {
             // Stability bookkeeping for the multi ruler (Algorithm 5, lines 15-18).
-            if program.changed(stable_value[d], new, tolerance) {
-                stable_value[d] = new;
-                stable_count[d] = 0;
+            if program.changed(stable_value.get(d), new, tolerance) {
+                stable_value.set(d, new);
+                stable_count.set(d, 0);
             } else {
-                stable_count[d] += 1;
+                stable_count.set(d, stable_count.get(d) + 1);
             }
         }
         work
     }
 
-    /// Push-mode processing of one source vertex (Algorithm 3).
+    /// One node's push phase on a single worker: the historical sequential path,
+    /// kept verbatim so `workers_per_node: 1` reproduces the pre-parallelism
+    /// engine bit-for-bit (per-edge update counting included).
+    #[allow(clippy::too_many_arguments)]
+    fn push_phase_sequential<P: GraphProgram>(
+        &self,
+        program: &P,
+        node: usize,
+        iter: u32,
+        tolerance: f64,
+        active: &Bitset,
+        prev_values: &[P::Value],
+        values: &mut [P::Value],
+        next_active: &mut Bitset,
+        changed_this_iter: &mut usize,
+        last_changed_iter: &mut [u32],
+        counters: &mut Counters,
+    ) -> slfe_cluster::ScheduleOutcome {
+        let owned = self.cluster.vertices_of(node);
+        let mut work = 0u64;
+        for &src in owned {
+            work += self.push_vertex(
+                program,
+                src,
+                iter,
+                tolerance,
+                active,
+                prev_values,
+                values,
+                next_active,
+                changed_this_iter,
+                last_changed_iter,
+                counters,
+            );
+        }
+        slfe_cluster::ScheduleOutcome { per_worker_work: vec![work], total_work: work }
+    }
+
+    /// Push-mode processing of one source vertex (Algorithm 3), sequential path.
     /// Returns the counted work performed.
     #[allow(clippy::too_many_arguments)]
     fn push_vertex<P: GraphProgram>(
         &self,
         program: &P,
-        src: slfe_graph::VertexId,
+        src: VertexId,
         iter: u32,
         tolerance: f64,
-        active: &[bool],
+        active: &Bitset,
         prev_values: &[P::Value],
         values: &mut [P::Value],
-        next_active: &mut [bool],
-        next_active_count: &mut usize,
+        next_active: &mut Bitset,
         changed_this_iter: &mut usize,
         last_changed_iter: &mut [u32],
         counters: &mut Counters,
     ) -> u64 {
         let s = src as usize;
-        if !active[s] || self.graph.out_degree(src) == 0 {
+        if !active.get(s) || self.graph.out_degree(src) == 0 {
             return 0;
         }
         let mut work = 0u64;
@@ -502,10 +748,7 @@ impl<'g> SlfeEngine<'g> {
                 work += 1;
                 last_changed_iter[d] = iter;
                 *changed_this_iter += 1;
-                if !next_active[d] {
-                    next_active[d] = true;
-                    *next_active_count += 1;
-                }
+                next_active.set(d);
                 // Remote destinations receive the update as a message.
                 if self.cluster.owner_of(dst) != src_owner {
                     self.cluster.record_update_message(src, dst, UPDATE_MESSAGE_BYTES);
@@ -513,6 +756,106 @@ impl<'g> SlfeEngine<'g> {
             }
         }
         work
+    }
+
+    /// One node's push phase on the worker pool. Workers fold each destination's
+    /// contributions into worker-local buffers; the barrier combines the buffers
+    /// and applies each destination exactly once. A min/max `combine` is
+    /// idempotent, commutative and associative, so the merged values are identical
+    /// to the sequential result regardless of chunk assignment (arithmetic
+    /// programs never push).
+    #[allow(clippy::too_many_arguments)]
+    fn push_phase_parallel<P: GraphProgram>(
+        &self,
+        program: &P,
+        node: usize,
+        iter: u32,
+        tolerance: f64,
+        active: &Bitset,
+        prev_values: &[P::Value],
+        values: &mut [P::Value],
+        next_active: &mut Bitset,
+        changed_this_iter: &mut usize,
+        last_changed_iter: &mut [u32],
+        counters: &mut Counters,
+        worker_states: &mut [WorkerScratch<P::Value>],
+        merged_values: &mut [P::Value],
+        merged_touched: &mut Bitset,
+    ) -> slfe_cluster::ScheduleOutcome {
+        let owned = self.cluster.vertices_of(node);
+        let scheduler = self.cluster.node_scheduler();
+        let num_items = owned.len();
+        let graph = self.graph;
+
+        let mut outcome =
+            scheduler.run_workers(num_items, self.config.scheduling, worker_states, |ws, chunk| {
+                let mut chunk_work = 0u64;
+                for idx in scheduler.chunk_range(chunk, num_items) {
+                    let src = owned[idx];
+                    let s = src as usize;
+                    if !active.get(s) || graph.out_degree(src) == 0 {
+                        continue;
+                    }
+                    let src_value = prev_values[s];
+                    for (dst, weight) in graph.out_edges(src) {
+                        chunk_work += 1;
+                        ws.counters.edge_computations += 1;
+                        let Some(contribution) = program.edge_contribution(src, src_value, weight)
+                        else {
+                            continue;
+                        };
+                        let d = dst as usize;
+                        if ws.touched.insert(d) {
+                            ws.local_values[d] = contribution;
+                        } else {
+                            ws.local_values[d] = program.combine(ws.local_values[d], contribution);
+                        }
+                    }
+                }
+                chunk_work
+            });
+
+        // Barrier: combine the worker-local buffers once per destination...
+        for ws in worker_states.iter_mut() {
+            for d in ws.touched.iter_ones() {
+                let contribution = ws.local_values[d];
+                if merged_touched.insert(d) {
+                    merged_values[d] = contribution;
+                } else {
+                    merged_values[d] = program.combine(merged_values[d], contribution);
+                }
+            }
+            ws.touched.clear();
+        }
+        // ... then apply each destination exactly once. Updates are charged as one
+        // sender-aggregated message per changed remote destination.
+        let mut merge_work = 0u64;
+        for d in merged_touched.iter_ones() {
+            let dst = d as VertexId;
+            let old = values[d];
+            let new = program.apply(dst, old, merged_values[d]);
+            if program.changed(old, new, tolerance) {
+                values[d] = new;
+                counters.vertex_updates += 1;
+                merge_work += 1;
+                last_changed_iter[d] = iter;
+                *changed_this_iter += 1;
+                next_active.set(d);
+                let dst_owner = self.cluster.owner_of(dst);
+                if dst_owner != node {
+                    self.cluster.record_node_messages(node, dst_owner, 1, UPDATE_MESSAGE_BYTES);
+                }
+            }
+        }
+        merged_touched.clear();
+        // The barrier apply runs on the merging thread; charge its update work to
+        // worker 0 so per-node work, per-worker loads and the makespan keep
+        // counting vertex updates like the sequential path does.
+        if merge_work > 0 {
+            outcome.per_worker_work[0] += merge_work;
+            outcome.total_work += merge_work;
+        }
+        outcome
     }
 }
 
@@ -800,5 +1143,51 @@ mod tests {
         let result = engine.run(&TestRank { damping: 0.85, n: 1 });
         assert!(result.values.is_empty());
         assert!(result.converged);
+    }
+
+    #[test]
+    fn parallel_workers_reproduce_single_worker_values_bit_for_bit() {
+        // The determinism guarantee of the module docs: min/max values merge
+        // through an idempotent combine, arithmetic gathers fold in fixed CSC
+        // order, so every worker count yields identical bits.
+        let g = generators::rmat(400, 3600, 0.57, 0.19, 0.19, 33);
+        let root = slfe_graph::stats::highest_out_degree_vertex(&g).unwrap();
+        for config in [EngineConfig::default(), EngineConfig::without_rr()] {
+            let sequential = SlfeEngine::build(&g, ClusterConfig::new(2, 1), config.clone())
+                .run(&TestSssp { root });
+            for workers in [2usize, 4] {
+                let parallel = SlfeEngine::build(&g, ClusterConfig::new(2, workers), config.clone())
+                    .run(&TestSssp { root });
+                assert_eq!(
+                    sequential.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    parallel.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "distances must be bit-identical at {workers} workers"
+                );
+                assert_eq!(sequential.stats.iterations, parallel.stats.iterations);
+                assert_eq!(sequential.converged, parallel.converged);
+            }
+        }
+
+        let program = TestRank { damping: 0.85, n: g.num_vertices() };
+        let sequential =
+            SlfeEngine::build(&g, ClusterConfig::new(2, 1), EngineConfig::default()).run(&program);
+        let parallel =
+            SlfeEngine::build(&g, ClusterConfig::new(2, 4), EngineConfig::default()).run(&program);
+        assert_eq!(
+            sequential.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            parallel.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "arithmetic pull gathers fold in fixed CSC order"
+        );
+    }
+
+    #[test]
+    fn parallel_pull_counters_match_sequential_exactly() {
+        // Pull-phase counters are per-destination and therefore identical for any
+        // worker count; PageRank never pushes, so its whole run is comparable.
+        let g = generators::rmat(250, 2000, 0.57, 0.19, 0.19, 44);
+        let program = TestRank { damping: 0.85, n: g.num_vertices() };
+        let a = SlfeEngine::build(&g, ClusterConfig::new(2, 1), EngineConfig::default()).run(&program);
+        let b = SlfeEngine::build(&g, ClusterConfig::new(2, 3), EngineConfig::default()).run(&program);
+        assert_eq!(a.stats.totals, b.stats.totals);
     }
 }

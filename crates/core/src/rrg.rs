@@ -11,13 +11,24 @@
 //!   `last_iter` consecutive iterations it is declared early-converged and skipped.
 //!
 //! Algorithm 1 as printed iterates destination vertices and scans *incoming* edges
-//! every round, which is `O(|E| * levels)`. Because a vertex propagates exactly once
-//! (the `visited` flag), the equivalent frontier formulation used here — scan the
-//! *outgoing* edges of the vertices visited in the previous round — performs the
-//! same updates while touching each edge `O(1)` times overall, which is what makes
-//! the preprocessing overhead negligible (§4.4, Figure 8).
+//! every round, which is `O(|E| * levels)`. The frontier formulation used here —
+//! scan the *outgoing* edges of the vertices visited in the previous round, with a
+//! `visited` flag so each vertex propagates exactly once — touches each edge `O(1)`
+//! times, which is what makes the preprocessing overhead negligible (§4.4,
+//! Figure 8). The trade-off: a vertex propagates the level of its *first* reach
+//! (its unit-weight BFS level), so on graphs where a vertex is reachable both by a
+//! short path and a longer chain, `last_iter` is a **lower bound** of Algorithm 1's
+//! fixpoint. A lower bound is always *safe* — it only means fewer skipped
+//! computations, never a skipped final value — and the engine's coverage tracking
+//! (Algorithm 3's flush push) independently guarantees delivery.
 
-use slfe_graph::{Graph, VertexId};
+use slfe_graph::{AtomicBitset, Graph, VertexId};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+/// Frontier chunk granularity of the parallel generation pass. Coarser than the
+/// engine's 256-vertex mini-chunks because each frontier entry fans out over its
+/// whole out-neighborhood.
+const FRONTIER_CHUNK: usize = 512;
 
 /// Per-vertex redundancy-reduction guidance.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,7 +39,8 @@ pub struct RrGuidance {
 }
 
 impl RrGuidance {
-    /// Run the preprocessing pass over `graph` and produce the guidance.
+    /// Run the preprocessing pass over `graph` and produce the guidance, on the
+    /// calling thread.
     ///
     /// Roots are the vertices with no incoming edges (they can never receive an
     /// update, so their propagation level is 0). Graphs with no such vertex (e.g. a
@@ -41,15 +53,7 @@ impl RrGuidance {
         let mut visited = vec![false; n];
         let mut work: u64 = 0;
 
-        let mut frontier: Vec<VertexId> = graph
-            .vertices()
-            .filter(|&v| graph.in_degree(v) == 0)
-            .collect();
-        if frontier.is_empty() && n > 0 {
-            if let Some(hub) = slfe_graph::stats::highest_out_degree_vertex(graph) {
-                frontier.push(hub);
-            }
-        }
+        let mut frontier = Self::roots(graph);
         for &root in &frontier {
             visited[root as usize] = true;
         }
@@ -78,6 +82,114 @@ impl RrGuidance {
             iter += 1;
         }
 
+        Self { last_iter, max_level, work }
+    }
+
+    /// The BFS seed set: vertices with no incoming edges, or the highest
+    /// out-degree vertex when none exists.
+    fn roots(graph: &Graph) -> Vec<VertexId> {
+        let mut frontier: Vec<VertexId> = graph
+            .vertices()
+            .filter(|&v| graph.in_degree(v) == 0)
+            .collect();
+        if frontier.is_empty() && graph.num_vertices() > 0 {
+            if let Some(hub) = slfe_graph::stats::highest_out_degree_vertex(graph) {
+                frontier.push(hub);
+            }
+        }
+        frontier
+    }
+
+    /// Run the preprocessing pass on up to `workers` real threads.
+    ///
+    /// The BFS stays level-synchronous, so the result is **identical** to
+    /// [`RrGuidance::generate`] for every worker count: within a round, every
+    /// reached destination receives the same level (the round number) no matter
+    /// which worker touches it first, `last_iter` updates go through an atomic
+    /// `fetch_max`, and the `visited` claim is an [`AtomicBitset`] `fetch_or` with
+    /// exactly one winner. The per-round frontier *order* may differ across runs,
+    /// which is invisible in the output; the counted `generation_work` is the total
+    /// out-degree of all visited vertices and therefore also identical. This is
+    /// what keeps the §4.4 claim honest at scale: preprocessing parallelises just
+    /// like an execution iteration does.
+    pub fn generate_parallel(graph: &Graph, workers: usize) -> Self {
+        if workers <= 1 {
+            return Self::generate(graph);
+        }
+        let n = graph.num_vertices();
+        let last_iter: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        let visited = AtomicBitset::new(n);
+        let mut work: u64 = 0;
+
+        let mut frontier = Self::roots(graph);
+        for &root in &frontier {
+            visited.insert_shared(root as usize);
+        }
+
+        let mut iter: u32 = 1;
+        while !frontier.is_empty() {
+            let num_chunks = frontier.len().div_ceil(FRONTIER_CHUNK);
+            if num_chunks == 1 {
+                // A small frontier is not worth a thread round trip.
+                let mut next = Vec::new();
+                for &src in &frontier {
+                    for &dst in graph.out_neighbors(src) {
+                        work += 1;
+                        last_iter[dst as usize].fetch_max(iter, Ordering::Relaxed);
+                        if visited.insert_shared(dst as usize) {
+                            next.push(dst);
+                        }
+                    }
+                }
+                frontier = next;
+            } else {
+                let cursor = AtomicUsize::new(0);
+                let round: Vec<(Vec<VertexId>, u64)> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|_| {
+                            let cursor = &cursor;
+                            let frontier = &frontier;
+                            let visited = &visited;
+                            let last_iter = &last_iter;
+                            scope.spawn(move || {
+                                let mut local_next = Vec::new();
+                                let mut local_work = 0u64;
+                                loop {
+                                    let chunk = cursor.fetch_add(1, Ordering::Relaxed);
+                                    let start = chunk * FRONTIER_CHUNK;
+                                    if start >= frontier.len() {
+                                        break;
+                                    }
+                                    let end = (start + FRONTIER_CHUNK).min(frontier.len());
+                                    for &src in &frontier[start..end] {
+                                        for &dst in graph.out_neighbors(src) {
+                                            local_work += 1;
+                                            last_iter[dst as usize]
+                                                .fetch_max(iter, Ordering::Relaxed);
+                                            if visited.insert_shared(dst as usize) {
+                                                local_next.push(dst);
+                                            }
+                                        }
+                                    }
+                                }
+                                (local_next, local_work)
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("RRG worker panicked")).collect()
+                });
+                let mut next = Vec::new();
+                for (local_next, local_work) in round {
+                    next.extend(local_next);
+                    work += local_work;
+                }
+                frontier = next;
+            }
+            iter += 1;
+        }
+
+        let last_iter: Vec<u32> = last_iter.into_iter().map(AtomicU32::into_inner).collect();
+        let max_level = last_iter.iter().copied().max().unwrap_or(0);
         Self { last_iter, max_level, work }
     }
 
@@ -208,5 +320,35 @@ mod tests {
         let a = RrGuidance::generate(&g);
         let b = RrGuidance::generate(&g);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_generation_is_identical_to_sequential() {
+        for (graph, label) in [
+            (generators::rmat(800, 8000, 0.57, 0.19, 0.19, 5), "rmat"),
+            (generators::layered(10, 300, 5, 2), "layered"),
+            (generators::path(2000), "path"),
+            (generators::cycle(50), "cycle"),
+        ] {
+            let sequential = RrGuidance::generate(&graph);
+            for workers in [2usize, 4] {
+                let parallel = RrGuidance::generate_parallel(&graph, workers);
+                assert_eq!(sequential, parallel, "{label} with {workers} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_generation_with_one_worker_is_the_sequential_pass() {
+        let g = generators::rmat(300, 2400, 0.57, 0.19, 0.19, 13);
+        assert_eq!(RrGuidance::generate(&g), RrGuidance::generate_parallel(&g, 1));
+    }
+
+    #[test]
+    fn parallel_generation_handles_the_empty_graph() {
+        let g = slfe_graph::Graph::from_edges(0, vec![]);
+        let rrg = RrGuidance::generate_parallel(&g, 4);
+        assert_eq!(rrg.num_vertices(), 0);
+        assert_eq!(rrg.max_level(), 0);
     }
 }

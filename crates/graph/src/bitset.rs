@@ -1,0 +1,307 @@
+//! Dense bitset frontiers.
+//!
+//! Every engine in the workspace tracks which vertices are *active* each
+//! iteration. A `Vec<bool>` spends one byte per vertex and makes counting the
+//! active set an O(n) byte scan; the `u64`-word [`Bitset`] here spends one bit per
+//! vertex, counts actives with hardware popcount, merges per-worker frontiers with
+//! word-wise OR, and is reused across iterations (clearing is a `memset`, never an
+//! allocation) — the same representation Ligra's dense frontiers and Gemini's
+//! bitmaps use.
+//!
+//! [`AtomicBitset`] is the concurrent variant used by the parallel RRG
+//! preprocessing pass: `fetch_or` lets exactly one worker win the "first visit" of
+//! a vertex without locks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-length dense bitset over vertex ids `0..len`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitset {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitset {
+    /// An all-zero bitset covering `len` bits.
+    pub fn new(len: usize) -> Self {
+        Self { words: vec![0u64; len.div_ceil(WORD_BITS)], len }
+    }
+
+    /// Build from a predicate over bit indices.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut set = Self::new(len);
+        for i in 0..len {
+            if f(i) {
+                set.set(i);
+            }
+        }
+        set
+    }
+
+    /// Number of bits covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the bitset covers zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 != 0
+    }
+
+    /// Set bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Set bit `i`, returning `true` if it was previously clear.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let word = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        fresh
+    }
+
+    /// Clear bit `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
+    }
+
+    /// Clear every bit. No allocation; the backing words are reused.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Set every bit (the full-reactivation case of Algorithm 3).
+    pub fn fill(&mut self) {
+        self.words.fill(u64::MAX);
+        self.mask_tail();
+    }
+
+    /// Number of set bits, via hardware popcount over the words.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` if at least one bit is set.
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// Word-wise OR of `other` into `self` (per-worker frontier merging).
+    /// Panics when lengths differ.
+    pub fn union_with(&mut self, other: &Bitset) {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// Iterate the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &word)| {
+            let base = wi * WORD_BITS;
+            std::iter::successors(
+                if word == 0 { None } else { Some(word) },
+                |w| {
+                    let next = w & (w - 1);
+                    if next == 0 {
+                        None
+                    } else {
+                        Some(next)
+                    }
+                },
+            )
+            .map(move |w| base + w.trailing_zeros() as usize)
+        })
+    }
+
+    /// The raw backing words (tail bits beyond `len` are always zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Zero the bits at positions `>= len` in the last word.
+    fn mask_tail(&mut self) {
+        let tail = self.len % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+/// A fixed-length bitset whose bits are set concurrently with `fetch_or`.
+#[derive(Debug)]
+pub struct AtomicBitset {
+    words: Vec<AtomicU64>,
+    len: usize,
+}
+
+impl AtomicBitset {
+    /// An all-zero atomic bitset covering `len` bits.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: (0..len.div_ceil(WORD_BITS)).map(|_| AtomicU64::new(0)).collect(),
+            len,
+        }
+    }
+
+    /// Number of bits covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the bitset covers zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read bit `i` (relaxed).
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / WORD_BITS].load(Ordering::Relaxed) >> (i % WORD_BITS)) & 1 != 0
+    }
+
+    /// Atomically set bit `i`, returning `true` if this call flipped it —
+    /// exactly one concurrent caller wins.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        self.insert_shared(i)
+    }
+
+    /// [`AtomicBitset::insert`] through a shared reference (for worker threads).
+    #[inline]
+    pub fn insert_shared(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % WORD_BITS);
+        self.words[i / WORD_BITS].fetch_or(mask, Ordering::Relaxed) & mask == 0
+    }
+
+    /// Snapshot into a plain [`Bitset`].
+    pub fn to_bitset(&self) -> Bitset {
+        Bitset {
+            words: self.words.iter().map(|w| w.load(Ordering::Relaxed)).collect(),
+            len: self.len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_insert_remove_roundtrip() {
+        let mut b = Bitset::new(130);
+        assert!(!b.get(0) && !b.get(129));
+        assert!(b.insert(129));
+        assert!(!b.insert(129), "second insert reports already-set");
+        b.set(64);
+        assert!(b.get(64) && b.get(129));
+        assert_eq!(b.count_ones(), 2);
+        b.remove(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 1);
+    }
+
+    #[test]
+    fn clear_and_fill_cover_the_whole_range() {
+        let mut b = Bitset::new(100);
+        b.fill();
+        assert_eq!(b.count_ones(), 100, "fill must mask the tail of the last word");
+        assert!(b.any());
+        b.clear();
+        assert_eq!(b.count_ones(), 0);
+        assert!(!b.any());
+    }
+
+    #[test]
+    fn iter_ones_is_ascending_and_complete() {
+        let mut b = Bitset::new(200);
+        let expected = [0usize, 1, 63, 64, 65, 127, 128, 199];
+        for &i in &expected {
+            b.set(i);
+        }
+        let got: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn union_merges_worker_frontiers() {
+        let mut a = Bitset::new(80);
+        let mut b = Bitset::new(80);
+        a.set(3);
+        b.set(3);
+        b.set(79);
+        a.union_with(&b);
+        assert!(a.get(3) && a.get(79));
+        assert_eq!(a.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn union_of_mismatched_lengths_panics() {
+        Bitset::new(10).union_with(&Bitset::new(20));
+    }
+
+    #[test]
+    fn from_fn_matches_predicate() {
+        let b = Bitset::from_fn(50, |i| i % 7 == 0);
+        for i in 0..50 {
+            assert_eq!(b.get(i), i % 7 == 0);
+        }
+    }
+
+    #[test]
+    fn empty_bitset_is_well_behaved() {
+        let b = Bitset::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.iter_ones().count(), 0);
+        assert!(!b.any());
+    }
+
+    #[test]
+    fn atomic_insert_has_exactly_one_winner_per_bit() {
+        let set = AtomicBitset::new(1000);
+        let wins: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let set = &set;
+                    scope.spawn(move || (0..1000).filter(|&i| set.insert_shared(i)).count())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(wins, 1000, "each bit is claimed exactly once across threads");
+        assert_eq!(set.to_bitset().count_ones(), 1000);
+    }
+
+    #[test]
+    fn atomic_snapshot_matches_plain_bitset() {
+        let mut a = AtomicBitset::new(70);
+        a.insert(0);
+        a.insert(69);
+        let b = a.to_bitset();
+        assert!(b.get(0) && b.get(69));
+        assert_eq!(b.count_ones(), 2);
+    }
+}

@@ -9,9 +9,8 @@
 
 use crate::builder::GraphBuilder;
 use crate::graph::Graph;
+use crate::rng::SplitMix64;
 use crate::types::VertexId;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 
 /// Generate an RMAT (recursive-matrix) graph with `num_vertices` vertices and
 /// approximately `num_edges` edges.
@@ -29,7 +28,7 @@ pub fn rmat(num_vertices: usize, num_edges: usize, a: f64, b: f64, c: f64, seed:
         a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0 + 1e-9,
         "invalid RMAT probabilities"
     );
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     // Number of levels of recursion: ceil(log2(num_vertices)).
     let levels = usize::BITS - (num_vertices.max(2) - 1).leading_zeros();
     let mut builder = GraphBuilder::new()
@@ -51,7 +50,7 @@ pub fn rmat(num_vertices: usize, num_edges: usize, a: f64, b: f64, c: f64, seed:
             if hi_r - lo_r <= 1 && hi_c - lo_c <= 1 {
                 break;
             }
-            let p: f64 = rng.gen();
+            let p: f64 = rng.next_f64();
             let (row_hi, col_hi) = if p < a {
                 (false, false)
             } else if p < a + b {
@@ -83,7 +82,7 @@ pub fn rmat(num_vertices: usize, num_edges: usize, a: f64, b: f64, c: f64, seed:
         if src == dst || !seen.insert((src, dst)) {
             continue;
         }
-        let weight = rng.gen_range(1.0..10.0);
+        let weight = rng.range_f32(1.0, 10.0);
         builder.add_edge(src, dst, weight);
     }
     builder.build()
@@ -93,15 +92,15 @@ pub fn rmat(num_vertices: usize, num_edges: usize, a: f64, b: f64, c: f64, seed:
 /// random between distinct vertices, deduplicated.
 pub fn erdos_renyi(num_vertices: usize, num_edges: usize, seed: u64) -> Graph {
     assert!(num_vertices > 1, "Erdős–Rényi graph needs at least two vertices");
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut builder = GraphBuilder::new()
         .with_vertices(num_vertices)
         .deduplicate(true)
         .drop_self_loops(true);
     for _ in 0..num_edges {
-        let src = rng.gen_range(0..num_vertices) as VertexId;
-        let dst = rng.gen_range(0..num_vertices) as VertexId;
-        let weight = rng.gen_range(1.0..10.0);
+        let src = rng.range_usize(0, num_vertices) as VertexId;
+        let dst = rng.range_usize(0, num_vertices) as VertexId;
+        let weight = rng.range_f32(1.0, 10.0);
         builder.add_edge(src, dst, weight);
     }
     builder.build()
@@ -169,15 +168,20 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
 }
 
 /// A layered DAG: `layers` layers of `width` vertices each; every vertex of layer
-/// `i` has `fanout` weighted edges to random vertices of layer `i + 1`.
+/// `i` has up to `fanout` weighted edges to vertices of layer `i + 1` — one
+/// "spine" edge to its own slot plus `fanout - 1` random ones.
 ///
 /// Layered graphs maximise the depth of the propagation structure while keeping a
 /// wide frontier, which is exactly the regime where the paper's "start late" rule
 /// pays off: a vertex in layer `i` cannot receive its final value before iteration
-/// `i`, so every earlier computation on it is redundant.
+/// `i`, so every earlier computation on it is redundant. The spine edge guarantees
+/// every non-first-layer vertex has an in-edge, so the only propagation roots are
+/// layer 0 and the RR guidance level of a vertex is exactly its layer index
+/// (random-only targets leave a few isolated mid-layer vertices whose zero
+/// in-degree seeds early BFS waves and flattens the level structure).
 pub fn layered(layers: usize, width: usize, fanout: usize, seed: u64) -> Graph {
     assert!(layers >= 1 && width >= 1, "need at least one layer and one vertex per layer");
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let id = |layer: usize, slot: usize| (layer * width + slot) as VertexId;
     let mut builder = GraphBuilder::new()
         .with_vertices(layers * width)
@@ -185,9 +189,10 @@ pub fn layered(layers: usize, width: usize, fanout: usize, seed: u64) -> Graph {
         .drop_self_loops(true);
     for layer in 0..layers.saturating_sub(1) {
         for slot in 0..width {
-            for _ in 0..fanout {
-                let dst_slot = rng.gen_range(0..width);
-                let weight = rng.gen_range(1.0..5.0);
+            builder.add_edge(id(layer, slot), id(layer + 1, slot), rng.range_f32(1.0, 5.0));
+            for _ in 1..fanout {
+                let dst_slot = rng.range_usize(0, width);
+                let weight = rng.range_f32(1.0, 5.0);
                 builder.add_edge(id(layer, slot), id(layer + 1, dst_slot), weight);
             }
         }

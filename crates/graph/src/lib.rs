@@ -12,20 +12,27 @@
 //! * [`generators`] — synthetic graph generators (RMAT, Erdős–Rényi, paths, stars,
 //!   grids, complete graphs, trees) used to build laptop-scale proxies of the paper's
 //!   datasets.
+//! * [`bitset`] — dense `u64`-word [`Bitset`] frontiers (popcount active counts,
+//!   word-wise merge of per-worker frontiers) plus the concurrent [`AtomicBitset`]
+//!   used by the parallel preprocessing pass.
+//! * [`rng`] — a tiny dependency-free SplitMix64 PRNG backing the generators.
 //! * [`io`] — plain-text edge-list load/save.
 //! * [`datasets`] — a registry of the seven named graphs of the paper (PK, OK, LJ,
 //!   WK, DI, ST, FS) as scaled-down synthetic proxies, plus the RMAT scale-out graph.
 //! * [`stats`] — degree statistics used by the partitioner and the evaluation harness.
 
+pub mod bitset;
 pub mod builder;
 pub mod csr;
 pub mod datasets;
 pub mod generators;
 pub mod graph;
 pub mod io;
+pub mod rng;
 pub mod stats;
 pub mod types;
 
+pub use bitset::{AtomicBitset, Bitset};
 pub use builder::GraphBuilder;
 pub use csr::Adjacency;
 pub use graph::Graph;

@@ -6,12 +6,11 @@
 //! iteration. Relaxed ordering is sufficient because the counters are statistics,
 //! never used for synchronisation.
 
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A snapshot of work performed.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct Counters {
     /// Number of edge computations (one per edge visited by a pull/push function).
     pub edge_computations: u64,

@@ -7,13 +7,16 @@
 //! * **inter-node** (Figure 10b): the relative time difference between the earliest
 //!   and latest finishing node.
 //!
-//! Both are computed from per-worker or per-node *busy work* in counted units so the
-//! measurements are deterministic.
+//! Both are computed from per-worker or per-node *busy work* in counted units.
+//! Per-node work and static-block schedules are deterministic; under real work
+//! stealing with more than one worker the per-worker split varies run to run
+//! (the chunk-to-worker assignment is a race by design), so worker-level
+//! imbalance figures are observations of one execution, not reproducible
+//! constants.
 
-use serde::{Deserialize, Serialize};
 
 /// Per-worker (or per-node) busy work/time observations for one run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BusyTimes {
     values: Vec<f64>,
 }

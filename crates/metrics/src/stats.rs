@@ -2,10 +2,9 @@
 
 use crate::counters::Counters;
 use crate::trace::IterationTrace;
-use serde::{Deserialize, Serialize};
 
 /// Where the run's wall-clock time went.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct PhaseBreakdown {
     /// Seconds spent generating the redundancy-reduction guidance (SLFE only;
     /// zero for baselines). Figure 8's "SLFE overhead" bar.
@@ -22,7 +21,7 @@ impl PhaseBreakdown {
 }
 
 /// Everything a single engine run reports back.
-#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct ExecutionStats {
     /// Engine name ("slfe", "gemini", "powergraph", ...).
     pub engine: String,

@@ -5,10 +5,9 @@
 //! spent in pull vs push mode. [`IterationTrace`] records both.
 
 use crate::counters::Counters;
-use serde::{Deserialize, Serialize};
 
 /// Direction-aware propagation mode used by an iteration (paper §3.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {
     /// Pull: every destination vertex gathers from its incoming neighbors.
     Pull,
@@ -26,7 +25,7 @@ impl std::fmt::Display for Mode {
 }
 
 /// One iteration's worth of measurements.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IterationRecord {
     /// Iteration number, starting at 1 to match the paper's plots.
     pub iteration: u32,
@@ -41,7 +40,7 @@ pub struct IterationRecord {
 }
 
 /// A full run's sequence of [`IterationRecord`]s.
-#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct IterationTrace {
     records: Vec<IterationRecord>,
 }

@@ -118,6 +118,42 @@ fn stats_speedup_helpers_are_consistent_between_rr_and_non_rr_runs() {
 }
 
 #[test]
+fn parallel_workers_match_sequential_results_for_bfs_sssp_cc() {
+    // The engine's determinism guarantee: min/max programs merge push
+    // contributions through an idempotent combine and pull every destination on
+    // exactly one worker, so any worker count produces the sequential results
+    // bit for bit, with redundancy reduction on or off.
+    let graph = Dataset::Pokec.load_scaled(24_000);
+    let cc_graph = slfe::apps::cc::symmetrize(&graph);
+    let root = slfe::graph::stats::highest_out_degree_vertex(&graph).unwrap();
+    for config in [EngineConfig::default(), EngineConfig::without_rr()] {
+        for nodes in [1usize, 4] {
+            let run_all = |workers: usize| {
+                let engine =
+                    SlfeEngine::build(&graph, ClusterConfig::new(nodes, workers), config.clone());
+                let bfs = slfe::apps::bfs::run(&engine, root);
+                let sssp = slfe::apps::sssp::run(&engine, root);
+                let cc_engine =
+                    SlfeEngine::build(&cc_graph, ClusterConfig::new(nodes, workers), config.clone());
+                let cc = slfe::apps::cc::run(&cc_engine);
+                (bfs, sssp, cc)
+            };
+            let (bfs_seq, sssp_seq, cc_seq) = run_all(1);
+            for workers in [2usize, 4] {
+                let (bfs_par, sssp_par, cc_par) = run_all(workers);
+                let rr = config.redundancy;
+                let ctx = format!("{nodes} nodes, {workers} workers, rr={rr:?}");
+                assert_eq!(bfs_seq.values, bfs_par.values, "bfs values differ ({ctx})");
+                assert_eq!(sssp_seq.values, sssp_par.values, "sssp values differ ({ctx})");
+                assert_eq!(cc_seq.values, cc_par.values, "cc values differ ({ctx})");
+                assert_eq!(bfs_seq.stats.iterations, bfs_par.stats.iterations, "{ctx}");
+                assert_eq!(sssp_seq.converged, sssp_par.converged, "{ctx}");
+            }
+        }
+    }
+}
+
+#[test]
 fn edge_list_round_trip_preserves_application_results() {
     let graph = Dataset::Delicious.load_scaled(256_000);
     let dir = std::env::temp_dir().join("slfe_integration_io");

@@ -1,125 +1,236 @@
 //! Property-based tests over the core data structures and the Theorem-1 invariant
 //! (redundancy reduction never changes an application's fixpoint).
+//!
+//! The properties are checked over many deterministic pseudo-random cases drawn
+//! from the workspace's own SplitMix64 stream (no external property-testing
+//! dependency is available offline), so failures reproduce exactly.
 
-use proptest::prelude::*;
+use slfe::graph::rng::SplitMix64;
+use slfe::graph::Bitset;
 use slfe::prelude::*;
 
-/// Strategy: a random weighted edge list over up to `max_v` vertices.
-fn edge_list(max_v: u32, max_e: usize) -> impl Strategy<Value = Vec<(u32, u32, f32)>> {
-    prop::collection::vec(
-        (0..max_v, 0..max_v, 1.0f32..10.0).prop_map(|(s, d, w)| (s, d, w)),
-        0..max_e,
-    )
+const CASES: usize = 24;
+
+/// A random weighted edge list over up to `max_v` vertices.
+fn edge_list(rng: &mut SplitMix64, max_v: u32, max_e: usize) -> Vec<(u32, u32, f32)> {
+    let count = rng.range_usize(0, max_e);
+    (0..count)
+        .map(|_| {
+            (
+                rng.range_u32(0, max_v),
+                rng.range_u32(0, max_v),
+                rng.range_f32(1.0, 10.0),
+            )
+        })
+        .collect()
 }
 
 fn build(edges: &[(u32, u32, f32)], min_vertices: usize) -> slfe::graph::Graph {
-    let mut b = GraphBuilder::new().with_vertices(min_vertices).drop_self_loops(true).deduplicate(true);
+    let mut b = GraphBuilder::new()
+        .with_vertices(min_vertices)
+        .drop_self_loops(true)
+        .deduplicate(true);
     for &(s, d, w) in edges {
         b.add_edge(s, d, w);
     }
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// CSR/CSC consistency: the two adjacency views always describe the same edges.
-    #[test]
-    fn graph_csr_and_csc_stay_consistent(edges in edge_list(64, 300)) {
-        let g = build(&edges, 1);
-        prop_assert!(g.validate().is_ok());
+/// CSR/CSC consistency: the two adjacency views always describe the same edges.
+#[test]
+fn graph_csr_and_csc_stay_consistent() {
+    let mut rng = SplitMix64::seed_from_u64(0xC5);
+    for case in 0..CASES {
+        let g = build(&edge_list(&mut rng, 64, 300), 1);
+        assert!(g.validate().is_ok(), "case {case}");
         let out_sum: usize = g.vertices().map(|v| g.out_degree(v)).sum();
         let in_sum: usize = g.vertices().map(|v| g.in_degree(v)).sum();
-        prop_assert_eq!(out_sum, g.num_edges());
-        prop_assert_eq!(in_sum, g.num_edges());
+        assert_eq!(out_sum, g.num_edges(), "case {case}");
+        assert_eq!(in_sum, g.num_edges(), "case {case}");
     }
+}
 
-    /// Every partitioner assigns every vertex exactly once, for any part count.
-    #[test]
-    fn partitioners_always_cover_the_graph(edges in edge_list(96, 400), parts in 1usize..12) {
-        let g = build(&edges, 4);
+/// Every partitioner assigns every vertex exactly once, for any part count.
+#[test]
+fn partitioners_always_cover_the_graph() {
+    let mut rng = SplitMix64::seed_from_u64(0xFA);
+    for case in 0..CASES {
+        let g = build(&edge_list(&mut rng, 96, 400), 4);
+        let parts = rng.range_usize(1, 12);
         for partitioning in [
             ChunkingPartitioner::default().partition(&g, parts),
             slfe::partition::HashPartitioner::new().partition(&g, parts),
         ] {
-            prop_assert!(partitioning.validate(&g).is_ok());
+            assert!(partitioning.validate(&g).is_ok(), "case {case} ({parts} parts)");
             let total: usize = partitioning.vertex_counts().iter().sum();
-            prop_assert_eq!(total, g.num_vertices());
+            assert_eq!(total, g.num_vertices(), "case {case}");
         }
     }
+}
 
-    /// The RR guidance never exceeds the vertex count in level and never blocks
-    /// unreached vertices (their level stays 0).
-    #[test]
-    fn rr_guidance_levels_are_bounded(edges in edge_list(64, 250)) {
-        let g = build(&edges, 2);
+/// The bitset frontier behaves exactly like the `Vec<bool>` it replaced, under a
+/// random operation sequence (set / insert / remove / fill / clear / union) driven
+/// by random graph degrees.
+#[test]
+fn bitset_matches_vec_bool_reference() {
+    let mut rng = SplitMix64::seed_from_u64(0xB17);
+    for case in 0..CASES {
+        let len = rng.range_usize(1, 300);
+        let mut bits = Bitset::new(len);
+        let mut reference = vec![false; len];
+        let mut other = Bitset::new(len);
+        let mut other_reference = vec![false; len];
+        for _ in 0..400 {
+            let i = rng.range_usize(0, len);
+            match rng.range_usize(0, 100) {
+                0..=39 => {
+                    let fresh = bits.insert(i);
+                    assert_eq!(fresh, !reference[i], "case {case}: insert({i}) freshness");
+                    reference[i] = true;
+                }
+                40..=59 => {
+                    bits.set(i);
+                    reference[i] = true;
+                }
+                60..=74 => {
+                    bits.remove(i);
+                    reference[i] = false;
+                }
+                75..=84 => {
+                    other.set(i);
+                    other_reference[i] = true;
+                }
+                85..=92 => {
+                    bits.union_with(&other);
+                    for (r, o) in reference.iter_mut().zip(&other_reference) {
+                        *r |= o;
+                    }
+                }
+                93..=96 => {
+                    bits.fill();
+                    reference.iter_mut().for_each(|r| *r = true);
+                }
+                _ => {
+                    bits.clear();
+                    reference.iter_mut().for_each(|r| *r = false);
+                }
+            }
+            let i = rng.range_usize(0, len);
+            assert_eq!(bits.get(i), reference[i], "case {case}: get({i})");
+        }
+        // Full-state agreement: membership, popcount, iteration order, emptiness.
+        for (i, &expected) in reference.iter().enumerate() {
+            assert_eq!(bits.get(i), expected, "case {case}: final get({i})");
+        }
+        let expected_count = reference.iter().filter(|&&b| b).count();
+        assert_eq!(bits.count_ones(), expected_count, "case {case}: count_ones");
+        assert_eq!(bits.any(), expected_count > 0, "case {case}: any");
+        let expected_ones: Vec<usize> =
+            (0..len).filter(|&i| reference[i]).collect();
+        assert_eq!(bits.iter_ones().collect::<Vec<_>>(), expected_ones, "case {case}: iter_ones");
+    }
+}
+
+/// The RR guidance never exceeds the vertex count in level, never blocks
+/// unreached vertices (their level stays 0), and its parallel generation is
+/// indistinguishable from the sequential pass.
+#[test]
+fn rr_guidance_levels_are_bounded_and_parallel_matches() {
+    let mut rng = SplitMix64::seed_from_u64(0x5E9);
+    for case in 0..CASES {
+        let g = build(&edge_list(&mut rng, 64, 250), 2);
         let rrg = slfe::core::RrGuidance::generate(&g);
-        prop_assert_eq!(rrg.num_vertices(), g.num_vertices());
-        prop_assert!(rrg.max_level() as usize <= g.num_vertices());
+        assert_eq!(rrg.num_vertices(), g.num_vertices());
+        assert!(rrg.max_level() as usize <= g.num_vertices(), "case {case}");
         for v in g.vertices() {
-            prop_assert!(rrg.last_iter(v) <= rrg.max_level());
+            assert!(rrg.last_iter(v) <= rrg.max_level(), "case {case}");
         }
-        prop_assert!(rrg.generation_work() <= g.num_edges() as u64);
+        assert!(rrg.generation_work() <= g.num_edges() as u64, "case {case}");
+        let parallel = slfe::core::RrGuidance::generate_parallel(&g, 4);
+        assert_eq!(rrg, parallel, "case {case}: parallel RRG must match sequential");
     }
+}
 
-    /// Theorem 1 (empirical): SSSP with redundancy reduction converges to the same
-    /// distances as the unoptimised engine and as Dijkstra.
-    #[test]
-    fn sssp_rr_matches_dijkstra_on_random_graphs(edges in edge_list(48, 220), root in 0u32..48) {
-        let g = build(&edges, 48);
+/// Theorem 1 (empirical): SSSP with redundancy reduction converges to the same
+/// distances as the unoptimised engine and as Dijkstra.
+#[test]
+fn sssp_rr_matches_dijkstra_on_random_graphs() {
+    let mut rng = SplitMix64::seed_from_u64(0xD1);
+    for case in 0..CASES {
+        let g = build(&edge_list(&mut rng, 48, 220), 48);
+        let root = rng.range_u32(0, 48);
         let oracle = slfe::apps::sssp::reference(&g, root);
         for config in [EngineConfig::default(), EngineConfig::without_rr()] {
             let engine = SlfeEngine::build(&g, ClusterConfig::new(3, 2), config);
             let result = slfe::apps::sssp::run(&engine, root);
-            for v in 0..g.num_vertices() {
-                let (a, b) = (result.values[v], oracle[v]);
-                prop_assert!(
+            for (v, (&a, &b)) in result.values.iter().zip(&oracle).enumerate() {
+                assert!(
                     (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-3,
-                    "vertex {} with rr={:?}: {} vs {}", v, engine.config().redundancy, a, b
+                    "case {case}, vertex {v} with rr={:?}: {a} vs {b}",
+                    engine.config().redundancy
                 );
             }
         }
     }
+}
 
-    /// Connected components with RR equals union-find on arbitrary symmetrised graphs.
-    #[test]
-    fn cc_rr_matches_union_find_on_random_graphs(edges in edge_list(40, 150)) {
-        let g = slfe::apps::cc::symmetrize(&build(&edges, 40));
+/// Connected components with RR equals union-find on arbitrary symmetrised graphs.
+#[test]
+fn cc_rr_matches_union_find_on_random_graphs() {
+    let mut rng = SplitMix64::seed_from_u64(0xCC);
+    for case in 0..CASES {
+        let g = slfe::apps::cc::symmetrize(&build(&edge_list(&mut rng, 40, 150), 40));
         let oracle = slfe::apps::cc::reference(&g);
         let engine = SlfeEngine::build(&g, ClusterConfig::new(2, 2), EngineConfig::default());
         let result = slfe::apps::cc::run(&engine);
-        prop_assert_eq!(result.values, oracle);
+        assert_eq!(result.values, oracle, "case {case}");
     }
+}
 
-    /// The mini-chunk scheduler conserves work, and the stealing (greedy) schedule
-    /// obeys the classic list-scheduling bound: makespan <= mean load + max chunk.
-    #[test]
-    fn work_stealing_conserves_work_and_bounds_the_makespan(costs in prop::collection::vec(0u64..1000, 1..200), workers in 1usize..9) {
+/// The mini-chunk scheduler conserves work, and the stealing (greedy) schedule
+/// obeys the classic list-scheduling bound: makespan <= mean load + max chunk.
+#[test]
+fn work_stealing_conserves_work_and_bounds_the_makespan() {
+    let mut rng = SplitMix64::seed_from_u64(0x57EA1);
+    for case in 0..CASES {
+        let len = rng.range_usize(1, 200);
+        let costs: Vec<u64> = (0..len).map(|_| rng.range_usize(0, 1000) as u64).collect();
+        let workers = rng.range_usize(1, 9);
         let scheduler = slfe::cluster::ChunkScheduler::new(workers, 1);
-        let static_outcome =
-            scheduler.simulate(costs.len(), slfe::cluster::SchedulingPolicy::StaticBlocks, |c| costs[c]);
-        let stealing_outcome =
-            scheduler.simulate(costs.len(), slfe::cluster::SchedulingPolicy::WorkStealing, |c| costs[c]);
-        prop_assert_eq!(static_outcome.total_work, stealing_outcome.total_work);
+        let static_outcome = scheduler.simulate(
+            costs.len(),
+            slfe::cluster::SchedulingPolicy::StaticBlocks,
+            |c| costs[c],
+        );
+        let stealing_outcome = scheduler.simulate(
+            costs.len(),
+            slfe::cluster::SchedulingPolicy::WorkStealing,
+            |c| costs[c],
+        );
+        assert_eq!(static_outcome.total_work, stealing_outcome.total_work, "case {case}");
         let total = stealing_outcome.total_work;
         let max_chunk = costs.iter().copied().max().unwrap_or(0);
         let bound = total / workers as u64 + max_chunk;
-        prop_assert!(
+        assert!(
             stealing_outcome.makespan() <= bound,
-            "makespan {} exceeds list-scheduling bound {}", stealing_outcome.makespan(), bound
+            "case {case}: makespan {} exceeds list-scheduling bound {bound}",
+            stealing_outcome.makespan()
         );
     }
+}
 
-    /// PageRank rank mass stays bounded and non-negative on arbitrary graphs.
-    #[test]
-    fn pagerank_ranks_are_non_negative_and_bounded(edges in edge_list(40, 200)) {
-        let g = build(&edges, 8);
+/// PageRank rank mass stays bounded and non-negative on arbitrary graphs.
+#[test]
+fn pagerank_ranks_are_non_negative_and_bounded() {
+    let mut rng = SplitMix64::seed_from_u64(0x93);
+    for case in 0..CASES {
+        let g = build(&edge_list(&mut rng, 40, 200), 8);
         let engine = SlfeEngine::build(&g, ClusterConfig::new(2, 2), EngineConfig::default());
         let result = slfe::apps::pagerank::run(&engine);
         let ranks = slfe::apps::pagerank::ranks(&g, &result.values);
         let total: f32 = ranks.iter().sum();
-        prop_assert!(ranks.iter().all(|r| *r >= 0.0 && r.is_finite()));
+        assert!(ranks.iter().all(|r| *r >= 0.0 && r.is_finite()), "case {case}");
         // Sinks leak rank mass, so the total is at most ~1 (plus float slack).
-        prop_assert!(total <= 1.05);
+        assert!(total <= 1.05, "case {case}: total rank {total}");
     }
 }
