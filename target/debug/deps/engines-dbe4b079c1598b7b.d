@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engines-dbe4b079c1598b7b.d: crates/bench/benches/engines.rs
+
+/root/repo/target/debug/deps/libengines-dbe4b079c1598b7b.rmeta: crates/bench/benches/engines.rs
+
+crates/bench/benches/engines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-1b30077fcd36b313.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-1b30077fcd36b313: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

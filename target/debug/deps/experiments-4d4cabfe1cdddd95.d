@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-4d4cabfe1cdddd95.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/libexperiments-4d4cabfe1cdddd95.rmeta: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

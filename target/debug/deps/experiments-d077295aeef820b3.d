@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-d077295aeef820b3.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/libexperiments-d077295aeef820b3.rmeta: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-8ee53a2c04bc48cd.d: tests/integration.rs
+
+/root/repo/target/debug/deps/integration-8ee53a2c04bc48cd: tests/integration.rs
+
+tests/integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-c39e1846e452d508.d: tests/integration.rs
+
+/root/repo/target/debug/deps/libintegration-c39e1846e452d508.rmeta: tests/integration.rs
+
+tests/integration.rs:

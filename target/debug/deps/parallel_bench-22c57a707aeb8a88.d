@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_bench-22c57a707aeb8a88.d: crates/bench/src/bin/parallel_bench.rs
+
+/root/repo/target/debug/deps/libparallel_bench-22c57a707aeb8a88.rmeta: crates/bench/src/bin/parallel_bench.rs
+
+crates/bench/src/bin/parallel_bench.rs:

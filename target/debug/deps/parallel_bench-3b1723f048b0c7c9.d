@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_bench-3b1723f048b0c7c9.d: crates/bench/src/bin/parallel_bench.rs
+
+/root/repo/target/debug/deps/parallel_bench-3b1723f048b0c7c9: crates/bench/src/bin/parallel_bench.rs
+
+crates/bench/src/bin/parallel_bench.rs:

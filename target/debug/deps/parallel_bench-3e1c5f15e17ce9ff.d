@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_bench-3e1c5f15e17ce9ff.d: crates/bench/src/bin/parallel_bench.rs
+
+/root/repo/target/debug/deps/libparallel_bench-3e1c5f15e17ce9ff.rmeta: crates/bench/src/bin/parallel_bench.rs
+
+crates/bench/src/bin/parallel_bench.rs:

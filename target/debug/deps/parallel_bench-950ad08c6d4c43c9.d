@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_bench-950ad08c6d4c43c9.d: crates/bench/src/bin/parallel_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_bench-950ad08c6d4c43c9.rmeta: crates/bench/src/bin/parallel_bench.rs Cargo.toml
+
+crates/bench/src/bin/parallel_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/preprocessing-6283788ad001236c.d: crates/bench/benches/preprocessing.rs
+
+/root/repo/target/debug/deps/libpreprocessing-6283788ad001236c.rmeta: crates/bench/benches/preprocessing.rs
+
+crates/bench/benches/preprocessing.rs:

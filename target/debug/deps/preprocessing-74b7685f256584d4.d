@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/preprocessing-74b7685f256584d4.d: crates/bench/benches/preprocessing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpreprocessing-74b7685f256584d4.rmeta: crates/bench/benches/preprocessing.rs Cargo.toml
+
+crates/bench/benches/preprocessing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5cc549f0e5950b7c.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-5cc549f0e5950b7c: tests/properties.rs
+
+tests/properties.rs:

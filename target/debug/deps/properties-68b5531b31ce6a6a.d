@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-68b5531b31ce6a6a.d: tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-68b5531b31ce6a6a.rmeta: tests/properties.rs
+
+tests/properties.rs:

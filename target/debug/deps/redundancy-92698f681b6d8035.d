@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/redundancy-92698f681b6d8035.d: crates/bench/benches/redundancy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libredundancy-92698f681b6d8035.rmeta: crates/bench/benches/redundancy.rs Cargo.toml
+
+crates/bench/benches/redundancy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/redundancy-b667d5d6aebd837f.d: crates/bench/benches/redundancy.rs
+
+/root/repo/target/debug/deps/libredundancy-b667d5d6aebd837f.rmeta: crates/bench/benches/redundancy.rs
+
+crates/bench/benches/redundancy.rs:

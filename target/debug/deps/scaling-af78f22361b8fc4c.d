@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scaling-af78f22361b8fc4c.d: crates/bench/benches/scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscaling-af78f22361b8fc4c.rmeta: crates/bench/benches/scaling.rs Cargo.toml
+
+crates/bench/benches/scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-f878b1a8fa1c3c9e.d: crates/bench/benches/scaling.rs
+
+/root/repo/target/debug/deps/libscaling-f878b1a8fa1c3c9e.rmeta: crates/bench/benches/scaling.rs
+
+crates/bench/benches/scaling.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/slfe-1b3574a07e937d5d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libslfe-1b3574a07e937d5d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libslfe-1b3574a07e937d5d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/slfe-53831aed2b4338d1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libslfe-53831aed2b4338d1.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/slfe-6b5f758d993d6e42.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslfe-6b5f758d993d6e42.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

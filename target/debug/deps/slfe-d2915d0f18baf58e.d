@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/slfe-d2915d0f18baf58e.d: src/lib.rs
+
+/root/repo/target/debug/deps/slfe-d2915d0f18baf58e: src/lib.rs
+
+src/lib.rs:

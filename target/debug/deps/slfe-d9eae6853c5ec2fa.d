@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/slfe-d9eae6853c5ec2fa.d: src/lib.rs
+
+/root/repo/target/debug/deps/libslfe-d9eae6853c5ec2fa.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/slfe_apps-23371f4f0cbab274.d: crates/apps/src/lib.rs crates/apps/src/bfs.rs crates/apps/src/cc.rs crates/apps/src/heat.rs crates/apps/src/numpaths.rs crates/apps/src/pagerank.rs crates/apps/src/registry.rs crates/apps/src/spmv.rs crates/apps/src/sssp.rs crates/apps/src/tunkrank.rs crates/apps/src/widestpath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslfe_apps-23371f4f0cbab274.rmeta: crates/apps/src/lib.rs crates/apps/src/bfs.rs crates/apps/src/cc.rs crates/apps/src/heat.rs crates/apps/src/numpaths.rs crates/apps/src/pagerank.rs crates/apps/src/registry.rs crates/apps/src/spmv.rs crates/apps/src/sssp.rs crates/apps/src/tunkrank.rs crates/apps/src/widestpath.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/bfs.rs:
+crates/apps/src/cc.rs:
+crates/apps/src/heat.rs:
+crates/apps/src/numpaths.rs:
+crates/apps/src/pagerank.rs:
+crates/apps/src/registry.rs:
+crates/apps/src/spmv.rs:
+crates/apps/src/sssp.rs:
+crates/apps/src/tunkrank.rs:
+crates/apps/src/widestpath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/slfe_apps-a5839f2b3476b97b.d: crates/apps/src/lib.rs crates/apps/src/bfs.rs crates/apps/src/cc.rs crates/apps/src/heat.rs crates/apps/src/numpaths.rs crates/apps/src/pagerank.rs crates/apps/src/registry.rs crates/apps/src/spmv.rs crates/apps/src/sssp.rs crates/apps/src/tunkrank.rs crates/apps/src/widestpath.rs
+
+/root/repo/target/debug/deps/libslfe_apps-a5839f2b3476b97b.rlib: crates/apps/src/lib.rs crates/apps/src/bfs.rs crates/apps/src/cc.rs crates/apps/src/heat.rs crates/apps/src/numpaths.rs crates/apps/src/pagerank.rs crates/apps/src/registry.rs crates/apps/src/spmv.rs crates/apps/src/sssp.rs crates/apps/src/tunkrank.rs crates/apps/src/widestpath.rs
+
+/root/repo/target/debug/deps/libslfe_apps-a5839f2b3476b97b.rmeta: crates/apps/src/lib.rs crates/apps/src/bfs.rs crates/apps/src/cc.rs crates/apps/src/heat.rs crates/apps/src/numpaths.rs crates/apps/src/pagerank.rs crates/apps/src/registry.rs crates/apps/src/spmv.rs crates/apps/src/sssp.rs crates/apps/src/tunkrank.rs crates/apps/src/widestpath.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/bfs.rs:
+crates/apps/src/cc.rs:
+crates/apps/src/heat.rs:
+crates/apps/src/numpaths.rs:
+crates/apps/src/pagerank.rs:
+crates/apps/src/registry.rs:
+crates/apps/src/spmv.rs:
+crates/apps/src/sssp.rs:
+crates/apps/src/tunkrank.rs:
+crates/apps/src/widestpath.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/slfe_baselines-61a6eaa21c638c01.d: crates/baselines/src/lib.rs crates/baselines/src/gas.rs crates/baselines/src/gemini.rs crates/baselines/src/graphchi.rs crates/baselines/src/ligra.rs crates/baselines/src/powergraph.rs crates/baselines/src/powerlyra.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslfe_baselines-61a6eaa21c638c01.rmeta: crates/baselines/src/lib.rs crates/baselines/src/gas.rs crates/baselines/src/gemini.rs crates/baselines/src/graphchi.rs crates/baselines/src/ligra.rs crates/baselines/src/powergraph.rs crates/baselines/src/powerlyra.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gas.rs:
+crates/baselines/src/gemini.rs:
+crates/baselines/src/graphchi.rs:
+crates/baselines/src/ligra.rs:
+crates/baselines/src/powergraph.rs:
+crates/baselines/src/powerlyra.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

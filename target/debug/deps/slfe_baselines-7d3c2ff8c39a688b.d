@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/slfe_baselines-7d3c2ff8c39a688b.d: crates/baselines/src/lib.rs crates/baselines/src/gas.rs crates/baselines/src/gemini.rs crates/baselines/src/graphchi.rs crates/baselines/src/ligra.rs crates/baselines/src/powergraph.rs crates/baselines/src/powerlyra.rs
+
+/root/repo/target/debug/deps/slfe_baselines-7d3c2ff8c39a688b: crates/baselines/src/lib.rs crates/baselines/src/gas.rs crates/baselines/src/gemini.rs crates/baselines/src/graphchi.rs crates/baselines/src/ligra.rs crates/baselines/src/powergraph.rs crates/baselines/src/powerlyra.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gas.rs:
+crates/baselines/src/gemini.rs:
+crates/baselines/src/graphchi.rs:
+crates/baselines/src/ligra.rs:
+crates/baselines/src/powergraph.rs:
+crates/baselines/src/powerlyra.rs:

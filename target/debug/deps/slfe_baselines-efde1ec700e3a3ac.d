@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/slfe_baselines-efde1ec700e3a3ac.d: crates/baselines/src/lib.rs crates/baselines/src/gas.rs crates/baselines/src/gemini.rs crates/baselines/src/graphchi.rs crates/baselines/src/ligra.rs crates/baselines/src/powergraph.rs crates/baselines/src/powerlyra.rs
+
+/root/repo/target/debug/deps/libslfe_baselines-efde1ec700e3a3ac.rlib: crates/baselines/src/lib.rs crates/baselines/src/gas.rs crates/baselines/src/gemini.rs crates/baselines/src/graphchi.rs crates/baselines/src/ligra.rs crates/baselines/src/powergraph.rs crates/baselines/src/powerlyra.rs
+
+/root/repo/target/debug/deps/libslfe_baselines-efde1ec700e3a3ac.rmeta: crates/baselines/src/lib.rs crates/baselines/src/gas.rs crates/baselines/src/gemini.rs crates/baselines/src/graphchi.rs crates/baselines/src/ligra.rs crates/baselines/src/powergraph.rs crates/baselines/src/powerlyra.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gas.rs:
+crates/baselines/src/gemini.rs:
+crates/baselines/src/graphchi.rs:
+crates/baselines/src/ligra.rs:
+crates/baselines/src/powergraph.rs:
+crates/baselines/src/powerlyra.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/slfe_baselines-fdc7969208e13aab.d: crates/baselines/src/lib.rs crates/baselines/src/gas.rs crates/baselines/src/gemini.rs crates/baselines/src/graphchi.rs crates/baselines/src/ligra.rs crates/baselines/src/powergraph.rs crates/baselines/src/powerlyra.rs
+
+/root/repo/target/debug/deps/libslfe_baselines-fdc7969208e13aab.rmeta: crates/baselines/src/lib.rs crates/baselines/src/gas.rs crates/baselines/src/gemini.rs crates/baselines/src/graphchi.rs crates/baselines/src/ligra.rs crates/baselines/src/powergraph.rs crates/baselines/src/powerlyra.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gas.rs:
+crates/baselines/src/gemini.rs:
+crates/baselines/src/graphchi.rs:
+crates/baselines/src/ligra.rs:
+crates/baselines/src/powergraph.rs:
+crates/baselines/src/powerlyra.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/slfe_bench-0de3b795f39b2cd3.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runner.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/slfe_bench-0de3b795f39b2cd3: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runner.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/slfe_bench-57389de2d4f40d19.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runner.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libslfe_bench-57389de2d4f40d19.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runner.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/timing.rs:

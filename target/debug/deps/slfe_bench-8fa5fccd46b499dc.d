@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/slfe_bench-8fa5fccd46b499dc.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runner.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libslfe_bench-8fa5fccd46b499dc.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runner.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libslfe_bench-8fa5fccd46b499dc.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runner.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/timing.rs:

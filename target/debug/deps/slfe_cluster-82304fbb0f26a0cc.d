@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/slfe_cluster-82304fbb0f26a0cc.d: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/comm.rs crates/cluster/src/config.rs crates/cluster/src/stealing.rs
+
+/root/repo/target/debug/deps/libslfe_cluster-82304fbb0f26a0cc.rlib: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/comm.rs crates/cluster/src/config.rs crates/cluster/src/stealing.rs
+
+/root/repo/target/debug/deps/libslfe_cluster-82304fbb0f26a0cc.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/comm.rs crates/cluster/src/config.rs crates/cluster/src/stealing.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cluster.rs:
+crates/cluster/src/comm.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/stealing.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/slfe_cluster-9f122708491cbd9d.d: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/comm.rs crates/cluster/src/config.rs crates/cluster/src/stealing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslfe_cluster-9f122708491cbd9d.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/comm.rs crates/cluster/src/config.rs crates/cluster/src/stealing.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cluster.rs:
+crates/cluster/src/comm.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/stealing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/slfe_cluster-aa1fb528343a7219.d: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/comm.rs crates/cluster/src/config.rs crates/cluster/src/stealing.rs
+
+/root/repo/target/debug/deps/slfe_cluster-aa1fb528343a7219: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/comm.rs crates/cluster/src/config.rs crates/cluster/src/stealing.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cluster.rs:
+crates/cluster/src/comm.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/stealing.rs:

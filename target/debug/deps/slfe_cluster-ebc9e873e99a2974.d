@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/slfe_cluster-ebc9e873e99a2974.d: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/comm.rs crates/cluster/src/config.rs crates/cluster/src/stealing.rs
+
+/root/repo/target/debug/deps/libslfe_cluster-ebc9e873e99a2974.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/comm.rs crates/cluster/src/config.rs crates/cluster/src/stealing.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cluster.rs:
+crates/cluster/src/comm.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/stealing.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/slfe_core-7f6b2891a906d825.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/program.rs crates/core/src/result.rs crates/core/src/rrg.rs
+
+/root/repo/target/debug/deps/slfe_core-7f6b2891a906d825: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/program.rs crates/core/src/result.rs crates/core/src/rrg.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/program.rs:
+crates/core/src/result.rs:
+crates/core/src/rrg.rs:

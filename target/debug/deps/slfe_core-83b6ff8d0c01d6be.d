@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/slfe_core-83b6ff8d0c01d6be.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/program.rs crates/core/src/result.rs crates/core/src/rrg.rs
+
+/root/repo/target/debug/deps/libslfe_core-83b6ff8d0c01d6be.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/program.rs crates/core/src/result.rs crates/core/src/rrg.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/program.rs:
+crates/core/src/result.rs:
+crates/core/src/rrg.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/slfe_core-8f3d79501b21fed8.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/program.rs crates/core/src/result.rs crates/core/src/rrg.rs
+
+/root/repo/target/debug/deps/libslfe_core-8f3d79501b21fed8.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/program.rs crates/core/src/result.rs crates/core/src/rrg.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/program.rs:
+crates/core/src/result.rs:
+crates/core/src/rrg.rs:

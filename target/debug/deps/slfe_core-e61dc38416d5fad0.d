@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/slfe_core-e61dc38416d5fad0.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/program.rs crates/core/src/result.rs crates/core/src/rrg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslfe_core-e61dc38416d5fad0.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/program.rs crates/core/src/result.rs crates/core/src/rrg.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/program.rs:
+crates/core/src/result.rs:
+crates/core/src/rrg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

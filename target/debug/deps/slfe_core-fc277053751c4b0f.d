@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/slfe_core-fc277053751c4b0f.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/program.rs crates/core/src/result.rs crates/core/src/rrg.rs
+
+/root/repo/target/debug/deps/libslfe_core-fc277053751c4b0f.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/program.rs crates/core/src/result.rs crates/core/src/rrg.rs
+
+/root/repo/target/debug/deps/libslfe_core-fc277053751c4b0f.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/program.rs crates/core/src/result.rs crates/core/src/rrg.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/program.rs:
+crates/core/src/result.rs:
+crates/core/src/rrg.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/slfe_graph-6c87b1a2e9f94c10.d: crates/graph/src/lib.rs crates/graph/src/bitset.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/datasets.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/rng.rs crates/graph/src/stats.rs crates/graph/src/types.rs
+
+/root/repo/target/debug/deps/libslfe_graph-6c87b1a2e9f94c10.rlib: crates/graph/src/lib.rs crates/graph/src/bitset.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/datasets.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/rng.rs crates/graph/src/stats.rs crates/graph/src/types.rs
+
+/root/repo/target/debug/deps/libslfe_graph-6c87b1a2e9f94c10.rmeta: crates/graph/src/lib.rs crates/graph/src/bitset.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/datasets.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/rng.rs crates/graph/src/stats.rs crates/graph/src/types.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/bitset.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/datasets.rs:
+crates/graph/src/generators.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/io.rs:
+crates/graph/src/rng.rs:
+crates/graph/src/stats.rs:
+crates/graph/src/types.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/slfe_metrics-31ad1a752926da34.d: crates/metrics/src/lib.rs crates/metrics/src/counters.rs crates/metrics/src/imbalance.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs crates/metrics/src/trace.rs
+
+/root/repo/target/debug/deps/libslfe_metrics-31ad1a752926da34.rmeta: crates/metrics/src/lib.rs crates/metrics/src/counters.rs crates/metrics/src/imbalance.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs crates/metrics/src/trace.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/counters.rs:
+crates/metrics/src/imbalance.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/stats.rs:
+crates/metrics/src/trace.rs:

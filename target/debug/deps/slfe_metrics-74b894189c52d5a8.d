@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/slfe_metrics-74b894189c52d5a8.d: crates/metrics/src/lib.rs crates/metrics/src/counters.rs crates/metrics/src/imbalance.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs crates/metrics/src/trace.rs
+
+/root/repo/target/debug/deps/libslfe_metrics-74b894189c52d5a8.rmeta: crates/metrics/src/lib.rs crates/metrics/src/counters.rs crates/metrics/src/imbalance.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs crates/metrics/src/trace.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/counters.rs:
+crates/metrics/src/imbalance.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/stats.rs:
+crates/metrics/src/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/slfe_partition-5be636085ea7b4a0.d: crates/partition/src/lib.rs crates/partition/src/chunking.rs crates/partition/src/hash.rs crates/partition/src/partitioning.rs crates/partition/src/quality.rs
+
+/root/repo/target/debug/deps/libslfe_partition-5be636085ea7b4a0.rmeta: crates/partition/src/lib.rs crates/partition/src/chunking.rs crates/partition/src/hash.rs crates/partition/src/partitioning.rs crates/partition/src/quality.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/chunking.rs:
+crates/partition/src/hash.rs:
+crates/partition/src/partitioning.rs:
+crates/partition/src/quality.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/slfe_partition-64fcf31c96503c5b.d: crates/partition/src/lib.rs crates/partition/src/chunking.rs crates/partition/src/hash.rs crates/partition/src/partitioning.rs crates/partition/src/quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslfe_partition-64fcf31c96503c5b.rmeta: crates/partition/src/lib.rs crates/partition/src/chunking.rs crates/partition/src/hash.rs crates/partition/src/partitioning.rs crates/partition/src/quality.rs Cargo.toml
+
+crates/partition/src/lib.rs:
+crates/partition/src/chunking.rs:
+crates/partition/src/hash.rs:
+crates/partition/src/partitioning.rs:
+crates/partition/src/quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/engine_comparison-3b7be26bd8a88fb4.d: examples/engine_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libengine_comparison-3b7be26bd8a88fb4.rmeta: examples/engine_comparison.rs Cargo.toml
+
+examples/engine_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/engine_comparison-6997cf21387f4cf1.d: examples/engine_comparison.rs
+
+/root/repo/target/debug/examples/libengine_comparison-6997cf21387f4cf1.rmeta: examples/engine_comparison.rs
+
+examples/engine_comparison.rs:

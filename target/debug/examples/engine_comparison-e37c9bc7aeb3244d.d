@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/engine_comparison-e37c9bc7aeb3244d.d: examples/engine_comparison.rs
+
+/root/repo/target/debug/examples/engine_comparison-e37c9bc7aeb3244d: examples/engine_comparison.rs
+
+examples/engine_comparison.rs:

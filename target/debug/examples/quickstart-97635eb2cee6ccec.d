@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-97635eb2cee6ccec.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-97635eb2cee6ccec.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e608a5732c931bc0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e608a5732c931bc0: examples/quickstart.rs
+
+examples/quickstart.rs:

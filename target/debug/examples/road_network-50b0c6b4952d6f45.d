@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/road_network-50b0c6b4952d6f45.d: examples/road_network.rs Cargo.toml
+
+/root/repo/target/debug/examples/libroad_network-50b0c6b4952d6f45.rmeta: examples/road_network.rs Cargo.toml
+
+examples/road_network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

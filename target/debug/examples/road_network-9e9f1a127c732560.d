@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/road_network-9e9f1a127c732560.d: examples/road_network.rs
+
+/root/repo/target/debug/examples/libroad_network-9e9f1a127c732560.rmeta: examples/road_network.rs
+
+examples/road_network.rs:

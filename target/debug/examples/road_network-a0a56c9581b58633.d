@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/road_network-a0a56c9581b58633.d: examples/road_network.rs
+
+/root/repo/target/debug/examples/road_network-a0a56c9581b58633: examples/road_network.rs
+
+examples/road_network.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/social_influence-2b3b9830d6d1628f.d: examples/social_influence.rs
+
+/root/repo/target/debug/examples/libsocial_influence-2b3b9830d6d1628f.rmeta: examples/social_influence.rs
+
+examples/social_influence.rs:

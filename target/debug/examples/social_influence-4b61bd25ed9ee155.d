@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/social_influence-4b61bd25ed9ee155.d: examples/social_influence.rs
+
+/root/repo/target/debug/examples/social_influence-4b61bd25ed9ee155: examples/social_influence.rs
+
+examples/social_influence.rs:

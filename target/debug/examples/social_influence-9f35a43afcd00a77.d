@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/social_influence-9f35a43afcd00a77.d: examples/social_influence.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsocial_influence-9f35a43afcd00a77.rmeta: examples/social_influence.rs Cargo.toml
+
+examples/social_influence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-d756c0e64103aa46.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-d756c0e64103aa46: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

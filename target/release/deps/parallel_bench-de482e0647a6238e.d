@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_bench-de482e0647a6238e.d: crates/bench/src/bin/parallel_bench.rs
+
+/root/repo/target/release/deps/parallel_bench-de482e0647a6238e: crates/bench/src/bin/parallel_bench.rs
+
+crates/bench/src/bin/parallel_bench.rs:

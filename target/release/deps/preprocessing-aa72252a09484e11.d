@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/preprocessing-aa72252a09484e11.d: crates/bench/benches/preprocessing.rs
+
+/root/repo/target/release/deps/preprocessing-aa72252a09484e11: crates/bench/benches/preprocessing.rs
+
+crates/bench/benches/preprocessing.rs:

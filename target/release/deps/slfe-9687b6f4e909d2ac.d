@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/slfe-9687b6f4e909d2ac.d: src/lib.rs
+
+/root/repo/target/release/deps/libslfe-9687b6f4e909d2ac.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libslfe-9687b6f4e909d2ac.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/slfe_apps-1c725c9d238d7bb4.d: crates/apps/src/lib.rs crates/apps/src/bfs.rs crates/apps/src/cc.rs crates/apps/src/heat.rs crates/apps/src/numpaths.rs crates/apps/src/pagerank.rs crates/apps/src/registry.rs crates/apps/src/spmv.rs crates/apps/src/sssp.rs crates/apps/src/tunkrank.rs crates/apps/src/widestpath.rs
+
+/root/repo/target/release/deps/libslfe_apps-1c725c9d238d7bb4.rlib: crates/apps/src/lib.rs crates/apps/src/bfs.rs crates/apps/src/cc.rs crates/apps/src/heat.rs crates/apps/src/numpaths.rs crates/apps/src/pagerank.rs crates/apps/src/registry.rs crates/apps/src/spmv.rs crates/apps/src/sssp.rs crates/apps/src/tunkrank.rs crates/apps/src/widestpath.rs
+
+/root/repo/target/release/deps/libslfe_apps-1c725c9d238d7bb4.rmeta: crates/apps/src/lib.rs crates/apps/src/bfs.rs crates/apps/src/cc.rs crates/apps/src/heat.rs crates/apps/src/numpaths.rs crates/apps/src/pagerank.rs crates/apps/src/registry.rs crates/apps/src/spmv.rs crates/apps/src/sssp.rs crates/apps/src/tunkrank.rs crates/apps/src/widestpath.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/bfs.rs:
+crates/apps/src/cc.rs:
+crates/apps/src/heat.rs:
+crates/apps/src/numpaths.rs:
+crates/apps/src/pagerank.rs:
+crates/apps/src/registry.rs:
+crates/apps/src/spmv.rs:
+crates/apps/src/sssp.rs:
+crates/apps/src/tunkrank.rs:
+crates/apps/src/widestpath.rs:

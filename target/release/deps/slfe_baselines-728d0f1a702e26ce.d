@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/slfe_baselines-728d0f1a702e26ce.d: crates/baselines/src/lib.rs crates/baselines/src/gas.rs crates/baselines/src/gemini.rs crates/baselines/src/graphchi.rs crates/baselines/src/ligra.rs crates/baselines/src/powergraph.rs crates/baselines/src/powerlyra.rs
+
+/root/repo/target/release/deps/libslfe_baselines-728d0f1a702e26ce.rlib: crates/baselines/src/lib.rs crates/baselines/src/gas.rs crates/baselines/src/gemini.rs crates/baselines/src/graphchi.rs crates/baselines/src/ligra.rs crates/baselines/src/powergraph.rs crates/baselines/src/powerlyra.rs
+
+/root/repo/target/release/deps/libslfe_baselines-728d0f1a702e26ce.rmeta: crates/baselines/src/lib.rs crates/baselines/src/gas.rs crates/baselines/src/gemini.rs crates/baselines/src/graphchi.rs crates/baselines/src/ligra.rs crates/baselines/src/powergraph.rs crates/baselines/src/powerlyra.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gas.rs:
+crates/baselines/src/gemini.rs:
+crates/baselines/src/graphchi.rs:
+crates/baselines/src/ligra.rs:
+crates/baselines/src/powergraph.rs:
+crates/baselines/src/powerlyra.rs:

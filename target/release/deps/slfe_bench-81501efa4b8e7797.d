@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/slfe_bench-81501efa4b8e7797.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runner.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libslfe_bench-81501efa4b8e7797.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runner.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libslfe_bench-81501efa4b8e7797.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runner.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/slfe_cluster-90593dc2661f7fa3.d: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/comm.rs crates/cluster/src/config.rs crates/cluster/src/stealing.rs
+
+/root/repo/target/release/deps/libslfe_cluster-90593dc2661f7fa3.rlib: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/comm.rs crates/cluster/src/config.rs crates/cluster/src/stealing.rs
+
+/root/repo/target/release/deps/libslfe_cluster-90593dc2661f7fa3.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/comm.rs crates/cluster/src/config.rs crates/cluster/src/stealing.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cluster.rs:
+crates/cluster/src/comm.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/stealing.rs:

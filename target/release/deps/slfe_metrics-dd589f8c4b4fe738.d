@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/slfe_metrics-dd589f8c4b4fe738.d: crates/metrics/src/lib.rs crates/metrics/src/counters.rs crates/metrics/src/imbalance.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs crates/metrics/src/trace.rs
+
+/root/repo/target/release/deps/libslfe_metrics-dd589f8c4b4fe738.rlib: crates/metrics/src/lib.rs crates/metrics/src/counters.rs crates/metrics/src/imbalance.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs crates/metrics/src/trace.rs
+
+/root/repo/target/release/deps/libslfe_metrics-dd589f8c4b4fe738.rmeta: crates/metrics/src/lib.rs crates/metrics/src/counters.rs crates/metrics/src/imbalance.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs crates/metrics/src/trace.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/counters.rs:
+crates/metrics/src/imbalance.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/stats.rs:
+crates/metrics/src/trace.rs:

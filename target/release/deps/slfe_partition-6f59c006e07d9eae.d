@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/slfe_partition-6f59c006e07d9eae.d: crates/partition/src/lib.rs crates/partition/src/chunking.rs crates/partition/src/hash.rs crates/partition/src/partitioning.rs crates/partition/src/quality.rs
+
+/root/repo/target/release/deps/libslfe_partition-6f59c006e07d9eae.rlib: crates/partition/src/lib.rs crates/partition/src/chunking.rs crates/partition/src/hash.rs crates/partition/src/partitioning.rs crates/partition/src/quality.rs
+
+/root/repo/target/release/deps/libslfe_partition-6f59c006e07d9eae.rmeta: crates/partition/src/lib.rs crates/partition/src/chunking.rs crates/partition/src/hash.rs crates/partition/src/partitioning.rs crates/partition/src/quality.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/chunking.rs:
+crates/partition/src/hash.rs:
+crates/partition/src/partitioning.rs:
+crates/partition/src/quality.rs:

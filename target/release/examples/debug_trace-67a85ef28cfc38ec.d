@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/debug_trace-67a85ef28cfc38ec.d: examples/debug_trace.rs
+
+/root/repo/target/release/examples/debug_trace-67a85ef28cfc38ec: examples/debug_trace.rs
+
+examples/debug_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-3db60ab6a8c61135.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-3db60ab6a8c61135: examples/quickstart.rs
+
+examples/quickstart.rs:
