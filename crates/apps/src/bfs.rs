@@ -42,7 +42,12 @@ impl GraphProgram for BfsProgram {
         f32::INFINITY
     }
 
-    fn edge_contribution(&self, _src: VertexId, src_value: f32, _weight: EdgeWeight) -> Option<f32> {
+    fn edge_contribution(
+        &self,
+        _src: VertexId,
+        src_value: f32,
+        _weight: EdgeWeight,
+    ) -> Option<f32> {
         src_value.is_finite().then_some(src_value + 1.0)
     }
 
@@ -52,6 +57,12 @@ impl GraphProgram for BfsProgram {
 
     fn apply(&self, _dst: VertexId, old: f32, gathered: f32) -> f32 {
         old.min(gathered)
+    }
+
+    /// `hops + 1` strictly increases along every edge: cyclic self-support is
+    /// impossible, so warm-start invalidation may prune at derivable vertices.
+    fn strictly_monotonic(&self) -> bool {
+        true
     }
 }
 

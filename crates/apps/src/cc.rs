@@ -37,7 +37,12 @@ impl GraphProgram for CcProgram {
         f32::INFINITY
     }
 
-    fn edge_contribution(&self, _src: VertexId, src_value: f32, _weight: EdgeWeight) -> Option<f32> {
+    fn edge_contribution(
+        &self,
+        _src: VertexId,
+        src_value: f32,
+        _weight: EdgeWeight,
+    ) -> Option<f32> {
         Some(src_value)
     }
 

@@ -23,6 +23,11 @@ pub const DEFAULT_ALPHA: f32 = 0.3;
 /// The stored vertex property is the pair `(heat, share)` flattened into the heat
 /// value itself plus a precomputed per-source normalisation held in the program, so
 /// edge contributions stay cheap.
+///
+/// The normalisation encodes the out-degrees of the graph the program was built
+/// for: **re-instantiate the program for every graph version** (as the
+/// `slfe-delta` server's program factory does) — running a stale instance on a
+/// mutated graph silently uses the old degrees.
 #[derive(Debug, Clone)]
 pub struct HeatProgram {
     /// Diffusion coefficient in `(0, 1]`.
@@ -37,7 +42,11 @@ impl HeatProgram {
     /// Build a heat program over `graph` with explicit initial heat.
     pub fn new(graph: &Graph, alpha: f32, initial_heat: Vec<f32>) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
-        assert_eq!(initial_heat.len(), graph.num_vertices(), "initial heat length mismatch");
+        assert_eq!(
+            initial_heat.len(),
+            graph.num_vertices(),
+            "initial heat length mismatch"
+        );
         let inv_out_degree = graph
             .vertices()
             .map(|v| {
@@ -49,7 +58,11 @@ impl HeatProgram {
                 }
             })
             .collect();
-        Self { alpha, initial_heat, inv_out_degree }
+        Self {
+            alpha,
+            initial_heat,
+            inv_out_degree,
+        }
     }
 
     /// A single hot vertex (`source`) with heat 1.0, everything else cold.
@@ -74,7 +87,8 @@ impl GraphProgram for HeatProgram {
     }
 
     fn initial_value(&self, v: VertexId, _graph: &Graph) -> f32 {
-        self.initial_heat[v as usize]
+        // Vertices appended after the program's heat vector was fixed start cold.
+        self.initial_heat.get(v as usize).copied().unwrap_or(0.0)
     }
 
     fn initial_active(&self, _v: VertexId, _graph: &Graph) -> bool {
@@ -86,7 +100,15 @@ impl GraphProgram for HeatProgram {
     }
 
     fn edge_contribution(&self, src: VertexId, src_value: f32, _weight: EdgeWeight) -> Option<f32> {
-        Some(src_value * self.inv_out_degree[src as usize])
+        // Appended vertices start cold (heat 0), so a zero share is exact.
+        Some(
+            src_value
+                * self
+                    .inv_out_degree
+                    .get(src as usize)
+                    .copied()
+                    .unwrap_or(0.0),
+        )
     }
 
     fn combine(&self, a: f32, b: f32) -> f32 {
@@ -99,6 +121,17 @@ impl GraphProgram for HeatProgram {
 
     fn changed(&self, old: f32, new: f32, tolerance: f64) -> bool {
         (old - new).abs() as f64 > tolerance
+    }
+
+    fn warm_start_value(&self, v: VertexId, _previous: Option<f32>, graph: &Graph) -> f32 {
+        // Heat's limit depends on the *initial condition*, not just the topology:
+        // the diffusion map `h' = (1 - alpha) h + alpha Pᵀh` has one fixpoint per
+        // initial mass distribution (any h with h = Pᵀh is stationary), so warm
+        // starting from the old limit on a mutated graph would converge to a
+        // different answer than re-running the simulation. Restart from the
+        // initial heat instead — the warm-init hook exists precisely for programs
+        // whose stored state cannot be reused across topology changes.
+        self.initial_value(v, graph)
     }
 }
 
@@ -162,10 +195,17 @@ mod tests {
         let engine = SlfeEngine::build(
             &g,
             ClusterConfig::new(4, 2),
-            EngineConfig::without_rr().with_tolerance(0.0).with_max_iterations(15),
+            EngineConfig::without_rr()
+                .with_tolerance(0.0)
+                .with_max_iterations(15),
         );
         let result = engine.run(&program);
-        let expected = reference(&g, DEFAULT_ALPHA, &program.initial_heat, result.stats.iterations);
+        let expected = reference(
+            &g,
+            DEFAULT_ALPHA,
+            &program.initial_heat,
+            result.stats.iterations,
+        );
         for (a, b) in result.values.iter().zip(&expected) {
             assert!((a - b).abs() < 1e-4, "{a} vs {b}");
         }
@@ -179,7 +219,10 @@ mod tests {
         let result = engine.run(&program);
         assert!(result.converged);
         assert!(result.values.iter().all(|&h| (h - 2.0).abs() < 1e-6));
-        assert!(result.stats.iterations <= 2, "fixed point should be detected immediately");
+        assert!(
+            result.stats.iterations <= 2,
+            "fixed point should be detected immediately"
+        );
     }
 
     #[test]
@@ -194,5 +237,17 @@ mod tests {
     fn mismatched_heat_vector_panics() {
         let g = generators::path(3);
         let _ = HeatProgram::new(&g, 0.5, vec![0.0; 2]);
+    }
+
+    #[test]
+    fn warm_start_restarts_from_the_initial_condition() {
+        let g = generators::path(4);
+        let program = HeatProgram::point_source(&g, 0);
+        // The previous fixpoint is discarded: heat's answer is defined by its
+        // initial condition, which a topology change invalidates.
+        assert_eq!(program.warm_start_value(0, Some(0.25), &g), 1.0);
+        assert_eq!(program.warm_start_value(2, Some(0.25), &g), 0.0);
+        // Vertices beyond the heat vector (appended by a batch) start cold.
+        assert_eq!(program.initial_value(9, &g), 0.0);
     }
 }

@@ -55,7 +55,12 @@ impl GraphProgram for NumPathsProgram {
         0.0
     }
 
-    fn edge_contribution(&self, _src: VertexId, src_value: f32, _weight: EdgeWeight) -> Option<f32> {
+    fn edge_contribution(
+        &self,
+        _src: VertexId,
+        src_value: f32,
+        _weight: EdgeWeight,
+    ) -> Option<f32> {
         (src_value > 0.0).then_some(src_value)
     }
 
@@ -87,7 +92,10 @@ pub fn run(engine: &SlfeEngine<'_>, root: VertexId) -> ProgramResult<f32> {
 pub fn reference(graph: &Graph, root: VertexId) -> Vec<f32> {
     let n = graph.num_vertices();
     let mut in_degree: Vec<usize> = graph.vertices().map(|v| graph.in_degree(v)).collect();
-    let mut queue: Vec<VertexId> = graph.vertices().filter(|&v| in_degree[v as usize] == 0).collect();
+    let mut queue: Vec<VertexId> = graph
+        .vertices()
+        .filter(|&v| in_degree[v as usize] == 0)
+        .collect();
     let mut order = Vec::with_capacity(n);
     while let Some(v) = queue.pop() {
         order.push(v);
@@ -178,7 +186,10 @@ mod tests {
         // Layer 0 and layer 1 counts are reached in the very first iteration and
         // therefore cannot be frozen early.
         for v in 0..40u32 {
-            assert_eq!(result.values[v as usize], expected[v as usize], "vertex {v}");
+            assert_eq!(
+                result.values[v as usize], expected[v as usize],
+                "vertex {v}"
+            );
         }
     }
 

@@ -29,7 +29,17 @@ pub struct PageRankProgram {
 impl PageRankProgram {
     /// PageRank with the default damping for a graph of `num_vertices` vertices.
     pub fn new(num_vertices: usize) -> Self {
-        Self { damping: DEFAULT_DAMPING, num_vertices }
+        Self {
+            damping: DEFAULT_DAMPING,
+            num_vertices,
+        }
+    }
+
+    /// PageRank sized for `graph` — the program-factory form used by the
+    /// incremental serving loop, where `|V|` (the teleport denominator) must
+    /// track the current graph version.
+    pub fn for_graph(graph: &Graph) -> Self {
+        Self::new(graph.num_vertices())
     }
 }
 
@@ -63,7 +73,12 @@ impl GraphProgram for PageRankProgram {
         0.0
     }
 
-    fn edge_contribution(&self, _src: VertexId, src_value: f32, _weight: EdgeWeight) -> Option<f32> {
+    fn edge_contribution(
+        &self,
+        _src: VertexId,
+        src_value: f32,
+        _weight: EdgeWeight,
+    ) -> Option<f32> {
         Some(src_value)
     }
 
@@ -135,7 +150,11 @@ pub fn reference(graph: &Graph, damping: f32, tolerance: f32, max_iters: u32) ->
         let mut max_delta = 0.0f32;
         let mut next = vec![0.0f32; n];
         for v in graph.vertices() {
-            let sum: f32 = graph.in_neighbors(v).iter().map(|&u| shares[u as usize]).sum();
+            let sum: f32 = graph
+                .in_neighbors(v)
+                .iter()
+                .map(|&u| shares[u as usize])
+                .sum();
             let new = (1.0 - damping) / n as f32 + damping * sum;
             max_delta = max_delta.max((new - rank[v as usize]).abs());
             next[v as usize] = new;
@@ -156,7 +175,10 @@ mod tests {
     use slfe_graph::{datasets::Dataset, generators};
 
     fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max)
     }
 
     #[test]
@@ -221,7 +243,10 @@ mod tests {
         let engine = SlfeEngine::build(&g, ClusterConfig::new(4, 2), EngineConfig::without_rr());
         let result = run(&engine);
         let ec = result.early_converged_fraction(0.9);
-        assert!(ec > 0.5, "expected most vertices to be early-converged, got {ec}");
+        assert!(
+            ec > 0.5,
+            "expected most vertices to be early-converged, got {ec}"
+        );
     }
 
     #[test]

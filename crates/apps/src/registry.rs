@@ -53,10 +53,9 @@ impl AppKind {
     /// Which aggregation family the application belongs to (Table 1).
     pub fn aggregation(self) -> AggregationKind {
         match self {
-            AppKind::Sssp
-            | AppKind::Bfs
-            | AppKind::ConnectedComponents
-            | AppKind::WidestPath => AggregationKind::MinMax,
+            AppKind::Sssp | AppKind::Bfs | AppKind::ConnectedComponents | AppKind::WidestPath => {
+                AggregationKind::MinMax
+            }
             AppKind::PageRank
             | AppKind::TunkRank
             | AppKind::SpMV
@@ -100,12 +99,18 @@ mod tests {
     #[test]
     fn table1_classification_is_respected() {
         assert_eq!(AppKind::Sssp.aggregation(), AggregationKind::MinMax);
-        assert_eq!(AppKind::ConnectedComponents.aggregation(), AggregationKind::MinMax);
+        assert_eq!(
+            AppKind::ConnectedComponents.aggregation(),
+            AggregationKind::MinMax
+        );
         assert_eq!(AppKind::WidestPath.aggregation(), AggregationKind::MinMax);
         assert_eq!(AppKind::PageRank.aggregation(), AggregationKind::Arithmetic);
         assert_eq!(AppKind::TunkRank.aggregation(), AggregationKind::Arithmetic);
         assert_eq!(AppKind::SpMV.aggregation(), AggregationKind::Arithmetic);
-        assert_eq!(AppKind::HeatSimulation.aggregation(), AggregationKind::Arithmetic);
+        assert_eq!(
+            AppKind::HeatSimulation.aggregation(),
+            AggregationKind::Arithmetic
+        );
     }
 
     #[test]

@@ -24,7 +24,9 @@ pub struct SpmvProgram {
 impl SpmvProgram {
     /// SpMV with the all-ones input vector (row sums of the adjacency matrix).
     pub fn ones(num_vertices: usize) -> Self {
-        Self { input: vec![1.0; num_vertices] }
+        Self {
+            input: vec![1.0; num_vertices],
+        }
     }
 }
 
@@ -93,12 +95,7 @@ pub fn product(values: &[SpmvValue]) -> Vec<f32> {
 pub fn reference(graph: &Graph, input: &[f32]) -> Vec<f32> {
     graph
         .vertices()
-        .map(|v| {
-            graph
-                .in_edges(v)
-                .map(|(u, w)| w * input[u as usize])
-                .sum()
-        })
+        .map(|v| graph.in_edges(v).map(|(u, w)| w * input[u as usize]).sum())
         .collect()
 }
 
@@ -125,7 +122,9 @@ mod tests {
     #[test]
     fn matches_reference_on_rmat_with_random_input() {
         let g = Dataset::Pokec.load_scaled(64_000);
-        let input: Vec<f32> = (0..g.num_vertices()).map(|i| (i % 7) as f32 * 0.5).collect();
+        let input: Vec<f32> = (0..g.num_vertices())
+            .map(|i| (i % 7) as f32 * 0.5)
+            .collect();
         let expected = reference(&g, &input);
         let engine = SlfeEngine::build(&g, ClusterConfig::new(4, 2), EngineConfig::default());
         let result = run(&engine, input);
@@ -140,7 +139,10 @@ mod tests {
         let g = generators::rmat(200, 1200, 0.57, 0.19, 0.19, 23);
         let engine = SlfeEngine::build(&g, ClusterConfig::new(2, 2), EngineConfig::default());
         let result = run(&engine, vec![1.0; g.num_vertices()]);
-        assert!(result.stats.iterations <= 3, "SpMV should converge immediately");
+        assert!(
+            result.stats.iterations <= 3,
+            "SpMV should converge immediately"
+        );
     }
 
     #[test]

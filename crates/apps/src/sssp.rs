@@ -56,6 +56,14 @@ impl GraphProgram for SsspProgram {
     fn apply(&self, _dst: VertexId, old: f32, gathered: f32) -> f32 {
         old.min(gathered)
     }
+
+    /// `dist + w` strictly increases for the positive weights every loader and
+    /// generator in this workspace produces, so warm-start invalidation may
+    /// prune at still-derivable vertices. Feed zero-weight edges and this must
+    /// be turned off.
+    fn strictly_monotonic(&self) -> bool {
+        true
+    }
 }
 
 /// Run SSSP from `root` on an already-built engine. The returned
@@ -139,8 +147,14 @@ mod tests {
         let (with_rr, without_rr) = engine_pair(&g);
         let a = run(&with_rr, root);
         let b = run(&without_rr, root);
-        assert!(distances_match(&a.values, &expected, 1e-3), "RR run diverges from Dijkstra");
-        assert!(distances_match(&b.values, &expected, 1e-3), "non-RR run diverges from Dijkstra");
+        assert!(
+            distances_match(&a.values, &expected, 1e-3),
+            "RR run diverges from Dijkstra"
+        );
+        assert!(
+            distances_match(&b.values, &expected, 1e-3),
+            "non-RR run diverges from Dijkstra"
+        );
     }
 
     #[test]
@@ -198,7 +212,11 @@ mod tests {
 
     #[test]
     fn distances_match_helper_handles_infinities() {
-        assert!(distances_match(&[1.0, f32::INFINITY], &[1.0, f32::INFINITY], 1e-6));
+        assert!(distances_match(
+            &[1.0, f32::INFINITY],
+            &[1.0, f32::INFINITY],
+            1e-6
+        ));
         assert!(!distances_match(&[1.0, f32::INFINITY], &[1.0, 2.0], 1e-6));
         assert!(!distances_match(&[1.0], &[1.0, 2.0], 1e-6));
     }

@@ -27,7 +27,9 @@ pub struct TunkRankProgram {
 
 impl Default for TunkRankProgram {
     fn default() -> Self {
-        Self { retweet_probability: DEFAULT_RETWEET_PROBABILITY }
+        Self {
+            retweet_probability: DEFAULT_RETWEET_PROBABILITY,
+        }
     }
 }
 
@@ -60,7 +62,12 @@ impl GraphProgram for TunkRankProgram {
         0.0
     }
 
-    fn edge_contribution(&self, _src: VertexId, src_value: f32, _weight: EdgeWeight) -> Option<f32> {
+    fn edge_contribution(
+        &self,
+        _src: VertexId,
+        src_value: f32,
+        _weight: EdgeWeight,
+    ) -> Option<f32> {
         Some(src_value)
     }
 
@@ -140,7 +147,10 @@ mod tests {
     use slfe_graph::{datasets::Dataset, generators, GraphBuilder};
 
     fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max)
     }
 
     #[test]
@@ -167,7 +177,11 @@ mod tests {
         let result = run(&engine);
         let tr = influence(&g, &result.values, DEFAULT_RETWEET_PROBABILITY);
         assert!(tr[0] > tr[5]);
-        assert!(tr[0] >= 2.9, "three followers give influence about 3, got {}", tr[0]);
+        assert!(
+            tr[0] >= 2.9,
+            "three followers give influence about 3, got {}",
+            tr[0]
+        );
     }
 
     #[test]
@@ -176,7 +190,11 @@ mod tests {
         let engine = SlfeEngine::build(&g, ClusterConfig::new(2, 1), EngineConfig::default());
         let result = run(&engine);
         let tr = influence(&g, &result.values, DEFAULT_RETWEET_PROBABILITY);
-        assert!(tr[0].abs() < 1e-5, "path head has no followers, got {}", tr[0]);
+        assert!(
+            tr[0].abs() < 1e-5,
+            "path head has no followers, got {}",
+            tr[0]
+        );
         assert!(tr[4] > 0.0);
     }
 

@@ -10,7 +10,9 @@
 use slfe_cluster::{Cluster, ClusterConfig};
 use slfe_core::{AggregationKind, GraphProgram, ProgramResult};
 use slfe_graph::{Bitset, Graph, VertexId};
-use slfe_metrics::{Counters, ExecutionStats, IterationRecord, IterationTrace, Mode, PhaseBreakdown};
+use slfe_metrics::{
+    Counters, ExecutionStats, IterationRecord, IterationTrace, Mode, PhaseBreakdown,
+};
 use slfe_partition::{ChunkingPartitioner, HashPartitioner, Partitioner};
 
 /// Bytes carried by one replica-synchronisation / update message.
@@ -107,7 +109,11 @@ impl<'g> GasEngine<'g> {
             Placement::Hash => HashPartitioner::new().partition(graph, cluster_config.num_nodes),
         };
         let cluster = Cluster::with_partitioning(partitioning, cluster_config);
-        Self { graph, cluster, config }
+        Self {
+            graph,
+            cluster,
+            config,
+        }
     }
 
     /// The underlying cluster (for communication statistics).
@@ -128,8 +134,10 @@ impl<'g> GasEngine<'g> {
         let arithmetic = program.aggregation() == AggregationKind::Arithmetic;
         let process_everyone = arithmetic || !self.config.frontier;
 
-        let mut values: Vec<P::Value> =
-            graph.vertices().map(|v| program.initial_value(v, graph)).collect();
+        let mut values: Vec<P::Value> = graph
+            .vertices()
+            .map(|v| program.initial_value(v, graph))
+            .collect();
         let mut active = Bitset::from_fn(n, |v| program.initial_active(v as VertexId, graph));
         let mut active_count = active.count_ones();
         let mut last_changed_iter = vec![0u32; n];
@@ -195,7 +203,10 @@ impl<'g> GasEngine<'g> {
                     slfe_cluster::SchedulingPolicy::WorkStealing,
                     |c| chunk_costs[c],
                 );
-                for (w, load) in per_node_worker_work[node].iter_mut().zip(&outcome.per_worker_work) {
+                for (w, load) in per_node_worker_work[node]
+                    .iter_mut()
+                    .zip(&outcome.per_worker_work)
+                {
                     *w += load;
                 }
                 self.cluster.record_node_work(node, outcome.total_work);
@@ -250,11 +261,20 @@ impl<'g> GasEngine<'g> {
         stats.workers_per_node = workers;
         stats.iterations = iterations_run;
         stats.totals = totals;
-        stats.phases = PhaseBreakdown { preprocessing_seconds: 0.0, execution_seconds: simulated_exec_seconds };
+        stats.phases = PhaseBreakdown {
+            preprocessing_seconds: 0.0,
+            execution_seconds: simulated_exec_seconds,
+        };
         stats.trace = trace;
         stats.per_node_work = self.cluster.per_node_work();
 
-        ProgramResult { values, stats, last_changed_iter, per_node_worker_work, converged }
+        ProgramResult {
+            values,
+            stats,
+            last_changed_iter,
+            per_node_worker_work,
+            converged,
+        }
     }
 
     /// Gather-apply-scatter for one vertex; returns counted work.
@@ -276,9 +296,9 @@ impl<'g> GasEngine<'g> {
         let mut work = self.config.per_vertex_overhead;
         let owner = self.cluster.owner_of(v);
         let high_degree = match self.config.replication {
-            ReplicationModel::HybridCut { high_degree_threshold } => {
-                self.graph.in_degree(v) > high_degree_threshold
-            }
+            ReplicationModel::HybridCut {
+                high_degree_threshold,
+            } => self.graph.in_degree(v) > high_degree_threshold,
             _ => false,
         };
 
@@ -305,7 +325,8 @@ impl<'g> GasEngine<'g> {
                 ReplicationModel::None => false,
             };
             if charge {
-                self.cluster.record_update_message(src, v, UPDATE_MESSAGE_BYTES);
+                self.cluster
+                    .record_update_message(src, v, UPDATE_MESSAGE_BYTES);
                 last_remote_owner = src_owner;
             }
         }
@@ -343,7 +364,8 @@ impl<'g> GasEngine<'g> {
                 next_active.set(dst as usize);
                 let remote = self.cluster.owner_of(dst) != owner;
                 if remote && self.config.replication != ReplicationModel::None {
-                    self.cluster.record_update_message(v, dst, UPDATE_MESSAGE_BYTES);
+                    self.cluster
+                        .record_update_message(v, dst, UPDATE_MESSAGE_BYTES);
                 }
             }
         }
@@ -427,7 +449,9 @@ mod tests {
         let program = Sssp { root: 0 };
         let full = GasEngine::build(&g, ClusterConfig::new(8, 2), GasConfig::base("powergraph"));
         let hybrid_config = GasConfig {
-            replication: ReplicationModel::HybridCut { high_degree_threshold: 16 },
+            replication: ReplicationModel::HybridCut {
+                high_degree_threshold: 16,
+            },
             ..GasConfig::base("powerlyra")
         };
         let hybrid = GasEngine::build(&g, ClusterConfig::new(8, 2), hybrid_config);

@@ -19,13 +19,20 @@ pub struct GeminiEngine<'g> {
 impl<'g> GeminiEngine<'g> {
     /// Build a Gemini-like engine over `graph`.
     pub fn build(graph: &'g Graph, cluster: ClusterConfig) -> Self {
-        Self { inner: SlfeEngine::build(graph, cluster, EngineConfig::without_rr()) }
+        Self {
+            inner: SlfeEngine::build(graph, cluster, EngineConfig::without_rr()),
+        }
     }
 
     /// Build with a custom engine configuration; the redundancy mode is forced off.
     pub fn with_config(graph: &'g Graph, cluster: ClusterConfig, config: EngineConfig) -> Self {
-        let config = EngineConfig { redundancy: slfe_core::RedundancyMode::Disabled, ..config };
-        Self { inner: SlfeEngine::build(graph, cluster, config) }
+        let config = EngineConfig {
+            redundancy: slfe_core::RedundancyMode::Disabled,
+            ..config
+        };
+        Self {
+            inner: SlfeEngine::build(graph, cluster, config),
+        }
     }
 
     /// Access the wrapped engine (e.g. for its cluster statistics).

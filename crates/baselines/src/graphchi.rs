@@ -36,7 +36,9 @@ impl<'g> GraphChiEngine<'g> {
             io_seconds_per_edge: 1.0 / DISK_BANDWIDTH_BYTES_PER_SECOND,
             ..GasConfig::base(BaselineKind::GraphChi.name())
         };
-        Self { inner: GasEngine::build(graph, ClusterConfig::new(1, workers.max(1)), config) }
+        Self {
+            inner: GasEngine::build(graph, ClusterConfig::new(1, workers.max(1)), config),
+        }
     }
 
     /// Access the underlying executor.

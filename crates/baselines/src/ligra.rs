@@ -21,7 +21,9 @@ impl<'g> LigraEngine<'g> {
     /// Build a Ligra-like engine with `workers` shared-memory threads.
     pub fn build(graph: &'g Graph, workers: usize) -> Self {
         let cluster = ClusterConfig::new(1, workers.max(1));
-        Self { inner: SlfeEngine::build(graph, cluster, EngineConfig::without_rr()) }
+        Self {
+            inner: SlfeEngine::build(graph, cluster, EngineConfig::without_rr()),
+        }
     }
 
     /// Access the wrapped engine.

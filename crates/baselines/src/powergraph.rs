@@ -27,7 +27,9 @@ impl<'g> PowerGraphEngine<'g> {
             seconds_per_work_unit: 100.0e-9,
             ..GasConfig::base(BaselineKind::PowerGraph.name())
         };
-        Self { inner: GasEngine::build(graph, cluster, config) }
+        Self {
+            inner: GasEngine::build(graph, cluster, config),
+        }
     }
 
     /// Access the underlying GAS engine.

@@ -23,10 +23,14 @@ pub struct PowerLyraEngine<'g> {
 impl<'g> PowerLyraEngine<'g> {
     /// Build a PowerLyra-like engine over `graph`.
     pub fn build(graph: &'g Graph, cluster: ClusterConfig) -> Self {
-        let threshold = (graph.average_degree() * HIGH_DEGREE_FACTOR).ceil().max(1.0) as usize;
+        let threshold = (graph.average_degree() * HIGH_DEGREE_FACTOR)
+            .ceil()
+            .max(1.0) as usize;
         let config = GasConfig {
             placement: Placement::Hash,
-            replication: ReplicationModel::HybridCut { high_degree_threshold: threshold },
+            replication: ReplicationModel::HybridCut {
+                high_degree_threshold: threshold,
+            },
             frontier: true,
             per_vertex_overhead: 3,
             // Same GAS framework family as PowerGraph but with the hybrid-cut
@@ -35,7 +39,9 @@ impl<'g> PowerLyraEngine<'g> {
             seconds_per_work_unit: 60.0e-9,
             ..GasConfig::base(BaselineKind::PowerLyra.name())
         };
-        Self { inner: GasEngine::build(graph, cluster, config) }
+        Self {
+            inner: GasEngine::build(graph, cluster, config),
+        }
     }
 
     /// Access the underlying GAS engine.

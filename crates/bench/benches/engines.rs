@@ -19,10 +19,15 @@ fn main() {
     let runs = 5;
 
     println!("== table5_sssp_pokec ==");
-    for engine in [EngineKind::Slfe, EngineKind::Gemini, EngineKind::PowerLyra, EngineKind::PowerGraph]
-    {
-        let sample =
-            time_best_of(runs, || runner::run_app(engine, AppKind::Sssp, &graph, cluster.clone()));
+    for engine in [
+        EngineKind::Slfe,
+        EngineKind::Gemini,
+        EngineKind::PowerLyra,
+        EngineKind::PowerGraph,
+    ] {
+        let sample = time_best_of(runs, || {
+            runner::run_app(engine, AppKind::Sssp, &graph, cluster.clone())
+        });
         report(engine.name(), sample);
     }
 
@@ -37,7 +42,12 @@ fn main() {
     println!("== table5_cc_pokec ==");
     for engine in [EngineKind::Slfe, EngineKind::Gemini, EngineKind::PowerLyra] {
         let sample = time_best_of(runs, || {
-            runner::run_app(engine, AppKind::ConnectedComponents, &cc_graph, cluster.clone())
+            runner::run_app(
+                engine,
+                AppKind::ConnectedComponents,
+                &cc_graph,
+                cluster.clone(),
+            )
         });
         report(engine.name(), sample);
     }

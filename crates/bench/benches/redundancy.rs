@@ -25,7 +25,12 @@ fn main() {
     report(
         "layered_without_rr",
         time_best_of(runs, || {
-            runner::run_app(EngineKind::SlfeNoRr, AppKind::Sssp, &layered, cluster.clone())
+            runner::run_app(
+                EngineKind::SlfeNoRr,
+                AppKind::Sssp,
+                &layered,
+                cluster.clone(),
+            )
         }),
     );
     report(
@@ -47,7 +52,12 @@ fn main() {
     report(
         "without_rr",
         time_best_of(runs, || {
-            runner::run_app(EngineKind::SlfeNoRr, AppKind::PageRank, &di, cluster.clone())
+            runner::run_app(
+                EngineKind::SlfeNoRr,
+                AppKind::PageRank,
+                &di,
+                cluster.clone(),
+            )
         }),
     );
 }

@@ -19,7 +19,12 @@ fn main() {
     println!("== fig6_intra_node_workers ==");
     for workers in [1usize, 4, 16] {
         let sample = time_best_of(runs, || {
-            runner::run_app(EngineKind::Slfe, AppKind::PageRank, &graph, ClusterConfig::new(1, workers))
+            runner::run_app(
+                EngineKind::Slfe,
+                AppKind::PageRank,
+                &graph,
+                ClusterConfig::new(1, workers),
+            )
         });
         report(&format!("pagerank_{workers}_workers"), sample);
     }
@@ -28,7 +33,12 @@ fn main() {
     println!("== fig7_inter_node_nodes ==");
     for nodes in [1usize, 4, 8] {
         let sample = time_best_of(runs, || {
-            runner::run_app(EngineKind::Slfe, AppKind::PageRank, &graph, ClusterConfig::new(nodes, 4))
+            runner::run_app(
+                EngineKind::Slfe,
+                AppKind::PageRank,
+                &graph,
+                ClusterConfig::new(nodes, 4),
+            )
         });
         report(&format!("pagerank_{nodes}_nodes"), sample);
     }
@@ -37,7 +47,13 @@ fn main() {
     println!("== fig10a_stealing_ablation ==");
     let scheduler = ChunkScheduler::new(8, 256);
     let items = 256 * 512;
-    let cost = |chunk: usize| if chunk.is_multiple_of(37) { 2000u64 } else { 50 };
+    let cost = |chunk: usize| {
+        if chunk.is_multiple_of(37) {
+            2000u64
+        } else {
+            50
+        }
+    };
     for (name, policy) in [
         ("static_blocks", SchedulingPolicy::StaticBlocks),
         ("work_stealing", SchedulingPolicy::WorkStealing),

@@ -28,7 +28,8 @@ fn parse_args() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let value_for = |name: &str, args: &mut dyn Iterator<Item = String>| {
-            args.next().ok_or_else(|| format!("missing value for {name}"))
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
         };
         match arg.as_str() {
             "--scale" => {
@@ -56,7 +57,11 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unknown option {other}")),
         }
     }
-    Ok(Options { experiment, ctx, out_dir })
+    Ok(Options {
+        experiment,
+        ctx,
+        out_dir,
+    })
 }
 
 type ExperimentFn = fn(&ExperimentContext) -> String;
@@ -106,7 +111,10 @@ fn main() {
         let start = std::time::Instant::now();
         let report = f(&options.ctx);
         println!("{report}");
-        println!("[{name} completed in {:.1}s]\n", start.elapsed().as_secs_f64());
+        println!(
+            "[{name} completed in {:.1}s]\n",
+            start.elapsed().as_secs_f64()
+        );
         let path = options.out_dir.join(format!("{name}.txt"));
         if let Err(e) = std::fs::write(&path, &report) {
             eprintln!("cannot write {}: {e}", path.display());

@@ -54,7 +54,8 @@ fn parse_args() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| -> Result<String, String> {
-            args.next().ok_or_else(|| format!("missing value for {name}"))
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
         };
         match arg.as_str() {
             "--vertices" => {
@@ -116,7 +117,12 @@ fn schedule_parallelism(per_worker_work: &[Vec<u64>]) -> f64 {
     }
 }
 
-fn sweep<P, F>(graph: &Graph, workers_list: &[usize], runs: usize, make_program: F) -> Vec<ScalingPoint>
+fn sweep<P, F>(
+    graph: &Graph,
+    workers_list: &[usize],
+    runs: usize,
+    make_program: F,
+) -> Vec<ScalingPoint>
 where
     P: slfe_core::GraphProgram<Value = f32>,
     F: Fn() -> P,
@@ -174,8 +180,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let hardware_threads =
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let hardware_threads = slfe_bench::hardware_threads();
 
     eprintln!(
         "building R-MAT graph: {} vertices, ~{} edges",
@@ -197,8 +202,9 @@ fn main() {
         PageRankProgram::new(rmat.num_vertices())
     });
     eprintln!("SSSP scaling sweep (workers: {:?})", options.workers);
-    let sssp_points =
-        sweep(&rmat, &options.workers, options.runs, || SsspProgram { root });
+    let sssp_points = sweep(&rmat, &options.workers, options.runs, || SsspProgram {
+        root,
+    });
 
     // Redundancy-reduction wall-clock comparison on a propagation-deep graph.
     // 16 layers keeps one layer's frontier above the 5% pull threshold, so the
@@ -207,17 +213,38 @@ fn main() {
     let layers = 16;
     let width = (options.vertices / layers).max(1);
     let layered = generators::layered(layers, width, 8, 7);
-    let rr_workers = options.workers.iter().copied().max().unwrap_or(1).min(hardware_threads.max(1));
-    eprintln!("SSSP RR on/off on layered graph ({} vertices, {rr_workers} workers)", layered.num_vertices());
+    let rr_workers = options
+        .workers
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(1)
+        .min(hardware_threads.max(1));
+    eprintln!(
+        "SSSP RR on/off on layered graph ({} vertices, {rr_workers} workers)",
+        layered.num_vertices()
+    );
     let rr_root = 0;
     let config_on = EngineConfig::default().with_trace(false);
     let config_off = EngineConfig::without_rr().with_trace(false);
     let engine_on = SlfeEngine::build(&layered, ClusterConfig::new(1, rr_workers), config_on);
     let engine_off = SlfeEngine::build(&layered, ClusterConfig::new(1, rr_workers), config_off);
-    let rr_on = time_best_of(options.runs, || engine_on.run(&SsspProgram { root: rr_root }));
-    let rr_off = time_best_of(options.runs, || engine_off.run(&SsspProgram { root: rr_root }));
-    let rr_on_work = engine_on.run(&SsspProgram { root: rr_root }).stats.totals.work();
-    let rr_off_work = engine_off.run(&SsspProgram { root: rr_root }).stats.totals.work();
+    let rr_on = time_best_of(options.runs, || {
+        engine_on.run(&SsspProgram { root: rr_root })
+    });
+    let rr_off = time_best_of(options.runs, || {
+        engine_off.run(&SsspProgram { root: rr_root })
+    });
+    let rr_on_work = engine_on
+        .run(&SsspProgram { root: rr_root })
+        .stats
+        .totals
+        .work();
+    let rr_off_work = engine_off
+        .run(&SsspProgram { root: rr_root })
+        .stats
+        .totals
+        .work();
     eprintln!(
         "  RR on: {:.4}s wall / {} work; RR off: {:.4}s wall / {} work",
         rr_on.best_seconds, rr_on_work, rr_off.best_seconds, rr_off_work
@@ -226,7 +253,8 @@ fn main() {
     let mut json = String::from("{\n");
     let _ = write!(
         json,
-        "  \"hardware_threads\": {hardware_threads},\n  \"note\": \"speedup_vs_1_worker is measured wall clock and is bounded by hardware_threads; schedule_parallelism is counted work / busiest worker and shows what the schedule yields on unconstrained hardware\",\n"
+        "  \"git_commit\": \"{}\",\n  \"hardware_threads\": {hardware_threads},\n  \"note\": \"speedup_vs_1_worker is measured wall clock and is bounded by hardware_threads; schedule_parallelism is counted work / busiest worker and shows what the schedule yields on unconstrained hardware\",\n",
+        slfe_bench::git_commit()
     );
     let _ = writeln!(
         json,

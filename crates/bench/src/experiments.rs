@@ -67,9 +67,8 @@ pub fn table2(ctx: &ExperimentContext) -> String {
 
 /// Figure 2: percentage of early-converged (EC) vertices in PageRank.
 pub fn fig2(ctx: &ExperimentContext) -> String {
-    let mut series = Series::new(
-        "Figure 2: % of early-converged vertices in PageRank (paper average: 83%)",
-    );
+    let mut series =
+        Series::new("Figure 2: % of early-converged vertices in PageRank (paper average: 83%)");
     let mut sum = 0.0;
     for dataset in datasets() {
         // Measured on the unoptimised run so the EC population is the natural one.
@@ -150,7 +149,9 @@ pub fn table5(ctx: &ExperimentContext) -> String {
     }
     let geomean = speedup_product.powf(1.0 / speedup_count.max(1) as f64);
     let mut out = table.render();
-    out.push_str(&format!("GEOMEAN speedup over the best GAS baseline: {geomean:.2}x\n"));
+    out.push_str(&format!(
+        "GEOMEAN speedup over the best GAS baseline: {geomean:.2}x\n"
+    ));
     out
 }
 
@@ -200,7 +201,11 @@ pub fn fig6(ctx: &ExperimentContext) -> String {
                     &graph,
                     ClusterConfig::new(1, workers),
                 );
-                let makespan: u64 = run.per_node_worker_work[0].iter().copied().max().unwrap_or(1);
+                let makespan: u64 = run.per_node_worker_work[0]
+                    .iter()
+                    .copied()
+                    .max()
+                    .unwrap_or(1);
                 let base = *baseline_makespan.get_or_insert(makespan as f64);
                 series.push(format!("{workers} workers"), base / makespan.max(1) as f64);
             }
@@ -296,7 +301,9 @@ pub fn fig8(ctx: &ExperimentContext) -> String {
         let graph = ctx.load(dataset);
         let gemini = run_on_dataset(ctx, EngineKind::Gemini, AppKind::Sssp, dataset);
         let engine = SlfeEngine::build(&graph, ctx.cluster(), EngineConfig::default());
-        let slfe = engine.run(&sssp::SsspProgram { root: default_root(&graph) });
+        let slfe = engine.run(&sssp::SsspProgram {
+            root: default_root(&graph),
+        });
         let base = gemini.total_seconds().max(1e-12);
         table.add_row(&[
             dataset.abbreviation().to_string(),
@@ -313,7 +320,11 @@ pub fn fig8(ctx: &ExperimentContext) -> String {
 /// SSSP, CC and PageRank on the FS and LJ proxies.
 pub fn fig9(ctx: &ExperimentContext) -> String {
     let mut out = String::new();
-    for app in [AppKind::Sssp, AppKind::ConnectedComponents, AppKind::PageRank] {
+    for app in [
+        AppKind::Sssp,
+        AppKind::ConnectedComponents,
+        AppKind::PageRank,
+    ] {
         for dataset in [Dataset::Friendster, Dataset::LiveJournal] {
             let graph = prepare_graph(app, &ctx.load(dataset));
             let with_rr = run_app(EngineKind::Slfe, app, &graph, ctx.cluster());
@@ -352,7 +363,12 @@ pub fn fig10(ctx: &ExperimentContext) -> String {
     let dataset = Dataset::LiveJournal;
     let mut intra = Table::new(
         "Figure 10a: work-stealing speedup of the busiest worker (paper: 15-21% runtime reduction)",
-        &["app", "makespan w/o stealing", "makespan w/ stealing", "speedup"],
+        &[
+            "app",
+            "makespan w/o stealing",
+            "makespan w/ stealing",
+            "speedup",
+        ],
     );
     let mut inter = Table::new(
         "Figure 10b: inter-node work spread (paper: <7% w/o RR, ~2% extra with RR)",
@@ -364,7 +380,10 @@ pub fn fig10(ctx: &ExperimentContext) -> String {
 
         // Intra-node: same run under the two scheduling policies.
         let mut makespans = Vec::new();
-        for policy in [SchedulingPolicy::StaticBlocks, SchedulingPolicy::WorkStealing] {
+        for policy in [
+            SchedulingPolicy::StaticBlocks,
+            SchedulingPolicy::WorkStealing,
+        ] {
             let config = EngineConfig::default().with_scheduling(policy);
             let engine = SlfeEngine::build(&graph, ClusterConfig::new(1, ctx.workers), config);
             let result = match app {
@@ -373,9 +392,9 @@ pub fn fig10(ctx: &ExperimentContext) -> String {
                 AppKind::WidestPath => {
                     engine.run(&slfe_apps::widestpath::WidestPathProgram { root })
                 }
-                AppKind::PageRank => {
-                    engine.run(&slfe_apps::pagerank::PageRankProgram::new(graph.num_vertices()))
-                }
+                AppKind::PageRank => engine.run(&slfe_apps::pagerank::PageRankProgram::new(
+                    graph.num_vertices(),
+                )),
                 AppKind::TunkRank => engine.run(&slfe_apps::tunkrank::TunkRankProgram::default()),
                 _ => unreachable!("only the paper's evaluation apps are swept"),
             };
@@ -397,8 +416,14 @@ pub fn fig10(ctx: &ExperimentContext) -> String {
         let without_rr = run_app(EngineKind::SlfeNoRr, app, &graph, ctx.cluster());
         inter.add_row(&[
             app.name().to_string(),
-            format!("{:.1}", inter_node_spread(&without_rr.stats.per_node_work) * 100.0),
-            format!("{:.1}", inter_node_spread(&with_rr.stats.per_node_work) * 100.0),
+            format!(
+                "{:.1}",
+                inter_node_spread(&without_rr.stats.per_node_work) * 100.0
+            ),
+            format!(
+                "{:.1}",
+                inter_node_spread(&with_rr.stats.per_node_work) * 100.0
+            ),
         ]);
     }
     let mut out = intra.render();
@@ -418,8 +443,16 @@ pub fn ablation(ctx: &ExperimentContext) -> String {
         &["configuration", "work units", "messages", "sim. seconds"],
     );
     let configs: [(&str, EngineConfig, ClusterConfig); 4] = [
-        ("RR + stealing (SLFE)", EngineConfig::default(), ctx.cluster()),
-        ("no RR (Gemini-like)", EngineConfig::without_rr(), ctx.cluster()),
+        (
+            "RR + stealing (SLFE)",
+            EngineConfig::default(),
+            ctx.cluster(),
+        ),
+        (
+            "no RR (Gemini-like)",
+            EngineConfig::without_rr(),
+            ctx.cluster(),
+        ),
         (
             "RR, static scheduling",
             EngineConfig::default().with_scheduling(SchedulingPolicy::StaticBlocks),
@@ -450,7 +483,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentContext {
-        ExperimentContext { scale: 128_000, nodes: 2, workers: 2 }
+        ExperimentContext {
+            scale: 128_000,
+            nodes: 2,
+            workers: 2,
+        }
     }
 
     #[test]

@@ -11,8 +11,10 @@
 //! paper's tables and series.
 
 pub mod experiments;
+pub mod provenance;
 pub mod runner;
 pub mod timing;
 
+pub use provenance::{git_commit, hardware_threads};
 pub use runner::{AppRun, EngineKind, ExperimentContext};
 pub use timing::{time_best_of, BenchSample};

@@ -1,0 +1,43 @@
+//! Measurement provenance recorded into every emitted `BENCH_*.json`: which
+//! commit produced the numbers and how many hardware threads the machine had.
+//! Both matter when re-reading a benchmark file later — a wall-clock curve from
+//! a 1-thread CI container is not comparable to one from an 8-core box.
+
+/// Hardware threads available to this process.
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// The current git commit hash, or `"unknown"` outside a git checkout.
+pub fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hardware_threads_is_positive() {
+        assert!(hardware_threads() >= 1);
+    }
+
+    #[test]
+    fn git_commit_is_a_hash_or_unknown() {
+        let commit = git_commit();
+        assert!(
+            commit == "unknown" || commit.chars().all(|c| c.is_ascii_hexdigit()),
+            "unexpected commit string: {commit}"
+        );
+    }
+}

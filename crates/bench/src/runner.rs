@@ -56,7 +56,11 @@ pub struct ExperimentContext {
 
 impl Default for ExperimentContext {
     fn default() -> Self {
-        Self { scale: 4000, nodes: 8, workers: 4 }
+        Self {
+            scale: 4000,
+            nodes: 8,
+            workers: 4,
+        }
     }
 }
 
@@ -130,9 +134,7 @@ fn run_program<P: GraphProgram<Value = f32>>(
     cluster: ClusterConfig,
 ) -> ProgramResult<f32> {
     match engine {
-        EngineKind::Slfe => {
-            SlfeEngine::build(graph, cluster, EngineConfig::default()).run(program)
-        }
+        EngineKind::Slfe => SlfeEngine::build(graph, cluster, EngineConfig::default()).run(program),
         EngineKind::SlfeNoRr => {
             SlfeEngine::build(graph, cluster, EngineConfig::without_rr()).run(program)
         }
@@ -147,19 +149,28 @@ fn run_program<P: GraphProgram<Value = f32>>(
 /// Run `app` on `engine` over `graph` (already prepared with [`prepare_graph`]).
 pub fn run_app(engine: EngineKind, app: AppKind, graph: &Graph, cluster: ClusterConfig) -> AppRun {
     let result = match app {
-        AppKind::Sssp => {
-            run_program(engine, &sssp::SsspProgram { root: default_root(graph) }, graph, cluster)
-        }
+        AppKind::Sssp => run_program(
+            engine,
+            &sssp::SsspProgram {
+                root: default_root(graph),
+            },
+            graph,
+            cluster,
+        ),
         AppKind::Bfs => run_program(
             engine,
-            &slfe_apps::bfs::BfsProgram { root: default_root(graph) },
+            &slfe_apps::bfs::BfsProgram {
+                root: default_root(graph),
+            },
             graph,
             cluster,
         ),
         AppKind::ConnectedComponents => run_program(engine, &cc::CcProgram, graph, cluster),
         AppKind::WidestPath => run_program(
             engine,
-            &widestpath::WidestPathProgram { root: default_root(graph) },
+            &widestpath::WidestPathProgram {
+                root: default_root(graph),
+            },
             graph,
             cluster,
         ),
@@ -169,9 +180,12 @@ pub fn run_app(engine: EngineKind, app: AppKind, graph: &Graph, cluster: Cluster
             graph,
             cluster,
         ),
-        AppKind::TunkRank => {
-            run_program(engine, &tunkrank::TunkRankProgram::default(), graph, cluster)
-        }
+        AppKind::TunkRank => run_program(
+            engine,
+            &tunkrank::TunkRankProgram::default(),
+            graph,
+            cluster,
+        ),
         other => panic!("the harness does not drive {other} (not part of the paper's evaluation)"),
     };
     AppRun::from_result(result)
@@ -193,7 +207,11 @@ mod tests {
     use super::*;
 
     fn tiny_ctx() -> ExperimentContext {
-        ExperimentContext { scale: 64_000, nodes: 4, workers: 2 }
+        ExperimentContext {
+            scale: 64_000,
+            nodes: 4,
+            workers: 2,
+        }
     }
 
     #[test]

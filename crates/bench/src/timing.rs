@@ -33,7 +33,11 @@ pub fn time_best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> BenchSample {
         best = best.min(secs);
         total += secs;
     }
-    BenchSample { best_seconds: best, mean_seconds: total / runs as f64, runs }
+    BenchSample {
+        best_seconds: best,
+        mean_seconds: total / runs as f64,
+        runs,
+    }
 }
 
 /// Print one `name  best  mean` line in the format shared by all benches.

@@ -88,15 +88,50 @@ impl Cluster {
     /// Record a vertex update travelling from the owner of `src` to the owner of
     /// `dst`, carrying `bytes` bytes (typically 8: vertex id + value).
     pub fn record_update_message(&self, src: VertexId, dst: VertexId, bytes: u64) {
-        self.comm.record(self.owner_of(src), self.owner_of(dst), bytes);
+        self.comm
+            .record(self.owner_of(src), self.owner_of(dst), bytes);
     }
 
     /// Flush `messages` pre-aggregated updates (carrying `bytes` bytes in total)
     /// from `src_node` to `dst_node` — the batched form of
     /// [`Cluster::record_update_message`] used by the parallel executor's
     /// per-worker communication scratch.
-    pub fn record_node_messages(&self, src_node: usize, dst_node: usize, messages: u64, bytes: u64) {
+    pub fn record_node_messages(
+        &self,
+        src_node: usize,
+        dst_node: usize,
+        messages: u64,
+        bytes: u64,
+    ) {
         self.comm.record_many(src_node, dst_node, messages, bytes);
+    }
+
+    /// Charge the distribution of an edge-update batch across the cluster: each
+    /// update enters at `ingest_node` (the node a client is connected to) and is
+    /// forwarded to the owner of every dirty vertex it touches, one message of
+    /// `bytes_per_update` bytes per remote dirty endpoint. Local endpoints cost
+    /// nothing. Returns the number of messages charged.
+    ///
+    /// This is the serving-path counterpart of the per-iteration update traffic:
+    /// it prices *getting the mutation to its partitions* before any
+    /// recomputation starts, so incremental-vs-full comparisons cannot quietly
+    /// ignore ingest cost.
+    pub fn record_batch_distribution(
+        &self,
+        ingest_node: usize,
+        dirty: impl IntoIterator<Item = VertexId>,
+        bytes_per_update: u64,
+    ) -> u64 {
+        assert!(ingest_node < self.num_nodes(), "ingest node out of range");
+        let mut messages = 0u64;
+        for v in dirty {
+            let owner = self.owner_of(v);
+            if owner != ingest_node {
+                self.comm.record(ingest_node, owner, bytes_per_update);
+                messages += 1;
+            }
+        }
+        messages
     }
 
     /// Record `work` counted units performed by `node`.
@@ -213,6 +248,28 @@ mod tests {
         c.reset_run_state();
         assert_eq!(c.per_node_work(), vec![0, 0, 0, 0]);
         assert_eq!(c.comm_stats().messages, 0);
+    }
+
+    #[test]
+    fn batch_distribution_charges_only_remote_owners() {
+        let (_, c) = small_cluster();
+        c.reset_run_state();
+        // One vertex per node: three remote, one local to the ingest node.
+        let picks: Vec<u32> = (0..4).map(|node| c.vertices_of(node)[0]).collect();
+        let charged = c.record_batch_distribution(0, picks.iter().copied(), 12);
+        assert_eq!(charged, 3);
+        let stats = c.comm_stats();
+        assert_eq!(stats.messages, 3);
+        assert_eq!(stats.bytes, 36);
+        // An empty dirty set charges nothing.
+        assert_eq!(c.record_batch_distribution(0, std::iter::empty(), 12), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ingest node out of range")]
+    fn batch_distribution_rejects_bad_ingest_node() {
+        let (_, c) = small_cluster();
+        c.record_batch_distribution(9, std::iter::empty(), 8);
     }
 
     #[test]

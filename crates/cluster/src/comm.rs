@@ -26,20 +26,29 @@ pub struct CommCostModel {
 
 impl Default for CommCostModel {
     fn default() -> Self {
-        Self { per_message_seconds: 5.0e-8, per_byte_seconds: 8.0e-11 }
+        Self {
+            per_message_seconds: 5.0e-8,
+            per_byte_seconds: 8.0e-11,
+        }
     }
 }
 
 impl CommCostModel {
     /// A zero-cost network (used to isolate computation effects in ablations).
     pub fn free() -> Self {
-        Self { per_message_seconds: 0.0, per_byte_seconds: 0.0 }
+        Self {
+            per_message_seconds: 0.0,
+            per_byte_seconds: 0.0,
+        }
     }
 
     /// A deliberately slow network (10 µs per message, ~1 Gb/s), used by ablation
     /// benches to show how RR's message reduction matters more on slower fabrics.
     pub fn slow_ethernet() -> Self {
-        Self { per_message_seconds: 1.0e-5, per_byte_seconds: 8.0e-9 }
+        Self {
+            per_message_seconds: 1.0e-5,
+            per_byte_seconds: 8.0e-9,
+        }
     }
 
     /// Simulated seconds for a traffic volume.
@@ -177,7 +186,10 @@ mod tests {
 
     #[test]
     fn cost_model_sums_message_and_byte_cost() {
-        let m = CommCostModel { per_message_seconds: 1e-6, per_byte_seconds: 1e-9 };
+        let m = CommCostModel {
+            per_message_seconds: 1e-6,
+            per_byte_seconds: 1e-9,
+        };
         let s = m.seconds(1000, 1_000_000);
         assert!((s - (1e-3 + 1e-3)).abs() < 1e-12);
         assert_eq!(CommCostModel::free().seconds(1_000_000, 1_000_000), 0.0);
@@ -228,7 +240,10 @@ mod tests {
         for _ in 0..10 {
             t.record(0, 1, 8);
         }
-        let model = CommCostModel { per_message_seconds: 1.0, per_byte_seconds: 0.0 };
+        let model = CommCostModel {
+            per_message_seconds: 1.0,
+            per_byte_seconds: 0.0,
+        };
         assert!((t.simulated_seconds(&model) - 10.0).abs() < 1e-9);
     }
 

@@ -82,7 +82,10 @@ impl ChunkScheduler {
     pub fn new(num_workers: usize, chunk_size: usize) -> Self {
         assert!(num_workers >= 1, "need at least one worker");
         assert!(chunk_size >= 1, "chunk size must be positive");
-        Self { num_workers, chunk_size }
+        Self {
+            num_workers,
+            chunk_size,
+        }
     }
 
     /// Number of chunks needed to cover `num_items` items.
@@ -119,7 +122,9 @@ impl ChunkScheduler {
             let worker = match policy {
                 SchedulingPolicy::StaticBlocks => {
                     // The loop guarantees num_chunks > 0 here.
-                    (chunk * self.num_workers).checked_div(num_chunks).unwrap_or(0)
+                    (chunk * self.num_workers)
+                        .checked_div(num_chunks)
+                        .unwrap_or(0)
                 }
                 SchedulingPolicy::WorkStealing => {
                     // Greedy least-loaded assignment approximates chunk-grained
@@ -134,7 +139,10 @@ impl ChunkScheduler {
             };
             per_worker[worker] += cost;
         }
-        ScheduleOutcome { per_worker_work: per_worker, total_work: total }
+        ScheduleOutcome {
+            per_worker_work: per_worker,
+            total_work: total,
+        }
     }
 
     /// Execute `process_chunk(chunk_index)` for every chunk covering `num_items`
@@ -146,9 +154,12 @@ impl ChunkScheduler {
         F: Fn(usize) -> u64 + Sync,
     {
         let mut states = vec![(); self.num_workers];
-        self.run_workers(num_items, SchedulingPolicy::WorkStealing, &mut states, |_, chunk| {
-            process_chunk(chunk)
-        })
+        self.run_workers(
+            num_items,
+            SchedulingPolicy::WorkStealing,
+            &mut states,
+            |_, chunk| process_chunk(chunk),
+        )
     }
 
     /// The chunk ids statically assigned to `worker` under
@@ -205,7 +216,10 @@ impl ChunkScheduler {
             }
             per_worker[0] = local;
             let total = local;
-            return ScheduleOutcome { per_worker_work: per_worker, total_work: total };
+            return ScheduleOutcome {
+                per_worker_work: per_worker,
+                total_work: total,
+            };
         }
 
         let cursor = AtomicUsize::new(0);
@@ -239,7 +253,10 @@ impl ChunkScheduler {
             }
         });
         let total = per_worker.iter().sum();
-        ScheduleOutcome { per_worker_work: per_worker, total_work: total }
+        ScheduleOutcome {
+            per_worker_work: per_worker,
+            total_work: total,
+        }
     }
 }
 
@@ -345,10 +362,15 @@ mod tests {
         let s = ChunkScheduler::new(4, 8);
         let n = 512;
         let mut states = vec![Vec::<usize>::new(); 4];
-        let outcome = s.run_workers(n, SchedulingPolicy::WorkStealing, &mut states, |seen, chunk| {
-            seen.push(chunk);
-            s.chunk_range(chunk, n).len() as u64
-        });
+        let outcome = s.run_workers(
+            n,
+            SchedulingPolicy::WorkStealing,
+            &mut states,
+            |seen, chunk| {
+                seen.push(chunk);
+                s.chunk_range(chunk, n).len() as u64
+            },
+        );
         assert_eq!(outcome.total_work, n as u64);
         let mut all: Vec<usize> = states.into_iter().flatten().collect();
         all.sort_unstable();
@@ -361,13 +383,25 @@ mod tests {
         let s = ChunkScheduler::new(1, 4);
         let caller = std::thread::current().id();
         let mut states = vec![Vec::<(usize, std::thread::ThreadId)>::new()];
-        s.run_workers(32, SchedulingPolicy::WorkStealing, &mut states, |seen, chunk| {
-            seen.push((chunk, std::thread::current().id()));
-            1
-        });
+        s.run_workers(
+            32,
+            SchedulingPolicy::WorkStealing,
+            &mut states,
+            |seen, chunk| {
+                seen.push((chunk, std::thread::current().id()));
+                1
+            },
+        );
         let order: Vec<usize> = states[0].iter().map(|(c, _)| *c).collect();
-        assert_eq!(order, (0..8).collect::<Vec<_>>(), "chunks in ascending order");
-        assert!(states[0].iter().all(|(_, id)| *id == caller), "no thread spawned");
+        assert_eq!(
+            order,
+            (0..8).collect::<Vec<_>>(),
+            "chunks in ascending order"
+        );
+        assert!(
+            states[0].iter().all(|(_, id)| *id == caller),
+            "no thread spawned"
+        );
     }
 
     #[test]
@@ -378,10 +412,15 @@ mod tests {
             // Real static execution: record which worker ran each chunk.
             let assignment = std::sync::Mutex::new(vec![usize::MAX; num_chunks]);
             let mut states: Vec<usize> = (0..workers).collect();
-            s.run_workers(items, SchedulingPolicy::StaticBlocks, &mut states, |worker, chunk| {
-                assignment.lock().unwrap()[chunk] = *worker;
-                1
-            });
+            s.run_workers(
+                items,
+                SchedulingPolicy::StaticBlocks,
+                &mut states,
+                |worker, chunk| {
+                    assignment.lock().unwrap()[chunk] = *worker;
+                    1
+                },
+            );
             let got = assignment.into_inner().unwrap();
             for (chunk, &worker) in got.iter().enumerate() {
                 let simulated = (chunk * workers) / num_chunks;

@@ -36,7 +36,9 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        Self { seconds_per_work_unit: 5.0e-9 }
+        Self {
+            seconds_per_work_unit: 5.0e-9,
+        }
     }
 }
 
@@ -88,7 +90,10 @@ impl Default for EngineConfig {
 impl EngineConfig {
     /// Configuration with redundancy reduction disabled (baseline-style execution).
     pub fn without_rr() -> Self {
-        Self { redundancy: RedundancyMode::Disabled, ..Self::default() }
+        Self {
+            redundancy: RedundancyMode::Disabled,
+            ..Self::default()
+        }
     }
 
     /// Builder-style override of the redundancy mode.
@@ -161,7 +166,9 @@ mod tests {
 
     #[test]
     fn cost_model_converts_work_to_seconds() {
-        let m = CostModel { seconds_per_work_unit: 1e-6 };
+        let m = CostModel {
+            seconds_per_work_unit: 1e-6,
+        };
         assert!((m.seconds(2_000_000) - 2.0).abs() < 1e-9);
         assert_eq!(CostModel::default().seconds(0), 0.0);
     }

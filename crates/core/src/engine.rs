@@ -71,7 +71,9 @@ use crate::result::ProgramResult;
 use crate::rrg::RrGuidance;
 use slfe_cluster::{Cluster, ClusterConfig};
 use slfe_graph::{Bitset, Graph, VertexId};
-use slfe_metrics::{Counters, ExecutionStats, IterationRecord, IterationTrace, Mode, PhaseBreakdown};
+use slfe_metrics::{
+    Counters, ExecutionStats, IterationRecord, IterationTrace, Mode, PhaseBreakdown,
+};
 use std::time::Instant;
 
 /// Size in bytes of one vertex update message: a 4-byte vertex id + 4-byte value.
@@ -162,6 +164,29 @@ impl<V: Copy> WorkerScratch<V> {
     }
 }
 
+/// Seed state of one engine run: where the values and the frontier start, and
+/// whether the redundancy-reduction rulers apply. [`SlfeEngine::run`] seeds from
+/// the program's initial state; [`SlfeEngine::run_from`] seeds from a previous
+/// fixpoint plus the dirty set of an edge-update batch.
+struct RunSeed<V> {
+    values: Vec<V>,
+    active: Bitset,
+    /// Whether the RR rulers gate this run. Warm min/max restarts disable them:
+    /// "start late" levels are indexed by iteration number from a cold start and
+    /// are meaningless relative to a warm frontier.
+    use_rr: bool,
+    /// Min/max only: never switch to pull mode. A warm restart's frontier can
+    /// exceed the Gemini density threshold while almost every vertex is already
+    /// at its fixpoint — a pull would then recompute the whole graph, exactly
+    /// the redundancy a warm start exists to avoid. Push's counted work stays
+    /// proportional to the disturbed region. (Pull's edge advantage is memory
+    /// locality, i.e. wall clock on dense frontiers, not counted work.)
+    push_only: bool,
+    /// Work performed before the iteration loop (the warm-start invalidation
+    /// pass), folded into the run's totals so counted work stays honest.
+    preset: Counters,
+}
+
 /// The SLFE engine bound to one graph and one simulated cluster.
 #[derive(Debug)]
 pub struct SlfeEngine<'g> {
@@ -185,13 +210,44 @@ impl<'g> SlfeEngine<'g> {
         let wall_start = Instant::now();
         let rrg = RrGuidance::generate_parallel(graph, cluster.config().workers_per_node);
         let preprocessing_wall_seconds = wall_start.elapsed().as_secs_f64();
-        // Simulated preprocessing cost: the guidance pass is embarrassingly parallel
-        // over the frontier, so its counted work is spread over every worker in the
-        // cluster — matching the paper's claim that the overhead is negligible and
-        // amortised (§4.4).
+        let mut engine = Self::with_cluster_and_guidance(graph, cluster, config, rrg);
+        engine.preprocessing_wall_seconds = preprocessing_wall_seconds;
+        engine
+    }
+
+    /// Build the engine around an existing cluster **and** an existing guidance —
+    /// the incremental-serving path, where the guidance was repaired from the
+    /// previous graph version ([`RrGuidance::repair`]) instead of regenerated.
+    ///
+    /// The simulated preprocessing charge uses the guidance's recorded generation
+    /// work, which for a repaired guidance is the (much smaller) repair cost.
+    pub fn with_cluster_and_guidance(
+        graph: &'g Graph,
+        cluster: Cluster,
+        config: EngineConfig,
+        rrg: RrGuidance,
+    ) -> Self {
+        assert_eq!(
+            rrg.num_vertices(),
+            graph.num_vertices(),
+            "guidance must cover the engine's graph"
+        );
+        // Simulated preprocessing cost: the guidance pass is embarrassingly
+        // parallel over the frontier, so its counted work — the generation work
+        // for a fresh guidance, the (much smaller) repair work for a patched
+        // one — is spread over every worker in the cluster, matching the
+        // paper's claim that the overhead is negligible and amortised (§4.4).
         let workers = cluster.config().total_workers().max(1) as f64;
         let preprocessing_seconds = config.cost.seconds(rrg.generation_work()) / workers;
-        Self { graph, cluster, config, rrg, preprocessing_seconds, preprocessing_wall_seconds }
+        Self {
+            graph,
+            cluster,
+            config,
+            rrg,
+            preprocessing_seconds,
+            // No guidance BFS ran inside this constructor.
+            preprocessing_wall_seconds: 0.0,
+        }
     }
 
     /// The processed graph.
@@ -227,11 +283,256 @@ impl<'g> SlfeEngine<'g> {
     /// Execute `program` to convergence (or the configured iteration cap) and
     /// return its values plus full execution statistics.
     pub fn run<P: GraphProgram>(&self, program: &P) -> ProgramResult<P::Value> {
+        let graph = self.graph;
+        let n = graph.num_vertices();
+        let values: Vec<P::Value> = graph
+            .vertices()
+            .map(|v| program.initial_value(v, graph))
+            .collect();
+        let active = Bitset::from_fn(n, |v| program.initial_active(v as VertexId, graph));
+        self.run_seeded(
+            program,
+            RunSeed {
+                values,
+                active,
+                use_rr: self.config.redundancy == RedundancyMode::Enabled,
+                push_only: false,
+                preset: Counters::zero(),
+            },
+        )
+    }
+
+    /// Warm-start `program` from a previous fixpoint after an edge-update batch,
+    /// re-converging only what the batch disturbed.
+    ///
+    /// The engine must be built on the **mutated** graph. `previous` is the
+    /// result of running the same program on the pre-batch graph (vertex ids are
+    /// stable across [`slfe_graph::Graph::apply_batch`], so values line up
+    /// index-for-index; appended vertices start from
+    /// [`GraphProgram::warm_start_value`] with `None`). `dirty` flags the
+    /// endpoints of every changed edge over the mutated vertex count
+    /// ([`slfe_graph::BatchEffect::dirty_bitset`]).
+    ///
+    /// * **Monotone min/max programs** (SSSP, BFS, CC, WidestPath): a support
+    ///   pass resets every vertex whose stored value may rely on a removed
+    ///   edge, cascading along the old value-support edges — for
+    ///   [`GraphProgram::strictly_monotonic`] programs it prunes at vertices
+    ///   whose value is still derivable from surviving in-edges (cyclic
+    ///   self-support is impossible there); for the rest (CC, WidestPath) it
+    ///   conservatively resets the whole supported region, because two stale
+    ///   vertices can circularly "derive" each other's dead values. The run
+    ///   then re-converges from a frontier of the dirty endpoints, the
+    ///   invalidated region and its in-boundary. Pure insertions need no
+    ///   invalidation at all — they can only improve a monotone fixpoint, and
+    ///   re-convergence lowers values from the active dirty endpoints (the
+    ///   cascade itself trusts nothing but exact re-derivation, so a vertex
+    ///   that merely *looks* improvable through a stale neighbor still
+    ///   resets). The RR "start late" ruler is disabled
+    ///   for the restart — its levels are indexed by iteration number from a
+    ///   cold start — which does not affect values, only scheduling. (See
+    ///   [`SlfeEngine::run_from_effect`] for the variant that skips
+    ///   invalidation on insertion-only batches.)
+    /// * **Arithmetic programs** (PageRank, TunkRank, SpMV, ...): delta-restart —
+    ///   the previous fixpoint is the starting state on the mutated graph, and
+    ///   the usual tolerance-based iteration re-converges it in a handful of
+    ///   iterations. The multi ruler is disabled for the restart: warm values
+    ///   are stable from iteration 1, so "finish early" would freeze vertices
+    ///   before the batch's perturbation reaches them.
+    ///
+    /// The returned values equal a from-scratch [`SlfeEngine::run`] on the
+    /// mutated graph: bit-for-bit for min/max programs, within convergence
+    /// tolerance for arithmetic ones. The invalidation pass's counted work is
+    /// folded into the result's totals.
+    pub fn run_from<P: GraphProgram>(
+        &self,
+        program: &P,
+        previous: &ProgramResult<P::Value>,
+        dirty: &Bitset,
+    ) -> ProgramResult<P::Value> {
+        let seeds: Vec<VertexId> = dirty.iter_ones().map(|v| v as VertexId).collect();
+        self.warm_restart(program, previous, dirty, &seeds)
+    }
+
+    /// [`SlfeEngine::run_from`] with the full precision of a
+    /// [`slfe_graph::BatchEffect`]: the activation frontier still covers every
+    /// dirty endpoint, but the invalidation pass seeds only from
+    /// `worsened_dsts` — the destinations of deleted or reweighted edges, the
+    /// only places a monotone fixpoint can get *worse*. For insertion-only
+    /// batches this skips invalidation entirely, which matters most for
+    /// programs without [`GraphProgram::strictly_monotonic`] contributions
+    /// (CC, WidestPath), whose conservative cascade otherwise walks whole
+    /// support regions.
+    pub fn run_from_effect<P: GraphProgram>(
+        &self,
+        program: &P,
+        previous: &ProgramResult<P::Value>,
+        effect: &slfe_graph::BatchEffect,
+    ) -> ProgramResult<P::Value> {
+        let dirty = effect.dirty_bitset(self.graph.num_vertices());
+        self.warm_restart(program, previous, &dirty, &effect.worsened_dsts)
+    }
+
+    /// Shared warm-restart implementation: `activate` seeds the re-convergence
+    /// frontier, `invalidation_seeds` the support-loss pass.
+    fn warm_restart<P: GraphProgram>(
+        &self,
+        program: &P,
+        previous: &ProgramResult<P::Value>,
+        activate: &Bitset,
+        invalidation_seeds: &[VertexId],
+    ) -> ProgramResult<P::Value> {
+        let graph = self.graph;
+        let n = graph.num_vertices();
+        assert_eq!(
+            activate.len(),
+            n,
+            "dirty bitset must cover the mutated graph"
+        );
+        let mut values: Vec<P::Value> = (0..n)
+            .map(|v| {
+                program.warm_start_value(v as VertexId, previous.values.get(v).copied(), graph)
+            })
+            .collect();
+
+        if program.aggregation() == AggregationKind::Arithmetic {
+            let mut active = Bitset::new(n);
+            active.fill();
+            // The multi ruler must stay off here: warm-started vertices are
+            // stable from iteration 1, so "finish early" would freeze them
+            // before the batch's perturbation propagates out to them. The
+            // ruler's premise — k stable iterations means the inputs have
+            // settled — only holds for cold-start dynamics.
+            return self.run_seeded(
+                program,
+                RunSeed {
+                    values,
+                    active,
+                    use_rr: false,
+                    push_only: false,
+                    preset: Counters::zero(),
+                },
+            );
+        }
+
+        // Min/max invalidation pass (sequential: the disturbed region is tiny
+        // by design; past the fallback thresholds callers full-recompute
+        // instead). A vertex still holding its initial value is intrinsically
+        // supported. Beyond that, the rule depends on the program's
+        // contribution structure:
+        //
+        // * strictly monotonic (SSSP, BFS): a stored value that can still be
+        //   re-derived from surviving non-invalidated in-edges is genuinely
+        //   supported — a support cycle would have to strictly improve around
+        //   itself — so the cascade prunes there, and a candidate that *beats*
+        //   the stored value (an inserted edge) needs no reset at all.
+        // * otherwise (CC's label copy, WidestPath's capacity min): equal-value
+        //   support can be circular — two stale vertices happily "derive" each
+        //   other's dead values — so derivability proves nothing and every
+        //   queued vertex is reset. The cascade then walks exactly the region
+        //   the lost value could have kept alive.
+        let strict = program.strictly_monotonic();
+        let tolerance = self.config.tolerance;
+        let mut preset = Counters::zero();
+        let mut invalid = Bitset::new(n);
+        let mut active = activate.clone();
+        let mut queue: std::collections::VecDeque<VertexId> =
+            invalidation_seeds.iter().copied().collect();
+        while let Some(v) = queue.pop_front() {
+            let vi = v as usize;
+            if invalid.get(vi) {
+                continue;
+            }
+            let initial = program.initial_value(v, graph);
+            if !program.changed(values[vi], initial, tolerance) {
+                // Still at its initial value: intrinsically supported.
+                continue;
+            }
+            if strict {
+                // Re-derive the vertex from scratch over its surviving in-edges.
+                let mut gathered = program.identity();
+                let mut has_contribution = false;
+                for (u, w) in graph.in_edges(v) {
+                    preset.edge_computations += 1;
+                    if invalid.get(u as usize) {
+                        continue;
+                    }
+                    if let Some(c) = program.edge_contribution(u, values[u as usize], w) {
+                        gathered = program.combine(gathered, c);
+                        has_contribution = true;
+                    }
+                }
+                let candidate = if has_contribution {
+                    program.apply(v, initial, gathered)
+                } else {
+                    initial
+                };
+                // Only *exact* re-derivation may prune the cascade. The prune
+                // is safe against in-neighbors that get invalidated later in
+                // the pass, because dying supporters re-queue exactly the
+                // vertices whose value equals their old contribution — which is
+                // precisely how this vertex passed. Any other relationship
+                // (including a candidate that *beats* the stored value) must
+                // reset: a beating candidate can be derived from a stale
+                // neighbor whose own invalidation would never re-queue this
+                // vertex, stranding a too-good value min-aggregation cannot
+                // raise.
+                if !program.changed(values[vi], candidate, tolerance) {
+                    continue; // stored value still attainable: supported.
+                }
+            }
+            // Support lost (or, without strict monotonicity, unprovable): reset
+            // and cascade along the edges that used this value as support.
+            let old = values[vi];
+            invalid.set(vi);
+            values[vi] = initial;
+            active.set(vi);
+            preset.vertex_updates += 1;
+            for (y, w) in graph.out_edges(v) {
+                preset.edge_computations += 1;
+                if invalid.get(y as usize) {
+                    continue;
+                }
+                if let Some(c) = program.edge_contribution(v, old, w) {
+                    if !program.changed(values[y as usize], c, tolerance) {
+                        queue.push_back(y);
+                    }
+                }
+            }
+        }
+        // The invalidated region re-converges from its in-boundary: every intact
+        // in-neighbor re-pushes its (valid) value into the hole.
+        for v in invalid.iter_ones() {
+            for &u in graph.in_neighbors(v as VertexId) {
+                if !invalid.get(u as usize) {
+                    active.set(u as usize);
+                }
+            }
+        }
+
+        self.run_seeded(
+            program,
+            RunSeed {
+                values,
+                active,
+                use_rr: false,
+                push_only: true,
+                preset,
+            },
+        )
+    }
+
+    /// The shared iteration loop behind [`SlfeEngine::run`] and
+    /// [`SlfeEngine::run_from`].
+    fn run_seeded<P: GraphProgram>(
+        &self,
+        program: &P,
+        seed: RunSeed<P::Value>,
+    ) -> ProgramResult<P::Value> {
         self.cluster.reset_run_state();
         let graph = self.graph;
         let n = graph.num_vertices();
         let arithmetic = program.aggregation() == AggregationKind::Arithmetic;
-        let rr = self.config.redundancy == RedundancyMode::Enabled;
+        let rr = seed.use_rr;
         let tolerance = self.config.tolerance;
         let max_level = self.rrg.max_level();
         // Highest guidance level whose vertices are guaranteed to have gathered from
@@ -242,11 +543,10 @@ impl<'g> SlfeEngine<'g> {
         // starting" vertex could still be missing updates it skipped.
         let mut covered_level: u32 = if rr && !arithmetic { 0 } else { max_level };
 
-        let mut values: Vec<P::Value> = graph
-            .vertices()
-            .map(|v| program.initial_value(v, graph))
-            .collect();
-        let mut active = Bitset::from_fn(n, |v| program.initial_active(v as VertexId, graph));
+        let mut values = seed.values;
+        let mut active = seed.active;
+        debug_assert_eq!(values.len(), n);
+        debug_assert_eq!(active.len(), n);
         let mut active_count = active.count_ones();
 
         // Multi-ruler state ("finish early"): per-vertex stability counters.
@@ -270,9 +570,8 @@ impl<'g> SlfeEngine<'g> {
         let mut merged_touched = Bitset::new(push_len);
 
         let mut trace = IterationTrace::new();
-        let mut totals = Counters::zero();
+        let mut totals = seed.preset;
         let mut simulated_exec_seconds = 0.0f64;
-        let wall_start = Instant::now();
 
         let mut last_mode_was_pull = false;
         let mut converged = false;
@@ -293,7 +592,7 @@ impl<'g> SlfeEngine<'g> {
                 force_flush = true;
             }
             iterations_run = iter;
-            let mode = if force_flush {
+            let mode = if force_flush || (seed.push_only && !arithmetic) {
                 Mode::Push
             } else {
                 self.select_mode(program, &active, active_count)
@@ -395,7 +694,9 @@ impl<'g> SlfeEngine<'g> {
                     }
                 }
 
-                for (w, load) in per_node_worker_work[node].iter_mut().zip(&outcome.per_worker_work)
+                for (w, load) in per_node_worker_work[node]
+                    .iter_mut()
+                    .zip(&outcome.per_worker_work)
                 {
                     *w += load;
                 }
@@ -460,7 +761,6 @@ impl<'g> SlfeEngine<'g> {
             converged = true;
         }
 
-        let wall_seconds = wall_start.elapsed().as_secs_f64();
         let mut stats = ExecutionStats::new("slfe", program.name());
         stats.num_vertices = n;
         stats.num_edges = graph.num_edges();
@@ -474,7 +774,6 @@ impl<'g> SlfeEngine<'g> {
         };
         stats.trace = trace;
         stats.per_node_work = self.cluster.per_node_work();
-        let _ = wall_seconds;
 
         ProgramResult {
             values,
@@ -541,32 +840,37 @@ impl<'g> SlfeEngine<'g> {
         let stable_value_shared = SharedSlice::new(stable_value);
         let last_changed_shared = SharedSlice::new(last_changed_iter);
 
-        scheduler.run_workers(num_items, self.config.scheduling, worker_states, |ws, chunk| {
-            let mut chunk_work = 0u64;
-            for idx in scheduler.chunk_range(chunk, num_items) {
-                let dst = owned[idx];
-                // Safety: `dst` is owned by exactly one chunk, and each chunk is
-                // processed by exactly one worker, so every shared-slice index
-                // below is touched by this worker only.
-                chunk_work += unsafe {
-                    self.pull_vertex(
-                        program,
-                        dst,
-                        iter,
-                        rr,
-                        arithmetic,
-                        tolerance,
-                        prev_values,
-                        &values_shared,
-                        &stable_count_shared,
-                        &stable_value_shared,
-                        &last_changed_shared,
-                        ws,
-                    )
-                };
-            }
-            chunk_work
-        })
+        scheduler.run_workers(
+            num_items,
+            self.config.scheduling,
+            worker_states,
+            |ws, chunk| {
+                let mut chunk_work = 0u64;
+                for idx in scheduler.chunk_range(chunk, num_items) {
+                    let dst = owned[idx];
+                    // Safety: `dst` is owned by exactly one chunk, and each chunk is
+                    // processed by exactly one worker, so every shared-slice index
+                    // below is touched by this worker only.
+                    chunk_work += unsafe {
+                        self.pull_vertex(
+                            program,
+                            dst,
+                            iter,
+                            rr,
+                            arithmetic,
+                            tolerance,
+                            prev_values,
+                            &values_shared,
+                            &stable_count_shared,
+                            &stable_value_shared,
+                            &last_changed_shared,
+                            ws,
+                        )
+                    };
+                }
+                chunk_work
+            },
+        )
     }
 
     /// Pull-mode processing of one destination vertex (Algorithm 2).
@@ -706,7 +1010,10 @@ impl<'g> SlfeEngine<'g> {
                 counters,
             );
         }
-        slfe_cluster::ScheduleOutcome { per_worker_work: vec![work], total_work: work }
+        slfe_cluster::ScheduleOutcome {
+            per_worker_work: vec![work],
+            total_work: work,
+        }
     }
 
     /// Push-mode processing of one source vertex (Algorithm 3), sequential path.
@@ -751,7 +1058,8 @@ impl<'g> SlfeEngine<'g> {
                 next_active.set(d);
                 // Remote destinations receive the update as a message.
                 if self.cluster.owner_of(dst) != src_owner {
-                    self.cluster.record_update_message(src, dst, UPDATE_MESSAGE_BYTES);
+                    self.cluster
+                        .record_update_message(src, dst, UPDATE_MESSAGE_BYTES);
                 }
             }
         }
@@ -787,8 +1095,11 @@ impl<'g> SlfeEngine<'g> {
         let num_items = owned.len();
         let graph = self.graph;
 
-        let mut outcome =
-            scheduler.run_workers(num_items, self.config.scheduling, worker_states, |ws, chunk| {
+        let mut outcome = scheduler.run_workers(
+            num_items,
+            self.config.scheduling,
+            worker_states,
+            |ws, chunk| {
                 let mut chunk_work = 0u64;
                 for idx in scheduler.chunk_range(chunk, num_items) {
                     let src = owned[idx];
@@ -813,7 +1124,8 @@ impl<'g> SlfeEngine<'g> {
                     }
                 }
                 chunk_work
-            });
+            },
+        );
 
         // Barrier: combine the worker-local buffers once per destination...
         for ws in worker_states.iter_mut() {
@@ -843,7 +1155,8 @@ impl<'g> SlfeEngine<'g> {
                 next_active.set(d);
                 let dst_owner = self.cluster.owner_of(dst);
                 if dst_owner != node {
-                    self.cluster.record_node_messages(node, dst_owner, 1, UPDATE_MESSAGE_BYTES);
+                    self.cluster
+                        .record_node_messages(node, dst_owner, 1, UPDATE_MESSAGE_BYTES);
                 }
             }
         }
@@ -892,7 +1205,12 @@ mod tests {
         fn identity(&self) -> f32 {
             f32::INFINITY
         }
-        fn edge_contribution(&self, _src: VertexId, src_value: f32, weight: EdgeWeight) -> Option<f32> {
+        fn edge_contribution(
+            &self,
+            _src: VertexId,
+            src_value: f32,
+            weight: EdgeWeight,
+        ) -> Option<f32> {
             if src_value.is_finite() {
                 Some(src_value + weight)
             } else {
@@ -1017,8 +1335,9 @@ mod tests {
         let root = slfe_graph::stats::highest_out_degree_vertex(&g).unwrap();
         let with_rr = SlfeEngine::build(&g, ClusterConfig::new(4, 2), EngineConfig::default())
             .run(&TestSssp { root });
-        let without_rr = SlfeEngine::build(&g, ClusterConfig::new(4, 2), EngineConfig::without_rr())
-            .run(&TestSssp { root });
+        let without_rr =
+            SlfeEngine::build(&g, ClusterConfig::new(4, 2), EngineConfig::without_rr())
+                .run(&TestSssp { root });
         assert_eq!(with_rr.values.len(), without_rr.values.len());
         for v in 0..with_rr.values.len() {
             let a = with_rr.values[v];
@@ -1037,8 +1356,9 @@ mod tests {
         let g = generators::layered(12, 60, 6, 4);
         let with_rr = SlfeEngine::build(&g, ClusterConfig::new(4, 2), EngineConfig::default())
             .run(&TestSssp { root: 0 });
-        let without_rr = SlfeEngine::build(&g, ClusterConfig::new(4, 2), EngineConfig::without_rr())
-            .run(&TestSssp { root: 0 });
+        let without_rr =
+            SlfeEngine::build(&g, ClusterConfig::new(4, 2), EngineConfig::without_rr())
+                .run(&TestSssp { root: 0 });
         // Correctness: identical distances.
         for v in 0..g.num_vertices() {
             let a = with_rr.values[v];
@@ -1058,7 +1378,10 @@ mod tests {
     #[test]
     fn rank_converges_and_rr_matches_non_rr_values() {
         let g = generators::rmat(150, 900, 0.57, 0.19, 0.19, 12);
-        let program = TestRank { damping: 0.85, n: g.num_vertices() };
+        let program = TestRank {
+            damping: 0.85,
+            n: g.num_vertices(),
+        };
         let config = EngineConfig::default().with_max_iterations(100);
         let with_rr = SlfeEngine::build(&g, ClusterConfig::new(2, 2), config.clone()).run(&program);
         let without_rr = SlfeEngine::build(
@@ -1075,7 +1398,9 @@ mod tests {
                 without_rr.values[v]
             );
         }
-        assert!(with_rr.stats.totals.edge_computations <= without_rr.stats.totals.edge_computations);
+        assert!(
+            with_rr.stats.totals.edge_computations <= without_rr.stats.totals.edge_computations
+        );
     }
 
     #[test]
@@ -1085,7 +1410,13 @@ mod tests {
         let result = engine.run(&TestSssp { root: 0 });
         assert_eq!(result.stats.trace.len() as u32, result.stats.iterations);
         // A path from a single root keeps a tiny frontier: push should appear.
-        let modes: Vec<Mode> = result.stats.trace.records().iter().map(|r| r.mode).collect();
+        let modes: Vec<Mode> = result
+            .stats
+            .trace
+            .records()
+            .iter()
+            .map(|r| r.mode)
+            .collect();
         assert!(modes.contains(&Mode::Push) || modes.contains(&Mode::Pull));
     }
 
@@ -1128,8 +1459,13 @@ mod tests {
     #[test]
     fn arithmetic_runs_hit_the_iteration_cap_when_not_converged() {
         let g = generators::rmat(100, 700, 0.57, 0.19, 0.19, 19);
-        let program = TestRank { damping: 0.85, n: g.num_vertices() };
-        let config = EngineConfig::default().with_max_iterations(3).with_tolerance(0.0);
+        let program = TestRank {
+            damping: 0.85,
+            n: g.num_vertices(),
+        };
+        let config = EngineConfig::default()
+            .with_max_iterations(3)
+            .with_tolerance(0.0);
         let engine = SlfeEngine::build(&g, ClusterConfig::single_node(), config);
         let result = engine.run(&program);
         assert_eq!(result.stats.iterations, 3);
@@ -1140,7 +1476,10 @@ mod tests {
     fn empty_graph_runs_trivially() {
         let g = slfe_graph::Graph::from_edges(0, vec![]);
         let engine = SlfeEngine::build(&g, ClusterConfig::new(2, 2), EngineConfig::default());
-        let result = engine.run(&TestRank { damping: 0.85, n: 1 });
+        let result = engine.run(&TestRank {
+            damping: 0.85,
+            n: 1,
+        });
         assert!(result.values.is_empty());
         assert!(result.converged);
     }
@@ -1156,11 +1495,20 @@ mod tests {
             let sequential = SlfeEngine::build(&g, ClusterConfig::new(2, 1), config.clone())
                 .run(&TestSssp { root });
             for workers in [2usize, 4] {
-                let parallel = SlfeEngine::build(&g, ClusterConfig::new(2, workers), config.clone())
-                    .run(&TestSssp { root });
+                let parallel =
+                    SlfeEngine::build(&g, ClusterConfig::new(2, workers), config.clone())
+                        .run(&TestSssp { root });
                 assert_eq!(
-                    sequential.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-                    parallel.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    sequential
+                        .values
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect::<Vec<_>>(),
+                    parallel
+                        .values
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect::<Vec<_>>(),
                     "distances must be bit-identical at {workers} workers"
                 );
                 assert_eq!(sequential.stats.iterations, parallel.stats.iterations);
@@ -1168,15 +1516,219 @@ mod tests {
             }
         }
 
-        let program = TestRank { damping: 0.85, n: g.num_vertices() };
+        let program = TestRank {
+            damping: 0.85,
+            n: g.num_vertices(),
+        };
         let sequential =
             SlfeEngine::build(&g, ClusterConfig::new(2, 1), EngineConfig::default()).run(&program);
         let parallel =
             SlfeEngine::build(&g, ClusterConfig::new(2, 4), EngineConfig::default()).run(&program);
         assert_eq!(
-            sequential.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-            parallel.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            sequential
+                .values
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            parallel
+                .values
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
             "arithmetic pull gathers fold in fixed CSC order"
+        );
+    }
+
+    use slfe_graph::UpdateBatch;
+
+    /// Build a seeded random mixed batch (inserts, deletes, reweights) against `g`.
+    fn random_batch(g: &Graph, seed: u64, ops: usize, allow_growth: bool) -> UpdateBatch {
+        let mut rng = slfe_graph::rng::SplitMix64::seed_from_u64(seed);
+        let n = g.num_vertices() as u32;
+        let mut batch = UpdateBatch::new();
+        for _ in 0..ops {
+            let src = rng.range_u32(0, n);
+            let hi = if allow_growth { n + 8 } else { n };
+            let dst = rng.range_u32(0, hi);
+            match rng.range_u32(0, 3) {
+                0 => {
+                    batch.insert(src, dst, rng.range_f32(1.0, 10.0));
+                }
+                1 => {
+                    // Delete a real out-edge when the vertex has one.
+                    let outs = g.out_neighbors(src);
+                    if !outs.is_empty() {
+                        let pick = outs[rng.range_usize(0, outs.len())];
+                        batch.delete(src, pick);
+                    }
+                }
+                _ => {
+                    // Reweight a real out-edge when the vertex has one.
+                    let outs = g.out_neighbors(src);
+                    if !outs.is_empty() {
+                        let pick = outs[rng.range_usize(0, outs.len())];
+                        batch.insert(src, pick, rng.range_f32(1.0, 10.0));
+                    }
+                }
+            }
+        }
+        batch
+    }
+
+    #[test]
+    fn warm_start_sssp_equals_cold_run_on_random_batches() {
+        for seed in 0..6u64 {
+            let g = generators::rmat(350, 2400, 0.57, 0.19, 0.19, seed + 400);
+            let root = slfe_graph::stats::highest_out_degree_vertex(&g).unwrap();
+            let program = TestSssp { root };
+            let batch = random_batch(&g, seed, 30, true);
+            let (mutated, effect) = g.apply_batch(&batch);
+            let dirty = effect.dirty_bitset(mutated.num_vertices());
+            for workers in [1usize, 4] {
+                let cluster = ClusterConfig::new(2, workers);
+                let old_engine = SlfeEngine::build(&g, cluster.clone(), EngineConfig::default());
+                let previous = old_engine.run(&program);
+                let warm_engine =
+                    SlfeEngine::build(&mutated, cluster.clone(), EngineConfig::default());
+                let warm = warm_engine.run_from(&program, &previous, &dirty);
+                let cold =
+                    SlfeEngine::build(&mutated, cluster, EngineConfig::default()).run(&program);
+                assert_eq!(
+                    warm.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    cold.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "seed {seed}, {workers} workers: warm SSSP diverges from cold"
+                );
+                assert!(warm.converged);
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_rank_matches_cold_run_within_tolerance() {
+        for seed in 0..4u64 {
+            let g = generators::rmat(200, 1400, 0.57, 0.19, 0.19, seed + 500);
+            let batch = random_batch(&g, seed + 9, 20, false);
+            let (mutated, effect) = g.apply_batch(&batch);
+            let dirty = effect.dirty_bitset(mutated.num_vertices());
+            let program = TestRank {
+                damping: 0.85,
+                n: mutated.num_vertices(),
+            };
+            let old_program = TestRank {
+                damping: 0.85,
+                n: g.num_vertices(),
+            };
+            let config = EngineConfig::default().with_max_iterations(300);
+            for workers in [1usize, 4] {
+                let cluster = ClusterConfig::new(2, workers);
+                let previous =
+                    SlfeEngine::build(&g, cluster.clone(), config.clone()).run(&old_program);
+                let warm_engine = SlfeEngine::build(&mutated, cluster.clone(), config.clone());
+                let warm = warm_engine.run_from(&program, &previous, &dirty);
+                // The warm restart runs without the multi ruler and reaches the
+                // exact fixpoint; the oracle is therefore a ruler-free cold run.
+                // (A ruler-approximated cold run can legitimately deviate by the
+                // ruler's own freezing error, which is not what is under test.)
+                let cold_exact = SlfeEngine::build(
+                    &mutated,
+                    cluster,
+                    config.clone().with_redundancy(RedundancyMode::Disabled),
+                )
+                .run(&program);
+                for v in 0..mutated.num_vertices() {
+                    assert!(
+                        (warm.values[v] - cold_exact.values[v]).abs() < 1e-5,
+                        "seed {seed}, {workers} workers, vertex {v}: {} vs exact {}",
+                        warm.values[v],
+                        cold_exact.values[v]
+                    );
+                }
+                // Delta-restart from a fixpoint converges in far fewer iterations.
+                assert!(warm.stats.iterations <= cold_exact.stats.iterations);
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_does_less_work_than_cold_on_small_batches() {
+        let g = generators::rmat(4000, 32000, 0.57, 0.19, 0.19, 321);
+        let root = slfe_graph::stats::highest_out_degree_vertex(&g).unwrap();
+        let program = TestSssp { root };
+        let cluster = ClusterConfig::new(2, 1);
+        let previous =
+            SlfeEngine::build(&g, cluster.clone(), EngineConfig::default()).run(&program);
+        // A small insert-only batch: the canonical serving update.
+        let mut batch = UpdateBatch::new();
+        let mut rng = slfe_graph::rng::SplitMix64::seed_from_u64(7);
+        for _ in 0..40 {
+            let src = rng.range_u32(0, g.num_vertices() as u32);
+            let dst = rng.range_u32(0, g.num_vertices() as u32);
+            batch.insert(src, dst, rng.range_f32(5.0, 10.0));
+        }
+        let (mutated, effect) = g.apply_batch(&batch);
+        let dirty = effect.dirty_bitset(mutated.num_vertices());
+        let warm_engine = SlfeEngine::build(&mutated, cluster.clone(), EngineConfig::default());
+        let warm = warm_engine.run_from(&program, &previous, &dirty);
+        let cold = SlfeEngine::build(&mutated, cluster, EngineConfig::default()).run(&program);
+        assert_eq!(
+            warm.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            cold.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+        assert!(
+            warm.stats.totals.work() * 5 <= cold.stats.totals.work(),
+            "warm restart should do >=5x less counted work ({} vs {})",
+            warm.stats.totals.work(),
+            cold.stats.totals.work()
+        );
+    }
+
+    #[test]
+    fn warm_start_with_empty_dirty_set_is_a_noop_fixpoint() {
+        let g = generators::rmat(150, 900, 0.57, 0.19, 0.19, 5);
+        let program = TestSssp { root: 0 };
+        let engine = SlfeEngine::build(&g, ClusterConfig::new(2, 2), EngineConfig::default());
+        let previous = engine.run(&program);
+        let dirty = Bitset::new(g.num_vertices());
+        let warm = engine.run_from(&program, &previous, &dirty);
+        assert_eq!(
+            warm.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            previous
+                .values
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+        );
+        assert!(warm.converged);
+        assert_eq!(warm.stats.totals.work(), 0);
+    }
+
+    #[test]
+    fn with_cluster_and_guidance_reuses_the_given_guidance() {
+        let g = generators::rmat(200, 1400, 0.57, 0.19, 0.19, 8);
+        let rrg = RrGuidance::generate(&g);
+        let cluster = Cluster::build(&g, ClusterConfig::new(2, 1));
+        let engine = SlfeEngine::with_cluster_and_guidance(
+            &g,
+            cluster,
+            EngineConfig::default(),
+            rrg.clone(),
+        );
+        assert!(engine.guidance().guidance_eq(&rrg));
+        assert_eq!(engine.preprocessing_wall_seconds(), 0.0);
+        let result = engine.run(&TestSssp { root: 0 });
+        let reference = SlfeEngine::build(&g, ClusterConfig::new(2, 1), EngineConfig::default())
+            .run(&TestSssp { root: 0 });
+        assert_eq!(
+            result
+                .values
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            reference
+                .values
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
         );
     }
 
@@ -1185,9 +1737,14 @@ mod tests {
         // Pull-phase counters are per-destination and therefore identical for any
         // worker count; PageRank never pushes, so its whole run is comparable.
         let g = generators::rmat(250, 2000, 0.57, 0.19, 0.19, 44);
-        let program = TestRank { damping: 0.85, n: g.num_vertices() };
-        let a = SlfeEngine::build(&g, ClusterConfig::new(2, 1), EngineConfig::default()).run(&program);
-        let b = SlfeEngine::build(&g, ClusterConfig::new(2, 3), EngineConfig::default()).run(&program);
+        let program = TestRank {
+            damping: 0.85,
+            n: g.num_vertices(),
+        };
+        let a =
+            SlfeEngine::build(&g, ClusterConfig::new(2, 1), EngineConfig::default()).run(&program);
+        let b =
+            SlfeEngine::build(&g, ClusterConfig::new(2, 3), EngineConfig::default()).run(&program);
         assert_eq!(a.stats.totals, b.stats.totals);
     }
 }

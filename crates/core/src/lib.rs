@@ -35,4 +35,4 @@ pub use config::{CostModel, EngineConfig, RedundancyMode};
 pub use engine::SlfeEngine;
 pub use program::{AggregationKind, GraphProgram};
 pub use result::ProgramResult;
-pub use rrg::RrGuidance;
+pub use rrg::{RepairReport, RrGuidance};

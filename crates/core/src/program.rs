@@ -92,6 +92,45 @@ pub trait GraphProgram: Sync {
     fn changed(&self, old: Self::Value, new: Self::Value, _tolerance: f64) -> bool {
         old != new
     }
+
+    /// Min/max programs only: whether an edge contribution is always *strictly
+    /// worse* than the source value it was derived from (SSSP's `dist + w` with
+    /// positive weights, BFS's `hops + 1`). When `true`, a cycle of vertices
+    /// cannot mutually support each other's values — every genuine support
+    /// chain strictly improves backwards and must terminate — so the warm-start
+    /// invalidation pass ([`crate::SlfeEngine::run_from`]) may keep a vertex
+    /// whose stored value is still *derivable* from its surviving in-edges.
+    /// Programs whose contributions can preserve the value (Connected
+    /// Components' label copy, WidestPath's `min(value, capacity)`) must leave
+    /// this `false`: two stale vertices can each "derive" their dead value from
+    /// the other, and the invalidation pass therefore cascades through every
+    /// supported successor instead of pruning at derivable vertices.
+    ///
+    /// Only return `true` when the property holds for **every** edge the
+    /// program will see (a zero-weight edge breaks it for SSSP).
+    fn strictly_monotonic(&self) -> bool {
+        false
+    }
+
+    /// The value a vertex re-enters the computation with when the engine
+    /// warm-starts from a previous fixpoint ([`crate::SlfeEngine::run_from`]).
+    ///
+    /// `previous` is the vertex's value in the prior result, or `None` when the
+    /// vertex was appended to the graph after that result was computed. The
+    /// default keeps the previous value and initialises fresh vertices on the
+    /// *mutated* graph, which is correct for every monotone min/max program and
+    /// for arithmetic programs whose per-vertex state self-corrects under
+    /// re-iteration (PageRank's stored share is re-divided by the current
+    /// out-degree on the first `vertex_update`). Override when the stored value
+    /// encodes stale topology that re-iteration cannot repair.
+    fn warm_start_value(
+        &self,
+        v: VertexId,
+        previous: Option<Self::Value>,
+        graph: &Graph,
+    ) -> Self::Value {
+        previous.unwrap_or_else(|| self.initial_value(v, graph))
+    }
 }
 
 #[cfg(test)]

@@ -32,7 +32,10 @@ impl<V> ProgramResult<V> {
     /// Only vertices that changed at least once are counted in the denominator, so
     /// isolated vertices do not inflate the ratio.
     pub fn early_converged_fraction(&self, fraction: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
         let total_iters = self.iterations();
         if total_iters == 0 {
             return 0.0;
@@ -59,7 +62,11 @@ impl<V> ProgramResult<V> {
     /// Per-worker busy work flattened across all nodes; convenience for the
     /// intra-node balance analysis.
     pub fn all_worker_work(&self) -> Vec<u64> {
-        self.per_node_worker_work.iter().flatten().copied().collect()
+        self.per_node_worker_work
+            .iter()
+            .flatten()
+            .copied()
+            .collect()
     }
 }
 

@@ -22,7 +22,8 @@
 //! computations, never a skipped final value — and the engine's coverage tracking
 //! (Algorithm 3's flush push) independently guarantees delivery.
 
-use slfe_graph::{AtomicBitset, Graph, VertexId};
+use slfe_graph::{AtomicBitset, Bitset, Graph, VertexId};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
 /// Frontier chunk granularity of the parallel generation pass. Coarser than the
@@ -30,12 +31,40 @@ use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 /// whole out-neighborhood.
 const FRONTIER_CHUNK: usize = 512;
 
+/// Marker level of a vertex the guidance BFS never reached.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Default dirty fraction past which [`RrGuidance::repair`] regenerates instead of
+/// patching: once a quarter of the graph is affected, the repair pass's boundary
+/// gathers cost about as much as the straight-line regeneration BFS.
+pub const DEFAULT_REPAIR_FALLBACK_FRACTION: f64 = 0.25;
+
+/// How a guidance-repair request was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepairReport {
+    /// `true` when the repair fell back to full regeneration (dirty fraction over
+    /// the threshold, fallback-root graphs, or a root set that vanished).
+    pub regenerated: bool,
+    /// Vertices whose guidance was recomputed.
+    pub affected_vertices: usize,
+    /// Counted work (edges traversed) of the repair or regeneration pass.
+    pub work: u64,
+}
+
 /// Per-vertex redundancy-reduction guidance.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RrGuidance {
     last_iter: Vec<u32>,
+    /// First-reach BFS level of every vertex ([`UNREACHED`] if never visited).
+    /// `last_iter` is derivable from these levels (`max` over visited in-neighbors
+    /// of `level + 1`), which is what makes incremental repair possible.
+    level: Vec<u32>,
     max_level: u32,
     work: u64,
+    /// `true` when the graph had no in-degree-0 vertex and the BFS seeded from the
+    /// highest-out-degree hub instead. Repair always regenerates in that case: the
+    /// fallback root is a global property a local patch cannot preserve.
+    used_fallback_root: bool,
 }
 
 impl RrGuidance {
@@ -50,12 +79,14 @@ impl RrGuidance {
     pub fn generate(graph: &Graph) -> Self {
         let n = graph.num_vertices();
         let mut last_iter = vec![0u32; n];
+        let mut level = vec![UNREACHED; n];
         let mut visited = vec![false; n];
         let mut work: u64 = 0;
 
-        let mut frontier = Self::roots(graph);
+        let (mut frontier, used_fallback_root) = Self::roots(graph);
         for &root in &frontier {
             visited[root as usize] = true;
+            level[root as usize] = 0;
         }
 
         let mut iter: u32 = 1;
@@ -74,6 +105,7 @@ impl RrGuidance {
                     }
                     if !visited[dst as usize] {
                         visited[dst as usize] = true;
+                        level[dst as usize] = iter;
                         next.push(dst);
                     }
                 }
@@ -82,22 +114,31 @@ impl RrGuidance {
             iter += 1;
         }
 
-        Self { last_iter, max_level, work }
+        Self {
+            last_iter,
+            level,
+            max_level,
+            work,
+            used_fallback_root,
+        }
     }
 
-    /// The BFS seed set: vertices with no incoming edges, or the highest
-    /// out-degree vertex when none exists.
-    fn roots(graph: &Graph) -> Vec<VertexId> {
-        let mut frontier: Vec<VertexId> = graph
+    /// The BFS seed set — vertices with no incoming edges, or the highest
+    /// out-degree vertex when none exists — plus whether the fallback was used.
+    fn roots(graph: &Graph) -> (Vec<VertexId>, bool) {
+        let frontier: Vec<VertexId> = graph
             .vertices()
             .filter(|&v| graph.in_degree(v) == 0)
             .collect();
         if frontier.is_empty() && graph.num_vertices() > 0 {
+            let mut fallback = Vec::new();
             if let Some(hub) = slfe_graph::stats::highest_out_degree_vertex(graph) {
-                frontier.push(hub);
+                fallback.push(hub);
             }
+            (fallback, true)
+        } else {
+            (frontier, false)
         }
-        frontier
     }
 
     /// Run the preprocessing pass on up to `workers` real threads.
@@ -118,12 +159,16 @@ impl RrGuidance {
         }
         let n = graph.num_vertices();
         let last_iter: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        // The claim winner of a vertex stores its level; every potential winner in
+        // a round would store the same round number, so the value is deterministic.
+        let level: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
         let visited = AtomicBitset::new(n);
         let mut work: u64 = 0;
 
-        let mut frontier = Self::roots(graph);
+        let (mut frontier, used_fallback_root) = Self::roots(graph);
         for &root in &frontier {
             visited.insert_shared(root as usize);
+            level[root as usize].store(0, Ordering::Relaxed);
         }
 
         let mut iter: u32 = 1;
@@ -137,6 +182,7 @@ impl RrGuidance {
                         work += 1;
                         last_iter[dst as usize].fetch_max(iter, Ordering::Relaxed);
                         if visited.insert_shared(dst as usize) {
+                            level[dst as usize].store(iter, Ordering::Relaxed);
                             next.push(dst);
                         }
                     }
@@ -151,6 +197,7 @@ impl RrGuidance {
                             let frontier = &frontier;
                             let visited = &visited;
                             let last_iter = &last_iter;
+                            let level = &level;
                             scope.spawn(move || {
                                 let mut local_next = Vec::new();
                                 let mut local_work = 0u64;
@@ -167,6 +214,7 @@ impl RrGuidance {
                                             last_iter[dst as usize]
                                                 .fetch_max(iter, Ordering::Relaxed);
                                             if visited.insert_shared(dst as usize) {
+                                                level[dst as usize].store(iter, Ordering::Relaxed);
                                                 local_next.push(dst);
                                             }
                                         }
@@ -176,7 +224,10 @@ impl RrGuidance {
                             })
                         })
                         .collect();
-                    handles.into_iter().map(|h| h.join().expect("RRG worker panicked")).collect()
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("RRG worker panicked"))
+                        .collect()
                 });
                 let mut next = Vec::new();
                 for (local_next, local_work) in round {
@@ -189,8 +240,339 @@ impl RrGuidance {
         }
 
         let last_iter: Vec<u32> = last_iter.into_iter().map(AtomicU32::into_inner).collect();
+        let level: Vec<u32> = level.into_iter().map(AtomicU32::into_inner).collect();
         let max_level = last_iter.iter().copied().max().unwrap_or(0);
-        Self { last_iter, max_level, work }
+        Self {
+            last_iter,
+            level,
+            max_level,
+            work,
+            used_fallback_root,
+        }
+    }
+
+    /// Incrementally patch the guidance after an edge-update batch, using the
+    /// default fallback threshold ([`DEFAULT_REPAIR_FALLBACK_FRACTION`]).
+    ///
+    /// `graph` is the **mutated** graph and `dirty` the endpoints of every changed
+    /// edge (ascending, as [`slfe_graph::BatchEffect::dirty`] provides them). The
+    /// result is equal — level for level, `last_iter` for `last_iter` — to
+    /// regenerating from scratch on the mutated graph
+    /// ([`RrGuidance::guidance_eq`]), the property the test suite proves.
+    pub fn repair(
+        &self,
+        graph: &Graph,
+        dirty: &[VertexId],
+        workers: usize,
+    ) -> (Self, RepairReport) {
+        self.repair_with_threshold(graph, dirty, workers, DEFAULT_REPAIR_FALLBACK_FRACTION)
+    }
+
+    /// [`RrGuidance::repair`] with an explicit changed-fraction threshold in
+    /// `[0, 1]`; when more than `threshold * |V|` vertices actually move, the
+    /// pass aborts and falls back to [`RrGuidance::generate_parallel`].
+    ///
+    /// Why repair works: `level` is the unit-weight BFS distance from the root
+    /// set (in-degree-0 vertices) and `last_iter(v)` is `max(level(u) + 1)` over
+    /// `v`'s visited in-neighbors — so patching the levels patches everything.
+    /// Levels are repaired with the classic two-phase dynamic-SSSP scheme
+    /// (Ramalingam–Reps, specialised to unit weights):
+    ///
+    /// 1. **Invalidation.** A vertex's level is *supported* if it is a root at
+    ///    level 0 or has an in-neighbor one level up. Deletions (and lost root
+    ///    status) can only break support at the dirty endpoints, so those are
+    ///    rechecked; each vertex that lost support is reset to unreached and the
+    ///    check cascades along its out-neighbors that used it as support —
+    ///    exactly the region whose level may grow.
+    /// 2. **Re-relaxation.** A unit-weight Dijkstra (bucket queue) re-derives
+    ///    the invalidated region from its intact in-boundary and propagates any
+    ///    *improvements* (insertions, new roots) seeded at the dirty endpoints.
+    ///    Untouched vertices act as settled sources; a relaxation stops the
+    ///    moment it fails to beat an existing level, so the pass touches only
+    ///    the vertices whose level genuinely changes (plus their frontier).
+    ///
+    /// `last_iter` is then re-gathered for the dirty endpoints and the
+    /// out-neighbors of every level-changed vertex — the only places it can
+    /// move. The result equals regeneration level-for-level (the property the
+    /// test suite proves), at a cost proportional to the disturbed region
+    /// instead of `O(|E|)`.
+    pub fn repair_with_threshold(
+        &self,
+        graph: &Graph,
+        dirty: &[VertexId],
+        workers: usize,
+        threshold: f64,
+    ) -> (Self, RepairReport) {
+        let n = graph.num_vertices();
+        let old_n = self.last_iter.len();
+        let regenerate = |extra_work: u64| {
+            let fresh = Self::generate_parallel(graph, workers);
+            let work = fresh.work + extra_work;
+            (
+                fresh,
+                RepairReport {
+                    regenerated: true,
+                    affected_vertices: n,
+                    work,
+                },
+            )
+        };
+        // A hub-seeded guidance (no natural roots) depends on a global argmax the
+        // patch cannot maintain; same if the mutation created or destroyed the
+        // *entire* root set. Regenerate in those cases.
+        if self.used_fallback_root || n == 0 || old_n == 0 {
+            return regenerate(0);
+        }
+        if !graph.vertices().any(|v| graph.in_degree(v) == 0) {
+            return regenerate(0);
+        }
+        let touched_limit = ((threshold * n as f64) as usize).max(16);
+        // Competitive guard: regeneration costs ~|E| traversals, so a repair
+        // that has already spent that much is losing — abort and regenerate.
+        let work_limit = (graph.num_edges() as u64).max(64);
+        let mut work: u64 = 0;
+
+        let mut level: Vec<u32> = (0..n)
+            .map(|v| if v < old_n { self.level[v] } else { UNREACHED })
+            .collect();
+        let seeds = || {
+            dirty
+                .iter()
+                .copied()
+                .chain((old_n as VertexId)..(n as VertexId))
+        };
+
+        // Phase 1: cascade support loss from the dirty endpoints. `invalid`
+        // vertices pend re-derivation in phase 2.
+        let mut invalid = Bitset::new(n);
+        let mut queue: VecDeque<VertexId> = seeds().collect();
+        let mut invalid_count = 0usize;
+        while let Some(v) = queue.pop_front() {
+            let vi = v as usize;
+            if invalid.get(vi) || level[vi] == UNREACHED {
+                continue;
+            }
+            if graph.in_degree(v) == 0 {
+                continue; // a root's level 0 is intrinsically supported
+            }
+            let old = level[vi];
+            let mut supported = false;
+            for &u in graph.in_neighbors(v) {
+                work += 1;
+                if !invalid.get(u as usize) && level[u as usize] != UNREACHED {
+                    // Note `level[u] + 1 < old` is impossible while `u` is
+                    // valid: improvements are handled in phase 2, and phase 1
+                    // only ever *removes* support.
+                    if level[u as usize] + 1 == old {
+                        supported = true;
+                        break;
+                    }
+                }
+            }
+            if supported {
+                continue;
+            }
+            invalid.set(vi);
+            invalid_count += 1;
+            if invalid_count > touched_limit || work > work_limit {
+                return regenerate(work);
+            }
+            level[vi] = UNREACHED;
+            for &y in graph.out_neighbors(v) {
+                work += 1;
+                // Only out-neighbors whose level this vertex supported.
+                if !invalid.get(y as usize) && level[y as usize] == old + 1 {
+                    queue.push_back(y);
+                }
+            }
+        }
+
+        // Phase 2: unit-weight Dijkstra over the disturbed region. Seeds: the
+        // invalidated vertices (re-derived from their intact in-boundary), the
+        // dirty endpoints (where an inserted edge or fresh root status may
+        // *improve* a level), and everything the batch appended.
+        let mut buckets: Vec<Vec<VertexId>> = Vec::new();
+        let push = |buckets: &mut Vec<Vec<VertexId>>, lvl: u32, v: VertexId| {
+            let lvl = lvl as usize;
+            if buckets.len() <= lvl {
+                buckets.resize_with(lvl + 1, Vec::new);
+            }
+            buckets[lvl].push(v);
+        };
+        let mut changed: Vec<VertexId> = Vec::new();
+        {
+            let mut seed_candidate =
+                |v: VertexId, level: &mut [u32], buckets: &mut Vec<Vec<VertexId>>| {
+                    let mut candidate = UNREACHED;
+                    if graph.in_degree(v) == 0 {
+                        candidate = 0;
+                    } else {
+                        for &u in graph.in_neighbors(v) {
+                            work += 1;
+                            if !invalid.get(u as usize) && level[u as usize] != UNREACHED {
+                                candidate = candidate.min(level[u as usize] + 1);
+                            }
+                        }
+                    }
+                    if candidate < level[v as usize] {
+                        level[v as usize] = candidate;
+                        push(buckets, candidate, v);
+                    }
+                };
+            for v in invalid.iter_ones() {
+                seed_candidate(v as VertexId, &mut level, &mut buckets);
+            }
+            for v in seeds() {
+                if !invalid.get(v as usize) {
+                    seed_candidate(v, &mut level, &mut buckets);
+                }
+            }
+        }
+        let mut settled = Bitset::new(n);
+        let mut settled_count = 0usize;
+        let mut lvl = 0usize;
+        while lvl < buckets.len() {
+            while let Some(v) = buckets[lvl].pop() {
+                let vi = v as usize;
+                if settled.get(vi) || level[vi] != lvl as u32 {
+                    continue; // stale entry, superseded by a shorter reach
+                }
+                settled.set(vi);
+                settled_count += 1;
+                if settled_count > touched_limit || work > work_limit {
+                    return regenerate(work);
+                }
+                let old = if vi < old_n {
+                    self.level[vi]
+                } else {
+                    UNREACHED
+                };
+                if level[vi] != old {
+                    changed.push(v);
+                }
+                for &y in graph.out_neighbors(v) {
+                    work += 1;
+                    let yi = y as usize;
+                    if !settled.get(yi) && level[yi] > lvl as u32 + 1 {
+                        level[yi] = lvl as u32 + 1;
+                        push(&mut buckets, lvl as u32 + 1, y);
+                    }
+                }
+            }
+            lvl += 1;
+        }
+        // Invalidated vertices the Dijkstra never re-reached are unreachable
+        // now; their level change must still propagate to `last_iter` below.
+        for v in invalid.iter_ones() {
+            if level[v] == UNREACHED && (v >= old_n || self.level[v] != UNREACHED) {
+                changed.push(v as VertexId);
+            }
+        }
+
+        // `last_iter` moves only where an in-edge changed (the dirty endpoints —
+        // regathered in full, since the repair does not know which individual
+        // edges moved) or where an in-neighbor's level moved. The latter is
+        // maintained incrementally: a *raised* in-level can only push the max up
+        // (no gather needed), while a *dropped* in-level forces a regather only
+        // if the old level attained the max — it may have been the sole support.
+        let mut last_iter: Vec<u32> = (0..n)
+            .map(|v| if v < old_n { self.last_iter[v] } else { 0 })
+            .collect();
+        let mut regather = Bitset::new(n);
+        let mut targets: Vec<VertexId> = Vec::new();
+        for v in seeds() {
+            if regather.insert(v as usize) {
+                targets.push(v);
+            }
+        }
+        let mut raises: Vec<(VertexId, u32)> = Vec::new();
+        for &v in &changed {
+            let vi = v as usize;
+            let old = if vi < old_n {
+                self.level[vi]
+            } else {
+                UNREACHED
+            };
+            let new = level[vi];
+            for &y in graph.out_neighbors(v) {
+                work += 1;
+                let yi = y as usize;
+                if regather.get(yi) {
+                    continue;
+                }
+                if old != UNREACHED && old + 1 == last_iter[yi] && (new == UNREACHED || new < old) {
+                    // The dropped level attained y's max: it may have been the
+                    // only in-neighbor doing so.
+                    regather.set(yi);
+                    targets.push(y);
+                } else if new != UNREACHED && new + 1 > last_iter[yi] {
+                    raises.push((y, new + 1));
+                }
+            }
+        }
+        let mut max_dropped = false;
+        let mut touched_max = 0u32;
+        for &v in &targets {
+            let mut last = 0u32;
+            for &u in graph.in_neighbors(v) {
+                work += 1;
+                let lu = level[u as usize];
+                if lu != UNREACHED {
+                    last = last.max(lu + 1);
+                }
+            }
+            let vi = v as usize;
+            if last_iter[vi] == self.max_level && last < last_iter[vi] {
+                max_dropped = true;
+            }
+            last_iter[vi] = last;
+            touched_max = touched_max.max(last);
+        }
+        for &(y, candidate) in &raises {
+            let yi = y as usize;
+            if !regather.get(yi) {
+                last_iter[yi] = last_iter[yi].max(candidate);
+                touched_max = touched_max.max(last_iter[yi]);
+            }
+        }
+        // The global maximum can only drop if a vertex that attained it was
+        // recomputed downward; only then is a full rescan needed.
+        let max_level = if max_dropped {
+            last_iter.iter().copied().max().unwrap_or(0)
+        } else {
+            self.max_level.max(touched_max)
+        };
+
+        let affected_vertices = invalid_count.max(settled_count).max(changed.len());
+        let repaired = Self {
+            last_iter,
+            level,
+            max_level,
+            // The repaired guidance carries the *repair* cost as its generation
+            // work — the honest preprocessing charge for a warm engine build.
+            work,
+            used_fallback_root: false,
+        };
+        let report = RepairReport {
+            regenerated: false,
+            affected_vertices,
+            work,
+        };
+        (repaired, report)
+    }
+
+    /// `true` when two guidances schedule identically: same per-vertex levels and
+    /// `last_iter`s. Ignores the counted generation work, which legitimately
+    /// differs between a from-scratch pass and a repair.
+    pub fn guidance_eq(&self, other: &Self) -> bool {
+        self.last_iter == other.last_iter
+            && self.level == other.level
+            && self.max_level == other.max_level
+    }
+
+    /// The first-reach BFS level of every vertex ([`UNREACHED`] = never visited).
+    pub fn levels(&self) -> &[u32] {
+        &self.level
     }
 
     /// The last propagation level of vertex `v` (0 for roots and unreached
@@ -341,7 +723,10 @@ mod tests {
     #[test]
     fn parallel_generation_with_one_worker_is_the_sequential_pass() {
         let g = generators::rmat(300, 2400, 0.57, 0.19, 0.19, 13);
-        assert_eq!(RrGuidance::generate(&g), RrGuidance::generate_parallel(&g, 1));
+        assert_eq!(
+            RrGuidance::generate(&g),
+            RrGuidance::generate_parallel(&g, 1)
+        );
     }
 
     #[test]
@@ -350,5 +735,133 @@ mod tests {
         let rrg = RrGuidance::generate_parallel(&g, 4);
         assert_eq!(rrg.num_vertices(), 0);
         assert_eq!(rrg.max_level(), 0);
+    }
+
+    #[test]
+    fn levels_record_first_reach_and_unreached_marker() {
+        let mut b = slfe_graph::GraphBuilder::new();
+        b.extend_unweighted([(0, 1), (0, 2), (1, 3), (2, 3), (0, 3), (4, 5), (5, 4)]);
+        let g = b.build();
+        let rrg = RrGuidance::generate(&g);
+        assert_eq!(&rrg.levels()[..4], &[0, 1, 1, 1]); // 3 first reached via 0 -> 3
+        assert_eq!(rrg.levels()[4], UNREACHED);
+        assert_eq!(rrg.levels()[5], UNREACHED);
+        assert_eq!(rrg.last_iter(3), 2); // but it can still hear from level-1 vertices
+    }
+
+    use slfe_graph::UpdateBatch;
+
+    /// Apply `batch`, repair the old guidance, and check it equals regeneration.
+    fn check_repair(graph: &slfe_graph::Graph, batch: &UpdateBatch) -> RepairReport {
+        let old = RrGuidance::generate(graph);
+        let (mutated, effect) = graph.apply_batch(batch);
+        let (repaired, report) = old.repair(&mutated, &effect.dirty, 2);
+        let fresh = RrGuidance::generate(&mutated);
+        assert!(
+            repaired.guidance_eq(&fresh),
+            "repaired guidance diverges from regeneration (regenerated={})",
+            report.regenerated
+        );
+        report
+    }
+
+    #[test]
+    fn repair_matches_regeneration_on_single_edits() {
+        let g = generators::layered(8, 40, 4, 3);
+        // Insert a shortcut across layers, delete a spine edge, append a vertex.
+        let mut insert = UpdateBatch::new();
+        insert.insert(0, 7 * 40, 1.0);
+        check_repair(&g, &insert);
+
+        let mut delete = UpdateBatch::new();
+        delete.delete(0, 40);
+        check_repair(&g, &delete);
+
+        let mut append = UpdateBatch::new();
+        append.insert(3, g.num_vertices() as u32 + 2, 1.0);
+        check_repair(&g, &append);
+    }
+
+    #[test]
+    fn repair_matches_regeneration_on_random_batches() {
+        for seed in 0..8u64 {
+            let g = generators::rmat(400, 2600, 0.57, 0.19, 0.19, seed + 50);
+            let mut rng = slfe_graph::rng::SplitMix64::seed_from_u64(seed);
+            let mut batch = UpdateBatch::new();
+            for _ in 0..25 {
+                let src = rng.range_u32(0, g.num_vertices() as u32);
+                let dst = rng.range_u32(0, g.num_vertices() as u32 + 4);
+                if rng.next_f64() < 0.6 {
+                    batch.insert(src, dst, rng.range_f32(1.0, 10.0));
+                } else if let Some(&t) = g.out_neighbors(src).first() {
+                    batch.delete(src, t);
+                }
+            }
+            check_repair(&g, &batch);
+        }
+    }
+
+    #[test]
+    fn repair_handles_root_status_flips() {
+        // 0 -> 1 -> 2: inserting 3 -> 0 demotes root 0; deleting 0 -> 1 promotes 1.
+        let mut b = slfe_graph::GraphBuilder::new();
+        b.extend_unweighted([(0, 1), (1, 2)]);
+        let g = b.build();
+        let mut batch = UpdateBatch::new();
+        batch.insert(3, 0, 1.0);
+        check_repair(&g, &batch);
+
+        let mut batch = UpdateBatch::new();
+        batch.delete(0, 1);
+        check_repair(&g, &batch);
+    }
+
+    #[test]
+    fn repair_falls_back_when_most_of_the_graph_is_dirty() {
+        let g = generators::path(50);
+        let old = RrGuidance::generate(&g);
+        // Deleting the first spine edge dirties a region that reaches everything.
+        let mut batch = UpdateBatch::new();
+        batch.delete(0, 1);
+        let (mutated, effect) = g.apply_batch(&batch);
+        let (repaired, report) = old.repair_with_threshold(&mutated, &effect.dirty, 2, 0.1);
+        assert!(report.regenerated);
+        assert!(repaired.guidance_eq(&RrGuidance::generate(&mutated)));
+    }
+
+    #[test]
+    fn repair_regenerates_for_fallback_root_graphs() {
+        let g = generators::cycle(6);
+        let old = RrGuidance::generate(&g);
+        let mut batch = UpdateBatch::new();
+        batch.insert(2, 4, 1.0);
+        let (mutated, effect) = g.apply_batch(&batch);
+        let (repaired, report) = old.repair(&mutated, &effect.dirty, 2);
+        assert!(report.regenerated);
+        assert!(repaired.guidance_eq(&RrGuidance::generate(&mutated)));
+    }
+
+    #[test]
+    fn repair_work_is_less_than_regeneration_for_small_batches() {
+        let g = generators::rmat(2000, 16000, 0.57, 0.19, 0.19, 77);
+        let old = RrGuidance::generate(&g);
+        // A leaf-ward insertion touching a shallow region.
+        let deep = (0..g.num_vertices() as u32)
+            .max_by_key(|&v| old.last_iter(v))
+            .unwrap();
+        let mut batch = UpdateBatch::new();
+        batch.insert(deep, g.num_vertices() as u32, 2.0);
+        let (mutated, effect) = g.apply_batch(&batch);
+        let (repaired, report) = old.repair(&mutated, &effect.dirty, 1);
+        let fresh = RrGuidance::generate(&mutated);
+        assert!(repaired.guidance_eq(&fresh));
+        if !report.regenerated {
+            assert!(
+                report.work < fresh.generation_work(),
+                "repair ({}) should beat regeneration ({})",
+                report.work,
+                fresh.generation_work()
+            );
+        }
     }
 }

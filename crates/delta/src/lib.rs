@@ -1,0 +1,35 @@
+//! # slfe-delta
+//!
+//! Incremental recomputation and update serving for the SLFE reproduction —
+//! the subsystem that keeps a program's answer *live* while the graph changes,
+//! instead of recomputing every fixpoint from scratch.
+//!
+//! The paper defers dynamic graphs to future work; this crate composes the
+//! pieces the rest of the workspace provides into a serving loop:
+//!
+//! 1. **Mutation** — [`slfe_graph::UpdateBatch`] stages edge insertions and
+//!    deletions; [`slfe_graph::Graph::apply_batch`] rebuilds only the touched
+//!    adjacency ranges and reports the *dirty* endpoints.
+//! 2. **Guidance repair** — [`slfe_core::RrGuidance::repair`] patches the
+//!    redundancy-reduction levels for the region reachable from the dirty set,
+//!    falling back to full regeneration past a dirty-fraction threshold.
+//! 3. **Warm re-convergence** — [`slfe_core::SlfeEngine::run_from`] restarts
+//!    the program from the previous fixpoint, re-converging only what the batch
+//!    disturbed (support-invalidated region + dirty frontier for monotone
+//!    min/max programs; delta-restart for arithmetic programs).
+//! 4. **Serving** — [`DeltaServer`] owns the current graph version, guidance
+//!    and fixpoint, applies batches, accounts the simulated cost of shipping
+//!    each batch to its partitions, and answers point and top-k value queries
+//!    between batches.
+//!
+//! Determinism: everything the batch did not disturb keeps its bit pattern, and
+//! the re-converged region is computed by the same deterministic engine paths as
+//! a cold run — so a [`DeltaServer`] answer for a min/max program is
+//! bit-for-bit the answer a from-scratch run on the current graph would give
+//! (within convergence tolerance for arithmetic programs).
+
+pub mod server;
+
+pub use server::{BatchOutcome, DeltaServer, ServerConfig, ServerStats};
+// Re-exported so serving code can stage batches without importing slfe-graph.
+pub use slfe_graph::{BatchEffect, UpdateBatch};

@@ -1,0 +1,500 @@
+//! The [`DeltaServer`] serving loop: apply an edge-update batch, repair the RR
+//! guidance, warm re-converge the program, answer queries.
+
+use slfe_cluster::{Cluster, ClusterConfig};
+use slfe_core::{EngineConfig, GraphProgram, ProgramResult, RepairReport, RrGuidance, SlfeEngine};
+use slfe_graph::{BatchEffect, Graph, UpdateBatch, VertexId};
+use std::time::Instant;
+
+/// Bytes of one shipped edge update: two 4-byte vertex ids plus a 4-byte weight.
+const UPDATE_RECORD_BYTES: u64 = 12;
+
+/// Serving-loop configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Simulated cluster topology the server partitions each graph version over.
+    pub cluster: ClusterConfig,
+    /// Engine configuration used for the initial cold run and every restart.
+    pub engine: EngineConfig,
+    /// Node where update batches arrive before being forwarded to partition
+    /// owners (the simulated client connection point).
+    pub ingest_node: usize,
+    /// When a batch dirties more than this fraction of all vertices the server
+    /// runs the program from scratch instead of warm-starting: past this point
+    /// the invalidation pass would walk most of the graph anyway.
+    pub full_recompute_dirty_fraction: f64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            cluster: ClusterConfig::new(2, 2),
+            engine: EngineConfig::default(),
+            ingest_node: 0,
+            full_recompute_dirty_fraction: 0.5,
+        }
+    }
+}
+
+/// What one applied batch cost and changed.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// What the batch changed in the graph.
+    pub effect: BatchEffect,
+    /// How the RR guidance was brought up to date (repair vs regeneration).
+    pub guidance: RepairReport,
+    /// Counted work of the re-convergence, including the warm-start
+    /// invalidation pass. Compare against a from-scratch run's work to see what
+    /// serving incrementally saved.
+    pub work: u64,
+    /// Iterations the re-convergence ran.
+    pub iterations: u32,
+    /// Whether the re-convergence reached a fixpoint (it always should, unless
+    /// the engine's iteration cap is tighter than the disturbance).
+    pub converged: bool,
+    /// `true` when the server fell back to a from-scratch run (dirty fraction
+    /// above [`ServerConfig::full_recompute_dirty_fraction`]).
+    pub full_recompute: bool,
+    /// Simulated messages spent shipping the batch's dirty updates from the
+    /// ingest node to their partition owners.
+    pub distribution_messages: u64,
+    /// Wall-clock seconds for the whole apply (graph patch + guidance + rerun).
+    pub wall_seconds: f64,
+}
+
+/// Cumulative serving statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Batches applied since the server was built.
+    pub batches_applied: u64,
+    /// Total counted re-convergence work across all batches.
+    pub total_work: u64,
+    /// Total simulated batch-distribution messages.
+    pub total_distribution_messages: u64,
+    /// How many batches fell back to a full recompute.
+    pub full_recomputes: u64,
+    /// How many guidance updates fell back to full regeneration.
+    pub guidance_regenerations: u64,
+}
+
+/// An always-on serving instance of one graph program.
+///
+/// The server owns the current graph version, the (incrementally maintained)
+/// redundancy-reduction guidance and the program's current fixpoint. Because
+/// several programs capture graph-dependent state (`PageRank` holds `|V|`,
+/// `Heat` precomputes out-degree shares), the server is built from a *program
+/// factory* that re-instantiates the program for each graph version.
+///
+/// ```
+/// use slfe_delta::{DeltaServer, ServerConfig};
+/// use slfe_graph::{generators, UpdateBatch};
+/// # use slfe_core::{AggregationKind, GraphProgram};
+/// # use slfe_graph::{EdgeWeight, Graph, VertexId};
+/// # #[derive(Clone, Copy)] struct Sssp { root: VertexId }
+/// # impl GraphProgram for Sssp {
+/// #     type Value = f32;
+/// #     fn aggregation(&self) -> AggregationKind { AggregationKind::MinMax }
+/// #     fn name(&self) -> &'static str { "sssp" }
+/// #     fn initial_value(&self, v: VertexId, _g: &Graph) -> f32 {
+/// #         if v == self.root { 0.0 } else { f32::INFINITY }
+/// #     }
+/// #     fn initial_active(&self, v: VertexId, _g: &Graph) -> bool { v == self.root }
+/// #     fn identity(&self) -> f32 { f32::INFINITY }
+/// #     fn edge_contribution(&self, _s: VertexId, v: f32, w: EdgeWeight) -> Option<f32> {
+/// #         v.is_finite().then_some(v + w)
+/// #     }
+/// #     fn combine(&self, a: f32, b: f32) -> f32 { a.min(b) }
+/// #     fn apply(&self, _d: VertexId, old: f32, g: f32) -> f32 { old.min(g) }
+/// # }
+/// let graph = generators::rmat(500, 4000, 0.57, 0.19, 0.19, 7);
+/// let mut server = DeltaServer::new(graph, |_g| Sssp { root: 0 }, ServerConfig::default());
+/// let mut batch = UpdateBatch::new();
+/// batch.insert(0, 499, 1.5);
+/// let outcome = server.apply(&batch);
+/// assert!(outcome.converged);
+/// assert!(server.value(499).is_some());
+/// ```
+pub struct DeltaServer<P, F>
+where
+    P: GraphProgram,
+    F: Fn(&Graph) -> P,
+{
+    make_program: F,
+    program: P,
+    graph: Graph,
+    config: ServerConfig,
+    rrg: RrGuidance,
+    result: ProgramResult<P::Value>,
+    stats: ServerStats,
+}
+
+impl<P, F> DeltaServer<P, F>
+where
+    P: GraphProgram,
+    F: Fn(&Graph) -> P,
+{
+    /// Build the server: partition `graph`, generate the guidance, run the
+    /// program cold once. Every subsequent [`DeltaServer::apply`] is warm.
+    pub fn new(graph: Graph, make_program: F, config: ServerConfig) -> Self {
+        let program = make_program(&graph);
+        let rrg = RrGuidance::generate_parallel(&graph, config.cluster.workers_per_node);
+        let cluster = Cluster::build(&graph, config.cluster.clone());
+        let engine = SlfeEngine::with_cluster_and_guidance(
+            &graph,
+            cluster,
+            config.engine.clone(),
+            rrg.clone(),
+        );
+        let result = engine.run(&program);
+        drop(engine);
+        Self {
+            make_program,
+            program,
+            graph,
+            config,
+            rrg,
+            result,
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Apply one edge-update batch: patch the graph, repair the guidance, warm
+    /// re-converge the program, and account the batch-shipping traffic.
+    pub fn apply(&mut self, batch: &UpdateBatch) -> BatchOutcome {
+        let start = Instant::now();
+        let (graph, effect) = self.graph.apply_batch(batch);
+        if effect.is_noop() {
+            // Nothing changed: keep every artifact (graph version, cluster,
+            // guidance, fixpoint) instead of rebuilding them all for nothing.
+            self.stats.batches_applied += 1;
+            return BatchOutcome {
+                effect,
+                guidance: RepairReport {
+                    regenerated: false,
+                    affected_vertices: 0,
+                    work: 0,
+                },
+                work: 0,
+                iterations: 0,
+                converged: true,
+                full_recompute: false,
+                distribution_messages: 0,
+                wall_seconds: start.elapsed().as_secs_f64(),
+            };
+        }
+        let n = graph.num_vertices();
+        let (rrg, guidance) =
+            self.rrg
+                .repair(&graph, &effect.dirty, self.config.cluster.workers_per_node);
+        let program = (self.make_program)(&graph);
+
+        let cluster = Cluster::build(&graph, self.config.cluster.clone());
+        let engine = SlfeEngine::with_cluster_and_guidance(
+            &graph,
+            cluster,
+            self.config.engine.clone(),
+            rrg.clone(),
+        );
+        let dirty_fraction = effect.dirty.len() as f64 / n.max(1) as f64;
+        let full_recompute = dirty_fraction > self.config.full_recompute_dirty_fraction;
+        let result = if full_recompute {
+            engine.run(&program)
+        } else {
+            engine.run_from_effect(&program, &self.result, &effect)
+        };
+        let distribution_messages = engine.cluster().record_batch_distribution(
+            self.config.ingest_node,
+            effect.dirty.iter().copied(),
+            UPDATE_RECORD_BYTES,
+        );
+        drop(engine);
+
+        let outcome = BatchOutcome {
+            effect,
+            guidance,
+            work: result.stats.totals.work(),
+            iterations: result.stats.iterations,
+            converged: result.converged,
+            full_recompute,
+            distribution_messages,
+            wall_seconds: start.elapsed().as_secs_f64(),
+        };
+        self.stats.batches_applied += 1;
+        self.stats.total_work += outcome.work;
+        self.stats.total_distribution_messages += distribution_messages;
+        self.stats.full_recomputes += full_recompute as u64;
+        self.stats.guidance_regenerations += guidance.regenerated as u64;
+        self.graph = graph;
+        self.rrg = rrg;
+        self.program = program;
+        self.result = result;
+        outcome
+    }
+
+    /// Point query: the program's current value at `v` (`None` when `v` is
+    /// outside the current graph version).
+    pub fn value(&self, v: VertexId) -> Option<P::Value> {
+        self.result.values.get(v as usize).copied()
+    }
+
+    /// The full current value vector.
+    pub fn values(&self) -> &[P::Value] {
+        &self.result.values
+    }
+
+    /// The `k` vertices ranked by `compare` (greatest first), ties broken by
+    /// vertex id ascending — deterministic regardless of worker count.
+    pub fn top_k_by(
+        &self,
+        k: usize,
+        mut compare: impl FnMut(&P::Value, &P::Value) -> std::cmp::Ordering,
+    ) -> Vec<(VertexId, P::Value)> {
+        let mut ranked: Vec<(VertexId, P::Value)> = self
+            .result
+            .values
+            .iter()
+            .enumerate()
+            .map(|(v, &value)| (v as VertexId, value))
+            .collect();
+        ranked.sort_by(|a, b| compare(&b.1, &a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// The current graph version.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The current program instance (rebuilt per graph version).
+    pub fn program(&self) -> &P {
+        &self.program
+    }
+
+    /// The current full program result.
+    pub fn result(&self) -> &ProgramResult<P::Value> {
+        &self.result
+    }
+
+    /// The incrementally maintained guidance.
+    pub fn guidance(&self) -> &RrGuidance {
+        &self.rrg
+    }
+
+    /// Cumulative serving statistics.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+}
+
+impl<P, F> DeltaServer<P, F>
+where
+    P: GraphProgram,
+    P::Value: PartialOrd,
+    F: Fn(&Graph) -> P,
+{
+    /// The `k` largest values (PageRank-style ranking queries). For distance
+    /// programs, rank with [`DeltaServer::top_k_by`] and a reversed comparator.
+    pub fn top_k(&self, k: usize) -> Vec<(VertexId, P::Value)> {
+        self.top_k_by(k, |a, b| {
+            a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slfe_apps::pagerank::PageRankProgram;
+    use slfe_apps::sssp::SsspProgram;
+    use slfe_core::RedundancyMode;
+    use slfe_graph::rng::SplitMix64;
+    use slfe_graph::{generators, stats};
+
+    fn sssp_server(
+        graph: Graph,
+        root: VertexId,
+        config: ServerConfig,
+    ) -> DeltaServer<SsspProgram, impl Fn(&Graph) -> SsspProgram> {
+        DeltaServer::new(graph, move |_| SsspProgram { root }, config)
+    }
+
+    fn mixed_batch(graph: &Graph, seed: u64, ops: usize) -> UpdateBatch {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let n = graph.num_vertices() as u32;
+        let mut batch = UpdateBatch::new();
+        for _ in 0..ops {
+            let src = rng.range_u32(0, n);
+            if rng.next_f64() < 0.7 {
+                batch.insert(src, rng.range_u32(0, n), rng.range_f32(1.0, 10.0));
+            } else if let Some(&dst) = graph.out_neighbors(src).first() {
+                batch.delete(src, dst);
+            }
+        }
+        batch
+    }
+
+    #[test]
+    fn served_sssp_stays_identical_to_from_scratch_across_batches() {
+        let graph = generators::rmat(600, 4200, 0.57, 0.19, 0.19, 11);
+        let root = stats::highest_out_degree_vertex(&graph).unwrap();
+        let mut server = sssp_server(graph.clone(), root, ServerConfig::default());
+        let mut current = graph;
+        for round in 0..4u64 {
+            let batch = mixed_batch(&current, round + 70, 25);
+            let outcome = server.apply(&batch);
+            assert!(outcome.converged);
+            current = current.apply_batch(&batch).0;
+            let oracle = SlfeEngine::build(
+                &current,
+                ServerConfig::default().cluster,
+                EngineConfig::default(),
+            )
+            .run(&SsspProgram { root });
+            assert_eq!(
+                server
+                    .values()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                oracle
+                    .values
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                "round {round}: served values diverge from a from-scratch run"
+            );
+            // The maintained guidance matches regeneration on the current graph.
+            assert!(server
+                .guidance()
+                .guidance_eq(&RrGuidance::generate(&current)));
+        }
+        assert_eq!(server.stats().batches_applied, 4);
+    }
+
+    #[test]
+    fn served_pagerank_tracks_the_exact_fixpoint() {
+        let graph = generators::rmat(300, 2100, 0.57, 0.19, 0.19, 23);
+        // Ruler-free engine: the oracle below is then the exact fixpoint.
+        let config = ServerConfig {
+            engine: EngineConfig::default()
+                .with_redundancy(RedundancyMode::Disabled)
+                .with_max_iterations(300),
+            ..ServerConfig::default()
+        };
+        let mut server = DeltaServer::new(
+            graph.clone(),
+            |g: &Graph| PageRankProgram::new(g.num_vertices()),
+            config.clone(),
+        );
+        let batch = mixed_batch(&graph, 5, 20);
+        let outcome = server.apply(&batch);
+        assert!(outcome.converged);
+        let mutated = graph.apply_batch(&batch).0;
+        let oracle = SlfeEngine::build(&mutated, config.cluster.clone(), config.engine.clone())
+            .run(&PageRankProgram::new(mutated.num_vertices()));
+        for v in 0..mutated.num_vertices() {
+            assert!(
+                (server.values()[v] - oracle.values[v]).abs() < 1e-5,
+                "vertex {v}: served {} vs oracle {}",
+                server.values()[v],
+                oracle.values[v]
+            );
+        }
+        // Warm restart converges in fewer iterations than the cold oracle run.
+        assert!(outcome.iterations <= oracle.stats.iterations);
+    }
+
+    #[test]
+    fn point_and_top_k_queries_answer_from_the_current_fixpoint() {
+        let graph = generators::layered(6, 30, 4, 9);
+        let mut server = sssp_server(graph, 0, ServerConfig::default());
+        assert_eq!(server.value(0), Some(0.0));
+        assert!(server.value(10_000).is_none());
+        // Nearest vertices: smallest finite distances first.
+        let nearest = server.top_k_by(5, |a, b| {
+            b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        assert_eq!(nearest.len(), 5);
+        assert_eq!(nearest[0], (0, 0.0));
+        assert!(nearest.windows(2).all(|w| w[0].1 <= w[1].1));
+
+        // After inserting a zero-ish cost shortcut the target joins the top.
+        let far = (server.graph().num_vertices() - 1) as VertexId;
+        let mut batch = UpdateBatch::new();
+        batch.insert(0, far, 0.001);
+        server.apply(&batch);
+        let nearest = server.top_k_by(2, |a, b| {
+            b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        assert_eq!(nearest[1].0, far);
+    }
+
+    #[test]
+    fn oversized_batches_fall_back_to_full_recompute() {
+        let graph = generators::rmat(200, 1200, 0.57, 0.19, 0.19, 31);
+        let config = ServerConfig {
+            full_recompute_dirty_fraction: 0.0, // force the fallback
+            ..ServerConfig::default()
+        };
+        let root = stats::highest_out_degree_vertex(&graph).unwrap();
+        let mut server = sssp_server(graph.clone(), root, config);
+        let batch = mixed_batch(&graph, 3, 10);
+        let outcome = server.apply(&batch);
+        assert!(outcome.full_recompute);
+        assert_eq!(server.stats().full_recomputes, 1);
+        let mutated = graph.apply_batch(&batch).0;
+        let oracle = SlfeEngine::build(
+            &mutated,
+            ServerConfig::default().cluster,
+            EngineConfig::default(),
+        )
+        .run(&SsspProgram { root });
+        assert_eq!(
+            server
+                .values()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            oracle
+                .values
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn batch_distribution_traffic_is_accounted() {
+        let graph = generators::rmat(400, 2400, 0.57, 0.19, 0.19, 17);
+        let mut server = sssp_server(graph.clone(), 0, ServerConfig::default());
+        let batch = mixed_batch(&graph, 8, 30);
+        let outcome = server.apply(&batch);
+        // With two nodes and dozens of random dirty endpoints, some must be
+        // remote to the ingest node.
+        assert!(outcome.distribution_messages > 0);
+        assert!(outcome.distribution_messages <= outcome.effect.dirty.len() as u64);
+        assert_eq!(
+            server.stats().total_distribution_messages,
+            outcome.distribution_messages
+        );
+    }
+
+    #[test]
+    fn empty_batches_cost_nothing() {
+        let graph = generators::rmat(150, 900, 0.57, 0.19, 0.19, 41);
+        let mut server = sssp_server(graph, 0, ServerConfig::default());
+        let before = server.values().to_vec();
+        let outcome = server.apply(&UpdateBatch::new());
+        assert!(outcome.effect.is_noop());
+        assert_eq!(outcome.work, 0);
+        assert_eq!(outcome.iterations, 0);
+        assert_eq!(outcome.distribution_messages, 0);
+        assert_eq!(server.values(), before.as_slice());
+    }
+}

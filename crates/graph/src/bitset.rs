@@ -26,7 +26,10 @@ pub struct Bitset {
 impl Bitset {
     /// An all-zero bitset covering `len` bits.
     pub fn new(len: usize) -> Self {
-        Self { words: vec![0u64; len.div_ceil(WORD_BITS)], len }
+        Self {
+            words: vec![0u64; len.div_ceil(WORD_BITS)],
+            len,
+        }
     }
 
     /// Build from a predicate over bit indices.
@@ -116,17 +119,14 @@ impl Bitset {
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(move |(wi, &word)| {
             let base = wi * WORD_BITS;
-            std::iter::successors(
-                if word == 0 { None } else { Some(word) },
-                |w| {
-                    let next = w & (w - 1);
-                    if next == 0 {
-                        None
-                    } else {
-                        Some(next)
-                    }
-                },
-            )
+            std::iter::successors(if word == 0 { None } else { Some(word) }, |w| {
+                let next = w & (w - 1);
+                if next == 0 {
+                    None
+                } else {
+                    Some(next)
+                }
+            })
             .map(move |w| base + w.trailing_zeros() as usize)
         })
     }
@@ -158,7 +158,9 @@ impl AtomicBitset {
     /// An all-zero atomic bitset covering `len` bits.
     pub fn new(len: usize) -> Self {
         Self {
-            words: (0..len.div_ceil(WORD_BITS)).map(|_| AtomicU64::new(0)).collect(),
+            words: (0..len.div_ceil(WORD_BITS))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
             len,
         }
     }
@@ -198,7 +200,11 @@ impl AtomicBitset {
     /// Snapshot into a plain [`Bitset`].
     pub fn to_bitset(&self) -> Bitset {
         Bitset {
-            words: self.words.iter().map(|w| w.load(Ordering::Relaxed)).collect(),
+            words: self
+                .words
+                .iter()
+                .map(|w| w.load(Ordering::Relaxed))
+                .collect(),
             len: self.len,
         }
     }
@@ -226,7 +232,11 @@ mod tests {
     fn clear_and_fill_cover_the_whole_range() {
         let mut b = Bitset::new(100);
         b.fill();
-        assert_eq!(b.count_ones(), 100, "fill must mask the tail of the last word");
+        assert_eq!(
+            b.count_ones(),
+            100,
+            "fill must mask the tail of the last word"
+        );
         assert!(b.any());
         b.clear();
         assert_eq!(b.count_ones(), 0);
@@ -291,7 +301,10 @@ mod tests {
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum()
         });
-        assert_eq!(wins, 1000, "each bit is claimed exactly once across threads");
+        assert_eq!(
+            wins, 1000,
+            "each bit is claimed exactly once across threads"
+        );
         assert_eq!(set.to_bitset().count_ones(), 1000);
     }
 

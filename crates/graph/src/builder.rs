@@ -111,9 +111,11 @@ impl GraphBuilder {
         }
         if self.dedup {
             edges.sort_unstable_by(|a, b| {
-                (a.src, a.dst)
-                    .cmp(&(b.src, b.dst))
-                    .then(a.weight.partial_cmp(&b.weight).unwrap_or(std::cmp::Ordering::Equal))
+                (a.src, a.dst).cmp(&(b.src, b.dst)).then(
+                    a.weight
+                        .partial_cmp(&b.weight)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
             });
             edges.dedup_by(|a, b| a.src == b.src && a.dst == b.dst);
         }
@@ -146,7 +148,9 @@ mod tests {
     #[test]
     fn dedup_keeps_minimum_weight() {
         let mut b = GraphBuilder::new().deduplicate(true);
-        b.add_edge(0, 1, 5.0).add_edge(0, 1, 2.0).add_edge(0, 1, 9.0);
+        b.add_edge(0, 1, 5.0)
+            .add_edge(0, 1, 2.0)
+            .add_edge(0, 1, 9.0);
         let g = b.build();
         assert_eq!(g.num_edges(), 1);
         assert_eq!(g.out_weights(0), &[2.0]);

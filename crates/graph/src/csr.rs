@@ -47,7 +47,11 @@ impl Adjacency {
         // Sort each adjacency list by neighbor id for deterministic iteration and
         // cache-friendly scans. Lists are typically short, so insertion-style sort
         // via `sort_unstable` on index pairs is fine.
-        let mut adj = Self { offsets, targets, weights };
+        let mut adj = Self {
+            offsets,
+            targets,
+            weights,
+        };
         adj.sort_neighbor_lists();
         adj
     }
@@ -129,6 +133,55 @@ impl Adjacency {
     pub fn offsets(&self) -> &[usize] {
         &self.offsets
     }
+
+    /// Build a new adjacency by replacing the lists of a few vertices and copying
+    /// every untouched range wholesale — the compacting rebuild behind
+    /// [`crate::Graph::apply_batch`].
+    ///
+    /// `edits` maps a vertex to its complete replacement list and must be sorted by
+    /// vertex id with each replacement list sorted by neighbor id (the invariant
+    /// every list in this structure upholds). `new_num_vertices` may exceed the
+    /// current vertex count; vertices present in neither the old structure nor
+    /// `edits` get empty lists.
+    pub fn patched(
+        &self,
+        new_num_vertices: usize,
+        edits: &[(VertexId, Vec<(VertexId, EdgeWeight)>)],
+    ) -> Self {
+        debug_assert!(
+            edits.windows(2).all(|w| w[0].0 < w[1].0),
+            "edits must be sorted by vertex"
+        );
+        let old_n = self.num_vertices();
+        let grown: usize = edits.iter().map(|(_, list)| list.len()).sum();
+        let mut offsets = Vec::with_capacity(new_num_vertices + 1);
+        let mut targets = Vec::with_capacity(self.targets.len() + grown);
+        let mut weights = Vec::with_capacity(self.weights.len() + grown);
+        offsets.push(0);
+        let mut edit_cursor = 0usize;
+        for v in 0..new_num_vertices {
+            let edited = edits
+                .get(edit_cursor)
+                .filter(|(ev, _)| *ev as usize == v)
+                .map(|(_, list)| list);
+            if let Some(list) = edited {
+                debug_assert!(list.windows(2).all(|w| w[0].0 <= w[1].0));
+                targets.extend(list.iter().map(|(t, _)| *t));
+                weights.extend(list.iter().map(|(_, w)| *w));
+                edit_cursor += 1;
+            } else if v < old_n {
+                let (lo, hi) = (self.offsets[v], self.offsets[v + 1]);
+                targets.extend_from_slice(&self.targets[lo..hi]);
+                weights.extend_from_slice(&self.weights[lo..hi]);
+            }
+            offsets.push(targets.len());
+        }
+        Self {
+            offsets,
+            targets,
+            weights,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -204,5 +257,34 @@ mod tests {
         let adj = Adjacency::outgoing(10, &[Edge::unweighted(0, 1)]);
         assert_eq!(adj.num_vertices(), 10);
         assert_eq!(adj.degree(9), 0);
+    }
+
+    #[test]
+    fn patched_replaces_touched_lists_and_copies_the_rest() {
+        let adj = Adjacency::outgoing(6, &edges());
+        // Replace vertex 0's list, empty vertex 4's list, leave everything else.
+        let patched = adj.patched(6, &[(0, vec![(2, 9.0)]), (4, vec![])]);
+        assert_eq!(patched.neighbors(0), &[2]);
+        assert_eq!(patched.weights(0), &[9.0]);
+        assert_eq!(patched.degree(4), 0);
+        assert_eq!(patched.neighbors(1), adj.neighbors(1));
+        assert_eq!(patched.neighbors(3), adj.neighbors(3));
+        assert_eq!(patched.num_edges(), adj.num_edges() - 3);
+    }
+
+    #[test]
+    fn patched_grows_the_vertex_space() {
+        let adj = Adjacency::outgoing(3, &[Edge::unweighted(0, 1)]);
+        let patched = adj.patched(5, &[(4, vec![(0, 2.0)])]);
+        assert_eq!(patched.num_vertices(), 5);
+        assert_eq!(patched.neighbors(4), &[0]);
+        assert_eq!(patched.degree(3), 0);
+        assert_eq!(patched.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn patched_with_no_edits_is_identity() {
+        let adj = Adjacency::outgoing(6, &edges());
+        assert_eq!(adj.patched(6, &[]), adj);
     }
 }

@@ -163,7 +163,11 @@ mod tests {
         let g = d.load_scaled(8000);
         let target = d.paper_average_degree();
         // Dedup and self-loop removal shave a few edges off; allow 25% slack.
-        assert!(g.average_degree() > target * 0.75, "avg degree {} too low", g.average_degree());
+        assert!(
+            g.average_degree() > target * 0.75,
+            "avg degree {} too low",
+            g.average_degree()
+        );
         assert!(g.average_degree() <= target * 1.05);
     }
 

@@ -91,7 +91,10 @@ pub fn rmat(num_vertices: usize, num_edges: usize, a: f64, b: f64, c: f64, seed:
 /// Generate an Erdős–Rényi `G(n, m)` graph: `num_edges` edges drawn uniformly at
 /// random between distinct vertices, deduplicated.
 pub fn erdos_renyi(num_vertices: usize, num_edges: usize, seed: u64) -> Graph {
-    assert!(num_vertices > 1, "Erdős–Rényi graph needs at least two vertices");
+    assert!(
+        num_vertices > 1,
+        "Erdős–Rényi graph needs at least two vertices"
+    );
     let mut rng = SplitMix64::seed_from_u64(seed);
     let mut builder = GraphBuilder::new()
         .with_vertices(num_vertices)
@@ -180,7 +183,10 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
 /// (random-only targets leave a few isolated mid-layer vertices whose zero
 /// in-degree seeds early BFS waves and flattens the level structure).
 pub fn layered(layers: usize, width: usize, fanout: usize, seed: u64) -> Graph {
-    assert!(layers >= 1 && width >= 1, "need at least one layer and one vertex per layer");
+    assert!(
+        layers >= 1 && width >= 1,
+        "need at least one layer and one vertex per layer"
+    );
     let mut rng = SplitMix64::seed_from_u64(seed);
     let id = |layer: usize, slot: usize| (layer * width + slot) as VertexId;
     let mut builder = GraphBuilder::new()
@@ -189,7 +195,11 @@ pub fn layered(layers: usize, width: usize, fanout: usize, seed: u64) -> Graph {
         .drop_self_loops(true);
     for layer in 0..layers.saturating_sub(1) {
         for slot in 0..width {
-            builder.add_edge(id(layer, slot), id(layer + 1, slot), rng.range_f32(1.0, 5.0));
+            builder.add_edge(
+                id(layer, slot),
+                id(layer + 1, slot),
+                rng.range_f32(1.0, 5.0),
+            );
             for _ in 1..fanout {
                 let dst_slot = rng.range_usize(0, width);
                 let weight = rng.range_f32(1.0, 5.0);
@@ -247,7 +257,10 @@ mod tests {
         let g = rmat(256, 4000, 0.57, 0.19, 0.19, 3);
         let low: usize = (0..64).map(|v| g.out_degree(v)).sum();
         let high: usize = (192..256).map(|v| g.out_degree(v)).sum();
-        assert!(low > high, "low-id quadrant ({low}) should dominate high-id ({high})");
+        assert!(
+            low > high,
+            "low-id quadrant ({low}) should dominate high-id ({high})"
+        );
     }
 
     #[test]

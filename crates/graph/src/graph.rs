@@ -3,6 +3,8 @@
 use crate::csr::Adjacency;
 use crate::types::{Edge, EdgeWeight, VertexId};
 
+// `Graph::apply_batch` lives in `crate::delta`.
+
 /// A directed, weighted graph with both outgoing (CSR) and incoming (CSC) adjacency.
 ///
 /// Both directions are materialised because the SLFE computation model (paper §3.3)
@@ -13,7 +15,12 @@ pub struct Graph {
     num_vertices: usize,
     out: Adjacency,
     incoming: Adjacency,
-    edges: Vec<Edge>,
+    /// Flat edge list, materialised lazily: the delta-apply path builds graphs
+    /// from patched adjacencies on the serving hot path, and copying an `O(E)`
+    /// edge vector there just to back the rarely-used [`Graph::edges`] accessor
+    /// would be pure overhead. `from_edges` seeds it eagerly (the vector already
+    /// exists); `from_parts` leaves it to the first `edges()` call.
+    edges: std::sync::OnceLock<Vec<Edge>>,
 }
 
 impl Graph {
@@ -32,7 +39,29 @@ impl Graph {
         }
         let out = Adjacency::outgoing(num_vertices, &edges);
         let incoming = Adjacency::incoming(num_vertices, &edges);
-        Self { num_vertices, out, incoming, edges }
+        let cell = std::sync::OnceLock::new();
+        let _ = cell.set(edges);
+        Self {
+            num_vertices,
+            out,
+            incoming,
+            edges: cell,
+        }
+    }
+
+    /// Assemble a graph from prebuilt adjacency structures (the delta-apply path).
+    /// The edge list is derived from the CSR side on first use; its order is
+    /// unspecified, as [`Graph::edges`] documents.
+    pub(crate) fn from_parts(num_vertices: usize, out: Adjacency, incoming: Adjacency) -> Self {
+        debug_assert_eq!(out.num_vertices(), num_vertices);
+        debug_assert_eq!(incoming.num_vertices(), num_vertices);
+        debug_assert_eq!(out.num_edges(), incoming.num_edges());
+        Self {
+            num_vertices,
+            out,
+            incoming,
+            edges: std::sync::OnceLock::new(),
+        }
     }
 
     /// Number of vertices.
@@ -42,7 +71,7 @@ impl Graph {
 
     /// Number of directed edges.
     pub fn num_edges(&self) -> usize {
-        self.edges.len()
+        self.out.num_edges()
     }
 
     /// Average out-degree (`|E| / |V|`), the figure the paper's Table 4 reports.
@@ -59,9 +88,18 @@ impl Graph {
         0..self.num_vertices as VertexId
     }
 
-    /// The raw edge list (order unspecified).
+    /// The raw edge list (order unspecified), materialised from the CSR on
+    /// first use for graphs built by the delta-apply path.
     pub fn edges(&self) -> &[Edge] {
-        &self.edges
+        self.edges.get_or_init(|| {
+            let mut edges = Vec::with_capacity(self.out.num_edges());
+            for v in 0..self.num_vertices as VertexId {
+                for (u, w) in self.out.neighbors_with_weights(v) {
+                    edges.push(Edge::new(v, u, w));
+                }
+            }
+            edges
+        })
     }
 
     /// Out-degree of `v`.
@@ -121,7 +159,7 @@ impl Graph {
 
     /// Build a new graph with every edge direction flipped.
     pub fn transpose(&self) -> Graph {
-        let edges = self.edges.iter().map(|e| e.reversed()).collect();
+        let edges = self.edges().iter().map(|e| e.reversed()).collect();
         Graph::from_edges(self.num_vertices, edges)
     }
 

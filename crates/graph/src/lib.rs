@@ -15,6 +15,9 @@
 //! * [`bitset`] — dense `u64`-word [`Bitset`] frontiers (popcount active counts,
 //!   word-wise merge of per-worker frontiers) plus the concurrent [`AtomicBitset`]
 //!   used by the parallel preprocessing pass.
+//! * [`delta`] — staged edge-update batches ([`UpdateBatch`]) applied against the
+//!   immutable graph by rebuilding only touched adjacency ranges
+//!   ([`Graph::apply_batch`]); the backbone of the incremental serving subsystem.
 //! * [`rng`] — a tiny dependency-free SplitMix64 PRNG backing the generators.
 //! * [`io`] — plain-text edge-list load/save.
 //! * [`datasets`] — a registry of the seven named graphs of the paper (PK, OK, LJ,
@@ -25,6 +28,7 @@ pub mod bitset;
 pub mod builder;
 pub mod csr;
 pub mod datasets;
+pub mod delta;
 pub mod generators;
 pub mod graph;
 pub mod io;
@@ -35,5 +39,6 @@ pub mod types;
 pub use bitset::{AtomicBitset, Bitset};
 pub use builder::GraphBuilder;
 pub use csr::Adjacency;
+pub use delta::{BatchEffect, UpdateBatch};
 pub use graph::Graph;
 pub use types::{EdgeWeight, VertexId, INVALID_VERTEX};

@@ -94,7 +94,10 @@ mod tests {
             assert!(v < 8);
             seen[v] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all buckets of a small range get hit");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all buckets of a small range get hit"
+        );
         for _ in 0..100 {
             let w = rng.range_f32(1.0, 10.0);
             assert!((1.0..10.0).contains(&w));

@@ -38,7 +38,11 @@ impl Edge {
 
     /// The same edge with direction flipped. Weight is preserved.
     pub fn reversed(self) -> Self {
-        Self { src: self.dst, dst: self.src, weight: self.weight }
+        Self {
+            src: self.dst,
+            dst: self.src,
+            weight: self.weight,
+        }
     }
 }
 

@@ -119,8 +119,18 @@ mod tests {
 
     #[test]
     fn add_and_add_assign_accumulate() {
-        let a = Counters { edge_computations: 1, vertex_updates: 2, messages_sent: 3, bytes_sent: 4 };
-        let b = Counters { edge_computations: 10, vertex_updates: 20, messages_sent: 30, bytes_sent: 40 };
+        let a = Counters {
+            edge_computations: 1,
+            vertex_updates: 2,
+            messages_sent: 3,
+            bytes_sent: 4,
+        };
+        let b = Counters {
+            edge_computations: 10,
+            vertex_updates: 20,
+            messages_sent: 30,
+            bytes_sent: 40,
+        };
         let mut c = a + b;
         assert_eq!(c.edge_computations, 11);
         assert_eq!(c.bytes_sent, 44);
@@ -130,14 +140,21 @@ mod tests {
 
     #[test]
     fn updates_per_vertex_matches_table2_semantics() {
-        let c = Counters { vertex_updates: 90, ..Counters::zero() };
+        let c = Counters {
+            vertex_updates: 90,
+            ..Counters::zero()
+        };
         assert!((c.updates_per_vertex(10) - 9.0).abs() < 1e-9);
         assert_eq!(c.updates_per_vertex(0), 0.0);
     }
 
     #[test]
     fn work_sums_computations_and_updates() {
-        let c = Counters { edge_computations: 5, vertex_updates: 7, ..Counters::zero() };
+        let c = Counters {
+            edge_computations: 5,
+            vertex_updates: 7,
+            ..Counters::zero()
+        };
         assert_eq!(c.work(), 12);
     }
 

@@ -14,7 +14,6 @@
 //! imbalance figures are observations of one execution, not reproducible
 //! constants.
 
-
 /// Per-worker (or per-node) busy work/time observations for one run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct BusyTimes {
@@ -134,6 +133,9 @@ mod tests {
         let with = BusyTimes::new(vec![4.0, 4.0, 4.0, 4.0]);
         assert!((intra_node_speedup(&without, &with) - 2.5).abs() < 1e-9);
         // Degenerate: stealing makespan of zero reports neutral.
-        assert_eq!(intra_node_speedup(&without, &BusyTimes::new(vec![0.0])), 1.0);
+        assert_eq!(
+            intra_node_speedup(&without, &BusyTimes::new(vec![0.0])),
+            1.0
+        );
     }
 }

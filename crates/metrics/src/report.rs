@@ -85,7 +85,10 @@ pub struct Series {
 impl Series {
     /// Create an empty series.
     pub fn new(title: impl Into<String>) -> Self {
-        Self { title: title.into(), points: Vec::new() }
+        Self {
+            title: title.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Append a labelled point.

@@ -105,7 +105,10 @@ mod tests {
 
     #[test]
     fn phase_total_adds_both_phases() {
-        let p = PhaseBreakdown { preprocessing_seconds: 0.5, execution_seconds: 2.0 };
+        let p = PhaseBreakdown {
+            preprocessing_seconds: 0.5,
+            execution_seconds: 2.0,
+        };
         assert!((p.total_seconds() - 2.5).abs() < 1e-12);
     }
 

@@ -141,7 +141,11 @@ mod tests {
             iteration: iter,
             mode,
             active_vertices: 10,
-            counters: Counters { edge_computations: comps, vertex_updates: comps / 2, ..Counters::zero() },
+            counters: Counters {
+                edge_computations: comps,
+                vertex_updates: comps / 2,
+                ..Counters::zero()
+            },
             seconds: secs,
         }
     }
@@ -153,7 +157,10 @@ mod tests {
         t.push(record(2, Mode::Pull, 50, 0.5));
         t.push(record(3, Mode::Pull, 20, 0.2));
         assert_eq!(t.len(), 3);
-        assert_eq!(t.computations_per_iteration(), vec![(1, 5), (2, 50), (3, 20)]);
+        assert_eq!(
+            t.computations_per_iteration(),
+            vec![(1, 5), (2, 50), (3, 20)]
+        );
     }
 
     #[test]

@@ -42,7 +42,11 @@ impl Partitioner for ChunkingPartitioner {
             .vertices()
             .map(|v| self.alpha + graph.out_degree(v) as f64)
             .sum();
-        let target = if num_parts == 0 { total_work } else { total_work / num_parts as f64 };
+        let target = if num_parts == 0 {
+            total_work
+        } else {
+            total_work / num_parts as f64
+        };
 
         let mut owner = vec![0usize; n];
         let mut node = 0usize;

@@ -107,7 +107,11 @@ mod tests {
         let counts = p.edge_counts(&g);
         let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
         let max = *counts.iter().max().unwrap() as f64;
-        assert!(max / mean < 2.5, "hash edge imbalance too high: {}", max / mean);
+        assert!(
+            max / mean < 2.5,
+            "hash edge imbalance too high: {}",
+            max / mean
+        );
     }
 
     #[test]

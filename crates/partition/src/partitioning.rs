@@ -20,7 +20,10 @@ impl Partitioning {
         assert!(num_parts >= 1, "need at least one partition");
         let mut parts = vec![Vec::new(); num_parts];
         for (v, &o) in owner.iter().enumerate() {
-            assert!(o < num_parts, "owner {o} of vertex {v} out of range ({num_parts} parts)");
+            assert!(
+                o < num_parts,
+                "owner {o} of vertex {v} out of range ({num_parts} parts)"
+            );
             parts[o].push(v as VertexId);
         }
         Self { owner, parts }
@@ -100,7 +103,10 @@ impl Partitioning {
         for (node, part) in self.parts.iter().enumerate() {
             for &v in part {
                 if self.owner[v as usize] != node {
-                    return Err(format!("vertex {v} listed under node {node} but owned by {}", self.owner[v as usize]));
+                    return Err(format!(
+                        "vertex {v} listed under node {node} but owned by {}",
+                        self.owner[v as usize]
+                    ));
                 }
             }
         }

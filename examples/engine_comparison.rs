@@ -22,7 +22,13 @@ fn main() {
             graph.num_vertices(),
             graph.num_edges()
         ),
-        &["engine", "work units", "messages", "iterations", "sim. seconds"],
+        &[
+            "engine",
+            "work units",
+            "messages",
+            "iterations",
+            "sim. seconds",
+        ],
     );
 
     let slfe_engine = SlfeEngine::build(&graph, cluster.clone(), EngineConfig::default());
@@ -46,11 +52,26 @@ fn main() {
         ]);
     };
 
-    add("gemini", GeminiEngine::build(&graph, cluster.clone()).run(&program));
-    add("powerlyra", PowerLyraEngine::build(&graph, cluster.clone()).run(&program));
-    add("powergraph", PowerGraphEngine::build(&graph, cluster.clone()).run(&program));
-    add("ligra (1 node)", LigraEngine::build(&graph, 4).run(&program));
-    add("graphchi (1 node)", GraphChiEngine::build(&graph, 4).run(&program));
+    add(
+        "gemini",
+        GeminiEngine::build(&graph, cluster.clone()).run(&program),
+    );
+    add(
+        "powerlyra",
+        PowerLyraEngine::build(&graph, cluster.clone()).run(&program),
+    );
+    add(
+        "powergraph",
+        PowerGraphEngine::build(&graph, cluster.clone()).run(&program),
+    );
+    add(
+        "ligra (1 node)",
+        LigraEngine::build(&graph, 4).run(&program),
+    );
+    add(
+        "graphchi (1 node)",
+        GraphChiEngine::build(&graph, 4).run(&program),
+    );
 
     println!("{table}");
     println!("Every engine computes the same shortest distances; they differ in how much");

@@ -16,6 +16,10 @@
 //!   pull/push computation and the `edge_proc`/`vertex_update` API.
 //! * [`apps`] — the graph applications of Table 1 implemented on the SLFE API.
 //! * [`baselines`] — Gemini/PowerGraph/PowerLyra/Ligra/GraphChi-style engines.
+//! * [`delta`] — incremental recomputation and update serving: stage an
+//!   [`prelude::UpdateBatch`], apply it with `Graph::apply_batch`, re-converge
+//!   warm with `SlfeEngine::run_from`, or let a
+//!   [`prelude::DeltaServer`] drive the whole loop and answer queries.
 //!
 //! ## Quickstart
 //!
@@ -34,19 +38,19 @@ pub use slfe_apps as apps;
 pub use slfe_baselines as baselines;
 pub use slfe_cluster as cluster;
 pub use slfe_core as core;
+pub use slfe_delta as delta;
 pub use slfe_graph as graph;
 pub use slfe_metrics as metrics;
 pub use slfe_partition as partition;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use slfe_apps::{
-        cc, pagerank, sssp, tunkrank, widestpath, AppKind, AggregationKind,
-    };
+    pub use slfe_apps::{cc, pagerank, sssp, tunkrank, widestpath, AggregationKind, AppKind};
     pub use slfe_baselines::{BaselineEngine, BaselineKind};
     pub use slfe_cluster::ClusterConfig;
     pub use slfe_core::{EngineConfig, RedundancyMode, SlfeEngine};
-    pub use slfe_graph::{Graph, GraphBuilder, VertexId};
+    pub use slfe_delta::{BatchOutcome, DeltaServer, ServerConfig};
+    pub use slfe_graph::{Graph, GraphBuilder, UpdateBatch, VertexId};
     pub use slfe_metrics::ExecutionStats;
     pub use slfe_partition::{ChunkingPartitioner, Partitioner};
 }

@@ -32,14 +32,23 @@ fn every_engine_agrees_with_dijkstra_on_sssp() {
     let cluster = ClusterConfig::new(4, 2);
 
     let slfe_rr = SlfeEngine::build(&graph, cluster.clone(), EngineConfig::default()).run(&program);
-    let slfe_norr = SlfeEngine::build(&graph, cluster.clone(), EngineConfig::without_rr()).run(&program);
+    let slfe_norr =
+        SlfeEngine::build(&graph, cluster.clone(), EngineConfig::without_rr()).run(&program);
     let gemini = GeminiEngine::build(&graph, cluster.clone()).run(&program);
     let powergraph = PowerGraphEngine::build(&graph, cluster.clone()).run(&program);
     let powerlyra = PowerLyraEngine::build(&graph, cluster).run(&program);
     let ligra = LigraEngine::build(&graph, 2).run(&program);
     let graphchi = GraphChiEngine::build(&graph, 2).run(&program);
 
-    for result in [&slfe_rr, &slfe_norr, &gemini, &powergraph, &powerlyra, &ligra, &graphchi] {
+    for result in [
+        &slfe_rr,
+        &slfe_norr,
+        &gemini,
+        &powergraph,
+        &powerlyra,
+        &ligra,
+        &graphchi,
+    ] {
         assert_distances_eq(&result.values, &oracle, 1e-3);
         assert!(result.converged, "{} did not converge", result.stats.engine);
     }
@@ -55,11 +64,26 @@ fn every_engine_agrees_with_union_find_on_cc() {
     let engines: Vec<(String, Vec<f32>)> = vec![
         (
             "slfe".into(),
-            SlfeEngine::build(&graph, cluster.clone(), EngineConfig::default()).run(&program).values,
+            SlfeEngine::build(&graph, cluster.clone(), EngineConfig::default())
+                .run(&program)
+                .values,
         ),
-        ("gemini".into(), GeminiEngine::build(&graph, cluster.clone()).run(&program).values),
-        ("powergraph".into(), PowerGraphEngine::build(&graph, cluster.clone()).run(&program).values),
-        ("powerlyra".into(), PowerLyraEngine::build(&graph, cluster).run(&program).values),
+        (
+            "gemini".into(),
+            GeminiEngine::build(&graph, cluster.clone())
+                .run(&program)
+                .values,
+        ),
+        (
+            "powergraph".into(),
+            PowerGraphEngine::build(&graph, cluster.clone())
+                .run(&program)
+                .values,
+        ),
+        (
+            "powerlyra".into(),
+            PowerLyraEngine::build(&graph, cluster).run(&program).values,
+        ),
     ];
     for (name, values) in engines {
         assert_eq!(values, oracle, "{name} disagrees with union-find");
@@ -73,7 +97,9 @@ fn pagerank_mass_is_preserved_across_engines_on_a_sink_free_graph() {
     let program = slfe::apps::pagerank::PageRankProgram::new(graph.num_vertices());
     for cluster in [ClusterConfig::single_node(), ClusterConfig::new(4, 2)] {
         let result = SlfeEngine::build(&graph, cluster, EngineConfig::default()).run(&program);
-        let total: f32 = slfe::apps::pagerank::ranks(&graph, &result.values).iter().sum();
+        let total: f32 = slfe::apps::pagerank::ranks(&graph, &result.values)
+            .iter()
+            .sum();
         assert!((total - 1.0).abs() < 1e-3, "rank mass {total}");
     }
 }
@@ -90,7 +116,11 @@ fn rrg_guidance_is_reusable_across_applications_on_the_same_engine() {
     let _ = slfe::apps::widestpath::run(&engine, root);
     let _ = slfe::apps::pagerank::run(&engine);
 
-    assert_eq!(engine.guidance(), &guidance_before, "guidance must not be mutated by runs");
+    assert_eq!(
+        engine.guidance(),
+        &guidance_before,
+        "guidance must not be mutated by runs"
+    );
     assert!(engine.preprocessing_seconds() > 0.0);
 }
 
@@ -99,9 +129,15 @@ fn partitioners_cover_every_vertex_and_chunking_balances_edges() {
     let graph = Dataset::Orkut.load_scaled(64_000);
     for nodes in [1usize, 2, 4, 8] {
         let chunked = ChunkingPartitioner::default().partition(&graph, nodes);
-        chunked.validate(&graph).expect("chunking produces a valid partitioning");
+        chunked
+            .validate(&graph)
+            .expect("chunking produces a valid partitioning");
         let quality = slfe::partition::PartitionQuality::measure(&graph, &chunked);
-        assert!(quality.edge_imbalance < 2.0, "imbalance {} at {nodes} nodes", quality.edge_imbalance);
+        assert!(
+            quality.edge_imbalance < 2.0,
+            "imbalance {} at {nodes} nodes",
+            quality.edge_imbalance
+        );
     }
 }
 
@@ -109,11 +145,16 @@ fn partitioners_cover_every_vertex_and_chunking_balances_edges() {
 fn stats_speedup_helpers_are_consistent_between_rr_and_non_rr_runs() {
     let graph = slfe::graph::generators::layered(16, 80, 6, 3);
     let program = slfe::apps::sssp::SsspProgram { root: 0 };
-    let rr = SlfeEngine::build(&graph, ClusterConfig::new(4, 2), EngineConfig::default()).run(&program);
-    let norr = SlfeEngine::build(&graph, ClusterConfig::new(4, 2), EngineConfig::without_rr()).run(&program);
+    let rr =
+        SlfeEngine::build(&graph, ClusterConfig::new(4, 2), EngineConfig::default()).run(&program);
+    let norr = SlfeEngine::build(&graph, ClusterConfig::new(4, 2), EngineConfig::without_rr())
+        .run(&program);
     let speedup = rr.stats.work_speedup_over(&norr.stats);
     let improvement = rr.stats.work_improvement_percent_over(&norr.stats);
-    assert!(speedup >= 1.0, "start-late should win on a deep layered graph, got {speedup}");
+    assert!(
+        speedup >= 1.0,
+        "start-late should win on a deep layered graph, got {speedup}"
+    );
     assert!(improvement > 0.0);
 }
 
@@ -133,8 +174,11 @@ fn parallel_workers_match_sequential_results_for_bfs_sssp_cc() {
                     SlfeEngine::build(&graph, ClusterConfig::new(nodes, workers), config.clone());
                 let bfs = slfe::apps::bfs::run(&engine, root);
                 let sssp = slfe::apps::sssp::run(&engine, root);
-                let cc_engine =
-                    SlfeEngine::build(&cc_graph, ClusterConfig::new(nodes, workers), config.clone());
+                let cc_engine = SlfeEngine::build(
+                    &cc_graph,
+                    ClusterConfig::new(nodes, workers),
+                    config.clone(),
+                );
                 let cc = slfe::apps::cc::run(&cc_engine);
                 (bfs, sssp, cc)
             };
@@ -144,7 +188,10 @@ fn parallel_workers_match_sequential_results_for_bfs_sssp_cc() {
                 let rr = config.redundancy;
                 let ctx = format!("{nodes} nodes, {workers} workers, rr={rr:?}");
                 assert_eq!(bfs_seq.values, bfs_par.values, "bfs values differ ({ctx})");
-                assert_eq!(sssp_seq.values, sssp_par.values, "sssp values differ ({ctx})");
+                assert_eq!(
+                    sssp_seq.values, sssp_par.values,
+                    "sssp values differ ({ctx})"
+                );
                 assert_eq!(cc_seq.values, cc_par.values, "cc values differ ({ctx})");
                 assert_eq!(bfs_seq.stats.iterations, bfs_par.stats.iterations, "{ctx}");
                 assert_eq!(sssp_seq.converged, sssp_par.converged, "{ctx}");

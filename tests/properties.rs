@@ -61,7 +61,10 @@ fn partitioners_always_cover_the_graph() {
             ChunkingPartitioner::default().partition(&g, parts),
             slfe::partition::HashPartitioner::new().partition(&g, parts),
         ] {
-            assert!(partitioning.validate(&g).is_ok(), "case {case} ({parts} parts)");
+            assert!(
+                partitioning.validate(&g).is_ok(),
+                "case {case} ({parts} parts)"
+            );
             let total: usize = partitioning.vertex_counts().iter().sum();
             assert_eq!(total, g.num_vertices(), "case {case}");
         }
@@ -125,9 +128,12 @@ fn bitset_matches_vec_bool_reference() {
         let expected_count = reference.iter().filter(|&&b| b).count();
         assert_eq!(bits.count_ones(), expected_count, "case {case}: count_ones");
         assert_eq!(bits.any(), expected_count > 0, "case {case}: any");
-        let expected_ones: Vec<usize> =
-            (0..len).filter(|&i| reference[i]).collect();
-        assert_eq!(bits.iter_ones().collect::<Vec<_>>(), expected_ones, "case {case}: iter_ones");
+        let expected_ones: Vec<usize> = (0..len).filter(|&i| reference[i]).collect();
+        assert_eq!(
+            bits.iter_ones().collect::<Vec<_>>(),
+            expected_ones,
+            "case {case}: iter_ones"
+        );
     }
 }
 
@@ -147,7 +153,10 @@ fn rr_guidance_levels_are_bounded_and_parallel_matches() {
         }
         assert!(rrg.generation_work() <= g.num_edges() as u64, "case {case}");
         let parallel = slfe::core::RrGuidance::generate_parallel(&g, 4);
-        assert_eq!(rrg, parallel, "case {case}: parallel RRG must match sequential");
+        assert_eq!(
+            rrg, parallel,
+            "case {case}: parallel RRG must match sequential"
+        );
     }
 }
 
@@ -207,7 +216,10 @@ fn work_stealing_conserves_work_and_bounds_the_makespan() {
             slfe::cluster::SchedulingPolicy::WorkStealing,
             |c| costs[c],
         );
-        assert_eq!(static_outcome.total_work, stealing_outcome.total_work, "case {case}");
+        assert_eq!(
+            static_outcome.total_work, stealing_outcome.total_work,
+            "case {case}"
+        );
         let total = stealing_outcome.total_work;
         let max_chunk = costs.iter().copied().max().unwrap_or(0);
         let bound = total / workers as u64 + max_chunk;
@@ -229,7 +241,10 @@ fn pagerank_ranks_are_non_negative_and_bounded() {
         let result = slfe::apps::pagerank::run(&engine);
         let ranks = slfe::apps::pagerank::ranks(&g, &result.values);
         let total: f32 = ranks.iter().sum();
-        assert!(ranks.iter().all(|r| *r >= 0.0 && r.is_finite()), "case {case}");
+        assert!(
+            ranks.iter().all(|r| *r >= 0.0 && r.is_finite()),
+            "case {case}"
+        );
         // Sinks leak rank mass, so the total is at most ~1 (plus float slack).
         assert!(total <= 1.05, "case {case}: total rank {total}");
     }
