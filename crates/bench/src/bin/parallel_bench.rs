@@ -1,22 +1,26 @@
-//! Wall-clock scaling benchmark for the real multi-threaded executor.
+//! Wall-clock scaling benchmark for the pooled cross-node executor.
 //!
 //! ```text
-//! parallel_bench [--vertices N] [--degree D] [--workers 1,2,4,8] [--runs K] [--out FILE]
+//! parallel_bench [--vertices N] [--degree D] [--nodes 1,2,4] [--workers 1,2,4,8] [--runs K] [--out FILE]
 //! ```
 //!
-//! Runs two workloads on one simulated node with a growing worker pool and
+//! Runs two workloads over a `nodes × workers_per_node` topology sweep and
 //! records real wall-clock seconds into `BENCH_parallel.json`:
 //!
-//! * **scaling** — PageRank and SSSP on an R-MAT graph (default 120k vertices),
-//!   1 worker vs N workers. `speedup_vs_1_worker` is measured wall clock;
-//!   `schedule_parallelism` is total counted work divided by the busiest worker's
-//!   work (what the schedule would yield on unconstrained hardware). On a machine
-//!   with at least as many hardware threads as workers the two agree; the JSON
-//!   records `hardware_threads` so a single-core container's numbers are read
-//!   correctly.
-//! * **redundancy** — SSSP with RR on vs off on a deep layered graph, wall clock,
-//!   demonstrating that redundancy reduction wins in real time, not just counted
-//!   work.
+//! * **scaling** — PageRank and SSSP on an R-MAT graph (default 120k vertices)
+//!   for every combination of `--nodes` and `--workers`. Each point records
+//!   `total_workers = nodes × workers_per_node` (the persistent pool's size),
+//!   `threads_spawned` by that engine's pool (pinning pool reuse: always
+//!   `total_workers - 1`, however many iterations ran), measured
+//!   `speedup_vs_1_worker` against the `(1 node, 1 worker)` baseline, and
+//!   `schedule_parallelism` — total counted work divided by the busiest
+//!   simulated worker, i.e. what the deterministic schedule yields on
+//!   unconstrained hardware. On a machine with at least `total_workers`
+//!   hardware threads the two agree; the JSON records `hardware_threads` so a
+//!   single-core container's numbers are read correctly.
+//! * **redundancy** — SSSP with RR on vs off on a deep layered graph, wall
+//!   clock, demonstrating that redundancy reduction wins in real time, not
+//!   just counted work.
 //!
 //! All engine runs disable tracing so the measurement is the hot loop, not the
 //! per-iteration bookkeeping.
@@ -32,6 +36,7 @@ use std::path::PathBuf;
 struct Options {
     vertices: usize,
     degree: usize,
+    nodes: Vec<usize>,
     workers: Vec<usize>,
     runs: usize,
     out: PathBuf,
@@ -42,11 +47,23 @@ impl Default for Options {
         Self {
             vertices: 120_000,
             degree: 15,
+            nodes: vec![1, 2, 4],
             workers: vec![1, 2, 4, 8],
             runs: 3,
             out: PathBuf::from("BENCH_parallel.json"),
         }
     }
+}
+
+fn parse_list(name: &str, raw: &str) -> Result<Vec<usize>, String> {
+    let list = raw
+        .split(',')
+        .map(|w| w.trim().parse().map_err(|e| format!("invalid {name}: {e}")))
+        .collect::<Result<Vec<usize>, String>>()?;
+    if list.is_empty() || list[0] != 1 {
+        return Err(format!("{name} must start with 1 (the baseline)"));
+    }
+    Ok(list)
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -66,22 +83,15 @@ fn parse_args() -> Result<Options, String> {
                 options.degree =
                     value("--degree")?.parse().map_err(|e| format!("invalid --degree: {e}"))?
             }
-            "--workers" => {
-                options.workers = value("--workers")?
-                    .split(',')
-                    .map(|w| w.trim().parse().map_err(|e| format!("invalid --workers: {e}")))
-                    .collect::<Result<Vec<usize>, String>>()?;
-                if options.workers.is_empty() || options.workers[0] != 1 {
-                    return Err("--workers must start with 1 (the sequential baseline)".into());
-                }
-            }
+            "--nodes" => options.nodes = parse_list("--nodes", &value("--nodes")?)?,
+            "--workers" => options.workers = parse_list("--workers", &value("--workers")?)?,
             "--runs" => {
                 options.runs = value("--runs")?.parse().map_err(|e| format!("invalid --runs: {e}"))?
             }
             "--out" => options.out = PathBuf::from(value("--out")?),
             "--help" | "-h" => {
                 return Err(
-                    "usage: parallel_bench [--vertices N] [--degree D] [--workers 1,2,4] [--runs K] [--out FILE]"
+                    "usage: parallel_bench [--vertices N] [--degree D] [--nodes 1,2,4] [--workers 1,2,4] [--runs K] [--out FILE]"
                         .into(),
                 )
             }
@@ -93,19 +103,24 @@ fn parse_args() -> Result<Options, String> {
 
 /// One measured configuration of the scaling sweep.
 struct ScalingPoint {
-    workers: usize,
+    nodes: usize,
+    workers_per_node: usize,
+    total_workers: usize,
+    threads_spawned: u64,
     wall_seconds: f64,
     speedup_vs_1_worker: f64,
     schedule_parallelism: f64,
     iterations: u32,
     total_work: u64,
+    messages: u64,
 }
 
-/// total counted work / busiest worker's counted work: the speedup the schedule
-/// itself admits, independent of how many hardware threads executed it.
-fn schedule_parallelism(per_worker_work: &[Vec<u64>]) -> f64 {
-    let total: u64 = per_worker_work.iter().flatten().sum();
-    let makespan: u64 = per_worker_work
+/// total counted work / busiest simulated worker's counted work: the speedup
+/// the deterministic schedule itself admits, independent of how many hardware
+/// threads executed it.
+fn schedule_parallelism(per_node_worker_work: &[Vec<u64>]) -> f64 {
+    let total: u64 = per_node_worker_work.iter().flatten().sum();
+    let makespan: u64 = per_node_worker_work
         .iter()
         .map(|node| node.iter().copied().max().unwrap_or(0))
         .max()
@@ -119,6 +134,7 @@ fn schedule_parallelism(per_worker_work: &[Vec<u64>]) -> f64 {
 
 fn sweep<P, F>(
     graph: &Graph,
+    nodes_list: &[usize],
     workers_list: &[usize],
     runs: usize,
     make_program: F,
@@ -129,28 +145,33 @@ where
 {
     let mut points = Vec::new();
     let mut baseline = None;
-    for &workers in workers_list {
-        let config = EngineConfig::default().with_trace(false);
-        let engine = SlfeEngine::build(graph, ClusterConfig::new(1, workers), config);
-        let program = make_program();
-        let mut last_result = None;
-        let sample = time_best_of(runs, || last_result = Some(engine.run(&program)));
-        let result = last_result.expect("at least one measured run");
-        let base = *baseline.get_or_insert(sample.best_seconds);
-        points.push(ScalingPoint {
-            workers,
-            wall_seconds: sample.best_seconds,
-            speedup_vs_1_worker: base / sample.best_seconds.max(1e-12),
-            schedule_parallelism: schedule_parallelism(&result.per_node_worker_work),
-            iterations: result.stats.iterations,
-            total_work: result.stats.totals.work(),
-        });
-        eprintln!(
-            "  {workers} workers: {:.4}s wall ({:.2}x vs 1 worker, schedule parallelism {:.2}x)",
-            sample.best_seconds,
-            points.last().unwrap().speedup_vs_1_worker,
-            points.last().unwrap().schedule_parallelism
-        );
+    for &nodes in nodes_list {
+        for &workers in workers_list {
+            let config = EngineConfig::default().with_trace(false);
+            let engine = SlfeEngine::build(graph, ClusterConfig::new(nodes, workers), config);
+            let program = make_program();
+            let mut last_result = None;
+            let sample = time_best_of(runs, || last_result = Some(engine.run(&program)));
+            let result = last_result.expect("at least one measured run");
+            let base = *baseline.get_or_insert(sample.best_seconds);
+            points.push(ScalingPoint {
+                nodes,
+                workers_per_node: workers,
+                total_workers: nodes * workers,
+                threads_spawned: engine.pool().threads_spawned(),
+                wall_seconds: sample.best_seconds,
+                speedup_vs_1_worker: base / sample.best_seconds.max(1e-12),
+                schedule_parallelism: schedule_parallelism(&result.per_node_worker_work),
+                iterations: result.stats.iterations,
+                total_work: result.stats.totals.work(),
+                messages: result.stats.totals.messages_sent,
+            });
+            let p = points.last().unwrap();
+            eprintln!(
+                "  {nodes}x{workers} ({} total): {:.4}s wall ({:.2}x vs 1 worker, schedule parallelism {:.2}x, {} spawned)",
+                p.total_workers, p.wall_seconds, p.speedup_vs_1_worker, p.schedule_parallelism, p.threads_spawned
+            );
+        }
     }
     points
 }
@@ -164,8 +185,8 @@ fn scaling_json(app: &str, points: &[ScalingPoint]) -> String {
         }
         let _ = write!(
             out,
-            "\n      {{\"workers\": {}, \"wall_seconds\": {:.6}, \"speedup_vs_1_worker\": {:.4}, \"schedule_parallelism\": {:.4}, \"iterations\": {}, \"total_work\": {}}}",
-            p.workers, p.wall_seconds, p.speedup_vs_1_worker, p.schedule_parallelism, p.iterations, p.total_work
+            "\n      {{\"nodes\": {}, \"workers_per_node\": {}, \"total_workers\": {}, \"threads_spawned\": {}, \"wall_seconds\": {:.6}, \"speedup_vs_1_worker\": {:.4}, \"schedule_parallelism\": {:.4}, \"iterations\": {}, \"total_work\": {}, \"messages\": {}}}",
+            p.nodes, p.workers_per_node, p.total_workers, p.threads_spawned, p.wall_seconds, p.speedup_vs_1_worker, p.schedule_parallelism, p.iterations, p.total_work, p.messages
         );
     }
     out.push_str("\n    ]");
@@ -197,14 +218,28 @@ fn main() {
     );
     let root = slfe_graph::stats::highest_out_degree_vertex(&rmat).unwrap_or(0);
 
-    eprintln!("PageRank scaling sweep (workers: {:?})", options.workers);
-    let pr_points = sweep(&rmat, &options.workers, options.runs, || {
-        PageRankProgram::new(rmat.num_vertices())
-    });
-    eprintln!("SSSP scaling sweep (workers: {:?})", options.workers);
-    let sssp_points = sweep(&rmat, &options.workers, options.runs, || SsspProgram {
-        root,
-    });
+    eprintln!(
+        "PageRank scaling sweep (nodes: {:?} x workers: {:?})",
+        options.nodes, options.workers
+    );
+    let pr_points = sweep(
+        &rmat,
+        &options.nodes,
+        &options.workers,
+        options.runs,
+        || PageRankProgram::new(rmat.num_vertices()),
+    );
+    eprintln!(
+        "SSSP scaling sweep (nodes: {:?} x workers: {:?})",
+        options.nodes, options.workers
+    );
+    let sssp_points = sweep(
+        &rmat,
+        &options.nodes,
+        &options.workers,
+        options.runs,
+        || SsspProgram { root },
+    );
 
     // Redundancy-reduction wall-clock comparison on a propagation-deep graph.
     // 16 layers keeps one layer's frontier above the 5% pull threshold, so the
@@ -253,7 +288,7 @@ fn main() {
     let mut json = String::from("{\n");
     let _ = write!(
         json,
-        "  \"git_commit\": \"{}\",\n  \"hardware_threads\": {hardware_threads},\n  \"note\": \"speedup_vs_1_worker is measured wall clock and is bounded by hardware_threads; schedule_parallelism is counted work / busiest worker and shows what the schedule yields on unconstrained hardware\",\n",
+        "  \"git_commit\": \"{}\",\n  \"hardware_threads\": {hardware_threads},\n  \"note\": \"speedup_vs_1_worker is measured wall clock against the (1 node, 1 worker) baseline and is bounded by hardware_threads; schedule_parallelism is counted work / busiest simulated worker over the deterministic degree-aware schedule and shows what total_workers yield on unconstrained hardware; threads_spawned pins the persistent pool (always total_workers - 1, however many iterations ran)\",\n",
         slfe_bench::git_commit()
     );
     let _ = writeln!(

@@ -85,6 +85,15 @@ impl Cluster {
         ChunkScheduler::new(self.config.workers_per_node, self.config.chunk_size)
     }
 
+    /// The degree-aware, cluster-wide chunk layout of `graph` under this
+    /// partitioning: every node's owned vertices cut into mini-chunks (hub
+    /// chunks split), ordered descending by estimated work. The global
+    /// executor claims these chunks across all nodes at once.
+    pub fn build_layout(&self, graph: &Graph) -> crate::layout::GlobalChunkLayout {
+        let owned: Vec<&[VertexId]> = self.nodes().map(|n| self.vertices_of(n)).collect();
+        crate::layout::GlobalChunkLayout::build(graph, &owned, self.config.chunk_size)
+    }
+
     /// Record a vertex update travelling from the owner of `src` to the owner of
     /// `dst`, carrying `bytes` bytes (typically 8: vertex id + value).
     pub fn record_update_message(&self, src: VertexId, dst: VertexId, bytes: u64) {

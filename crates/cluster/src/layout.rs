@@ -1,0 +1,302 @@
+//! Degree-aware global chunk layout: the work units of the cross-node executor.
+//!
+//! PR 1 cut every node's owned-vertex list into fixed 256-vertex mini-chunks and
+//! ran one node at a time. Two sources of tail latency survived that design:
+//!
+//! * **Hub chunks.** Chunking partitioners put consecutive vertex ids together,
+//!   so a chunk containing a power-law hub can carry orders of magnitude more
+//!   edge work than its neighbors. Whichever worker draws it last dominates the
+//!   phase makespan.
+//! * **Discovery order.** Chunks were claimed in vertex order, so a hub chunk
+//!   sitting at the end of the id range *started* last — the worst possible
+//!   moment under work stealing.
+//!
+//! [`GlobalChunkLayout`] fixes both, Gemini-style (chunk-based secondary
+//! partitioning): chunks whose **estimated work** (`1 + in_degree + out_degree`
+//! per vertex) exceeds a per-node budget are split — a mega-hub gets a chunk of
+//! its own — and the final chunk list is ordered **descending by estimate**, so
+//! stealing drains the expensive tail first and the cheap chunks level the load
+//! at the end. The layout spans *all* nodes: one phase hands every node's
+//! chunks to one global worker pool, which is what lets `total_workers` threads
+//! stay busy instead of `workers_per_node`.
+//!
+//! The layout is pure bookkeeping — every owned vertex appears in exactly one
+//! chunk (the property tests pin this), so execution results are unaffected;
+//! only the claim order and the work-per-claim distribution change.
+
+use crate::stealing::{ScheduleOutcome, SchedulingPolicy};
+use slfe_graph::{Graph, VertexId};
+
+/// Split threshold: a chunk is closed early once its estimate reaches
+/// `SPLIT_FACTOR ×` the node's average per-base-chunk estimate.
+const SPLIT_FACTOR: u64 = 2;
+
+/// One schedulable unit: a contiguous slice of a node's owned-vertex list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkChunk {
+    /// The simulated node owning every vertex of this chunk.
+    pub node: usize,
+    /// Start index (inclusive) into `Cluster::vertices_of(node)`.
+    pub start: usize,
+    /// End index (exclusive) into `Cluster::vertices_of(node)`.
+    pub end: usize,
+    /// Estimated work: `Σ (1 + in_degree + out_degree)` over the slice.
+    pub estimate: u64,
+}
+
+impl WorkChunk {
+    /// Number of vertices covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` when the chunk covers no vertices (never produced by `build`).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// The degree-aware, cluster-wide chunk layout of one graph version.
+#[derive(Debug, Clone)]
+pub struct GlobalChunkLayout {
+    /// All chunks in execution order: descending estimate, ties by (node, start).
+    chunks: Vec<WorkChunk>,
+    /// Per node: indices into `chunks`, in execution order.
+    per_node: Vec<Vec<usize>>,
+}
+
+impl GlobalChunkLayout {
+    /// Build the layout for `owned_per_node[node]` (each node's owned vertices,
+    /// as [`crate::Cluster::vertices_of`] provides them) over `graph`, with
+    /// `chunk_size` as the base mini-chunk granularity.
+    pub fn build(graph: &Graph, owned_per_node: &[&[VertexId]], chunk_size: usize) -> Self {
+        assert!(chunk_size >= 1, "chunk size must be positive");
+        let estimate = |v: VertexId| 1 + graph.in_degree(v) as u64 + graph.out_degree(v) as u64;
+        let mut chunks = Vec::new();
+        for (node, owned) in owned_per_node.iter().enumerate() {
+            if owned.is_empty() {
+                continue;
+            }
+            // Budget: an even estimate share per base chunk, times the split
+            // factor. A chunk that would exceed it is cut early; a single hub
+            // larger than the whole budget becomes a one-vertex chunk.
+            let total: u64 = owned.iter().map(|&v| estimate(v)).sum();
+            let base_chunks = owned.len().div_ceil(chunk_size) as u64;
+            let budget = (SPLIT_FACTOR * total.div_ceil(base_chunks)).max(1);
+            let mut start = 0usize;
+            let mut acc = 0u64;
+            for (idx, &v) in owned.iter().enumerate() {
+                acc += estimate(v);
+                let len = idx + 1 - start;
+                if len == chunk_size || acc >= budget || idx + 1 == owned.len() {
+                    chunks.push(WorkChunk {
+                        node,
+                        start,
+                        end: idx + 1,
+                        estimate: acc,
+                    });
+                    start = idx + 1;
+                    acc = 0;
+                }
+            }
+        }
+        // Descending estimate: stealing claims the heavy tail first. The tie
+        // break keeps the order (and therefore the whole layout) deterministic.
+        chunks.sort_by(|a, b| {
+            b.estimate
+                .cmp(&a.estimate)
+                .then(a.node.cmp(&b.node))
+                .then(a.start.cmp(&b.start))
+        });
+        let mut per_node = vec![Vec::new(); owned_per_node.len()];
+        for (i, chunk) in chunks.iter().enumerate() {
+            per_node[chunk.node].push(i);
+        }
+        Self { chunks, per_node }
+    }
+
+    /// All chunks, in execution (claim) order.
+    pub fn chunks(&self) -> &[WorkChunk] {
+        &self.chunks
+    }
+
+    /// Indices into [`GlobalChunkLayout::chunks`] belonging to `node`, in
+    /// execution order.
+    pub fn node_chunks(&self, node: usize) -> &[usize] {
+        &self.per_node[node]
+    }
+
+    /// Number of simulated nodes the layout spans.
+    pub fn num_nodes(&self) -> usize {
+        self.per_node.len()
+    }
+
+    /// Deterministically assign `node`'s chunks (costed by
+    /// `cost(chunk_index)`, typically the measured per-chunk work of the phase
+    /// just executed) to `workers` simulated workers under `policy`:
+    ///
+    /// * [`SchedulingPolicy::WorkStealing`] — greedy least-loaded in execution
+    ///   order, what chunk-grained stealing converges to; with the
+    ///   descending-estimate order this is classic LPT scheduling.
+    /// * [`SchedulingPolicy::StaticBlocks`] — contiguous equal-count blocks of
+    ///   the node's chunk list, the "w/o Stealing" baseline of Figure 10(a).
+    ///
+    /// This is the simulated-cluster view: each *node* still only has
+    /// `workers_per_node` workers, no matter how many global threads physically
+    /// ran the chunks.
+    pub fn simulate_node(
+        &self,
+        node: usize,
+        workers: usize,
+        policy: SchedulingPolicy,
+        mut cost: impl FnMut(usize) -> u64,
+    ) -> ScheduleOutcome {
+        assert!(workers >= 1, "need at least one worker");
+        let mut per_worker = vec![0u64; workers];
+        let mut total = 0u64;
+        let node_chunks = &self.per_node[node];
+        for (pos, &chunk) in node_chunks.iter().enumerate() {
+            let c = cost(chunk);
+            if c == 0 {
+                continue;
+            }
+            total += c;
+            let idx = match policy {
+                SchedulingPolicy::WorkStealing => {
+                    per_worker
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(i, &w)| (w, *i))
+                        .expect("at least one worker")
+                        .0
+                }
+                SchedulingPolicy::StaticBlocks => pos * workers / node_chunks.len(),
+            };
+            per_worker[idx] += c;
+        }
+        ScheduleOutcome {
+            per_worker_work: per_worker,
+            total_work: total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slfe_graph::generators;
+
+    fn owned_split(n: usize, nodes: usize) -> Vec<Vec<VertexId>> {
+        // Contiguous shares, like the chunking partitioner produces.
+        let per = n.div_ceil(nodes);
+        (0..nodes)
+            .map(|k| ((k * per) as u32..(((k + 1) * per).min(n)) as u32).collect())
+            .collect()
+    }
+
+    #[test]
+    fn chunks_cover_every_owned_vertex_exactly_once() {
+        let g = generators::rmat(3000, 24000, 0.57, 0.19, 0.19, 77);
+        let owned = owned_split(g.num_vertices(), 3);
+        let refs: Vec<&[VertexId]> = owned.iter().map(|o| o.as_slice()).collect();
+        let layout = GlobalChunkLayout::build(&g, &refs, 256);
+        let mut covered = vec![0usize; g.num_vertices()];
+        for chunk in layout.chunks() {
+            assert!(!chunk.is_empty());
+            for idx in chunk.start..chunk.end {
+                covered[owned[chunk.node][idx] as usize] += 1;
+            }
+        }
+        assert!(covered.iter().all(|&c| c == 1), "each vertex exactly once");
+    }
+
+    #[test]
+    fn chunks_are_ordered_descending_by_estimate() {
+        let g = generators::rmat(2000, 30000, 0.57, 0.19, 0.19, 5);
+        let owned = owned_split(g.num_vertices(), 2);
+        let refs: Vec<&[VertexId]> = owned.iter().map(|o| o.as_slice()).collect();
+        let layout = GlobalChunkLayout::build(&g, &refs, 128);
+        for pair in layout.chunks().windows(2) {
+            assert!(pair[0].estimate >= pair[1].estimate);
+        }
+    }
+
+    #[test]
+    fn hub_heavy_chunks_are_split() {
+        // A star: vertex 0 has degree n-1, everyone else degree 1. With the
+        // budget rule the hub must sit in a chunk much smaller than chunk_size.
+        let n = 2048;
+        let edges: Vec<(u32, u32, f32)> = (1..n).map(|v| (0u32, v as u32, 1.0)).collect();
+        let mut b = slfe_graph::GraphBuilder::new();
+        b.extend_weighted(edges);
+        let g = b.build();
+        let owned: Vec<VertexId> = (0..n as u32).collect();
+        let layout = GlobalChunkLayout::build(&g, &[&owned], 256);
+        let hub_chunk = layout
+            .chunks()
+            .iter()
+            .find(|c| (c.start..c.end).contains(&0))
+            .unwrap();
+        assert!(
+            hub_chunk.len() < 256,
+            "hub chunk of {} vertices was not split",
+            hub_chunk.len()
+        );
+        // And the hub chunk is claimed first.
+        assert_eq!(layout.chunks()[0], *hub_chunk);
+    }
+
+    #[test]
+    fn node_chunk_indices_partition_the_chunk_list() {
+        let g = generators::rmat(1000, 8000, 0.57, 0.19, 0.19, 9);
+        let owned = owned_split(g.num_vertices(), 4);
+        let refs: Vec<&[VertexId]> = owned.iter().map(|o| o.as_slice()).collect();
+        let layout = GlobalChunkLayout::build(&g, &refs, 64);
+        let mut seen = vec![false; layout.chunks().len()];
+        for node in 0..layout.num_nodes() {
+            for &i in layout.node_chunks(node) {
+                assert_eq!(layout.chunks()[i].node, node);
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn simulate_node_conserves_work_and_bounds_makespan() {
+        let g = generators::rmat(1500, 12000, 0.57, 0.19, 0.19, 13);
+        let owned = owned_split(g.num_vertices(), 2);
+        let refs: Vec<&[VertexId]> = owned.iter().map(|o| o.as_slice()).collect();
+        let layout = GlobalChunkLayout::build(&g, &refs, 64);
+        for node in 0..2 {
+            let outcome = layout.simulate_node(node, 4, SchedulingPolicy::WorkStealing, |c| {
+                layout.chunks()[c].estimate
+            });
+            let expected: u64 = layout
+                .node_chunks(node)
+                .iter()
+                .map(|&c| layout.chunks()[c].estimate)
+                .sum();
+            assert_eq!(outcome.total_work, expected);
+            let max_chunk = layout
+                .node_chunks(node)
+                .iter()
+                .map(|&c| layout.chunks()[c].estimate)
+                .max()
+                .unwrap_or(0);
+            assert!(outcome.makespan() <= expected / 4 + max_chunk);
+        }
+    }
+
+    #[test]
+    fn empty_nodes_get_no_chunks() {
+        let g = generators::path(10);
+        let owned: Vec<VertexId> = (0..10).collect();
+        let layout = GlobalChunkLayout::build(&g, &[&owned, &[]], 4);
+        assert_eq!(layout.node_chunks(1), &[] as &[usize]);
+        assert!(layout.chunks().iter().all(|c| c.node == 0));
+        let sim = layout.simulate_node(1, 3, SchedulingPolicy::WorkStealing, |_| 1);
+        assert_eq!(sim.total_work, 0);
+    }
+}

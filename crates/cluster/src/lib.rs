@@ -14,8 +14,15 @@
 //!   a 100 Gb/s InfiniBand link as used in the paper's testbed).
 //! * [`stealing`] — the 256-vertex mini-chunk work-stealing scheduler of §3.6, with
 //!   a deterministic simulated mode (used by the experiments for reproducible
-//!   imbalance/scalability numbers) and a threaded mode (real `std::thread` workers
+//!   imbalance/scalability numbers) and a threaded mode (real worker threads
 //!   claiming chunks from an atomic cursor).
+//! * [`pool`] — [`WorkerPool`]: the persistent, machine-spanning worker pool
+//!   behind every threaded path. Threads are spawned once per engine and parked
+//!   between phases; each phase is one publish → execute → barrier round of the
+//!   pool's phase-barrier protocol.
+//! * [`layout`] — [`GlobalChunkLayout`]: degree-aware work units for the
+//!   cross-node executor. Hub-heavy chunks are split, and chunks are ordered
+//!   descending by estimated work so stealing drains the tail first.
 //! * [`cluster`] — [`Cluster`]: a partitioned view of a graph across nodes with
 //!   helpers every engine shares (ownership tests, per-node vertex ranges, per-node
 //!   work accounting).
@@ -23,9 +30,13 @@
 pub mod cluster;
 pub mod comm;
 pub mod config;
+pub mod layout;
+pub mod pool;
 pub mod stealing;
 
 pub use cluster::Cluster;
 pub use comm::{CommCostModel, CommStats, CommTracker};
 pub use config::ClusterConfig;
+pub use layout::{GlobalChunkLayout, WorkChunk};
+pub use pool::WorkerPool;
 pub use stealing::{ChunkScheduler, ScheduleOutcome, SchedulingPolicy, DEFAULT_CHUNK_SIZE};

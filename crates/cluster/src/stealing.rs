@@ -20,7 +20,12 @@
 //! threaded executor ([`ChunkScheduler::execute_threaded`]) report per-worker busy
 //! work, which the Figure 10(a) and Figure 6 experiments turn into imbalance and
 //! scalability numbers.
+//!
+//! Since PR 3 the threaded paths execute on a persistent [`WorkerPool`] (parked
+//! threads, phase-barrier protocol) instead of spawning fresh threads per phase
+//! via `std::thread::scope` — see [`crate::pool`] for the protocol.
 
+use crate::pool::{SendPtr, WorkerPool};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The paper's mini-chunk size: 256 vertices per chunk.
@@ -149,12 +154,17 @@ impl ChunkScheduler {
     /// items on real threads. Workers claim chunks from a shared atomic cursor
     /// (work stealing); the closure returns the work units it performed and must be
     /// safe to call concurrently for distinct chunks.
+    ///
+    /// Convenience wrapper that stands up a transient [`WorkerPool`]; hot paths
+    /// hold a long-lived pool and call [`ChunkScheduler::run_workers`] instead.
     pub fn execute_threaded<F>(&self, num_items: usize, process_chunk: F) -> ScheduleOutcome
     where
         F: Fn(usize) -> u64 + Sync,
     {
+        let pool = WorkerPool::new(self.num_workers);
         let mut states = vec![(); self.num_workers];
         self.run_workers(
+            &pool,
             num_items,
             SchedulingPolicy::WorkStealing,
             &mut states,
@@ -176,8 +186,10 @@ impl ChunkScheduler {
         start..end.min(num_chunks)
     }
 
-    /// Run every chunk covering `num_items` items on real worker threads, with one
-    /// mutable state per worker — the engine hot loop's executor.
+    /// Run every chunk covering `num_items` items on the persistent worker
+    /// `pool`, with one mutable state per worker — the engine hot loop's
+    /// executor. One call is one phase of the pool's barrier protocol; no
+    /// threads are spawned.
     ///
     /// * [`SchedulingPolicy::WorkStealing`]: workers claim chunks one at a time
     ///   from a shared atomic cursor, so an idle worker keeps taking work (§3.6).
@@ -189,11 +201,13 @@ impl ChunkScheduler {
     /// `process(state, chunk_index)` returns the work units performed and may
     /// freely mutate its worker-local state (frontier buffers, counters, scratch);
     /// the caller merges the states after this barrier. With a single worker (or a
-    /// single chunk) everything runs inline on the calling thread — no threads are
-    /// spawned, and chunks are processed in ascending order, which keeps
-    /// single-worker runs bit-for-bit identical to the old sequential loop.
+    /// single chunk) everything runs inline on the calling thread, and chunks are
+    /// processed in ascending order, which keeps single-worker runs bit-for-bit
+    /// identical to the old sequential loop. The pool must have at least
+    /// `states.len()` threads; extra pool workers idle through the phase.
     pub fn run_workers<S, F>(
         &self,
+        pool: &WorkerPool,
         num_items: usize,
         policy: SchedulingPolicy,
         states: &mut [S],
@@ -204,6 +218,12 @@ impl ChunkScheduler {
         F: Fn(&mut S, usize) -> u64 + Sync,
     {
         assert_eq!(states.len(), self.num_workers, "one state per worker");
+        assert!(
+            pool.threads() >= self.num_workers,
+            "pool of {} threads cannot host {} workers",
+            pool.threads(),
+            self.num_workers
+        );
         let num_chunks = self.num_chunks(num_items);
         let mut per_worker = vec![0u64; self.num_workers];
 
@@ -223,34 +243,32 @@ impl ChunkScheduler {
         }
 
         let cursor = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(self.num_workers);
-            for (worker, state) in states.iter_mut().enumerate() {
-                let cursor = &cursor;
-                let process = &process;
-                let this = &*self;
-                handles.push(scope.spawn(move || {
-                    let mut local = 0u64;
-                    match policy {
-                        SchedulingPolicy::WorkStealing => loop {
-                            let chunk = cursor.fetch_add(1, Ordering::Relaxed);
-                            if chunk >= num_chunks {
-                                break;
-                            }
-                            local += process(state, chunk);
-                        },
-                        SchedulingPolicy::StaticBlocks => {
-                            for chunk in this.static_block(worker, num_chunks) {
-                                local += process(state, chunk);
-                            }
-                        }
+        let num_workers = self.num_workers;
+        let states_ptr = SendPtr::new(states);
+        let loads_ptr = SendPtr::new(&mut per_worker);
+        pool.run(&|worker| {
+            if worker >= num_workers {
+                return;
+            }
+            // Safety: every worker id in 0..num_workers occurs exactly once per
+            // phase, so each state/load slot has a single writer.
+            let state = unsafe { &mut *states_ptr.slot(worker) };
+            let mut local = 0u64;
+            match policy {
+                SchedulingPolicy::WorkStealing => loop {
+                    let chunk = cursor.fetch_add(1, Ordering::Relaxed);
+                    if chunk >= num_chunks {
+                        break;
                     }
-                    local
-                }));
+                    local += process(state, chunk);
+                },
+                SchedulingPolicy::StaticBlocks => {
+                    for chunk in self.static_block(worker, num_chunks) {
+                        local += process(state, chunk);
+                    }
+                }
             }
-            for (i, handle) in handles.into_iter().enumerate() {
-                per_worker[i] = handle.join().expect("worker panicked");
-            }
+            unsafe { *loads_ptr.slot(worker) = local };
         });
         let total = per_worker.iter().sum();
         ScheduleOutcome {
@@ -360,9 +378,11 @@ mod tests {
     #[test]
     fn run_workers_gives_each_worker_its_own_state() {
         let s = ChunkScheduler::new(4, 8);
+        let pool = WorkerPool::new(4);
         let n = 512;
         let mut states = vec![Vec::<usize>::new(); 4];
         let outcome = s.run_workers(
+            &pool,
             n,
             SchedulingPolicy::WorkStealing,
             &mut states,
@@ -381,9 +401,11 @@ mod tests {
     #[test]
     fn run_workers_single_worker_is_inline_and_ordered() {
         let s = ChunkScheduler::new(1, 4);
+        let pool = WorkerPool::new(1);
         let caller = std::thread::current().id();
         let mut states = vec![Vec::<(usize, std::thread::ThreadId)>::new()];
         s.run_workers(
+            &pool,
             32,
             SchedulingPolicy::WorkStealing,
             &mut states,
@@ -408,11 +430,13 @@ mod tests {
     fn static_blocks_match_the_deterministic_simulation() {
         for (workers, chunk_size, items) in [(4usize, 8usize, 515usize), (3, 16, 1000), (8, 1, 5)] {
             let s = ChunkScheduler::new(workers, chunk_size);
+            let pool = WorkerPool::new(workers);
             let num_chunks = s.num_chunks(items);
             // Real static execution: record which worker ran each chunk.
             let assignment = std::sync::Mutex::new(vec![usize::MAX; num_chunks]);
             let mut states: Vec<usize> = (0..workers).collect();
             s.run_workers(
+                &pool,
                 items,
                 SchedulingPolicy::StaticBlocks,
                 &mut states,

@@ -25,23 +25,34 @@
 //!
 //! # Real parallelism vs. simulation
 //!
-//! Each iteration's owned-vertex chunks are driven through a **real thread pool**
-//! ([`slfe_cluster::ChunkScheduler::run_workers`]): one OS thread per configured
-//! worker claims 256-vertex mini-chunks from a shared atomic cursor (work
-//! stealing) or processes its static block. Wall-clock time therefore scales with
-//! the worker count on real hardware. What remains *simulated* is the cluster
-//! dimension: logical nodes execute their phases one after another inside the
-//! process, inter-node messages are counted (never sent over a network) and priced
-//! by the communication cost model, and the per-iteration "simulated seconds" are
-//! derived from the busiest worker's counted work plus the priced traffic. In
-//! short: intra-node parallelism is measured, inter-node distribution is modelled.
+//! Execution runs on a **persistent, machine-spanning worker pool**
+//! ([`slfe_cluster::WorkerPool`], `total_workers = nodes × workers_per_node`
+//! threads, spawned once at engine build and parked between phases). One
+//! iteration is **one global phase**: every node's owned-vertex chunks — cut by
+//! the degree-aware [`slfe_cluster::GlobalChunkLayout`] (hub chunks split,
+//! claim order descending by estimated work) — are claimed by all pool workers
+//! at once, so logical nodes execute *concurrently*, not one after another.
+//! Wall-clock time therefore scales with `total_workers` on real hardware.
+//!
+//! What remains *simulated* is the cluster's cost model: inter-node messages
+//! are counted (never sent over a network) and priced at the iteration
+//! barrier, and the per-iteration "simulated seconds" are derived by
+//! deterministically re-assigning the measured per-chunk costs to each node's
+//! `workers_per_node` simulated workers (greedy least-loaded over the layout
+//! order — what chunk-grained stealing converges to) and taking the slowest
+//! node's busiest worker. In short: parallel execution is measured machine-wide,
+//! the distribution (node-local worker counts, network pricing) is modelled —
+//! and, new in PR 3, the simulated schedule itself is deterministic at every
+//! worker count, because it no longer depends on which physical thread happened
+//! to steal which chunk.
 //!
 //! # Parallel execution and determinism
 //!
 //! Workers never share mutable state during a phase. Each worker owns a scratch
 //! ([`Counters`], a next-frontier [`Bitset`], a per-node-pair message tally, and —
-//! for push mode — a local gather buffer); scratches are merged at the phase
-//! barrier. The guarantees, per aggregation kind:
+//! for push mode — a local gather buffer plus a contributing-sender-node mask);
+//! scratches are merged at the phase barrier. The guarantees, per aggregation
+//! kind:
 //!
 //! * **Pull mode** (both kinds): every destination vertex is written by exactly one
 //!   worker, and its gather folds the incoming edges in the fixed CSC order. Values
@@ -53,27 +64,41 @@
 //!   commutative and associative, the merged values are **bit-for-bit identical**
 //!   to the sequential result for every worker count. Work/update counters in
 //!   parallel push are counted per merged destination (not per improving edge), so
-//!   with more than one worker they can differ slightly from the single-worker
-//!   tally; messages are charged once per changed remote destination per node
-//!   (sender-side aggregation).
-//! * **`workers_per_node: 1`** runs every phase inline on the calling thread in
-//!   ascending chunk order and keeps the historical per-edge counting — it
-//!   reproduces the pre-parallelism sequential engine bit-for-bit and serves as
-//!   the deterministic oracle for the parallel paths.
+//!   with more than one worker per node they can differ slightly from the
+//!   single-worker tally; messages are charged once per changed remote
+//!   destination per *contributing sender node* (sender-side aggregation — the
+//!   sender set is tracked exactly through the per-worker node masks).
+//! * **`workers_per_node: 1`** keeps the historical sequential push path (nodes
+//!   in ascending order, per-edge counting) and a single simulated worker per
+//!   node — it reproduces the pre-parallelism sequential engine bit-for-bit,
+//!   counters and simulated seconds included, and serves as the deterministic
+//!   oracle for the parallel paths. (Pull phases still *execute* on the global
+//!   pool even then; their per-destination accounting makes that invisible.)
 //!
-//! Under work stealing the *assignment* of chunks to workers (and therefore the
-//! per-worker busy-work split and the makespan-derived simulated seconds) is
-//! nondeterministic; every result, counter total and message tally above is not.
+//! Which physical worker processes which chunk remains nondeterministic under
+//! stealing; every result, counter total, message tally and — since the
+//! schedule is now simulated from deterministic per-chunk costs — every
+//! per-worker load and simulated-seconds figure above is not.
+//!
+//! **Memory trade-off:** scratch is per *pool* worker, so a run allocates
+//! `total_workers` (not `workers_per_node`) dense buffers — for min/max
+//! programs that is one O(n) gather buffer, an n-bit touched set and an n-bit
+//! frontier per worker (≈ `total_workers × 9n` bytes at one `f32` per vertex,
+//! e.g. ~2.9 GB for 10M vertices on the 8×4 default). That is the price of
+//! cross-node push parallelism with contention-free sender-local folding;
+//! arithmetic (pull-only) programs skip the push buffers entirely. A sparse
+//! per-worker buffer for small frontiers is an open ROADMAP item.
 
 use crate::config::{EngineConfig, RedundancyMode};
 use crate::program::{AggregationKind, GraphProgram};
 use crate::result::ProgramResult;
 use crate::rrg::RrGuidance;
-use slfe_cluster::{Cluster, ClusterConfig};
+use slfe_cluster::{ChunkScheduler, Cluster, ClusterConfig, GlobalChunkLayout, WorkerPool};
 use slfe_graph::{Bitset, Graph, VertexId};
 use slfe_metrics::{
     Counters, ExecutionStats, IterationRecord, IterationTrace, Mode, PhaseBreakdown,
 };
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Size in bytes of one vertex update message: a 4-byte vertex id + 4-byte value.
@@ -138,12 +163,19 @@ struct WorkerScratch<V> {
     local_values: Vec<V>,
     /// Push mode: which entries of `local_values` hold live contributions.
     touched: Bitset,
+    /// Push mode, multi-node clusters: per-destination bitmask of the nodes
+    /// whose sources contributed to `local_values[d]` — `mask_words` words per
+    /// destination. Merged at the barrier to charge one message per changed
+    /// remote destination per contributing sender node. Entries are zeroed
+    /// lazily alongside `touched`.
+    contrib_nodes: Vec<u64>,
 }
 
 impl<V: Copy> WorkerScratch<V> {
     /// `needs_push` gates the O(n) gather buffers: arithmetic programs never
     /// push, so their workers skip the per-worker value buffer entirely.
-    fn new(n: usize, num_nodes: usize, identity: V, needs_push: bool) -> Self {
+    /// `mask_words` is 0 on single-node clusters (no messages to attribute).
+    fn new(n: usize, num_nodes: usize, mask_words: usize, identity: V, needs_push: bool) -> Self {
         let push_len = if needs_push { n } else { 0 };
         Self {
             next_frontier: Bitset::new(n),
@@ -153,6 +185,7 @@ impl<V: Copy> WorkerScratch<V> {
             bytes: vec![0u64; num_nodes * num_nodes],
             local_values: vec![identity; push_len],
             touched: Bitset::new(push_len),
+            contrib_nodes: vec![0u64; push_len * mask_words],
         }
     }
 
@@ -194,6 +227,12 @@ pub struct SlfeEngine<'g> {
     cluster: Cluster,
     config: EngineConfig,
     rrg: RrGuidance,
+    /// The persistent worker pool: `total_workers` threads spawned once here
+    /// (or inherited via [`SlfeEngine::with_cluster_guidance_and_pool`]) and
+    /// reused by every phase of every run, including RRG preprocessing.
+    pool: Arc<WorkerPool>,
+    /// Degree-aware, cluster-wide chunk layout (built once per graph version).
+    layout: GlobalChunkLayout,
     preprocessing_seconds: f64,
     preprocessing_wall_seconds: f64,
 }
@@ -207,10 +246,11 @@ impl<'g> SlfeEngine<'g> {
 
     /// Build the engine around an existing cluster (custom partitioning).
     pub fn with_cluster(graph: &'g Graph, cluster: Cluster, config: EngineConfig) -> Self {
+        let pool = Arc::new(WorkerPool::new(cluster.config().total_workers()));
         let wall_start = Instant::now();
-        let rrg = RrGuidance::generate_parallel(graph, cluster.config().workers_per_node);
+        let rrg = RrGuidance::generate_parallel_on(graph, &pool);
         let preprocessing_wall_seconds = wall_start.elapsed().as_secs_f64();
-        let mut engine = Self::with_cluster_and_guidance(graph, cluster, config, rrg);
+        let mut engine = Self::with_cluster_guidance_and_pool(graph, cluster, config, rrg, pool);
         engine.preprocessing_wall_seconds = preprocessing_wall_seconds;
         engine
     }
@@ -227,10 +267,32 @@ impl<'g> SlfeEngine<'g> {
         config: EngineConfig,
         rrg: RrGuidance,
     ) -> Self {
+        let pool = Arc::new(WorkerPool::new(cluster.config().total_workers()));
+        Self::with_cluster_guidance_and_pool(graph, cluster, config, rrg, pool)
+    }
+
+    /// [`SlfeEngine::with_cluster_and_guidance`] reusing an existing worker
+    /// pool instead of spawning one — the warm-serving path:
+    /// `slfe_delta::DeltaServer` builds one pool at startup and threads it
+    /// through every graph version's engine, so applying a batch spawns zero
+    /// threads. The pool must have at least `total_workers` threads.
+    pub fn with_cluster_guidance_and_pool(
+        graph: &'g Graph,
+        cluster: Cluster,
+        config: EngineConfig,
+        rrg: RrGuidance,
+        pool: Arc<WorkerPool>,
+    ) -> Self {
         assert_eq!(
             rrg.num_vertices(),
             graph.num_vertices(),
             "guidance must cover the engine's graph"
+        );
+        assert!(
+            pool.threads() >= cluster.config().total_workers(),
+            "pool of {} threads cannot host {} cluster workers",
+            pool.threads(),
+            cluster.config().total_workers()
         );
         // Simulated preprocessing cost: the guidance pass is embarrassingly
         // parallel over the frontier, so its counted work — the generation work
@@ -239,11 +301,14 @@ impl<'g> SlfeEngine<'g> {
         // paper's claim that the overhead is negligible and amortised (§4.4).
         let workers = cluster.config().total_workers().max(1) as f64;
         let preprocessing_seconds = config.cost.seconds(rrg.generation_work()) / workers;
+        let layout = cluster.build_layout(graph);
         Self {
             graph,
             cluster,
             config,
             rrg,
+            pool,
+            layout,
             preprocessing_seconds,
             // No guidance BFS ran inside this constructor.
             preprocessing_wall_seconds: 0.0,
@@ -268,6 +333,16 @@ impl<'g> SlfeEngine<'g> {
     /// The redundancy-reduction guidance generated at build time.
     pub fn guidance(&self) -> &RrGuidance {
         &self.rrg
+    }
+
+    /// The persistent worker pool driving every phase of this engine.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// The degree-aware, cluster-wide chunk layout the executor claims from.
+    pub fn layout(&self) -> &GlobalChunkLayout {
+        &self.layout
     }
 
     /// Simulated seconds spent generating the guidance (Figure 8 overhead).
@@ -556,18 +631,34 @@ impl<'g> SlfeEngine<'g> {
 
         let num_nodes = self.cluster.num_nodes();
         let workers = self.cluster.config().workers_per_node;
+        let total_workers = self.cluster.config().total_workers();
+        // The persistent pool spawned all its threads at engine build; this
+        // run's delta proves no phase re-spawned (see Counters::threads_spawned).
+        let spawned_before = self.pool.threads_spawned();
         let mut per_node_worker_work: Vec<Vec<u64>> = vec![vec![0u64; workers]; num_nodes];
 
         // Buffers hoisted out of the iteration loop — zero per-iteration allocation.
         let mut prev_values: Vec<P::Value> = values.clone();
         let mut next_active = Bitset::new(n);
         let needs_push = !arithmetic;
-        let mut worker_states: Vec<WorkerScratch<P::Value>> = (0..workers)
-            .map(|_| WorkerScratch::new(n, num_nodes, program.identity(), needs_push))
+        let mask_words = if num_nodes > 1 {
+            num_nodes.div_ceil(64)
+        } else {
+            0
+        };
+        let mut worker_states: Vec<WorkerScratch<P::Value>> = (0..total_workers)
+            .map(|_| WorkerScratch::new(n, num_nodes, mask_words, program.identity(), needs_push))
             .collect();
         let push_len = if needs_push { n } else { 0 };
         let mut merged_values: Vec<P::Value> = vec![program.identity(); push_len];
         let mut merged_touched = Bitset::new(push_len);
+        let mut merged_nodes: Vec<u64> = vec![0u64; push_len * mask_words];
+        // The global executor claims the layout's chunks one at a time across
+        // every node; measured per-chunk costs feed the simulated-cluster
+        // schedule after each phase.
+        let global_scheduler = ChunkScheduler::new(total_workers, 1);
+        let mut chunk_costs: Vec<u64> = vec![0u64; self.layout.chunks().len()];
+        let mut merge_work_by_node: Vec<u64> = vec![0u64; num_nodes];
 
         let mut trace = IterationTrace::new();
         let mut totals = seed.preset;
@@ -604,6 +695,7 @@ impl<'g> SlfeEngine<'g> {
             let mut changed_this_iter = 0usize;
             let mut iteration_node_makespan = 0u64;
             next_active.clear();
+            chunk_costs.fill(0);
 
             // Algorithm 3 lines 2-4: re-activate everything on a pull -> push
             // transition (or a forced flush) so updates from vertices that RR
@@ -619,11 +711,33 @@ impl<'g> SlfeEngine<'g> {
             // engine whose remote values only refresh at iteration boundaries.
             prev_values.copy_from_slice(&values);
 
-            for node in self.cluster.nodes() {
-                let outcome = match mode {
-                    Mode::Pull => self.pull_phase(
+            if mode == Mode::Push && workers == 1 {
+                // Historical sequential push: nodes in ascending order with
+                // per-edge counting — the `workers_per_node: 1` oracle path the
+                // determinism guarantees are anchored to.
+                for node in self.cluster.nodes() {
+                    let outcome = self.push_phase_sequential(
                         program,
                         node,
+                        iter,
+                        tolerance,
+                        &active,
+                        &prev_values,
+                        &mut values,
+                        &mut next_active,
+                        &mut changed_this_iter,
+                        &mut last_changed_iter,
+                        &mut iter_counters,
+                    );
+                    per_node_worker_work[node][0] += outcome.total_work;
+                    self.cluster.record_node_work(node, outcome.total_work);
+                    iteration_node_makespan = iteration_node_makespan.max(outcome.makespan());
+                }
+            } else {
+                // One global phase: every node's chunks on the machine-wide pool.
+                match mode {
+                    Mode::Pull => self.pull_phase_global(
+                        program,
                         iter,
                         rr,
                         arithmetic,
@@ -634,23 +748,11 @@ impl<'g> SlfeEngine<'g> {
                         &mut stable_value,
                         &mut last_changed_iter,
                         &mut worker_states,
+                        &global_scheduler,
+                        &mut chunk_costs,
                     ),
-                    Mode::Push if workers == 1 => self.push_phase_sequential(
+                    Mode::Push => self.push_phase_global(
                         program,
-                        node,
-                        iter,
-                        tolerance,
-                        &active,
-                        &prev_values,
-                        &mut values,
-                        &mut next_active,
-                        &mut changed_this_iter,
-                        &mut last_changed_iter,
-                        &mut iter_counters,
-                    ),
-                    Mode::Push => self.push_phase_parallel(
-                        program,
-                        node,
                         iter,
                         tolerance,
                         &active,
@@ -661,13 +763,18 @@ impl<'g> SlfeEngine<'g> {
                         &mut last_changed_iter,
                         &mut iter_counters,
                         &mut worker_states,
+                        &global_scheduler,
+                        &mut chunk_costs,
                         &mut merged_values,
                         &mut merged_touched,
+                        &mut merged_nodes,
+                        mask_words,
+                        &mut merge_work_by_node,
                     ),
-                };
+                }
 
-                // Merge per-worker scratch at the phase barrier: counters, change
-                // tallies, activated frontier bits and the message matrix.
+                // Merge per-worker scratch at the iteration barrier: counters,
+                // change tallies, activated frontier bits and the message matrix.
                 for ws in worker_states.iter_mut() {
                     iter_counters += ws.counters;
                     ws.counters = Counters::zero();
@@ -694,17 +801,40 @@ impl<'g> SlfeEngine<'g> {
                     }
                 }
 
-                for (w, load) in per_node_worker_work[node]
-                    .iter_mut()
-                    .zip(&outcome.per_worker_work)
-                {
-                    *w += load;
+                // Simulated-cluster accounting: in the *model* each node still
+                // only has `workers_per_node` workers, however many pool threads
+                // physically ran its chunks. Re-assign the measured per-chunk
+                // costs greedily (least-loaded, layout order — what stealing
+                // converges to); apply work joins the owner's least-loaded
+                // worker. The iteration is bounded by the slowest node's busiest
+                // worker; because chunk costs are deterministic, so is the whole
+                // schedule, at every worker count.
+                for node in self.cluster.nodes() {
+                    let mut sim =
+                        self.layout
+                            .simulate_node(node, workers, self.config.scheduling, |c| {
+                                chunk_costs[c]
+                            });
+                    let merge = std::mem::take(&mut merge_work_by_node[node]);
+                    if merge > 0 {
+                        let (idx, _) = sim
+                            .per_worker_work
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(i, &w)| (w, *i))
+                            .expect("at least one worker");
+                        sim.per_worker_work[idx] += merge;
+                        sim.total_work += merge;
+                    }
+                    for (w, load) in per_node_worker_work[node]
+                        .iter_mut()
+                        .zip(&sim.per_worker_work)
+                    {
+                        *w += load;
+                    }
+                    self.cluster.record_node_work(node, sim.total_work);
+                    iteration_node_makespan = iteration_node_makespan.max(sim.makespan());
                 }
-                self.cluster.record_node_work(node, outcome.total_work);
-                // The node's simulated time for this iteration is its busiest
-                // worker; nodes run in parallel, so the iteration is bounded by the
-                // slowest node.
-                iteration_node_makespan = iteration_node_makespan.max(outcome.makespan());
             }
 
             // Arithmetic programs apply vertexUpdate inside the pull computation
@@ -761,6 +891,10 @@ impl<'g> SlfeEngine<'g> {
             converged = true;
         }
 
+        // Always 0 with the persistent pool (threads spawn at engine build):
+        // a nonzero delta here means per-phase spawning has regressed.
+        totals.threads_spawned += self.pool.threads_spawned() - spawned_before;
+
         let mut stats = ExecutionStats::new("slfe", program.name());
         stats.num_vertices = n;
         stats.num_edges = graph.num_edges();
@@ -813,14 +947,16 @@ impl<'g> SlfeEngine<'g> {
         }
     }
 
-    /// One node's pull phase: every owned destination gathers over its incoming
-    /// edges on the worker pool. Each destination is written by exactly one worker,
-    /// so workers share the value/ruler slices without synchronisation.
+    /// One iteration's **global** pull phase: every node's owned destinations
+    /// gather over their incoming edges, with all the layout's chunks claimed
+    /// by the machine-wide pool at once (cross-node parallelism). Each
+    /// destination is written by exactly one worker, so workers share the
+    /// value/ruler slices without synchronisation; measured per-chunk costs
+    /// land in `chunk_costs` for the simulated-cluster schedule.
     #[allow(clippy::too_many_arguments)]
-    fn pull_phase<P: GraphProgram>(
+    fn pull_phase_global<P: GraphProgram>(
         &self,
         program: &P,
-        node: usize,
         iter: u32,
         rr: bool,
         arithmetic: bool,
@@ -831,23 +967,26 @@ impl<'g> SlfeEngine<'g> {
         stable_value: &mut [P::Value],
         last_changed_iter: &mut [u32],
         worker_states: &mut [WorkerScratch<P::Value>],
-    ) -> slfe_cluster::ScheduleOutcome {
-        let owned = self.cluster.vertices_of(node);
-        let scheduler = self.cluster.node_scheduler();
-        let num_items = owned.len();
+        scheduler: &ChunkScheduler,
+        chunk_costs: &mut [u64],
+    ) {
+        let chunks = self.layout.chunks();
         let values_shared = SharedSlice::new(values);
         let stable_count_shared = SharedSlice::new(stable_count);
         let stable_value_shared = SharedSlice::new(stable_value);
         let last_changed_shared = SharedSlice::new(last_changed_iter);
+        let costs_shared = SharedSlice::new(chunk_costs);
 
         scheduler.run_workers(
-            num_items,
+            &self.pool,
+            chunks.len(),
             self.config.scheduling,
             worker_states,
-            |ws, chunk| {
+            |ws, ci| {
+                let chunk = &chunks[ci];
+                let owned = self.cluster.vertices_of(chunk.node);
                 let mut chunk_work = 0u64;
-                for idx in scheduler.chunk_range(chunk, num_items) {
-                    let dst = owned[idx];
+                for &dst in &owned[chunk.start..chunk.end] {
                     // Safety: `dst` is owned by exactly one chunk, and each chunk is
                     // processed by exactly one worker, so every shared-slice index
                     // below is touched by this worker only.
@@ -868,9 +1007,11 @@ impl<'g> SlfeEngine<'g> {
                         )
                     };
                 }
+                // Safety: each cost slot belongs to this chunk's single processor.
+                unsafe { costs_shared.set(ci, chunk_work) };
                 chunk_work
             },
-        )
+        );
     }
 
     /// Pull-mode processing of one destination vertex (Algorithm 2).
@@ -1066,17 +1207,19 @@ impl<'g> SlfeEngine<'g> {
         work
     }
 
-    /// One node's push phase on the worker pool. Workers fold each destination's
-    /// contributions into worker-local buffers; the barrier combines the buffers
-    /// and applies each destination exactly once. A min/max `combine` is
-    /// idempotent, commutative and associative, so the merged values are identical
-    /// to the sequential result regardless of chunk assignment (arithmetic
-    /// programs never push).
+    /// One iteration's **global** push phase on the machine-wide pool. Workers
+    /// fold each destination's contributions into worker-local buffers (tagging
+    /// the contributing sender node in a per-destination mask); the barrier
+    /// combines the buffers and applies each destination exactly once. A
+    /// min/max `combine` is idempotent, commutative and associative, so the
+    /// merged values are identical to the sequential result regardless of chunk
+    /// assignment (arithmetic programs never push). Messages are charged once
+    /// per changed remote destination per contributing sender node; apply work
+    /// is attributed to the destination's owner in `merge_work_by_node`.
     #[allow(clippy::too_many_arguments)]
-    fn push_phase_parallel<P: GraphProgram>(
+    fn push_phase_global<P: GraphProgram>(
         &self,
         program: &P,
-        node: usize,
         iter: u32,
         tolerance: f64,
         active: &Bitset,
@@ -1087,22 +1230,32 @@ impl<'g> SlfeEngine<'g> {
         last_changed_iter: &mut [u32],
         counters: &mut Counters,
         worker_states: &mut [WorkerScratch<P::Value>],
+        scheduler: &ChunkScheduler,
+        chunk_costs: &mut [u64],
         merged_values: &mut [P::Value],
         merged_touched: &mut Bitset,
-    ) -> slfe_cluster::ScheduleOutcome {
-        let owned = self.cluster.vertices_of(node);
-        let scheduler = self.cluster.node_scheduler();
-        let num_items = owned.len();
+        merged_nodes: &mut [u64],
+        mask_words: usize,
+        merge_work_by_node: &mut [u64],
+    ) {
+        let chunks = self.layout.chunks();
         let graph = self.graph;
+        let costs_shared = SharedSlice::new(chunk_costs);
 
-        let mut outcome = scheduler.run_workers(
-            num_items,
+        scheduler.run_workers(
+            &self.pool,
+            chunks.len(),
             self.config.scheduling,
             worker_states,
-            |ws, chunk| {
+            |ws, ci| {
+                let chunk = &chunks[ci];
+                let owned = self.cluster.vertices_of(chunk.node);
+                // Every source in this chunk is owned by `chunk.node` — the
+                // sender-side aggregation unit of the message accounting.
+                let node_word = chunk.node / 64;
+                let node_bit = 1u64 << (chunk.node % 64);
                 let mut chunk_work = 0u64;
-                for idx in scheduler.chunk_range(chunk, num_items) {
-                    let src = owned[idx];
+                for &src in &owned[chunk.start..chunk.end] {
                     let s = src as usize;
                     if !active.get(s) || graph.out_degree(src) == 0 {
                         continue;
@@ -1121,8 +1274,13 @@ impl<'g> SlfeEngine<'g> {
                         } else {
                             ws.local_values[d] = program.combine(ws.local_values[d], contribution);
                         }
+                        if mask_words > 0 {
+                            ws.contrib_nodes[d * mask_words + node_word] |= node_bit;
+                        }
                     }
                 }
+                // Safety: each cost slot belongs to this chunk's single processor.
+                unsafe { costs_shared.set(ci, chunk_work) };
                 chunk_work
             },
         );
@@ -1136,12 +1294,16 @@ impl<'g> SlfeEngine<'g> {
                 } else {
                     merged_values[d] = program.combine(merged_values[d], contribution);
                 }
+                for w in 0..mask_words {
+                    merged_nodes[d * mask_words + w] |= ws.contrib_nodes[d * mask_words + w];
+                    ws.contrib_nodes[d * mask_words + w] = 0;
+                }
             }
             ws.touched.clear();
         }
-        // ... then apply each destination exactly once. Updates are charged as one
-        // sender-aggregated message per changed remote destination.
-        let mut merge_work = 0u64;
+        // ... then apply each destination exactly once. Updates are charged as
+        // one sender-aggregated message per contributing remote node per
+        // changed destination; apply work joins the owner's simulated load.
         for d in merged_touched.iter_ones() {
             let dst = d as VertexId;
             let old = values[d];
@@ -1149,26 +1311,32 @@ impl<'g> SlfeEngine<'g> {
             if program.changed(old, new, tolerance) {
                 values[d] = new;
                 counters.vertex_updates += 1;
-                merge_work += 1;
                 last_changed_iter[d] = iter;
                 *changed_this_iter += 1;
                 next_active.set(d);
                 let dst_owner = self.cluster.owner_of(dst);
-                if dst_owner != node {
-                    self.cluster
-                        .record_node_messages(node, dst_owner, 1, UPDATE_MESSAGE_BYTES);
+                merge_work_by_node[dst_owner] += 1;
+                for w in 0..mask_words {
+                    let mut word = merged_nodes[d * mask_words + w];
+                    while word != 0 {
+                        let src_node = w * 64 + word.trailing_zeros() as usize;
+                        word &= word - 1;
+                        if src_node != dst_owner {
+                            self.cluster.record_node_messages(
+                                src_node,
+                                dst_owner,
+                                1,
+                                UPDATE_MESSAGE_BYTES,
+                            );
+                        }
+                    }
                 }
+            }
+            for w in 0..mask_words {
+                merged_nodes[d * mask_words + w] = 0;
             }
         }
         merged_touched.clear();
-        // The barrier apply runs on the merging thread; charge its update work to
-        // worker 0 so per-node work, per-worker loads and the makespan keep
-        // counting vertex updates like the sequential path does.
-        if merge_work > 0 {
-            outcome.per_worker_work[0] += merge_work;
-            outcome.total_work += merge_work;
-        }
-        outcome
     }
 }
 

@@ -22,6 +22,8 @@
 //! computations, never a skipped final value — and the engine's coverage tracking
 //! (Algorithm 3's flush push) independently guarantees delivery.
 
+use slfe_cluster::pool::SendPtr;
+use slfe_cluster::WorkerPool;
 use slfe_graph::{AtomicBitset, Bitset, Graph, VertexId};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
@@ -143,6 +145,19 @@ impl RrGuidance {
 
     /// Run the preprocessing pass on up to `workers` real threads.
     ///
+    /// Stands up a transient [`WorkerPool`]; the engine and the delta server
+    /// pass their long-lived pool to [`RrGuidance::generate_parallel_on`]
+    /// instead, so preprocessing spawns no threads of its own.
+    pub fn generate_parallel(graph: &Graph, workers: usize) -> Self {
+        if workers <= 1 {
+            return Self::generate(graph);
+        }
+        Self::generate_parallel_on(graph, &WorkerPool::new(workers))
+    }
+
+    /// Run the preprocessing pass on an existing worker pool — one pool phase
+    /// per BFS round.
+    ///
     /// The BFS stays level-synchronous, so the result is **identical** to
     /// [`RrGuidance::generate`] for every worker count: within a round, every
     /// reached destination receives the same level (the round number) no matter
@@ -153,7 +168,8 @@ impl RrGuidance {
     /// out-degree of all visited vertices and therefore also identical. This is
     /// what keeps the §4.4 claim honest at scale: preprocessing parallelises just
     /// like an execution iteration does.
-    pub fn generate_parallel(graph: &Graph, workers: usize) -> Self {
+    pub fn generate_parallel_on(graph: &Graph, pool: &WorkerPool) -> Self {
+        let workers = pool.threads();
         if workers <= 1 {
             return Self::generate(graph);
         }
@@ -189,46 +205,41 @@ impl RrGuidance {
                 }
                 frontier = next;
             } else {
+                // One pool phase per BFS round: workers claim frontier chunks
+                // from the shared cursor and collect their discoveries into
+                // per-worker slots merged (in worker order) at the barrier.
                 let cursor = AtomicUsize::new(0);
-                let round: Vec<(Vec<VertexId>, u64)> = std::thread::scope(|scope| {
-                    let handles: Vec<_> = (0..workers)
-                        .map(|_| {
-                            let cursor = &cursor;
-                            let frontier = &frontier;
-                            let visited = &visited;
-                            let last_iter = &last_iter;
-                            let level = &level;
-                            scope.spawn(move || {
-                                let mut local_next = Vec::new();
-                                let mut local_work = 0u64;
-                                loop {
-                                    let chunk = cursor.fetch_add(1, Ordering::Relaxed);
-                                    let start = chunk * FRONTIER_CHUNK;
-                                    if start >= frontier.len() {
-                                        break;
-                                    }
-                                    let end = (start + FRONTIER_CHUNK).min(frontier.len());
-                                    for &src in &frontier[start..end] {
-                                        for &dst in graph.out_neighbors(src) {
-                                            local_work += 1;
-                                            last_iter[dst as usize]
-                                                .fetch_max(iter, Ordering::Relaxed);
-                                            if visited.insert_shared(dst as usize) {
-                                                level[dst as usize].store(iter, Ordering::Relaxed);
-                                                local_next.push(dst);
-                                            }
-                                        }
+                let mut round: Vec<(Vec<VertexId>, u64)> =
+                    (0..workers).map(|_| (Vec::new(), 0u64)).collect();
+                let slots = SendPtr::new(&mut round);
+                {
+                    let frontier = &frontier;
+                    let visited = &visited;
+                    let last_iter = &last_iter;
+                    let level = &level;
+                    pool.run(&|worker| {
+                        // Safety: one slot per worker id.
+                        let (local_next, local_work) = unsafe { slots.slot_mut(worker) };
+                        loop {
+                            let chunk = cursor.fetch_add(1, Ordering::Relaxed);
+                            let start = chunk * FRONTIER_CHUNK;
+                            if start >= frontier.len() {
+                                break;
+                            }
+                            let end = (start + FRONTIER_CHUNK).min(frontier.len());
+                            for &src in &frontier[start..end] {
+                                for &dst in graph.out_neighbors(src) {
+                                    *local_work += 1;
+                                    last_iter[dst as usize].fetch_max(iter, Ordering::Relaxed);
+                                    if visited.insert_shared(dst as usize) {
+                                        level[dst as usize].store(iter, Ordering::Relaxed);
+                                        local_next.push(dst);
                                     }
                                 }
-                                (local_next, local_work)
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("RRG worker panicked"))
-                        .collect()
-                });
+                            }
+                        }
+                    });
+                }
                 let mut next = Vec::new();
                 for (local_next, local_work) in round {
                     next.extend(local_next);
@@ -268,6 +279,20 @@ impl RrGuidance {
         self.repair_with_threshold(graph, dirty, workers, DEFAULT_REPAIR_FALLBACK_FRACTION)
     }
 
+    /// [`RrGuidance::repair`] running any regeneration fallback on an existing
+    /// worker pool (the serving path: the delta server's pool outlives every
+    /// graph version, so even a fallback regeneration spawns no threads).
+    pub fn repair_on(
+        &self,
+        graph: &Graph,
+        dirty: &[VertexId],
+        pool: &WorkerPool,
+    ) -> (Self, RepairReport) {
+        self.repair_impl(graph, dirty, DEFAULT_REPAIR_FALLBACK_FRACTION, &|| {
+            Self::generate_parallel_on(graph, pool)
+        })
+    }
+
     /// [`RrGuidance::repair`] with an explicit changed-fraction threshold in
     /// `[0, 1]`; when more than `threshold * |V|` vertices actually move, the
     /// pass aborts and falls back to [`RrGuidance::generate_parallel`].
@@ -303,10 +328,24 @@ impl RrGuidance {
         workers: usize,
         threshold: f64,
     ) -> (Self, RepairReport) {
+        self.repair_impl(graph, dirty, threshold, &|| {
+            Self::generate_parallel(graph, workers)
+        })
+    }
+
+    /// Shared repair body; `regen` supplies the full-regeneration fallback
+    /// (sized-pool vs borrowed-pool variants).
+    fn repair_impl(
+        &self,
+        graph: &Graph,
+        dirty: &[VertexId],
+        threshold: f64,
+        regen: &dyn Fn() -> Self,
+    ) -> (Self, RepairReport) {
         let n = graph.num_vertices();
         let old_n = self.last_iter.len();
         let regenerate = |extra_work: u64| {
-            let fresh = Self::generate_parallel(graph, workers);
+            let fresh = regen();
             let work = fresh.work + extra_work;
             (
                 fresh,

@@ -1,9 +1,10 @@
 //! The [`DeltaServer`] serving loop: apply an edge-update batch, repair the RR
 //! guidance, warm re-converge the program, answer queries.
 
-use slfe_cluster::{Cluster, ClusterConfig};
+use slfe_cluster::{Cluster, ClusterConfig, WorkerPool};
 use slfe_core::{EngineConfig, GraphProgram, ProgramResult, RepairReport, RrGuidance, SlfeEngine};
 use slfe_graph::{BatchEffect, Graph, UpdateBatch, VertexId};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Bytes of one shipped edge update: two 4-byte vertex ids plus a 4-byte weight.
@@ -124,6 +125,10 @@ where
     graph: Graph,
     config: ServerConfig,
     rrg: RrGuidance,
+    /// The persistent worker pool, created once at server startup and threaded
+    /// through every graph version's engine (cold run, guidance repair *and*
+    /// warm restarts) — applying a batch spawns zero threads.
+    pool: Arc<WorkerPool>,
     result: ProgramResult<P::Value>,
     stats: ServerStats,
 }
@@ -136,14 +141,16 @@ where
     /// Build the server: partition `graph`, generate the guidance, run the
     /// program cold once. Every subsequent [`DeltaServer::apply`] is warm.
     pub fn new(graph: Graph, make_program: F, config: ServerConfig) -> Self {
+        let pool = Arc::new(WorkerPool::new(config.cluster.total_workers()));
         let program = make_program(&graph);
-        let rrg = RrGuidance::generate_parallel(&graph, config.cluster.workers_per_node);
+        let rrg = RrGuidance::generate_parallel_on(&graph, &pool);
         let cluster = Cluster::build(&graph, config.cluster.clone());
-        let engine = SlfeEngine::with_cluster_and_guidance(
+        let engine = SlfeEngine::with_cluster_guidance_and_pool(
             &graph,
             cluster,
             config.engine.clone(),
             rrg.clone(),
+            Arc::clone(&pool),
         );
         let result = engine.run(&program);
         drop(engine);
@@ -153,6 +160,7 @@ where
             graph,
             config,
             rrg,
+            pool,
             result,
             stats: ServerStats::default(),
         }
@@ -183,17 +191,16 @@ where
             };
         }
         let n = graph.num_vertices();
-        let (rrg, guidance) =
-            self.rrg
-                .repair(&graph, &effect.dirty, self.config.cluster.workers_per_node);
+        let (rrg, guidance) = self.rrg.repair_on(&graph, &effect.dirty, &self.pool);
         let program = (self.make_program)(&graph);
 
         let cluster = Cluster::build(&graph, self.config.cluster.clone());
-        let engine = SlfeEngine::with_cluster_and_guidance(
+        let engine = SlfeEngine::with_cluster_guidance_and_pool(
             &graph,
             cluster,
             self.config.engine.clone(),
             rrg.clone(),
+            Arc::clone(&self.pool),
         );
         let dirty_fraction = effect.dirty.len() as f64 / n.max(1) as f64;
         let full_recompute = dirty_fraction > self.config.full_recompute_dirty_fraction;
@@ -284,6 +291,11 @@ where
     /// Cumulative serving statistics.
     pub fn stats(&self) -> &ServerStats {
         &self.stats
+    }
+
+    /// The server's persistent worker pool (shared with every engine it builds).
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
     }
 
     /// The serving configuration.

@@ -20,6 +20,14 @@ pub struct Counters {
     pub messages_sent: u64,
     /// Number of bytes carried by those messages.
     pub bytes_sent: u64,
+    /// Number of OS threads spawned while this counter window was open.
+    ///
+    /// With the persistent worker pool (ROADMAP architecture note, PR 3) an
+    /// engine spawns its threads once at build time and every run reuses them,
+    /// so a run's totals report **0** here; any nonzero value in a run means
+    /// per-phase spawning has regressed. The pool-reuse regression test pins
+    /// the build-time spawn count itself at `< total_workers`.
+    pub threads_spawned: u64,
 }
 
 impl Counters {
@@ -52,6 +60,7 @@ impl Add for Counters {
             vertex_updates: self.vertex_updates + rhs.vertex_updates,
             messages_sent: self.messages_sent + rhs.messages_sent,
             bytes_sent: self.bytes_sent + rhs.bytes_sent,
+            threads_spawned: self.threads_spawned + rhs.threads_spawned,
         }
     }
 }
@@ -100,6 +109,9 @@ impl AtomicCounters {
             vertex_updates: self.vertex_updates.load(Ordering::Relaxed),
             messages_sent: self.messages_sent.load(Ordering::Relaxed),
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            // Worker-side counters never spawn threads; the pool owner reports
+            // spawns directly into its run's totals.
+            threads_spawned: 0,
         }
     }
 
@@ -124,18 +136,22 @@ mod tests {
             vertex_updates: 2,
             messages_sent: 3,
             bytes_sent: 4,
+            threads_spawned: 5,
         };
         let b = Counters {
             edge_computations: 10,
             vertex_updates: 20,
             messages_sent: 30,
             bytes_sent: 40,
+            threads_spawned: 50,
         };
         let mut c = a + b;
         assert_eq!(c.edge_computations, 11);
         assert_eq!(c.bytes_sent, 44);
+        assert_eq!(c.threads_spawned, 55);
         c += a;
         assert_eq!(c.vertex_updates, 24);
+        assert_eq!(c.threads_spawned, 60);
     }
 
     #[test]

@@ -231,6 +231,99 @@ fn work_stealing_conserves_work_and_bounds_the_makespan() {
     }
 }
 
+/// The degree-aware chunk layout (PR 3) is pure bookkeeping: over arbitrary
+/// random graphs and partitionings, the reordered/split chunks cover exactly
+/// the same vertex set as the owned-vertex lists — every vertex exactly once,
+/// every chunk non-empty and node-consistent, claim order descending by
+/// estimated work.
+#[test]
+fn degree_aware_layout_covers_exactly_the_owned_vertex_set() {
+    let mut rng = SplitMix64::seed_from_u64(0x1A40);
+    for case in 0..CASES {
+        let g = build(&edge_list(&mut rng, 128, 600), 8);
+        let nodes = rng.range_usize(1, 7);
+        let chunk_size = rng.range_usize(4, 64);
+        let cluster_config = ClusterConfig::new(nodes, 2).with_chunk_size(chunk_size);
+        let cluster = slfe::cluster::Cluster::build(&g, cluster_config);
+        let layout = cluster.build_layout(&g);
+        let mut covered = vec![0u32; g.num_vertices()];
+        for chunk in layout.chunks() {
+            assert!(!chunk.is_empty(), "case {case}: empty chunk");
+            assert!(chunk.len() <= chunk_size, "case {case}: oversized chunk");
+            let owned = cluster.vertices_of(chunk.node);
+            for &v in &owned[chunk.start..chunk.end] {
+                assert_eq!(cluster.owner_of(v), chunk.node, "case {case}");
+                covered[v as usize] += 1;
+            }
+        }
+        assert!(
+            covered.iter().all(|&c| c == 1),
+            "case {case}: layout must cover every vertex exactly once"
+        );
+        for pair in layout.chunks().windows(2) {
+            assert!(
+                pair[0].estimate >= pair[1].estimate,
+                "case {case}: chunks must be ordered descending by estimate"
+            );
+        }
+    }
+}
+
+/// On a skewed R-MAT, the degree-aware layout's schedule (split hub chunks,
+/// heavy chunks claimed first) has a makespan no worse than the unsorted
+/// fixed-size mini-chunk schedule on the same work — the stealing tail is
+/// drained first instead of started last.
+#[test]
+fn degree_aware_layout_makespan_beats_the_unsorted_schedule() {
+    let g = slfe::graph::generators::rmat(20_000, 240_000, 0.65, 0.15, 0.15, 0xDE6);
+    let estimate = |v: u32| 1 + g.in_degree(v) as u64 + g.out_degree(v) as u64;
+    for (nodes, workers) in [(1usize, 4usize), (2, 4), (4, 2)] {
+        let cluster = slfe::cluster::Cluster::build(&g, ClusterConfig::new(nodes, workers));
+        let layout = cluster.build_layout(&g);
+        let mut sorted_makespan = 0u64;
+        let mut unsorted_makespan = 0u64;
+        let mut sorted_total = 0u64;
+        let mut unsorted_total = 0u64;
+        for node in cluster.nodes() {
+            // Degree-aware schedule: greedy least-loaded over the layout order.
+            let sim = layout.simulate_node(
+                node,
+                workers,
+                slfe::cluster::SchedulingPolicy::WorkStealing,
+                |c| layout.chunks()[c].estimate,
+            );
+            sorted_makespan = sorted_makespan.max(sim.makespan());
+            sorted_total += sim.total_work;
+            // Unsorted baseline: fixed 256-vertex chunks in ascending vertex
+            // order, same greedy assignment (PR 1's schedule).
+            let owned = cluster.vertices_of(node);
+            let scheduler = cluster.node_scheduler();
+            let outcome = scheduler.simulate(
+                owned.len(),
+                slfe::cluster::SchedulingPolicy::WorkStealing,
+                |chunk| {
+                    scheduler
+                        .chunk_range(chunk, owned.len())
+                        .map(|i| estimate(owned[i]))
+                        .sum()
+                },
+            );
+            unsorted_makespan = unsorted_makespan.max(outcome.makespan());
+            unsorted_total += outcome.total_work;
+        }
+        // Same work, tighter (or equal) makespan.
+        assert_eq!(
+            sorted_total, unsorted_total,
+            "{nodes} nodes: work conserved"
+        );
+        assert!(
+            sorted_makespan <= unsorted_makespan,
+            "{nodes} nodes × {workers} workers: layout makespan {sorted_makespan} \
+             must not exceed unsorted {unsorted_makespan}"
+        );
+    }
+}
+
 /// PageRank rank mass stays bounded and non-negative on arbitrary graphs.
 #[test]
 fn pagerank_ranks_are_non_negative_and_bounded() {
