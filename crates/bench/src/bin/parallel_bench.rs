@@ -113,6 +113,7 @@ struct ScalingPoint {
     iterations: u32,
     total_work: u64,
     messages: u64,
+    chunks_skipped: u64,
 }
 
 /// total counted work / busiest simulated worker's counted work: the speedup
@@ -165,6 +166,7 @@ where
                 iterations: result.stats.iterations,
                 total_work: result.stats.totals.work(),
                 messages: result.stats.totals.messages_sent,
+                chunks_skipped: result.stats.totals.chunks_skipped,
             });
             let p = points.last().unwrap();
             eprintln!(
@@ -185,8 +187,8 @@ fn scaling_json(app: &str, points: &[ScalingPoint]) -> String {
         }
         let _ = write!(
             out,
-            "\n      {{\"nodes\": {}, \"workers_per_node\": {}, \"total_workers\": {}, \"threads_spawned\": {}, \"wall_seconds\": {:.6}, \"speedup_vs_1_worker\": {:.4}, \"schedule_parallelism\": {:.4}, \"iterations\": {}, \"total_work\": {}, \"messages\": {}}}",
-            p.nodes, p.workers_per_node, p.total_workers, p.threads_spawned, p.wall_seconds, p.speedup_vs_1_worker, p.schedule_parallelism, p.iterations, p.total_work, p.messages
+            "\n      {{\"nodes\": {}, \"workers_per_node\": {}, \"total_workers\": {}, \"threads_spawned\": {}, \"wall_seconds\": {:.6}, \"speedup_vs_1_worker\": {:.4}, \"schedule_parallelism\": {:.4}, \"iterations\": {}, \"total_work\": {}, \"messages\": {}, \"chunks_skipped\": {}}}",
+            p.nodes, p.workers_per_node, p.total_workers, p.threads_spawned, p.wall_seconds, p.speedup_vs_1_worker, p.schedule_parallelism, p.iterations, p.total_work, p.messages, p.chunks_skipped
         );
     }
     out.push_str("\n    ]");

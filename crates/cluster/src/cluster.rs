@@ -10,12 +10,16 @@ use crate::stealing::ChunkScheduler;
 use slfe_graph::{Graph, VertexId};
 use slfe_partition::{ChunkingPartitioner, Partitioner, Partitioning};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A graph partitioned across the simulated cluster's nodes.
 #[derive(Debug)]
 pub struct Cluster {
     config: ClusterConfig,
-    partitioning: Partitioning,
+    /// Shared, not owned: a serving loop keeps one partitioning stable across
+    /// graph versions and hands the same `Arc` to every version's cluster,
+    /// so building a cluster never copies the O(V) assignment.
+    partitioning: Arc<Partitioning>,
     comm: CommTracker,
     per_node_work: Vec<AtomicU64>,
 }
@@ -31,6 +35,16 @@ impl Cluster {
     /// Build a cluster around an existing partitioning (e.g. from the hash
     /// partitioner used by the PowerGraph-style baselines).
     pub fn with_partitioning(partitioning: Partitioning, config: ClusterConfig) -> Self {
+        Self::with_shared_partitioning(Arc::new(partitioning), config)
+    }
+
+    /// [`Cluster::with_partitioning`] without taking ownership: the serving
+    /// path shares one stable partitioning across every graph version's
+    /// cluster instead of cloning the O(V) owner array per applied batch.
+    pub fn with_shared_partitioning(
+        partitioning: Arc<Partitioning>,
+        config: ClusterConfig,
+    ) -> Self {
         assert_eq!(
             partitioning.num_parts(),
             config.num_nodes,

@@ -20,9 +20,21 @@
 //! chunks to one global worker pool, which is what lets `total_workers` threads
 //! stay busy instead of `workers_per_node`.
 //!
+//! Since PR 4 every chunk also carries two **vertex-id spans** for the engine's
+//! chunk-level activity summaries: the span of the chunk's own vertices (a
+//! word-range popcount over the frontier tells whether any *source* in the
+//! chunk is active, letting push phases skip the chunk outright) and the span
+//! of the chunk's in-neighbors (whether any value a *destination* in the chunk
+//! gathers could have changed, letting pull phases skip caught-up chunks). The
+//! spans are conservative on non-contiguous partitionings — a foreign active
+//! vertex inside the span merely prevents a skip, never causes one.
+//!
 //! The layout is pure bookkeeping — every owned vertex appears in exactly one
 //! chunk (the property tests pin this), so execution results are unaffected;
-//! only the claim order and the work-per-claim distribution change.
+//! only the claim order and the work-per-claim distribution change. And because
+//! per-vertex estimates only move where a graph mutation changed a degree,
+//! [`GlobalChunkLayout::patched`] rebuilds just the dirty nodes' chunk lists
+//! after an edge batch instead of re-deriving the whole layout.
 
 use crate::stealing::{ScheduleOutcome, SchedulingPolicy};
 use slfe_graph::{Graph, VertexId};
@@ -42,6 +54,19 @@ pub struct WorkChunk {
     pub end: usize,
     /// Estimated work: `Σ (1 + in_degree + out_degree)` over the slice.
     pub estimate: u64,
+    /// Half-open vertex-id span `[span_start, span_end)` covering the chunk's
+    /// own vertices (owned lists are ascending, so this is
+    /// `owned[start]..owned[end-1]+1`). Frontier popcounts over this span
+    /// bound the chunk's active-source count from above.
+    pub span_start: VertexId,
+    /// End (exclusive) of the own-vertex id span.
+    pub span_end: VertexId,
+    /// Half-open vertex-id span covering every in-neighbor of the chunk's
+    /// vertices; `in_start >= in_end` encodes "no in-edges at all". A frontier
+    /// with no bit in this span cannot change anything this chunk gathers.
+    pub in_start: VertexId,
+    /// End (exclusive) of the in-neighbor id span.
+    pub in_end: VertexId,
 }
 
 impl WorkChunk {
@@ -54,15 +79,95 @@ impl WorkChunk {
     pub fn is_empty(&self) -> bool {
         self.start == self.end
     }
+
+    /// `true` when no vertex of this chunk has an incoming edge.
+    pub fn has_no_in_edges(&self) -> bool {
+        self.in_start >= self.in_end
+    }
+}
+
+/// What [`GlobalChunkLayout::patched`] actually did — the proof that applying
+/// an update batch no longer pays an O(V+E) layout rebuild.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LayoutPatchStats {
+    /// Nodes whose chunk lists were re-derived (dirty-endpoint owners).
+    pub nodes_rebuilt: usize,
+    /// Owned vertices scanned while re-deriving those lists — the patch's work
+    /// bound, compared to `|V| + |E|` for a from-scratch build.
+    pub vertices_scanned: usize,
+    /// Chunks copied verbatim from the previous layout.
+    pub chunks_reused: usize,
 }
 
 /// The degree-aware, cluster-wide chunk layout of one graph version.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GlobalChunkLayout {
     /// All chunks in execution order: descending estimate, ties by (node, start).
     chunks: Vec<WorkChunk>,
     /// Per node: indices into `chunks`, in execution order.
     per_node: Vec<Vec<usize>>,
+}
+
+/// Cut one node's owned-vertex list into degree-aware chunks and append them to
+/// `out`. Shared verbatim by [`GlobalChunkLayout::build`] and
+/// [`GlobalChunkLayout::patched`] — byte-identical chunk lists are what make a
+/// patched layout `==` the from-scratch one.
+fn push_node_chunks(
+    graph: &Graph,
+    node: usize,
+    owned: &[VertexId],
+    chunk_size: usize,
+    out: &mut Vec<WorkChunk>,
+) {
+    if owned.is_empty() {
+        return;
+    }
+    let estimate = |v: VertexId| 1 + graph.in_degree(v) as u64 + graph.out_degree(v) as u64;
+    // Budget: an even estimate share per base chunk, times the split
+    // factor. A chunk that would exceed it is cut early; a single hub
+    // larger than the whole budget becomes a one-vertex chunk.
+    let total: u64 = owned.iter().map(|&v| estimate(v)).sum();
+    let base_chunks = owned.len().div_ceil(chunk_size) as u64;
+    let budget = (SPLIT_FACTOR * total.div_ceil(base_chunks)).max(1);
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    let mut in_start = VertexId::MAX;
+    let mut in_end = 0 as VertexId;
+    for (idx, &v) in owned.iter().enumerate() {
+        acc += estimate(v);
+        for &u in graph.in_neighbors(v) {
+            in_start = in_start.min(u);
+            in_end = in_end.max(u + 1);
+        }
+        let len = idx + 1 - start;
+        if len == chunk_size || acc >= budget || idx + 1 == owned.len() {
+            out.push(WorkChunk {
+                node,
+                start,
+                end: idx + 1,
+                estimate: acc,
+                span_start: owned[start],
+                span_end: owned[idx] + 1,
+                in_start: if in_start < in_end { in_start } else { 0 },
+                in_end: if in_start < in_end { in_end } else { 0 },
+            });
+            start = idx + 1;
+            acc = 0;
+            in_start = VertexId::MAX;
+            in_end = 0;
+        }
+    }
+}
+
+/// Descending estimate: stealing claims the heavy tail first. The tie break
+/// keeps the order (and therefore the whole layout) deterministic.
+fn sort_chunks(chunks: &mut [WorkChunk]) {
+    chunks.sort_by(|a, b| {
+        b.estimate
+            .cmp(&a.estimate)
+            .then(a.node.cmp(&b.node))
+            .then(a.start.cmp(&b.start))
+    });
 }
 
 impl GlobalChunkLayout {
@@ -71,48 +176,65 @@ impl GlobalChunkLayout {
     /// `chunk_size` as the base mini-chunk granularity.
     pub fn build(graph: &Graph, owned_per_node: &[&[VertexId]], chunk_size: usize) -> Self {
         assert!(chunk_size >= 1, "chunk size must be positive");
-        let estimate = |v: VertexId| 1 + graph.in_degree(v) as u64 + graph.out_degree(v) as u64;
         let mut chunks = Vec::new();
         for (node, owned) in owned_per_node.iter().enumerate() {
-            if owned.is_empty() {
-                continue;
-            }
-            // Budget: an even estimate share per base chunk, times the split
-            // factor. A chunk that would exceed it is cut early; a single hub
-            // larger than the whole budget becomes a one-vertex chunk.
-            let total: u64 = owned.iter().map(|&v| estimate(v)).sum();
-            let base_chunks = owned.len().div_ceil(chunk_size) as u64;
-            let budget = (SPLIT_FACTOR * total.div_ceil(base_chunks)).max(1);
-            let mut start = 0usize;
-            let mut acc = 0u64;
-            for (idx, &v) in owned.iter().enumerate() {
-                acc += estimate(v);
-                let len = idx + 1 - start;
-                if len == chunk_size || acc >= budget || idx + 1 == owned.len() {
-                    chunks.push(WorkChunk {
-                        node,
-                        start,
-                        end: idx + 1,
-                        estimate: acc,
-                    });
-                    start = idx + 1;
-                    acc = 0;
-                }
-            }
+            push_node_chunks(graph, node, owned, chunk_size, &mut chunks);
         }
-        // Descending estimate: stealing claims the heavy tail first. The tie
-        // break keeps the order (and therefore the whole layout) deterministic.
-        chunks.sort_by(|a, b| {
-            b.estimate
-                .cmp(&a.estimate)
-                .then(a.node.cmp(&b.node))
-                .then(a.start.cmp(&b.start))
-        });
+        sort_chunks(&mut chunks);
         let mut per_node = vec![Vec::new(); owned_per_node.len()];
         for (i, chunk) in chunks.iter().enumerate() {
             per_node[chunk.node].push(i);
         }
         Self { chunks, per_node }
+    }
+
+    /// Re-derive this layout after a graph mutation whose changed degrees are
+    /// confined to `touched[node]` nodes: touched nodes' chunk lists are
+    /// rebuilt from their (possibly grown) owned lists, untouched nodes' chunks
+    /// are copied verbatim, and only the global claim order is re-sorted —
+    /// `O(Σ touched |owned| + touched edges + C log C)` instead of `O(V + E)`.
+    ///
+    /// The caller guarantees that every vertex whose in- or out-degree changed
+    /// (a dirty batch endpoint) — and every appended vertex — is owned by a
+    /// touched node, and that untouched nodes' owned lists are unchanged.
+    /// Under that contract the result is `==` to a from-scratch
+    /// [`GlobalChunkLayout::build`] on the new graph (property-tested).
+    pub fn patched(
+        &self,
+        graph: &Graph,
+        owned_per_node: &[&[VertexId]],
+        chunk_size: usize,
+        touched: &[bool],
+    ) -> (Self, LayoutPatchStats) {
+        assert!(chunk_size >= 1, "chunk size must be positive");
+        assert_eq!(
+            owned_per_node.len(),
+            self.per_node.len(),
+            "patching cannot change the node count"
+        );
+        assert_eq!(
+            touched.len(),
+            self.per_node.len(),
+            "one touched flag per node"
+        );
+        let mut stats = LayoutPatchStats::default();
+        let mut chunks = Vec::with_capacity(self.chunks.len());
+        for (node, owned) in owned_per_node.iter().enumerate() {
+            if touched[node] {
+                stats.nodes_rebuilt += 1;
+                stats.vertices_scanned += owned.len();
+                push_node_chunks(graph, node, owned, chunk_size, &mut chunks);
+            } else {
+                stats.chunks_reused += self.per_node[node].len();
+                chunks.extend(self.per_node[node].iter().map(|&i| self.chunks[i].clone()));
+            }
+        }
+        sort_chunks(&mut chunks);
+        let mut per_node = vec![Vec::new(); owned_per_node.len()];
+        for (i, chunk) in chunks.iter().enumerate() {
+            per_node[chunk.node].push(i);
+        }
+        (Self { chunks, per_node }, stats)
     }
 
     /// All chunks, in execution (claim) order.
@@ -143,7 +265,8 @@ impl GlobalChunkLayout {
     ///
     /// This is the simulated-cluster view: each *node* still only has
     /// `workers_per_node` workers, no matter how many global threads physically
-    /// ran the chunks.
+    /// ran the chunks. Zero-cost chunks (including ones the activity summaries
+    /// skipped) never touch a simulated worker.
     pub fn simulate_node(
         &self,
         node: usize,
@@ -184,7 +307,7 @@ impl GlobalChunkLayout {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slfe_graph::generators;
+    use slfe_graph::{generators, UpdateBatch};
 
     fn owned_split(n: usize, nodes: usize) -> Vec<Vec<VertexId>> {
         // Contiguous shares, like the chunking partitioner produces.
@@ -194,12 +317,15 @@ mod tests {
             .collect()
     }
 
+    fn as_refs(owned: &[Vec<VertexId>]) -> Vec<&[VertexId]> {
+        owned.iter().map(|o| o.as_slice()).collect()
+    }
+
     #[test]
     fn chunks_cover_every_owned_vertex_exactly_once() {
         let g = generators::rmat(3000, 24000, 0.57, 0.19, 0.19, 77);
         let owned = owned_split(g.num_vertices(), 3);
-        let refs: Vec<&[VertexId]> = owned.iter().map(|o| o.as_slice()).collect();
-        let layout = GlobalChunkLayout::build(&g, &refs, 256);
+        let layout = GlobalChunkLayout::build(&g, &as_refs(&owned), 256);
         let mut covered = vec![0usize; g.num_vertices()];
         for chunk in layout.chunks() {
             assert!(!chunk.is_empty());
@@ -214,8 +340,7 @@ mod tests {
     fn chunks_are_ordered_descending_by_estimate() {
         let g = generators::rmat(2000, 30000, 0.57, 0.19, 0.19, 5);
         let owned = owned_split(g.num_vertices(), 2);
-        let refs: Vec<&[VertexId]> = owned.iter().map(|o| o.as_slice()).collect();
-        let layout = GlobalChunkLayout::build(&g, &refs, 128);
+        let layout = GlobalChunkLayout::build(&g, &as_refs(&owned), 128);
         for pair in layout.chunks().windows(2) {
             assert!(pair[0].estimate >= pair[1].estimate);
         }
@@ -250,8 +375,7 @@ mod tests {
     fn node_chunk_indices_partition_the_chunk_list() {
         let g = generators::rmat(1000, 8000, 0.57, 0.19, 0.19, 9);
         let owned = owned_split(g.num_vertices(), 4);
-        let refs: Vec<&[VertexId]> = owned.iter().map(|o| o.as_slice()).collect();
-        let layout = GlobalChunkLayout::build(&g, &refs, 64);
+        let layout = GlobalChunkLayout::build(&g, &as_refs(&owned), 64);
         let mut seen = vec![false; layout.chunks().len()];
         for node in 0..layout.num_nodes() {
             for &i in layout.node_chunks(node) {
@@ -264,11 +388,39 @@ mod tests {
     }
 
     #[test]
+    fn spans_cover_own_vertices_and_in_neighbors() {
+        let g = generators::rmat(1200, 9000, 0.57, 0.19, 0.19, 51);
+        let owned = owned_split(g.num_vertices(), 3);
+        let layout = GlobalChunkLayout::build(&g, &as_refs(&owned), 64);
+        for chunk in layout.chunks() {
+            for &v in &owned[chunk.node][chunk.start..chunk.end] {
+                assert!(
+                    chunk.span_start <= v && v < chunk.span_end,
+                    "own span misses vertex {v}"
+                );
+                for &u in g.in_neighbors(v) {
+                    assert!(!chunk.has_no_in_edges());
+                    assert!(
+                        chunk.in_start <= u && u < chunk.in_end,
+                        "in-span misses in-neighbor {u} of {v}"
+                    );
+                }
+            }
+        }
+        // A chunk with no in-edges anywhere reports it.
+        let path = generators::path(4);
+        let roots: Vec<VertexId> = vec![0];
+        let rest: Vec<VertexId> = vec![1, 2, 3];
+        let l = GlobalChunkLayout::build(&path, &[&roots, &rest], 8);
+        let root_chunk = l.chunks().iter().find(|c| c.node == 0).unwrap();
+        assert!(root_chunk.has_no_in_edges());
+    }
+
+    #[test]
     fn simulate_node_conserves_work_and_bounds_makespan() {
         let g = generators::rmat(1500, 12000, 0.57, 0.19, 0.19, 13);
         let owned = owned_split(g.num_vertices(), 2);
-        let refs: Vec<&[VertexId]> = owned.iter().map(|o| o.as_slice()).collect();
-        let layout = GlobalChunkLayout::build(&g, &refs, 64);
+        let layout = GlobalChunkLayout::build(&g, &as_refs(&owned), 64);
         for node in 0..2 {
             let outcome = layout.simulate_node(node, 4, SchedulingPolicy::WorkStealing, |c| {
                 layout.chunks()[c].estimate
@@ -298,5 +450,77 @@ mod tests {
         assert!(layout.chunks().iter().all(|c| c.node == 0));
         let sim = layout.simulate_node(1, 3, SchedulingPolicy::WorkStealing, |_| 1);
         assert_eq!(sim.total_work, 0);
+    }
+
+    /// Seeded-loop property test: over random graphs, random edge batches and
+    /// several topologies, patching the dirty-endpoint nodes must reproduce the
+    /// from-scratch layout exactly, while scanning only the touched nodes.
+    #[test]
+    fn patched_layout_equals_from_scratch_on_random_batches() {
+        for seed in 0..6u64 {
+            let g = generators::rmat(900, 6300, 0.57, 0.19, 0.19, seed + 600);
+            let nodes = 2 + (seed as usize % 3);
+            let mut rng = slfe_graph::rng::SplitMix64::seed_from_u64(seed * 31 + 7);
+            let mut batch = UpdateBatch::new();
+            let n = g.num_vertices() as u32;
+            for _ in 0..1 + (seed as usize % 20) {
+                let src = rng.range_u32(0, n);
+                if rng.next_f64() < 0.7 {
+                    // Occasionally grow the id space.
+                    let hi = if rng.next_f64() < 0.2 { n + 5 } else { n };
+                    batch.insert(src, rng.range_u32(0, hi), 1.0);
+                } else if let Some(&dst) = g.out_neighbors(src).first() {
+                    batch.delete(src, dst);
+                }
+            }
+            let (mutated, effect) = g.apply_batch(&batch);
+
+            // A stable partitioning across the mutation: the old split, with
+            // appended vertices joining the last node.
+            let mut owned = owned_split(g.num_vertices(), nodes);
+            let old_layout = GlobalChunkLayout::build(&g, &as_refs(&owned), 64);
+            for v in g.num_vertices()..mutated.num_vertices() {
+                owned[nodes - 1].push(v as VertexId);
+            }
+            let mut touched = vec![false; nodes];
+            if mutated.num_vertices() > g.num_vertices() {
+                touched[nodes - 1] = true;
+            }
+            let owner = |v: VertexId| {
+                owned
+                    .iter()
+                    .position(|o| o.binary_search(&v).is_ok())
+                    .expect("every vertex owned")
+            };
+            for &v in &effect.dirty {
+                touched[owner(v)] = true;
+            }
+
+            let refs = as_refs(&owned);
+            let (patched, stats) = old_layout.patched(&mutated, &refs, 64, &touched);
+            let scratch = GlobalChunkLayout::build(&mutated, &refs, 64);
+            assert_eq!(patched, scratch, "seed {seed}: patched layout diverges");
+            let touched_vertices: usize = owned
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| touched[*k])
+                .map(|(_, o)| o.len())
+                .sum();
+            assert_eq!(stats.vertices_scanned, touched_vertices);
+            assert_eq!(stats.nodes_rebuilt, touched.iter().filter(|&&t| t).count());
+        }
+    }
+
+    #[test]
+    fn patching_no_touched_nodes_is_identity_and_free() {
+        let g = generators::rmat(600, 4000, 0.57, 0.19, 0.19, 3);
+        let owned = owned_split(g.num_vertices(), 4);
+        let refs = as_refs(&owned);
+        let layout = GlobalChunkLayout::build(&g, &refs, 64);
+        let (same, stats) = layout.patched(&g, &refs, 64, &[false; 4]);
+        assert_eq!(same, layout);
+        assert_eq!(stats.nodes_rebuilt, 0);
+        assert_eq!(stats.vertices_scanned, 0);
+        assert_eq!(stats.chunks_reused, layout.chunks().len());
     }
 }

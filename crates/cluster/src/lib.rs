@@ -37,6 +37,6 @@ pub mod stealing;
 pub use cluster::Cluster;
 pub use comm::{CommCostModel, CommStats, CommTracker};
 pub use config::ClusterConfig;
-pub use layout::{GlobalChunkLayout, WorkChunk};
+pub use layout::{GlobalChunkLayout, LayoutPatchStats, WorkChunk};
 pub use pool::WorkerPool;
 pub use stealing::{ChunkScheduler, ScheduleOutcome, SchedulingPolicy, DEFAULT_CHUNK_SIZE};

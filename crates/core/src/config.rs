@@ -71,6 +71,15 @@ pub struct EngineConfig {
     /// Fraction of edges that must be active for the engine to prefer pull over
     /// push (Gemini's direction-switching heuristic; the paper inherits it).
     pub pull_threshold: f64,
+    /// Push-mode scratch representation switch: when the active-vertex fraction
+    /// of a push phase is below this threshold, workers fold contributions into
+    /// compact open-addressed maps (memory proportional to the touched
+    /// destinations) instead of dense `O(n)` gather buffers. Values and
+    /// counters are bit-identical either way — the knob trades per-edge probe
+    /// cost against footprint and zeroing overhead. `0.0` forces dense scratch
+    /// everywhere; anything `> 1.0` forces sparse scratch everywhere (useful
+    /// for the equivalence tests).
+    pub sparse_push_density: f64,
 }
 
 impl Default for EngineConfig {
@@ -83,6 +92,7 @@ impl Default for EngineConfig {
             tolerance: 1.0e-7,
             cost: CostModel::default(),
             pull_threshold: 0.05,
+            sparse_push_density: 0.02,
         }
     }
 }
@@ -127,6 +137,13 @@ impl EngineConfig {
         self.trace = trace;
         self
     }
+
+    /// Builder-style override of the sparse-push density threshold.
+    pub fn with_sparse_push_density(mut self, density: f64) -> Self {
+        assert!(density >= 0.0, "density threshold must be non-negative");
+        self.sparse_push_density = density;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +179,8 @@ mod tests {
         assert_eq!(c.max_iterations, 10);
         assert_eq!(c.tolerance, 0.0);
         assert!(!c.trace);
+        let c = c.with_sparse_push_density(2.0);
+        assert_eq!(c.sparse_push_density, 2.0);
     }
 
     #[test]

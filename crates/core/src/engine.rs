@@ -80,14 +80,56 @@
 //! schedule is now simulated from deterministic per-chunk costs — every
 //! per-worker load and simulated-seconds figure above is not.
 //!
-//! **Memory trade-off:** scratch is per *pool* worker, so a run allocates
-//! `total_workers` (not `workers_per_node`) dense buffers — for min/max
-//! programs that is one O(n) gather buffer, an n-bit touched set and an n-bit
+//! # Activity-proportional execution (PR 4)
+//!
+//! The redundancy rulers make *counted work* proportional to what still needs
+//! computing; the two mechanisms below make the executor's *per-iteration
+//! overhead* and *memory footprint* follow suit, without changing a single
+//! result bit:
+//!
+//! * **Chunk-level activity summaries.** Before each phase the engine decides,
+//!   from barrier-merged state only (so the decision is identical at every
+//!   worker count), which whole chunks cannot produce any effect and skips
+//!   them without touching their vertices: a push skips chunks with no active
+//!   source (word-range popcount of the frontier over the chunk's own-vertex
+//!   span); a min/max pull skips chunks that are entirely rr-gated
+//!   (`iter < min last_iter` over the chunk), chunks with no in-edges, and
+//!   *caught-up* chunks none of whose in-neighbors changed last iteration
+//!   (frontier probe over the chunk's in-neighbor span) — a chunk is caught up
+//!   once a pull past its `max last_iter` (or a fully-reactivated push at such
+//!   an iteration) has delivered every in-edge at least once, after which the
+//!   standard incremental invariant applies; an arithmetic pull skips chunks
+//!   whose every vertex has early-converged (per-chunk converged counts
+//!   maintained at the barrier). No skip rule can change a value, a frontier
+//!   bit, a vertex-update count or the run's trajectory; the rr-gate,
+//!   no-in-edge, early-converged and push rules are additionally exact on
+//!   every counter (the per-vertex paths would have recorded nothing), while
+//!   the caught-up rule deliberately *drops* redundant gather work — its
+//!   `edge_computations` and pull-mode mirror messages — which is precisely
+//!   the saving being measured. Skipped chunks cost 0 in the simulated
+//!   per-node schedule and are tallied in [`Counters::chunks_skipped`].
+//! * **Sparse push scratch.** Below
+//!   [`crate::EngineConfig::sparse_push_density`] (active-vertex fraction),
+//!   push workers fold contributions into compact open-addressed maps
+//!   (destination → value + contributing-node mask) instead of dense O(n)
+//!   buffers, and the barrier merge walks only live entries (applied in
+//!   ascending destination order). Because a min/max `combine` is idempotent,
+//!   commutative and associative, and the per-sender-node masks are preserved
+//!   exactly, the merged values, counters and message tallies are bit-for-bit
+//!   identical to the dense representation. Dense scratch (including the
+//!   shared merge buffers) is allocated lazily on the first *dense* push
+//!   phase, so warm `push_only` restarts and arithmetic (pull-only) runs never
+//!   pay the `total_workers × O(n)` footprint; the live footprint is reported
+//!   in [`Counters::scratch_bytes_peak`].
+//!
+//! **Memory trade-off:** dense scratch is per *pool* worker, so a dense push
+//! phase allocates `total_workers` (not `workers_per_node`) O(n) buffers — for
+//! min/max programs one gather buffer, an n-bit touched set and an n-bit
 //! frontier per worker (≈ `total_workers × 9n` bytes at one `f32` per vertex,
 //! e.g. ~2.9 GB for 10M vertices on the 8×4 default). That is the price of
-//! cross-node push parallelism with contention-free sender-local folding;
-//! arithmetic (pull-only) programs skip the push buffers entirely. A sparse
-//! per-worker buffer for small frontiers is an open ROADMAP item.
+//! cross-node push parallelism with contention-free sender-local folding on
+//! *dense* frontiers; sparse phases and pull-only programs stay at
+//! O(touched destinations) per worker.
 
 use crate::config::{EngineConfig, RedundancyMode};
 use crate::program::{AggregationKind, GraphProgram};
@@ -147,6 +189,136 @@ impl<T: Copy> SharedSlice<T> {
     }
 }
 
+/// Slot key marking a free entry of [`SparsePushMap`]. `u32::MAX` can never be
+/// a real destination: a graph with `u32::MAX` vertices does not fit the id
+/// space ([`slfe_graph::INVALID_VERTEX`] reserves the same value).
+const EMPTY_KEY: u32 = u32::MAX;
+
+/// Open-addressed (linear-probe, power-of-two capacity) map from destination
+/// vertex to a folded push contribution plus its contributing-sender-node
+/// mask: the sparse counterpart of the dense `local_values`/`touched`/
+/// `contrib_nodes` trio. Used by push phases whose frontier density is below
+/// [`crate::EngineConfig::sparse_push_density`], so memory and merge time are
+/// proportional to the destinations actually touched, not to |V|.
+///
+/// Hash/probe order never reaches the results: contributions fold per
+/// destination with the program's idempotent-commutative-associative min/max
+/// `combine`, masks fold with bitwise OR, and the barrier applies destinations
+/// in ascending id order — so values, counters and message tallies are
+/// bit-identical to the dense representation.
+struct SparsePushMap<V> {
+    /// Destination keys, `EMPTY_KEY` = free. Length is 0 or a power of two.
+    keys: Vec<u32>,
+    /// Folded contribution per slot.
+    values: Vec<V>,
+    /// `mask_words` contributing-node words per slot (empty on single-node
+    /// clusters, where no messages need attribution).
+    masks: Vec<u64>,
+    mask_words: usize,
+    /// Live entries.
+    len: usize,
+}
+
+impl<V: Copy> SparsePushMap<V> {
+    fn new(mask_words: usize) -> Self {
+        Self {
+            keys: Vec::new(),
+            values: Vec::new(),
+            masks: Vec::new(),
+            mask_words,
+            len: 0,
+        }
+    }
+
+    /// Fibonacci multiplicative hash into a power-of-two table.
+    #[inline]
+    fn bucket(dst: u32, capacity: usize) -> usize {
+        ((dst as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize & (capacity - 1)
+    }
+
+    /// The slot holding `dst`, inserting a fresh `identity`-valued entry if
+    /// absent; the bool reports whether the entry is fresh. Grows (rehashes)
+    /// at 7/8 load so linear probing stays short.
+    #[inline]
+    fn slot_for(&mut self, dst: u32, identity: V) -> (usize, bool) {
+        debug_assert_ne!(dst, EMPTY_KEY);
+        if self.keys.is_empty() || (self.len + 1) * 8 > self.keys.len() * 7 {
+            self.grow(identity);
+        }
+        let capacity = self.keys.len();
+        let mut i = Self::bucket(dst, capacity);
+        loop {
+            let k = self.keys[i];
+            if k == dst {
+                return (i, false);
+            }
+            if k == EMPTY_KEY {
+                self.keys[i] = dst;
+                self.len += 1;
+                return (i, true);
+            }
+            i = (i + 1) & (capacity - 1);
+        }
+    }
+
+    /// Double the capacity (min 64 slots) and rehash every live entry.
+    fn grow(&mut self, identity: V) {
+        let new_capacity = (self.keys.len() * 2).max(64);
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY_KEY; new_capacity]);
+        let old_values = std::mem::replace(&mut self.values, vec![identity; new_capacity]);
+        let old_masks =
+            std::mem::replace(&mut self.masks, vec![0u64; new_capacity * self.mask_words]);
+        for (slot, &key) in old_keys.iter().enumerate() {
+            if key == EMPTY_KEY {
+                continue;
+            }
+            let mut i = Self::bucket(key, new_capacity);
+            while self.keys[i] != EMPTY_KEY {
+                i = (i + 1) & (new_capacity - 1);
+            }
+            self.keys[i] = key;
+            self.values[i] = old_values[slot];
+            self.masks[i * self.mask_words..(i + 1) * self.mask_words]
+                .copy_from_slice(&old_masks[slot * self.mask_words..(slot + 1) * self.mask_words]);
+        }
+    }
+
+    /// Visit every live entry as `(destination, value, mask words)`.
+    fn for_each(&self, mut f: impl FnMut(u32, V, &[u64])) {
+        for (slot, &key) in self.keys.iter().enumerate() {
+            if key != EMPTY_KEY {
+                f(
+                    key,
+                    self.values[slot],
+                    &self.masks[slot * self.mask_words..(slot + 1) * self.mask_words],
+                );
+            }
+        }
+    }
+
+    /// Drop every entry, keeping the capacity for the next phase.
+    fn clear(&mut self) {
+        if self.len > 0 {
+            self.keys.fill(EMPTY_KEY);
+            self.masks.fill(0);
+            self.len = 0;
+        }
+    }
+
+    /// Drop the entries *and* the capacity (a dense phase took over).
+    fn release(&mut self) {
+        self.keys = Vec::new();
+        self.values = Vec::new();
+        self.masks = Vec::new();
+        self.len = 0;
+    }
+
+    /// Current footprint in bytes (keys + values + masks).
+    fn bytes(&self) -> u64 {
+        (self.keys.len() * (4 + std::mem::size_of::<V>()) + self.masks.len() * 8) as u64
+    }
+}
+
 /// Per-worker scratch, allocated once per run and reused every iteration.
 struct WorkerScratch<V> {
     /// Vertices this worker activated during the current phase.
@@ -159,34 +331,56 @@ struct WorkerScratch<V> {
     messages: Vec<u64>,
     /// Byte tally parallel to `messages`.
     bytes: Vec<u64>,
-    /// Push mode: worker-local gather buffer, first-write guarded by `touched`.
+    /// Dense push scratch: worker-local gather buffer, first-write guarded by
+    /// `touched`. **Lazily allocated** by the first dense push phase
+    /// ([`WorkerScratch::ensure_dense`]) — sparse-only runs (warm `push_only`
+    /// restarts, tiny frontiers) and pull-only programs never pay the O(n).
     local_values: Vec<V>,
-    /// Push mode: which entries of `local_values` hold live contributions.
+    /// Dense push scratch: which entries of `local_values` hold contributions.
     touched: Bitset,
-    /// Push mode, multi-node clusters: per-destination bitmask of the nodes
-    /// whose sources contributed to `local_values[d]` — `mask_words` words per
-    /// destination. Merged at the barrier to charge one message per changed
-    /// remote destination per contributing sender node. Entries are zeroed
-    /// lazily alongside `touched`.
+    /// Dense push scratch, multi-node clusters: per-destination bitmask of the
+    /// nodes whose sources contributed to `local_values[d]` — `mask_words`
+    /// words per destination. Merged at the barrier to charge one message per
+    /// changed remote destination per contributing sender node. Entries are
+    /// zeroed lazily alongside `touched`.
     contrib_nodes: Vec<u64>,
+    /// Sparse push scratch: the compact map used below the density threshold.
+    sparse: SparsePushMap<V>,
 }
 
 impl<V: Copy> WorkerScratch<V> {
-    /// `needs_push` gates the O(n) gather buffers: arithmetic programs never
-    /// push, so their workers skip the per-worker value buffer entirely.
     /// `mask_words` is 0 on single-node clusters (no messages to attribute).
-    fn new(n: usize, num_nodes: usize, mask_words: usize, identity: V, needs_push: bool) -> Self {
-        let push_len = if needs_push { n } else { 0 };
+    /// No push scratch is allocated here — dense buffers appear on the first
+    /// dense push phase, the sparse map grows with its first contributions.
+    fn new(n: usize, num_nodes: usize, mask_words: usize) -> Self {
         Self {
             next_frontier: Bitset::new(n),
             counters: Counters::zero(),
             changed: 0,
             messages: vec![0u64; num_nodes * num_nodes],
             bytes: vec![0u64; num_nodes * num_nodes],
-            local_values: vec![identity; push_len],
-            touched: Bitset::new(push_len),
-            contrib_nodes: vec![0u64; push_len * mask_words],
+            local_values: Vec::new(),
+            touched: Bitset::new(0),
+            contrib_nodes: Vec::new(),
+            sparse: SparsePushMap::new(mask_words),
         }
+    }
+
+    /// Allocate the dense push trio if this worker does not have it yet.
+    fn ensure_dense(&mut self, n: usize, mask_words: usize, identity: V) {
+        if self.touched.len() != n {
+            self.local_values = vec![identity; n];
+            self.touched = Bitset::new(n);
+            self.contrib_nodes = vec![0u64; n * mask_words];
+        }
+    }
+
+    /// Live push-scratch footprint (dense trio if allocated, plus the map).
+    fn scratch_bytes(&self) -> u64 {
+        (self.local_values.len() * std::mem::size_of::<V>()
+            + self.touched.words().len() * 8
+            + self.contrib_nodes.len() * 8) as u64
+            + self.sparse.bytes()
     }
 
     #[inline]
@@ -231,8 +425,20 @@ pub struct SlfeEngine<'g> {
     /// (or inherited via [`SlfeEngine::with_cluster_guidance_and_pool`]) and
     /// reused by every phase of every run, including RRG preprocessing.
     pool: Arc<WorkerPool>,
-    /// Degree-aware, cluster-wide chunk layout (built once per graph version).
+    /// Degree-aware, cluster-wide chunk layout (built once per graph version,
+    /// or patched from the previous version's layout by the serving path).
     layout: GlobalChunkLayout,
+    /// Per chunk of `layout`: `(min, max)` of the guidance's `last_iter` over
+    /// the chunk's vertices. A min/max pull at `iter < min` would gate every
+    /// vertex individually, so the whole chunk is skipped; a pull (or full
+    /// reactivation push) at `iter >= max` gates nobody, which is what lets
+    /// the chunk graduate to frontier-based skipping (`caught_up`).
+    ///
+    /// Computed lazily on the first ruler-gated run: warm restarts run with
+    /// the rulers off and never read it, so the serving path's per-batch
+    /// engine construction stays free of this O(V) scan (only a cold run or
+    /// the server's dirty-fraction fallback pays it, once per engine).
+    chunk_rr: std::sync::OnceLock<Vec<(u32, u32)>>,
     preprocessing_seconds: f64,
     preprocessing_wall_seconds: f64,
 }
@@ -283,6 +489,25 @@ impl<'g> SlfeEngine<'g> {
         rrg: RrGuidance,
         pool: Arc<WorkerPool>,
     ) -> Self {
+        let layout = cluster.build_layout(graph);
+        Self::with_prebuilt_layout(graph, cluster, config, rrg, pool, layout)
+    }
+
+    /// [`SlfeEngine::with_cluster_guidance_and_pool`] reusing a prebuilt chunk
+    /// layout instead of deriving one — the serving path's final piece:
+    /// `slfe_delta::DeltaServer` patches the previous graph version's layout
+    /// at the batch's dirty endpoints ([`GlobalChunkLayout::patched`]) and
+    /// hands it here, so applying a batch pays neither a thread spawn nor an
+    /// O(V+E) layout scan+sort. The layout must span the cluster's nodes and
+    /// cover each node's owned vertices exactly.
+    pub fn with_prebuilt_layout(
+        graph: &'g Graph,
+        cluster: Cluster,
+        config: EngineConfig,
+        rrg: RrGuidance,
+        pool: Arc<WorkerPool>,
+        layout: GlobalChunkLayout,
+    ) -> Self {
         assert_eq!(
             rrg.num_vertices(),
             graph.num_vertices(),
@@ -294,6 +519,23 @@ impl<'g> SlfeEngine<'g> {
             pool.threads(),
             cluster.config().total_workers()
         );
+        assert_eq!(
+            layout.num_nodes(),
+            cluster.num_nodes(),
+            "layout must span the cluster's nodes"
+        );
+        for node in cluster.nodes() {
+            let covered: usize = layout
+                .node_chunks(node)
+                .iter()
+                .map(|&c| layout.chunks()[c].len())
+                .sum();
+            assert_eq!(
+                covered,
+                cluster.vertices_of(node).len(),
+                "layout must cover node {node}'s owned vertices exactly"
+            );
+        }
         // Simulated preprocessing cost: the guidance pass is embarrassingly
         // parallel over the frontier, so its counted work — the generation work
         // for a fresh guidance, the (much smaller) repair work for a patched
@@ -301,7 +543,6 @@ impl<'g> SlfeEngine<'g> {
         // paper's claim that the overhead is negligible and amortised (§4.4).
         let workers = cluster.config().total_workers().max(1) as f64;
         let preprocessing_seconds = config.cost.seconds(rrg.generation_work()) / workers;
-        let layout = cluster.build_layout(graph);
         Self {
             graph,
             cluster,
@@ -309,10 +550,31 @@ impl<'g> SlfeEngine<'g> {
             rrg,
             pool,
             layout,
+            chunk_rr: std::sync::OnceLock::new(),
             preprocessing_seconds,
             // No guidance BFS ran inside this constructor.
             preprocessing_wall_seconds: 0.0,
         }
+    }
+
+    /// Per-chunk `(min, max)` ruler bounds, computed on first ruler-gated use.
+    fn chunk_rr_bounds(&self) -> &[(u32, u32)] {
+        self.chunk_rr.get_or_init(|| {
+            self.layout
+                .chunks()
+                .iter()
+                .map(|chunk| {
+                    let owned = self.cluster.vertices_of(chunk.node);
+                    let mut bounds = (u32::MAX, 0u32);
+                    for &v in &owned[chunk.start..chunk.end] {
+                        let level = self.rrg.last_iter(v);
+                        bounds.0 = bounds.0.min(level);
+                        bounds.1 = bounds.1.max(level);
+                    }
+                    bounds
+                })
+                .collect()
+        })
     }
 
     /// The processed graph.
@@ -640,25 +902,40 @@ impl<'g> SlfeEngine<'g> {
         // Buffers hoisted out of the iteration loop — zero per-iteration allocation.
         let mut prev_values: Vec<P::Value> = values.clone();
         let mut next_active = Bitset::new(n);
-        let needs_push = !arithmetic;
         let mask_words = if num_nodes > 1 {
             num_nodes.div_ceil(64)
         } else {
             0
         };
         let mut worker_states: Vec<WorkerScratch<P::Value>> = (0..total_workers)
-            .map(|_| WorkerScratch::new(n, num_nodes, mask_words, program.identity(), needs_push))
+            .map(|_| WorkerScratch::new(n, num_nodes, mask_words))
             .collect();
-        let push_len = if needs_push { n } else { 0 };
-        let mut merged_values: Vec<P::Value> = vec![program.identity(); push_len];
-        let mut merged_touched = Bitset::new(push_len);
-        let mut merged_nodes: Vec<u64> = vec![0u64; push_len * mask_words];
+        // Dense push merge buffers: lazily allocated alongside the workers'
+        // dense scratch by the first dense push phase. Sparse phases merge
+        // through `merged_sparse` + `sparse_order` instead.
+        let mut merged_values: Vec<P::Value> = Vec::new();
+        let mut merged_touched = Bitset::new(0);
+        let mut merged_nodes: Vec<u64> = Vec::new();
+        let mut merged_sparse: SparsePushMap<P::Value> = SparsePushMap::new(mask_words);
+        let mut sparse_order: Vec<(u32, usize)> = Vec::new();
         // The global executor claims the layout's chunks one at a time across
         // every node; measured per-chunk costs feed the simulated-cluster
         // schedule after each phase.
         let global_scheduler = ChunkScheduler::new(total_workers, 1);
-        let mut chunk_costs: Vec<u64> = vec![0u64; self.layout.chunks().len()];
+        let num_chunks = self.layout.chunks().len();
+        let mut chunk_costs: Vec<u64> = vec![0u64; num_chunks];
         let mut merge_work_by_node: Vec<u64> = vec![0u64; num_nodes];
+
+        // Chunk-level activity state (see the module docs): which chunks the
+        // next phase may skip, which min/max chunks have gathered every
+        // in-edge at least once past their rr gate, and — for arithmetic
+        // programs under the multi ruler — how many of each chunk's vertices
+        // have early-converged. All of it is derived from barrier-merged state,
+        // so skip decisions are identical at every worker count.
+        let mut chunk_skip = vec![false; num_chunks];
+        let mut chunk_caught_up = vec![false; num_chunks];
+        let mut chunk_converged: Vec<u32> = vec![0; num_chunks];
+        let mut newly_converged: Vec<u32> = vec![0; num_chunks];
 
         let mut trace = IterationTrace::new();
         let mut totals = seed.preset;
@@ -711,6 +988,92 @@ impl<'g> SlfeEngine<'g> {
             // engine whose remote values only refresh at iteration boundaries.
             prev_values.copy_from_slice(&values);
 
+            // Chunk activity summaries: decide which chunks this phase can skip
+            // outright. No rule below changes any value, frontier bit or
+            // vertex-update count (see the module docs for the safety argument
+            // per rule), and every input is barrier-merged state, so the
+            // decision — and with it every counter — is deterministic at any
+            // worker count. The sequential `workers == 1` push path stays
+            // chunk-free and therefore untouched.
+            let global_phase = !(mode == Mode::Push && workers == 1);
+            // Ruler bounds are only consulted by ruler-gated min/max runs, and
+            // computing them is an O(V) scan — warm (rulers-off) restarts must
+            // not pay it, so it stays behind the lazy accessor.
+            let rr_bounds = (rr && !arithmetic).then(|| self.chunk_rr_bounds());
+            if global_phase {
+                let chunks = self.layout.chunks();
+                for (ci, chunk) in chunks.iter().enumerate() {
+                    chunk_skip[ci] = match mode {
+                        // A push chunk with no active source does nothing. The
+                        // popcount is affordable by construction on contiguous
+                        // partitionings (span ≈ chunk size); a foreign-id-
+                        // riddled span that would cost more words to probe
+                        // than the chunk's own work is simply visited.
+                        Mode::Push => {
+                            let probe_words = (chunk.span_end - chunk.span_start) as u64 / 64 + 1;
+                            probe_words <= chunk.estimate
+                                && active.count_in_range(
+                                    chunk.span_start as usize,
+                                    chunk.span_end as usize,
+                                ) == 0
+                        }
+                        Mode::Pull if arithmetic => {
+                            // Every vertex early-converged: each would be
+                            // individually skipped by the multi ruler.
+                            rr && chunk_converged[ci] as usize == chunk.len()
+                        }
+                        Mode::Pull => {
+                            if rr_bounds.is_some_and(|b| iter < b[ci].0) {
+                                // Entirely rr-gated: every vertex "starts late".
+                                true
+                            } else if chunk.has_no_in_edges() {
+                                // Nothing to gather, min/max apply is a no-op.
+                                true
+                            } else {
+                                // Caught-up chunk none of whose in-neighbors
+                                // changed last iteration: every gather would
+                                // refold the exact bits it already folded. The
+                                // probe is bounded by the gather it can skip:
+                                // a hub-wide in-span whose frontier words
+                                // outnumber the chunk's estimated work is not
+                                // worth probing.
+                                let probe_words = (chunk.in_end - chunk.in_start) as u64 / 64 + 1;
+                                chunk_caught_up[ci]
+                                    && probe_words <= chunk.estimate
+                                    && !active.any_in_range(
+                                        chunk.in_start as usize,
+                                        chunk.in_end as usize,
+                                    )
+                            }
+                        }
+                    };
+                    if chunk_skip[ci] {
+                        iter_counters.chunks_skipped += 1;
+                    }
+                }
+            }
+            // Sparse-vs-dense push scratch: below the density threshold the
+            // workers fold into compact maps; the representation is chosen once
+            // per phase from merged state, so it too is worker-count-invariant.
+            let sparse_push = mode == Mode::Push
+                && global_phase
+                && (active_count as f64) < self.config.sparse_push_density * n as f64;
+            if mode == Mode::Push && global_phase && !sparse_push {
+                // A dense phase supersedes the maps: release their capacity so
+                // mixed runs do not hold both representations at peak (the
+                // sparse tail after the dense wave regrows small maps cheaply).
+                for ws in worker_states.iter_mut() {
+                    ws.ensure_dense(n, mask_words, program.identity());
+                    ws.sparse.release();
+                }
+                merged_sparse.release();
+                if merged_touched.len() != n {
+                    merged_values = vec![program.identity(); n];
+                    merged_touched = Bitset::new(n);
+                    merged_nodes = vec![0u64; n * mask_words];
+                }
+            }
+
             if mode == Mode::Push && workers == 1 {
                 // Historical sequential push: nodes in ascending order with
                 // per-edge counting — the `workers_per_node: 1` oracle path the
@@ -736,21 +1099,31 @@ impl<'g> SlfeEngine<'g> {
             } else {
                 // One global phase: every node's chunks on the machine-wide pool.
                 match mode {
-                    Mode::Pull => self.pull_phase_global(
-                        program,
-                        iter,
-                        rr,
-                        arithmetic,
-                        tolerance,
-                        &prev_values,
-                        &mut values,
-                        &mut stable_count,
-                        &mut stable_value,
-                        &mut last_changed_iter,
-                        &mut worker_states,
-                        &global_scheduler,
-                        &mut chunk_costs,
-                    ),
+                    Mode::Pull => {
+                        newly_converged.fill(0);
+                        self.pull_phase_global(
+                            program,
+                            iter,
+                            rr,
+                            arithmetic,
+                            tolerance,
+                            &prev_values,
+                            &mut values,
+                            &mut stable_count,
+                            &mut stable_value,
+                            &mut last_changed_iter,
+                            &mut worker_states,
+                            &global_scheduler,
+                            &mut chunk_costs,
+                            &chunk_skip,
+                            &mut newly_converged,
+                        );
+                        if arithmetic && rr {
+                            for (count, fresh) in chunk_converged.iter_mut().zip(&newly_converged) {
+                                *count += fresh;
+                            }
+                        }
+                    }
                     Mode::Push => self.push_phase_global(
                         program,
                         iter,
@@ -765,12 +1138,27 @@ impl<'g> SlfeEngine<'g> {
                         &mut worker_states,
                         &global_scheduler,
                         &mut chunk_costs,
+                        &chunk_skip,
+                        sparse_push,
                         &mut merged_values,
                         &mut merged_touched,
                         &mut merged_nodes,
+                        &mut merged_sparse,
+                        &mut sparse_order,
                         mask_words,
                         &mut merge_work_by_node,
                     ),
+                }
+                if mode == Mode::Push {
+                    // High-water mark of the push gather scratch actually
+                    // allocated (capacities persist across `clear`, so this is
+                    // the live footprint, not the phase's touched count).
+                    let mut scratch: u64 = worker_states.iter().map(|ws| ws.scratch_bytes()).sum();
+                    scratch += (merged_values.len() * std::mem::size_of::<P::Value>()
+                        + merged_touched.words().len() * 8
+                        + merged_nodes.len() * 8) as u64
+                        + merged_sparse.bytes();
+                    iter_counters.scratch_bytes_peak = scratch;
                 }
 
                 // Merge per-worker scratch at the iteration barrier: counters,
@@ -834,6 +1222,36 @@ impl<'g> SlfeEngine<'g> {
                     }
                     self.cluster.record_node_work(node, sim.total_work);
                     iteration_node_makespan = iteration_node_makespan.max(sim.makespan());
+                }
+            }
+
+            // Graduate min/max chunks to frontier-based pull skipping: a chunk
+            // is "caught up" once every one of its vertices has gathered all
+            // its in-edges at least once with no rr gate left to reopen —
+            // i.e. after a pull visit, or a fully-reactivated push (which
+            // delivers every in-edge to everyone), at an iteration at or past
+            // the chunk's max `last_iter`. From then on the incremental
+            // invariant holds: only an active in-neighbor can change anything
+            // the chunk gathers.
+            if !arithmetic {
+                match mode {
+                    Mode::Pull => {
+                        for (ci, (caught, &skipped)) in
+                            chunk_caught_up.iter_mut().zip(&chunk_skip).enumerate()
+                        {
+                            if !skipped && rr_bounds.is_none_or(|b| iter >= b[ci].1) {
+                                *caught = true;
+                            }
+                        }
+                    }
+                    Mode::Push if full_push => {
+                        for (ci, caught) in chunk_caught_up.iter_mut().enumerate() {
+                            if rr_bounds.is_none_or(|b| iter >= b[ci].1) {
+                                *caught = true;
+                            }
+                        }
+                    }
+                    Mode::Push => {}
                 }
             }
 
@@ -952,7 +1370,10 @@ impl<'g> SlfeEngine<'g> {
     /// by the machine-wide pool at once (cross-node parallelism). Each
     /// destination is written by exactly one worker, so workers share the
     /// value/ruler slices without synchronisation; measured per-chunk costs
-    /// land in `chunk_costs` for the simulated-cluster schedule.
+    /// land in `chunk_costs` for the simulated-cluster schedule. Chunks
+    /// flagged in `skip` (cold per the activity summaries) are left untouched
+    /// at zero cost; `newly_converged[ci]` reports how many of chunk `ci`'s
+    /// vertices crossed the multi ruler's stability threshold this phase.
     #[allow(clippy::too_many_arguments)]
     fn pull_phase_global<P: GraphProgram>(
         &self,
@@ -969,6 +1390,8 @@ impl<'g> SlfeEngine<'g> {
         worker_states: &mut [WorkerScratch<P::Value>],
         scheduler: &ChunkScheduler,
         chunk_costs: &mut [u64],
+        skip: &[bool],
+        newly_converged: &mut [u32],
     ) {
         let chunks = self.layout.chunks();
         let values_shared = SharedSlice::new(values);
@@ -976,6 +1399,7 @@ impl<'g> SlfeEngine<'g> {
         let stable_value_shared = SharedSlice::new(stable_value);
         let last_changed_shared = SharedSlice::new(last_changed_iter);
         let costs_shared = SharedSlice::new(chunk_costs);
+        let converged_shared = SharedSlice::new(newly_converged);
 
         scheduler.run_workers(
             &self.pool,
@@ -983,9 +1407,13 @@ impl<'g> SlfeEngine<'g> {
             self.config.scheduling,
             worker_states,
             |ws, ci| {
+                if skip[ci] {
+                    return 0;
+                }
                 let chunk = &chunks[ci];
                 let owned = self.cluster.vertices_of(chunk.node);
                 let mut chunk_work = 0u64;
+                let mut converged_now = 0u32;
                 for &dst in &owned[chunk.start..chunk.end] {
                     // Safety: `dst` is owned by exactly one chunk, and each chunk is
                     // processed by exactly one worker, so every shared-slice index
@@ -1004,11 +1432,14 @@ impl<'g> SlfeEngine<'g> {
                             &stable_value_shared,
                             &last_changed_shared,
                             ws,
+                            &mut converged_now,
                         )
                     };
                 }
-                // Safety: each cost slot belongs to this chunk's single processor.
+                // Safety: each cost/converged slot belongs to this chunk's
+                // single processor.
                 unsafe { costs_shared.set(ci, chunk_work) };
+                unsafe { converged_shared.set(ci, converged_now) };
                 chunk_work
             },
         );
@@ -1035,6 +1466,7 @@ impl<'g> SlfeEngine<'g> {
         stable_value: &SharedSlice<P::Value>,
         last_changed_iter: &SharedSlice<u32>,
         ws: &mut WorkerScratch<P::Value>,
+        converged_now: &mut u32,
     ) -> u64 {
         let d = dst as usize;
         if rr {
@@ -1110,7 +1542,15 @@ impl<'g> SlfeEngine<'g> {
                 stable_value.set(d, new);
                 stable_count.set(d, 0);
             } else {
-                stable_count.set(d, stable_count.get(d) + 1);
+                let stabilized = stable_count.get(d) + 1;
+                stable_count.set(d, stabilized);
+                // The vertex just crossed its "finish early" threshold: from
+                // the next pull on it is skipped forever, so this fires at
+                // most once per vertex — the chunk-level converged counts
+                // stay exact.
+                if rr && stabilized == self.rrg.last_iter(dst).max(1) {
+                    *converged_now += 1;
+                }
             }
         }
         work
@@ -1207,15 +1647,71 @@ impl<'g> SlfeEngine<'g> {
         work
     }
 
+    /// Apply one merged push destination: fold the combined contribution into
+    /// the value, and on a change update the frontier/counters and charge one
+    /// sender-aggregated message per contributing remote node (from `mask`).
+    /// Shared by the dense and sparse barrier merges — identical per
+    /// destination by construction, which is what makes the two scratch
+    /// representations bit-equivalent.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_merged_destination<P: GraphProgram>(
+        &self,
+        program: &P,
+        iter: u32,
+        tolerance: f64,
+        d: usize,
+        contribution: P::Value,
+        mask: &[u64],
+        values: &mut [P::Value],
+        next_active: &mut Bitset,
+        changed_this_iter: &mut usize,
+        last_changed_iter: &mut [u32],
+        counters: &mut Counters,
+        merge_work_by_node: &mut [u64],
+    ) {
+        let dst = d as VertexId;
+        let old = values[d];
+        let new = program.apply(dst, old, contribution);
+        if program.changed(old, new, tolerance) {
+            values[d] = new;
+            counters.vertex_updates += 1;
+            last_changed_iter[d] = iter;
+            *changed_this_iter += 1;
+            next_active.set(d);
+            let dst_owner = self.cluster.owner_of(dst);
+            merge_work_by_node[dst_owner] += 1;
+            for (w, &mask_word) in mask.iter().enumerate() {
+                let mut word = mask_word;
+                while word != 0 {
+                    let src_node = w * 64 + word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    if src_node != dst_owner {
+                        self.cluster.record_node_messages(
+                            src_node,
+                            dst_owner,
+                            1,
+                            UPDATE_MESSAGE_BYTES,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     /// One iteration's **global** push phase on the machine-wide pool. Workers
-    /// fold each destination's contributions into worker-local buffers (tagging
-    /// the contributing sender node in a per-destination mask); the barrier
-    /// combines the buffers and applies each destination exactly once. A
-    /// min/max `combine` is idempotent, commutative and associative, so the
-    /// merged values are identical to the sequential result regardless of chunk
-    /// assignment (arithmetic programs never push). Messages are charged once
-    /// per changed remote destination per contributing sender node; apply work
-    /// is attributed to the destination's owner in `merge_work_by_node`.
+    /// fold each destination's contributions into worker-local scratch —
+    /// dense O(n) buffers, or compact open-addressed maps when `sparse`
+    /// (frontier density below the configured threshold) — tagging the
+    /// contributing sender node in a per-destination mask; the barrier
+    /// combines the scratch and applies each destination exactly once
+    /// (ascending destination order in both representations). A min/max
+    /// `combine` is idempotent, commutative and associative, so the merged
+    /// values are identical to the sequential result regardless of chunk
+    /// assignment *and* of scratch representation (arithmetic programs never
+    /// push). Messages are charged once per changed remote destination per
+    /// contributing sender node; apply work is attributed to the destination's
+    /// owner in `merge_work_by_node`. Chunks flagged in `skip` hold no active
+    /// source and are left untouched at zero cost.
     #[allow(clippy::too_many_arguments)]
     fn push_phase_global<P: GraphProgram>(
         &self,
@@ -1232,15 +1728,20 @@ impl<'g> SlfeEngine<'g> {
         worker_states: &mut [WorkerScratch<P::Value>],
         scheduler: &ChunkScheduler,
         chunk_costs: &mut [u64],
+        skip: &[bool],
+        sparse: bool,
         merged_values: &mut [P::Value],
         merged_touched: &mut Bitset,
         merged_nodes: &mut [u64],
+        merged_sparse: &mut SparsePushMap<P::Value>,
+        sparse_order: &mut Vec<(u32, usize)>,
         mask_words: usize,
         merge_work_by_node: &mut [u64],
     ) {
         let chunks = self.layout.chunks();
         let graph = self.graph;
         let costs_shared = SharedSlice::new(chunk_costs);
+        let identity = program.identity();
 
         scheduler.run_workers(
             &self.pool,
@@ -1248,6 +1749,9 @@ impl<'g> SlfeEngine<'g> {
             self.config.scheduling,
             worker_states,
             |ws, ci| {
+                if skip[ci] {
+                    return 0;
+                }
                 let chunk = &chunks[ci];
                 let owned = self.cluster.vertices_of(chunk.node);
                 // Every source in this chunk is owned by `chunk.node` — the
@@ -1255,27 +1759,61 @@ impl<'g> SlfeEngine<'g> {
                 let node_word = chunk.node / 64;
                 let node_bit = 1u64 << (chunk.node % 64);
                 let mut chunk_work = 0u64;
-                for &src in &owned[chunk.start..chunk.end] {
-                    let s = src as usize;
-                    if !active.get(s) || graph.out_degree(src) == 0 {
-                        continue;
+                let process_source = |ws: &mut WorkerScratch<P::Value>, src: VertexId| -> u64 {
+                    if graph.out_degree(src) == 0 {
+                        return 0;
                     }
-                    let src_value = prev_values[s];
+                    let mut work = 0u64;
+                    let src_value = prev_values[src as usize];
                     for (dst, weight) in graph.out_edges(src) {
-                        chunk_work += 1;
+                        work += 1;
                         ws.counters.edge_computations += 1;
                         let Some(contribution) = program.edge_contribution(src, src_value, weight)
                         else {
                             continue;
                         };
                         let d = dst as usize;
-                        if ws.touched.insert(d) {
-                            ws.local_values[d] = contribution;
+                        if sparse {
+                            let (slot, fresh) = ws.sparse.slot_for(dst, identity);
+                            if fresh {
+                                ws.sparse.values[slot] = contribution;
+                            } else {
+                                ws.sparse.values[slot] =
+                                    program.combine(ws.sparse.values[slot], contribution);
+                            }
+                            if mask_words > 0 {
+                                ws.sparse.masks[slot * mask_words + node_word] |= node_bit;
+                            }
                         } else {
-                            ws.local_values[d] = program.combine(ws.local_values[d], contribution);
+                            if ws.touched.insert(d) {
+                                ws.local_values[d] = contribution;
+                            } else {
+                                ws.local_values[d] =
+                                    program.combine(ws.local_values[d], contribution);
+                            }
+                            if mask_words > 0 {
+                                ws.contrib_nodes[d * mask_words + node_word] |= node_bit;
+                            }
                         }
-                        if mask_words > 0 {
-                            ws.contrib_nodes[d * mask_words + node_word] |= node_bit;
+                    }
+                    work
+                };
+                if (chunk.span_end - chunk.span_start) as usize == chunk.len() {
+                    // Contiguous chunk (the default chunking partitioner): the
+                    // own-vertex span IS the chunk, so walk the frontier's set
+                    // bits word by word instead of testing every vertex — the
+                    // per-chunk cost of a sparse phase becomes proportional to
+                    // its active sources. Ascending order, exactly like the
+                    // dense scan.
+                    active.for_each_set_in_range(
+                        chunk.span_start as usize,
+                        chunk.span_end as usize,
+                        |s| chunk_work += process_source(ws, s as VertexId),
+                    );
+                } else {
+                    for &src in &owned[chunk.start..chunk.end] {
+                        if active.get(src as usize) {
+                            chunk_work += process_source(ws, src);
                         }
                     }
                 }
@@ -1285,7 +1823,55 @@ impl<'g> SlfeEngine<'g> {
             },
         );
 
-        // Barrier: combine the worker-local buffers once per destination...
+        if sparse {
+            // Barrier, sparse representation: fold every worker's live entries
+            // into one combined map (order-free — min/max `combine` and the
+            // mask ORs are commutative), then apply in ascending destination
+            // order, exactly like the dense path's `iter_ones` walk.
+            for ws in worker_states.iter_mut() {
+                ws.sparse.for_each(|dst, value, mask| {
+                    let (slot, fresh) = merged_sparse.slot_for(dst, identity);
+                    if fresh {
+                        merged_sparse.values[slot] = value;
+                    } else {
+                        merged_sparse.values[slot] =
+                            program.combine(merged_sparse.values[slot], value);
+                    }
+                    for (w, &m) in mask.iter().enumerate() {
+                        merged_sparse.masks[slot * mask_words + w] |= m;
+                    }
+                });
+                ws.sparse.clear();
+            }
+            sparse_order.clear();
+            for (slot, &key) in merged_sparse.keys.iter().enumerate() {
+                if key != EMPTY_KEY {
+                    sparse_order.push((key, slot));
+                }
+            }
+            sparse_order.sort_unstable();
+            for &(dst, slot) in sparse_order.iter() {
+                self.apply_merged_destination(
+                    program,
+                    iter,
+                    tolerance,
+                    dst as usize,
+                    merged_sparse.values[slot],
+                    &merged_sparse.masks[slot * mask_words..(slot + 1) * mask_words],
+                    values,
+                    next_active,
+                    changed_this_iter,
+                    last_changed_iter,
+                    counters,
+                    merge_work_by_node,
+                );
+            }
+            merged_sparse.clear();
+            return;
+        }
+
+        // Barrier, dense representation: combine the worker-local buffers once
+        // per destination...
         for ws in worker_states.iter_mut() {
             for d in ws.touched.iter_ones() {
                 let contribution = ws.local_values[d];
@@ -1301,37 +1887,22 @@ impl<'g> SlfeEngine<'g> {
             }
             ws.touched.clear();
         }
-        // ... then apply each destination exactly once. Updates are charged as
-        // one sender-aggregated message per contributing remote node per
-        // changed destination; apply work joins the owner's simulated load.
+        // ... then apply each destination exactly once.
         for d in merged_touched.iter_ones() {
-            let dst = d as VertexId;
-            let old = values[d];
-            let new = program.apply(dst, old, merged_values[d]);
-            if program.changed(old, new, tolerance) {
-                values[d] = new;
-                counters.vertex_updates += 1;
-                last_changed_iter[d] = iter;
-                *changed_this_iter += 1;
-                next_active.set(d);
-                let dst_owner = self.cluster.owner_of(dst);
-                merge_work_by_node[dst_owner] += 1;
-                for w in 0..mask_words {
-                    let mut word = merged_nodes[d * mask_words + w];
-                    while word != 0 {
-                        let src_node = w * 64 + word.trailing_zeros() as usize;
-                        word &= word - 1;
-                        if src_node != dst_owner {
-                            self.cluster.record_node_messages(
-                                src_node,
-                                dst_owner,
-                                1,
-                                UPDATE_MESSAGE_BYTES,
-                            );
-                        }
-                    }
-                }
-            }
+            self.apply_merged_destination(
+                program,
+                iter,
+                tolerance,
+                d,
+                merged_values[d],
+                &merged_nodes[d * mask_words..(d + 1) * mask_words],
+                values,
+                next_active,
+                changed_this_iter,
+                last_changed_iter,
+                counters,
+                merge_work_by_node,
+            );
             for w in 0..mask_words {
                 merged_nodes[d * mask_words + w] = 0;
             }

@@ -1,9 +1,10 @@
 //! The [`DeltaServer`] serving loop: apply an edge-update batch, repair the RR
 //! guidance, warm re-converge the program, answer queries.
 
-use slfe_cluster::{Cluster, ClusterConfig, WorkerPool};
+use slfe_cluster::{Cluster, ClusterConfig, GlobalChunkLayout, LayoutPatchStats, WorkerPool};
 use slfe_core::{EngineConfig, GraphProgram, ProgramResult, RepairReport, RrGuidance, SlfeEngine};
 use slfe_graph::{BatchEffect, Graph, UpdateBatch, VertexId};
+use slfe_partition::{ChunkingPartitioner, Partitioner, Partitioning};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -59,6 +60,10 @@ pub struct BatchOutcome {
     /// Simulated messages spent shipping the batch's dirty updates from the
     /// ingest node to their partition owners.
     pub distribution_messages: u64,
+    /// What patching the chunk layout to this graph version cost: only the
+    /// dirty endpoints' owner nodes (plus the appended-vertex node) are
+    /// re-derived; everything else is carried over from the previous version.
+    pub layout_patch: LayoutPatchStats,
     /// Wall-clock seconds for the whole apply (graph patch + guidance + rerun).
     pub wall_seconds: f64,
 }
@@ -129,6 +134,18 @@ where
     /// through every graph version's engine (cold run, guidance repair *and*
     /// warm restarts) — applying a batch spawns zero threads.
     pool: Arc<WorkerPool>,
+    /// The vertex → node assignment, built once at startup and **kept stable
+    /// across graph versions** (the id space only grows; appended vertices
+    /// join the last node). Stability is what lets the chunk layout be
+    /// patched instead of re-derived per batch; sharing the `Arc` with each
+    /// version's cluster is what keeps batch application free of O(V) copies.
+    partitioning: Arc<Partitioning>,
+    /// The degree-aware chunk layout of the current graph version,
+    /// incrementally patched at each batch's dirty endpoints
+    /// ([`GlobalChunkLayout::patched`]) and handed to every engine this
+    /// server builds — warm and cold paths share the same instance, built
+    /// once per applied version.
+    layout: GlobalChunkLayout,
     result: ProgramResult<P::Value>,
     stats: ServerStats,
 }
@@ -144,13 +161,18 @@ where
         let pool = Arc::new(WorkerPool::new(config.cluster.total_workers()));
         let program = make_program(&graph);
         let rrg = RrGuidance::generate_parallel_on(&graph, &pool);
-        let cluster = Cluster::build(&graph, config.cluster.clone());
-        let engine = SlfeEngine::with_cluster_guidance_and_pool(
+        let partitioning =
+            Arc::new(ChunkingPartitioner::default().partition(&graph, config.cluster.num_nodes));
+        let cluster =
+            Cluster::with_shared_partitioning(Arc::clone(&partitioning), config.cluster.clone());
+        let layout = cluster.build_layout(&graph);
+        let engine = SlfeEngine::with_prebuilt_layout(
             &graph,
             cluster,
             config.engine.clone(),
             rrg.clone(),
             Arc::clone(&pool),
+            layout.clone(),
         );
         let result = engine.run(&program);
         drop(engine);
@@ -161,6 +183,8 @@ where
             config,
             rrg,
             pool,
+            partitioning,
+            layout,
             result,
             stats: ServerStats::default(),
         }
@@ -187,6 +211,7 @@ where
                 converged: true,
                 full_recompute: false,
                 distribution_messages: 0,
+                layout_patch: LayoutPatchStats::default(),
                 wall_seconds: start.elapsed().as_secs_f64(),
             };
         }
@@ -194,13 +219,39 @@ where
         let (rrg, guidance) = self.rrg.repair_on(&graph, &effect.dirty, &self.pool);
         let program = (self.make_program)(&graph);
 
-        let cluster = Cluster::build(&graph, self.config.cluster.clone());
-        let engine = SlfeEngine::with_cluster_guidance_and_pool(
+        // One partitioning, one layout, per applied version — shared by the
+        // warm path and the cold-run fallback alike. The partitioning only
+        // grows (appended vertices join the last node), so chunk estimates
+        // move exclusively at the batch's dirty endpoints, and the layout is
+        // patched there instead of being re-derived with an O(V+E) scan+sort.
+        let num_nodes = self.config.cluster.num_nodes;
+        // The previous version's cluster is gone by now, so the Arc is
+        // unshared and `make_mut` extends in place.
+        Arc::make_mut(&mut self.partitioning).extend_to(n, num_nodes - 1);
+        let mut touched = vec![false; num_nodes];
+        if effect.vertices_added > 0 {
+            touched[num_nodes - 1] = true;
+        }
+        for &v in &effect.dirty {
+            touched[self.partitioning.owner_of(v)] = true;
+        }
+        let owned: Vec<&[VertexId]> = (0..num_nodes)
+            .map(|node| self.partitioning.vertices_of(node))
+            .collect();
+        let (layout, layout_patch) =
+            self.layout
+                .patched(&graph, &owned, self.config.cluster.chunk_size, &touched);
+        let cluster = Cluster::with_shared_partitioning(
+            Arc::clone(&self.partitioning),
+            self.config.cluster.clone(),
+        );
+        let engine = SlfeEngine::with_prebuilt_layout(
             &graph,
             cluster,
             self.config.engine.clone(),
             rrg.clone(),
             Arc::clone(&self.pool),
+            layout.clone(),
         );
         let dirty_fraction = effect.dirty.len() as f64 / n.max(1) as f64;
         let full_recompute = dirty_fraction > self.config.full_recompute_dirty_fraction;
@@ -224,6 +275,7 @@ where
             converged: result.converged,
             full_recompute,
             distribution_messages,
+            layout_patch,
             wall_seconds: start.elapsed().as_secs_f64(),
         };
         self.stats.batches_applied += 1;
@@ -233,6 +285,7 @@ where
         self.stats.guidance_regenerations += guidance.regenerated as u64;
         self.graph = graph;
         self.rrg = rrg;
+        self.layout = layout;
         self.program = program;
         self.result = result;
         outcome
@@ -286,6 +339,16 @@ where
     /// The incrementally maintained guidance.
     pub fn guidance(&self) -> &RrGuidance {
         &self.rrg
+    }
+
+    /// The stable vertex → node assignment shared by every graph version.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// The current graph version's chunk layout (patched, not rebuilt).
+    pub fn layout(&self) -> &GlobalChunkLayout {
+        &self.layout
     }
 
     /// Cumulative serving statistics.
@@ -494,6 +557,104 @@ mod tests {
         assert_eq!(
             server.stats().total_distribution_messages,
             outcome.distribution_messages
+        );
+    }
+
+    /// Applying a batch must *patch* the chunk layout — touching only the
+    /// dirty endpoints' owner nodes — and the patched layout must equal a
+    /// from-scratch derivation over the server's stable partitioning, batch
+    /// after batch.
+    #[test]
+    fn applying_batches_patches_the_layout_instead_of_rebuilding() {
+        let graph = generators::rmat(4000, 24_000, 0.57, 0.19, 0.19, 97);
+        let config = ServerConfig {
+            cluster: ClusterConfig::new(8, 1),
+            ..ServerConfig::default()
+        };
+        let root = stats::highest_out_degree_vertex(&graph).unwrap();
+        let mut server = sssp_server(graph, root, config);
+        let initial_chunks = server.layout().chunks().len();
+        assert!(initial_chunks > 8, "need a real chunk population");
+
+        for round in 0..4u64 {
+            // A two-edge batch between two vertices: at most 4 dirty
+            // endpoints, so at most 4 owner nodes may be rebuilt.
+            let n = server.graph().num_vertices() as u32;
+            let mut rng = SplitMix64::seed_from_u64(round + 500);
+            let mut batch = UpdateBatch::new();
+            batch
+                .insert(rng.range_u32(0, n), rng.range_u32(0, n), 1.5)
+                .insert(rng.range_u32(0, n), rng.range_u32(0, n), 2.5);
+            let outcome = server.apply(&batch);
+            assert!(outcome.converged);
+
+            // Patch locality: only dirty-endpoint owners were re-derived,
+            // and their owned vertices bound the patch's counted work.
+            assert!(
+                outcome.layout_patch.nodes_rebuilt <= outcome.effect.dirty.len().min(8),
+                "round {round}: rebuilt {} nodes for {} dirty endpoints",
+                outcome.layout_patch.nodes_rebuilt,
+                outcome.effect.dirty.len()
+            );
+            assert!(
+                outcome.layout_patch.vertices_scanned < server.graph().num_vertices(),
+                "round {round}: patch scanned the whole graph"
+            );
+            assert!(outcome.layout_patch.chunks_reused > 0);
+
+            // Patch correctness: bit-equal to the from-scratch layout over
+            // the same (stable) partitioning.
+            let owned: Vec<&[slfe_graph::VertexId]> = (0..8)
+                .map(|node| server.partitioning().vertices_of(node))
+                .collect();
+            let scratch = slfe_cluster::GlobalChunkLayout::build(
+                server.graph(),
+                &owned,
+                server.config().cluster.chunk_size,
+            );
+            assert_eq!(
+                *server.layout(),
+                scratch,
+                "round {round}: patched layout diverges from a from-scratch build"
+            );
+        }
+    }
+
+    /// The stable partitioning grows with appended vertices and keeps serving
+    /// correct values (the from-scratch oracle uses its own partitioning, so
+    /// equality here also proves values are partitioning-independent).
+    #[test]
+    fn appended_vertices_join_the_stable_partitioning() {
+        let graph = generators::rmat(500, 3000, 0.57, 0.19, 0.19, 77);
+        let root = stats::highest_out_degree_vertex(&graph).unwrap();
+        let mut server = sssp_server(graph.clone(), root, ServerConfig::default());
+        let n = graph.num_vertices() as u32;
+        let mut batch = UpdateBatch::new();
+        batch.insert(root, n + 3, 1.0).insert(n + 3, n + 7, 2.0);
+        let outcome = server.apply(&batch);
+        assert!(outcome.converged);
+        assert_eq!(server.partitioning().num_vertices(), n as usize + 8);
+        // Appended ids belong to the last node, keeping its list ascending.
+        let last = server.config().cluster.num_nodes - 1;
+        assert_eq!(server.partitioning().owner_of(n + 7), last);
+        let (mutated, _) = graph.apply_batch(&batch);
+        let oracle = SlfeEngine::build(
+            &mutated,
+            ServerConfig::default().cluster,
+            EngineConfig::default(),
+        )
+        .run(&SsspProgram { root });
+        assert_eq!(
+            server
+                .values()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            oracle
+                .values
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
         );
     }
 

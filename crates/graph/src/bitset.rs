@@ -115,6 +115,84 @@ impl Bitset {
         }
     }
 
+    /// Number of set bits in the half-open index range `start..end`, via
+    /// word-level popcounts (partial first/last words are masked, whole words in
+    /// between use hardware popcount). The chunk-activity summaries call this
+    /// once per chunk per iteration, so it must not degrade to a per-bit loop.
+    pub fn count_in_range(&self, start: usize, end: usize) -> usize {
+        debug_assert!(start <= end && end <= self.len, "range out of bounds");
+        if start >= end {
+            return 0;
+        }
+        let (first_word, first_bit) = (start / WORD_BITS, start % WORD_BITS);
+        let (last_word, last_bit) = ((end - 1) / WORD_BITS, (end - 1) % WORD_BITS);
+        // Mask off the bits below `start` in the first word and above `end - 1`
+        // in the last word; when the range sits in one word both masks apply.
+        let head_mask = u64::MAX << first_bit;
+        let tail_mask = u64::MAX >> (WORD_BITS - 1 - last_bit);
+        if first_word == last_word {
+            return (self.words[first_word] & head_mask & tail_mask).count_ones() as usize;
+        }
+        let mut count = (self.words[first_word] & head_mask).count_ones() as usize;
+        for &w in &self.words[first_word + 1..last_word] {
+            count += w.count_ones() as usize;
+        }
+        count + (self.words[last_word] & tail_mask).count_ones() as usize
+    }
+
+    /// `true` when at least one bit is set in `start..end`. Unlike
+    /// [`Bitset::count_in_range`] this stops at the first nonzero word, which is
+    /// what makes it cheap as a per-chunk "anything active here?" probe even
+    /// when the probed span is wide and the frontier dense.
+    pub fn any_in_range(&self, start: usize, end: usize) -> bool {
+        debug_assert!(start <= end && end <= self.len, "range out of bounds");
+        if start >= end {
+            return false;
+        }
+        let (first_word, first_bit) = (start / WORD_BITS, start % WORD_BITS);
+        let (last_word, last_bit) = ((end - 1) / WORD_BITS, (end - 1) % WORD_BITS);
+        let head_mask = u64::MAX << first_bit;
+        let tail_mask = u64::MAX >> (WORD_BITS - 1 - last_bit);
+        if first_word == last_word {
+            return self.words[first_word] & head_mask & tail_mask != 0;
+        }
+        if self.words[first_word] & head_mask != 0 {
+            return true;
+        }
+        if self.words[first_word + 1..last_word]
+            .iter()
+            .any(|&w| w != 0)
+        {
+            return true;
+        }
+        self.words[last_word] & tail_mask != 0
+    }
+
+    /// Call `f(index)` for every set bit in `start..end`, ascending, walking
+    /// words and peeling bits with `trailing_zeros` (never a per-bit scan of
+    /// clear regions).
+    pub fn for_each_set_in_range(&self, start: usize, end: usize, mut f: impl FnMut(usize)) {
+        debug_assert!(start <= end && end <= self.len, "range out of bounds");
+        if start >= end {
+            return;
+        }
+        let (first_word, first_bit) = (start / WORD_BITS, start % WORD_BITS);
+        let (last_word, last_bit) = ((end - 1) / WORD_BITS, (end - 1) % WORD_BITS);
+        for wi in first_word..=last_word {
+            let mut word = self.words[wi];
+            if wi == first_word {
+                word &= u64::MAX << first_bit;
+            }
+            if wi == last_word {
+                word &= u64::MAX >> (WORD_BITS - 1 - last_bit);
+            }
+            while word != 0 {
+                f(wi * WORD_BITS + word.trailing_zeros() as usize);
+                word &= word - 1;
+            }
+        }
+    }
+
     /// Iterate the indices of set bits in ascending order.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(move |(wi, &word)| {
@@ -287,6 +365,69 @@ mod tests {
         assert_eq!(b.count_ones(), 0);
         assert_eq!(b.iter_ones().count(), 0);
         assert!(!b.any());
+    }
+
+    /// Seeded-loop property test: the word-level range helpers must agree with
+    /// the naive per-bit loop on random bitsets and random ranges, including
+    /// word-boundary-straddling and single-word ranges.
+    #[test]
+    fn range_helpers_match_the_naive_per_bit_loop() {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            // SplitMix64 step (crate::rng is for graph generation; a local copy
+            // keeps this test self-contained).
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        for &len in &[1usize, 63, 64, 65, 127, 128, 200, 513] {
+            let mut b = Bitset::new(len);
+            for i in 0..len {
+                if next() % 3 == 0 {
+                    b.set(i);
+                }
+            }
+            for _ in 0..50 {
+                let a = (next() as usize) % (len + 1);
+                let z = (next() as usize) % (len + 1);
+                let (start, end) = if a <= z { (a, z) } else { (z, a) };
+                let naive: Vec<usize> = (start..end).filter(|&i| b.get(i)).collect();
+                assert_eq!(
+                    b.count_in_range(start, end),
+                    naive.len(),
+                    "count_in_range({start}, {end}) on len {len}"
+                );
+                assert_eq!(
+                    b.any_in_range(start, end),
+                    !naive.is_empty(),
+                    "any_in_range({start}, {end}) on len {len}"
+                );
+                let mut seen = Vec::new();
+                b.for_each_set_in_range(start, end, |i| seen.push(i));
+                assert_eq!(
+                    seen, naive,
+                    "for_each_set_in_range({start}, {end}) on len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn range_helpers_handle_degenerate_ranges() {
+        let mut b = Bitset::new(130);
+        b.fill();
+        assert_eq!(b.count_in_range(64, 64), 0);
+        assert!(!b.any_in_range(129, 129));
+        assert_eq!(b.count_in_range(0, 130), 130);
+        assert_eq!(b.count_in_range(63, 65), 2);
+        let mut seen = 0usize;
+        b.for_each_set_in_range(128, 130, |_| seen += 1);
+        assert_eq!(seen, 2);
+        let empty = Bitset::new(0);
+        assert_eq!(empty.count_in_range(0, 0), 0);
+        assert!(!empty.any_in_range(0, 0));
     }
 
     #[test]

@@ -28,6 +28,23 @@ pub struct Counters {
     /// per-phase spawning has regressed. The pool-reuse regression test pins
     /// the build-time spawn count itself at `< total_workers`.
     pub threads_spawned: u64,
+    /// Number of work chunks the executor skipped without touching their
+    /// vertices, because the chunk-level activity summary proved the whole
+    /// chunk cold (frontier-empty source chunk in push mode; fully rr-gated,
+    /// in-edge-free, caught-up-and-quiescent, or fully early-converged
+    /// destination chunk in pull mode). Skipping is deterministic — it
+    /// depends only on barrier-merged state — so this tally is identical at
+    /// every worker count *among the chunked global execution paths*
+    /// (`workers_per_node >= 2`, and pull phases at any worker count). The
+    /// one exception: `workers_per_node: 1` push phases take the historical
+    /// chunk-free sequential oracle path, which reports no skips at all.
+    pub chunks_skipped: u64,
+    /// Peak bytes of push-mode gather scratch (per-worker dense buffers or
+    /// sparse contribution maps, plus the shared merge buffers) live at any
+    /// iteration barrier inside this counter window. Unlike every other field
+    /// this is a high-water mark: addition takes the max, so summing iteration
+    /// counters into run totals reports the run's peak, not a meaningless sum.
+    pub scratch_bytes_peak: u64,
 }
 
 impl Counters {
@@ -61,6 +78,9 @@ impl Add for Counters {
             messages_sent: self.messages_sent + rhs.messages_sent,
             bytes_sent: self.bytes_sent + rhs.bytes_sent,
             threads_spawned: self.threads_spawned + rhs.threads_spawned,
+            chunks_skipped: self.chunks_skipped + rhs.chunks_skipped,
+            // A peak, not a flow: combining windows keeps the high-water mark.
+            scratch_bytes_peak: self.scratch_bytes_peak.max(rhs.scratch_bytes_peak),
         }
     }
 }
@@ -109,9 +129,11 @@ impl AtomicCounters {
             vertex_updates: self.vertex_updates.load(Ordering::Relaxed),
             messages_sent: self.messages_sent.load(Ordering::Relaxed),
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
-            // Worker-side counters never spawn threads; the pool owner reports
-            // spawns directly into its run's totals.
+            // Worker-side counters never spawn threads, skip chunks or own
+            // scratch; the engine reports those directly into its run's totals.
             threads_spawned: 0,
+            chunks_skipped: 0,
+            scratch_bytes_peak: 0,
         }
     }
 
@@ -137,6 +159,8 @@ mod tests {
             messages_sent: 3,
             bytes_sent: 4,
             threads_spawned: 5,
+            chunks_skipped: 6,
+            scratch_bytes_peak: 7,
         };
         let b = Counters {
             edge_computations: 10,
@@ -144,14 +168,23 @@ mod tests {
             messages_sent: 30,
             bytes_sent: 40,
             threads_spawned: 50,
+            chunks_skipped: 60,
+            scratch_bytes_peak: 70,
         };
         let mut c = a + b;
         assert_eq!(c.edge_computations, 11);
         assert_eq!(c.bytes_sent, 44);
         assert_eq!(c.threads_spawned, 55);
+        assert_eq!(c.chunks_skipped, 66);
+        assert_eq!(c.scratch_bytes_peak, 70, "peak merges as a max");
         c += a;
         assert_eq!(c.vertex_updates, 24);
         assert_eq!(c.threads_spawned, 60);
+        assert_eq!(c.chunks_skipped, 72);
+        assert_eq!(
+            c.scratch_bytes_peak, 70,
+            "smaller window does not lower the peak"
+        );
     }
 
     #[test]

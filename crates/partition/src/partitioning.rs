@@ -59,6 +59,25 @@ impl Partitioning {
         self.parts.iter().map(|p| p.len()).collect()
     }
 
+    /// Grow the id space to `new_num_vertices`, assigning every appended vertex
+    /// to `node`. The vertex-id space only ever grows across
+    /// [`slfe_graph::Graph::apply_batch`], so a serving loop can keep one
+    /// partitioning stable across graph versions — the prerequisite for
+    /// patching the chunk layout instead of re-deriving it — by extending it
+    /// per batch instead of re-partitioning. Appended ids exceed all existing
+    /// ones, so each node's vertex list stays ascending.
+    pub fn extend_to(&mut self, new_num_vertices: usize, node: NodeId) {
+        assert!(node < self.parts.len(), "target node out of range");
+        assert!(
+            new_num_vertices >= self.owner.len(),
+            "the id space only grows"
+        );
+        for v in self.owner.len()..new_num_vertices {
+            self.owner.push(node);
+            self.parts[node].push(v as VertexId);
+        }
+    }
+
     /// Number of *outgoing* edges whose source is owned by each node — the measure
     /// Gemini-style chunking balances on.
     pub fn edge_counts(&self, graph: &Graph) -> Vec<usize> {
@@ -129,6 +148,28 @@ mod tests {
         assert_eq!(p.vertices_of(2), &[4]);
         assert_eq!(p.owner_of(3), 1);
         assert_eq!(p.vertex_counts(), vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn extend_to_appends_to_the_chosen_node_and_stays_valid() {
+        let mut p = Partitioning::from_owners(vec![0, 1, 0, 1], 2);
+        p.extend_to(7, 1);
+        assert_eq!(p.num_vertices(), 7);
+        assert_eq!(p.vertices_of(1), &[1, 3, 4, 5, 6]);
+        assert!(p.vertices_of(1).windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(p.owner_of(6), 1);
+        let g = generators::path(7);
+        p.validate(&g).unwrap();
+        // Extending to the current size is a no-op.
+        p.extend_to(7, 0);
+        assert_eq!(p.num_vertices(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "only grows")]
+    fn extend_to_rejects_shrinking() {
+        let mut p = Partitioning::from_owners(vec![0, 0], 1);
+        p.extend_to(1, 0);
     }
 
     #[test]

@@ -1,0 +1,340 @@
+//! Activity-proportional execution acceptance tests (PR 4): the sparse push
+//! scratch must be bit-equivalent to the dense scratch for **every registered
+//! application** ([`slfe::apps::AppKind::ALL`]) at 1 and 4 workers — values,
+//! work counters and per-`(src_node, dst_node)` message tallies — and the
+//! chunk-level activity summaries must actually skip cold chunks in the
+//! regimes the paper's workloads produce (late sparse BFS/SSSP iterations,
+//! rr-gated early pulls, early-converged arithmetic chunks).
+
+use slfe::apps::{bfs, cc, heat, numpaths, pagerank, spmv, sssp, tunkrank, widestpath, AppKind};
+use slfe::core::{EngineConfig, GraphProgram, SlfeEngine};
+use slfe::graph::{generators, Graph};
+use slfe::metrics::{Counters, Mode};
+use slfe::prelude::ClusterConfig;
+
+/// Run `program` twice — dense scratch forced (`sparse_push_density = 0`) and
+/// sparse scratch forced (`> 1`) — and require bit-identical values (via
+/// `compare`), identical counters (the scratch footprint aside) and identical
+/// per-node-pair message tallies.
+fn check_sparse_equals_dense<P, V, PF, C>(
+    graph: &Graph,
+    config: EngineConfig,
+    make_program: PF,
+    compare: C,
+) where
+    P: GraphProgram<Value = V>,
+    V: Copy + Send + Sync + std::fmt::Debug,
+    PF: Fn(&Graph) -> P,
+    C: Fn(&[V], &[V], usize),
+{
+    for workers in [1usize, 4] {
+        let cluster = ClusterConfig::new(2, workers);
+        let dense_engine = SlfeEngine::build(
+            graph,
+            cluster.clone(),
+            config.clone().with_sparse_push_density(0.0),
+        );
+        let sparse_engine =
+            SlfeEngine::build(graph, cluster, config.clone().with_sparse_push_density(2.0));
+        let dense = dense_engine.run(&make_program(graph));
+        let sparse = sparse_engine.run(&make_program(graph));
+        compare(&dense.values, &sparse.values, workers);
+        assert_eq!(dense.stats.iterations, sparse.stats.iterations);
+        assert_eq!(dense.converged, sparse.converged);
+        let strip_peak = |c: Counters| Counters {
+            scratch_bytes_peak: 0,
+            ..c
+        };
+        assert_eq!(
+            strip_peak(dense.stats.totals),
+            strip_peak(sparse.stats.totals),
+            "counters diverge between scratch representations at {workers} workers"
+        );
+        for src in 0..2 {
+            for dst in 0..2 {
+                assert_eq!(
+                    dense_engine
+                        .cluster()
+                        .comm_tracker()
+                        .messages_between(src, dst),
+                    sparse_engine
+                        .cluster()
+                        .comm_tracker()
+                        .messages_between(src, dst),
+                    "message tally {src}->{dst} diverges at {workers} workers"
+                );
+            }
+        }
+    }
+}
+
+fn assert_bits_equal(dense: &[f32], sparse: &[f32], workers: usize, app: AppKind) {
+    assert_eq!(dense.len(), sparse.len());
+    for (v, (a, b)) in dense.iter().zip(sparse).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{app}: vertex {v} diverges at {workers} workers ({a} vs {b})"
+        );
+    }
+}
+
+#[test]
+fn every_registered_program_is_bit_identical_under_sparse_and_dense_scratch() {
+    let rmat = generators::rmat(320, 2100, 0.57, 0.19, 0.19, 4100);
+    let sym = cc::symmetrize(&generators::rmat(220, 1000, 0.57, 0.19, 0.19, 4150));
+    let dag = generators::layered(8, 30, 4, 41);
+    let root = slfe::graph::stats::highest_out_degree_vertex(&rmat).unwrap();
+
+    for app in AppKind::ALL {
+        eprintln!("checking {app}");
+        match app {
+            AppKind::Sssp => check_sparse_equals_dense(
+                &rmat,
+                EngineConfig::default(),
+                |_| sssp::SsspProgram { root },
+                |d, s, k| assert_bits_equal(d, s, k, app),
+            ),
+            AppKind::Bfs => check_sparse_equals_dense(
+                &rmat,
+                EngineConfig::default(),
+                |_| bfs::BfsProgram { root },
+                |d, s, k| assert_bits_equal(d, s, k, app),
+            ),
+            AppKind::WidestPath => check_sparse_equals_dense(
+                &rmat,
+                EngineConfig::default(),
+                |_| widestpath::WidestPathProgram { root },
+                |d, s, k| assert_bits_equal(d, s, k, app),
+            ),
+            AppKind::ConnectedComponents => check_sparse_equals_dense(
+                &sym,
+                EngineConfig::default(),
+                |_| cc::CcProgram,
+                |d, s, k| assert_bits_equal(d, s, k, app),
+            ),
+            // Arithmetic programs never push — the checks still pin that the
+            // pull-side skipping and lazily-absent push scratch leave their
+            // whole execution (values, counters, messages) untouched by the
+            // density knob.
+            AppKind::PageRank => check_sparse_equals_dense(
+                &rmat,
+                EngineConfig::default(),
+                pagerank::PageRankProgram::for_graph,
+                |d, s, k| assert_bits_equal(d, s, k, app),
+            ),
+            AppKind::TunkRank => check_sparse_equals_dense(
+                &rmat,
+                EngineConfig::default(),
+                |_| tunkrank::TunkRankProgram::default(),
+                |d, s, k| assert_bits_equal(d, s, k, app),
+            ),
+            AppKind::SpMV => check_sparse_equals_dense(
+                &rmat,
+                EngineConfig::default(),
+                |g: &Graph| spmv::SpmvProgram::ones(g.num_vertices()),
+                |d: &[(f32, f32)], s: &[(f32, f32)], k| {
+                    for (v, (a, b)) in d.iter().zip(s).enumerate() {
+                        assert_eq!(
+                            (a.0.to_bits(), a.1.to_bits()),
+                            (b.0.to_bits(), b.1.to_bits()),
+                            "SpMV: vertex {v} diverges at {k} workers"
+                        );
+                    }
+                },
+            ),
+            AppKind::HeatSimulation => check_sparse_equals_dense(
+                &rmat,
+                EngineConfig::default().with_max_iterations(120),
+                |g: &Graph| heat::HeatProgram::point_source(g, root),
+                |d, s, k| assert_bits_equal(d, s, k, app),
+            ),
+            AppKind::NumPaths => check_sparse_equals_dense(
+                &dag,
+                EngineConfig::default(),
+                |_| numpaths::NumPathsProgram { root: 0 },
+                |d, s, k| assert_bits_equal(d, s, k, app),
+            ),
+        }
+    }
+}
+
+/// A warm restart over a small batch is push-only with a tiny frontier, so
+/// under the default density threshold every phase uses the sparse maps: the
+/// `total_workers × O(n)` dense scratch must never materialise.
+#[test]
+fn warm_push_only_restarts_never_allocate_dense_scratch() {
+    let graph = generators::rmat(6000, 48_000, 0.57, 0.19, 0.19, 4200);
+    let root = slfe::graph::stats::highest_out_degree_vertex(&graph).unwrap();
+    let program = sssp::SsspProgram { root };
+    let cluster = ClusterConfig::new(2, 4);
+    let previous =
+        SlfeEngine::build(&graph, cluster.clone(), EngineConfig::default()).run(&program);
+
+    // Perturb quiet corners of the graph (R-MAT concentrates degree on low
+    // ids): the push scratch holds one entry per out-edge of an active
+    // vertex, so the footprint pin needs a disturbance with small fanout.
+    let quiet: Vec<u32> = (0..graph.num_vertices() as u32)
+        .filter(|&v| graph.out_degree(v) <= 2 && graph.in_degree(v) <= 2)
+        .take(4)
+        .collect();
+    assert!(quiet.len() == 4, "graph has no quiet vertices to perturb");
+    let mut batch = slfe::graph::UpdateBatch::new();
+    batch
+        .insert(quiet[0], quiet[1], 1.0)
+        .insert(quiet[2], quiet[3], 2.5);
+    let (mutated, effect) = graph.apply_batch(&batch);
+    let dirty = effect.dirty_bitset(mutated.num_vertices());
+    let engine = SlfeEngine::build(&mutated, cluster.clone(), EngineConfig::default());
+    let warm = engine.run_from(&program, &previous, &dirty);
+    assert!(warm.converged);
+
+    // The dense trio would cost at least one 4-byte value per vertex per
+    // worker; the sparse maps for a 4-endpoint disturbance stay far below a
+    // single worker's share of that.
+    let n = mutated.num_vertices() as u64;
+    assert!(
+        warm.stats.totals.scratch_bytes_peak < 4 * n,
+        "warm restart allocated dense-sized scratch: {} bytes for |V| = {n}",
+        warm.stats.totals.scratch_bytes_peak
+    );
+    assert!(
+        warm.stats.totals.scratch_bytes_peak > 0,
+        "sparse maps should report their footprint"
+    );
+
+    // A dense-forced cold run on the same graph pays the full footprint:
+    // every pool worker's value buffer alone is 4n bytes.
+    let dense_cold = SlfeEngine::build(
+        &mutated,
+        cluster.clone(),
+        EngineConfig::default().with_sparse_push_density(0.0),
+    )
+    .run(&program);
+    let total_workers = cluster.total_workers() as u64;
+    assert!(
+        dense_cold.stats.totals.scratch_bytes_peak >= total_workers * 4 * n,
+        "dense scratch should cost every worker its O(n) buffers, got {}",
+        dense_cold.stats.totals.scratch_bytes_peak
+    );
+    assert!(
+        dense_cold.stats.totals.scratch_bytes_peak > warm.stats.totals.scratch_bytes_peak * 20,
+        "dense scratch ({}) should dwarf the warm sparse footprint ({})",
+        dense_cold.stats.totals.scratch_bytes_peak,
+        warm.stats.totals.scratch_bytes_peak
+    );
+}
+
+/// Late BFS/SSSP iterations have near-empty frontiers: the push-phase activity
+/// summaries must skip whole cold chunks, and the per-iteration trace must
+/// show the skips happening in the sparse tail, tracking the active set.
+#[test]
+fn late_sparse_iterations_skip_cold_chunks() {
+    // A deep layered graph: the frontier is one layer wide, so at any
+    // iteration all chunks outside the moving wave are cold.
+    let graph = generators::layered(24, 400, 6, 4300);
+    let config = EngineConfig::default();
+    for (app, result) in [
+        (
+            "sssp",
+            SlfeEngine::build(&graph, ClusterConfig::new(2, 2), config.clone())
+                .run(&sssp::SsspProgram { root: 0 }),
+        ),
+        (
+            "bfs",
+            SlfeEngine::build(&graph, ClusterConfig::new(2, 2), config.clone())
+                .run(&bfs::BfsProgram { root: 0 }),
+        ),
+    ] {
+        assert!(
+            result.stats.totals.chunks_skipped > 0,
+            "{app}: no chunks skipped on a frontier one layer wide"
+        );
+        // Push iterations with a sub-chunk frontier must skip chunks.
+        let push_skips: u64 = result
+            .stats
+            .trace
+            .records()
+            .iter()
+            .filter(|r| r.mode == Mode::Push && r.active_vertices > 0 && r.active_vertices < 256)
+            .map(|r| r.counters.chunks_skipped)
+            .sum();
+        assert!(
+            push_skips > 0,
+            "{app}: sparse push iterations visited every chunk"
+        );
+    }
+}
+
+/// The "start late" ruler gates whole chunks in early pull iterations
+/// (`iter < min last_iter` over the chunk), and the "finish early" ruler
+/// retires whole chunks in late arithmetic iterations — both must surface as
+/// pull-phase chunk skips.
+#[test]
+fn rulers_skip_whole_chunks_in_pull_phases() {
+    // One layer is ~10% of all edges, comfortably above the 5% pull threshold,
+    // so the wave's middle iterations run in pull mode while deeper chunks are
+    // still rr-gated.
+    let graph = generators::layered(10, 1000, 6, 4400);
+
+    // Min/max: deep chunks are rr-gated while the pull wave is still shallow.
+    let sssp = SlfeEngine::build(&graph, ClusterConfig::new(2, 2), EngineConfig::default())
+        .run(&sssp::SsspProgram { root: 0 });
+    let pull_skips: u64 = sssp
+        .stats
+        .trace
+        .records()
+        .iter()
+        .filter(|r| r.mode == Mode::Pull)
+        .map(|r| r.counters.chunks_skipped)
+        .sum();
+    assert!(
+        pull_skips > 0,
+        "rr-gated pull phases visited every chunk (skipped total: {})",
+        sssp.stats.totals.chunks_skipped
+    );
+    // No-RR oracle: identical distances with or without chunk skipping.
+    let no_rr = SlfeEngine::build(&graph, ClusterConfig::new(2, 2), EngineConfig::without_rr())
+        .run(&sssp::SsspProgram { root: 0 });
+    for v in 0..graph.num_vertices() {
+        let (a, b) = (sssp.values[v], no_rr.values[v]);
+        assert!((a.is_infinite() && b.is_infinite()) || a.to_bits() == b.to_bits());
+    }
+
+    // Arithmetic: early-converged chunks retire from late pull iterations.
+    let pr = SlfeEngine::build(
+        &graph,
+        ClusterConfig::new(2, 2),
+        EngineConfig::default().with_max_iterations(150),
+    )
+    .run(&pagerank::PageRankProgram::for_graph(&graph));
+    assert!(
+        pr.stats.totals.chunks_skipped > 0,
+        "no arithmetic chunk fully early-converged"
+    );
+}
+
+/// Chunk skipping and scratch representation are decided from barrier-merged
+/// state only, so `chunks_skipped` must be identical at every worker count.
+/// PageRank deliberately: it is pull-only, so every phase takes the chunked
+/// global path at every worker count. (Min/max apps are excluded by design —
+/// their `workers_per_node: 1` push phases run the chunk-free sequential
+/// oracle, which reports no skips; see `Counters::chunks_skipped`.)
+#[test]
+fn chunk_skip_tallies_are_worker_count_invariant() {
+    let graph = generators::layered(16, 300, 5, 4500);
+    let mut tallies = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let result = SlfeEngine::build(
+            &graph,
+            ClusterConfig::new(2, workers),
+            EngineConfig::default(),
+        )
+        .run(&pagerank::PageRankProgram::for_graph(&graph));
+        tallies.push(result.stats.totals.chunks_skipped);
+    }
+    assert!(
+        tallies.windows(2).all(|w| w[0] == w[1]),
+        "chunks_skipped varies with worker count: {tallies:?}"
+    );
+}
