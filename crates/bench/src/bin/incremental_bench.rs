@@ -24,7 +24,7 @@
 
 use slfe_apps::pagerank::PageRankProgram;
 use slfe_apps::sssp::SsspProgram;
-use slfe_bench::{git_commit, hardware_threads};
+use slfe_bench::{git_commit, hardware_threads, json};
 use slfe_cluster::ClusterConfig;
 use slfe_core::{EngineConfig, RedundancyMode, SlfeEngine};
 use slfe_delta::{DeltaServer, ServerConfig, UpdateBatch};
@@ -139,28 +139,28 @@ struct Cell {
 
 fn cell_json(c: &Cell) -> String {
     format!(
-        "{{\"vertices\": {}, \"edges\": {}, \"batch_percent\": {}, \"mode\": \"{}\", \
+        "{{\"vertices\": {}, \"edges\": {}, \"batch_percent\": {}, \"mode\": {}, \
          \"dirty_vertices\": {}, \"warm_work\": {}, \"warm_guidance_work\": {}, \
-         \"warm_iterations\": {}, \"warm_wall_seconds\": {:.6}, \"guidance_regenerated\": {}, \
+         \"warm_iterations\": {}, \"warm_wall_seconds\": {}, \"guidance_regenerated\": {}, \
          \"distribution_messages\": {}, \
-         \"full_work\": {}, \"full_guidance_work\": {}, \"full_wall_seconds\": {:.6}, \
-         \"work_ratio\": {:.2}, \"work_ratio_with_guidance\": {:.2}}}",
+         \"full_work\": {}, \"full_guidance_work\": {}, \"full_wall_seconds\": {}, \
+         \"work_ratio\": {}, \"work_ratio_with_guidance\": {}}}",
         c.vertices,
         c.edges,
-        c.batch_percent,
-        c.mode,
+        json::float(c.batch_percent),
+        json::string(c.mode),
         c.dirty_vertices,
         c.warm_work,
         c.warm_guidance_work,
         c.warm_iterations,
-        c.warm_wall_seconds,
+        json::float_fixed(c.warm_wall_seconds, 6),
         c.guidance_regenerated,
         c.distribution_messages,
         c.full_work,
         c.full_guidance_work,
-        c.full_wall_seconds,
-        c.work_ratio,
-        c.work_ratio_with_guidance,
+        json::float_fixed(c.full_wall_seconds, 6),
+        json::float_fixed(c.work_ratio, 2),
+        json::float_fixed(c.work_ratio_with_guidance, 2),
     )
 }
 
@@ -233,17 +233,21 @@ fn measure_pagerank(graph: &Graph, percent: f64) -> String {
     let cold = SlfeEngine::build(&mutated, cluster, config).run(&program);
     let cold_wall = cold_start.elapsed().as_secs_f64();
     format!(
-        "{{\"vertices\": {}, \"batch_percent\": {percent}, \"warm_iterations\": {}, \
+        "{{\"vertices\": {}, \"batch_percent\": {}, \"warm_iterations\": {}, \
          \"cold_iterations\": {}, \"warm_work\": {}, \"cold_work\": {}, \
-         \"warm_wall_seconds\": {:.6}, \"cold_wall_seconds\": {:.6}, \"work_ratio\": {:.2}}}",
+         \"warm_wall_seconds\": {}, \"cold_wall_seconds\": {}, \"work_ratio\": {}}}",
         mutated.num_vertices(),
+        json::float(percent),
         warm.stats.iterations,
         cold.stats.iterations,
         warm.stats.totals.work(),
         cold.stats.totals.work(),
-        warm_wall,
-        cold_wall,
-        cold.stats.totals.work() as f64 / warm.stats.totals.work().max(1) as f64,
+        json::float_fixed(warm_wall, 6),
+        json::float_fixed(cold_wall, 6),
+        json::float_fixed(
+            cold.stats.totals.work() as f64 / warm.stats.totals.work().max(1) as f64,
+            2
+        ),
     )
 }
 
@@ -301,16 +305,19 @@ fn main() {
     }
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"git_commit\": \"{}\",", git_commit());
+    let _ = writeln!(json, "  \"git_commit\": {},", json::string(&git_commit()));
     let _ = writeln!(json, "  \"hardware_threads\": {},", hardware_threads());
     let _ = writeln!(
         json,
-        "  \"note\": \"counted work is machine-independent; wall clock depends on hardware_threads. \
-         work_ratio compares engine counters (edge computations + vertex updates, warm incl. the \
-         invalidation pass) of a full recompute vs the warm restart; work_ratio_with_guidance adds \
-         each side's guidance cost (repair — with its competitive fallback to regeneration — vs \
-         fresh generation). The guidance is scheduling metadata the warm path itself never reads, \
-         so a serving deployment may also maintain it lazily.\","
+        "  \"note\": {},",
+        json::string(
+            "counted work is machine-independent; wall clock depends on hardware_threads. \
+             work_ratio compares engine counters (edge computations + vertex updates, warm incl. the \
+             invalidation pass) of a full recompute vs the warm restart; work_ratio_with_guidance adds \
+             each side's guidance cost (repair — with its competitive fallback to regeneration — vs \
+             fresh generation). The guidance is scheduling metadata the warm path itself never reads, \
+             so a serving deployment may also maintain it lazily."
+        )
     );
     json.push_str("  \"sssp\": [\n");
     for (i, cell) in cells.iter().enumerate() {

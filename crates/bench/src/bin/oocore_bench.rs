@@ -1,0 +1,319 @@
+//! Out-of-core execution benchmark: a graph whose CSR/CSC segment footprint
+//! exceeds the buffer-pool byte budget must run every registered min/max
+//! application **bit-identically** to the in-memory store, while the pool
+//! provably stays within its budget and streams more bytes than it may hold.
+//!
+//! ```text
+//! oocore_bench [--vertices N] [--degree D] [--budget BYTES] [--segment BYTES] [--runs K] [--out FILE]
+//! ```
+//!
+//! Emits `BENCH_outofcore.json` (with `git_commit` and `hardware_threads`
+//! recorded) from SSSP/BFS/CC/WidestPath runs at 1 and 4 workers per node.
+//! Per point it records wall clock for both stores, counted work, segments
+//! faulted, bytes streamed from disk, and the pool's peak residency; before
+//! the file is written it asserts that (a) the segment footprint exceeds the
+//! budget, (b) every app's values are bit-identical across stores and worker
+//! counts, (c) `segment_bytes_read > budget` (the pool really cycled), and
+//! (d) peak resident bytes never exceeded the budget.
+
+use slfe_apps::{bfs::BfsProgram, cc, sssp::SsspProgram, widestpath::WidestPathProgram};
+use slfe_bench::json;
+use slfe_bench::timing::time_best_of;
+use slfe_cluster::ClusterConfig;
+use slfe_core::{EngineConfig, GraphProgram, SlfeEngine};
+use slfe_graph::{generators, Graph};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+struct Options {
+    vertices: usize,
+    degree: usize,
+    budget: u64,
+    segment: usize,
+    runs: usize,
+    out: PathBuf,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            vertices: 40_000,
+            degree: 8,
+            budget: 192 << 10,
+            segment: 8 << 10,
+            runs: 2,
+            out: PathBuf::from("BENCH_outofcore.json"),
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--vertices" => {
+                options.vertices = value("--vertices")?
+                    .parse()
+                    .map_err(|e| format!("invalid --vertices: {e}"))?
+            }
+            "--degree" => {
+                options.degree = value("--degree")?
+                    .parse()
+                    .map_err(|e| format!("invalid --degree: {e}"))?
+            }
+            "--budget" => {
+                options.budget = value("--budget")?
+                    .parse()
+                    .map_err(|e| format!("invalid --budget: {e}"))?
+            }
+            "--segment" => {
+                options.segment = value("--segment")?
+                    .parse()
+                    .map_err(|e| format!("invalid --segment: {e}"))?
+            }
+            "--runs" => {
+                options.runs = value("--runs")?
+                    .parse()
+                    .map_err(|e| format!("invalid --runs: {e}"))?
+            }
+            "--out" => options.out = PathBuf::from(value("--out")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: oocore_bench [--vertices N] [--degree D] [--budget BYTES] [--segment BYTES] [--runs K] [--out FILE]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(options)
+}
+
+/// One measured (app, workers) point: in-memory vs out-of-core.
+struct Point {
+    app: &'static str,
+    workers: usize,
+    memory_wall_seconds: f64,
+    oocore_wall_seconds: f64,
+    work: u64,
+    iterations: u32,
+    segments_faulted: u64,
+    segment_bytes_read: u64,
+    pool_peak_resident_bytes: u64,
+    values_bit_identical: bool,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn measure<P, F>(
+    app: &'static str,
+    graph: &Graph,
+    options: &Options,
+    workers: usize,
+    make_program: F,
+) -> Point
+where
+    P: GraphProgram<Value = f32>,
+    F: Fn() -> P,
+{
+    let cluster = ClusterConfig::new(2, workers);
+    let base = EngineConfig::default().with_trace(false);
+    let memory_engine = SlfeEngine::build(graph, cluster.clone(), base.clone());
+    let oocore_engine = SlfeEngine::build(
+        graph,
+        cluster,
+        base.with_storage_budget(options.budget)
+            .with_storage_segment_bytes(options.segment),
+    );
+    let program = make_program();
+    let mut memory_result = None;
+    let memory_sample = time_best_of(options.runs, || {
+        memory_result = Some(memory_engine.run(&program))
+    });
+    let mut oocore_result = None;
+    let oocore_sample = time_best_of(options.runs, || {
+        oocore_result = Some(oocore_engine.run(&program))
+    });
+    let memory_result = memory_result.expect("at least one measured run");
+    let oocore_result = oocore_result.expect("at least one measured run");
+    let storage = oocore_engine.storage().expect("out-of-core engine");
+    let identical = memory_result
+        .values
+        .iter()
+        .map(|v| v.to_bits())
+        .eq(oocore_result.values.iter().map(|v| v.to_bits()));
+    let point = Point {
+        app,
+        workers,
+        memory_wall_seconds: memory_sample.best_seconds,
+        oocore_wall_seconds: oocore_sample.best_seconds,
+        work: oocore_result.stats.totals.work(),
+        iterations: oocore_result.stats.iterations,
+        segments_faulted: oocore_result.stats.totals.segments_faulted,
+        segment_bytes_read: oocore_result.stats.totals.segment_bytes_read,
+        pool_peak_resident_bytes: storage.pool().peak_resident_bytes(),
+        values_bit_identical: identical,
+    };
+    eprintln!(
+        "  {app} @{workers}w: mem {:.4}s vs oocore {:.4}s; {} faults / {} KiB streamed (budget {} KiB), peak resident {} KiB, identical: {}",
+        point.memory_wall_seconds,
+        point.oocore_wall_seconds,
+        point.segments_faulted,
+        point.segment_bytes_read >> 10,
+        options.budget >> 10,
+        point.pool_peak_resident_bytes >> 10,
+        point.values_bit_identical
+    );
+    point
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let hardware_threads = slfe_bench::hardware_threads();
+
+    let rmat = generators::rmat(
+        options.vertices,
+        options.vertices * options.degree,
+        0.57,
+        0.19,
+        0.19,
+        5_2026,
+    );
+    let sym = cc::symmetrize(&generators::rmat(
+        options.vertices / 2,
+        options.vertices * options.degree / 2,
+        0.57,
+        0.19,
+        0.19,
+        5_2027,
+    ));
+    let root = slfe_graph::stats::highest_out_degree_vertex(&rmat).unwrap_or(0);
+
+    // Probe engines exist only to read the segment footprints up front —
+    // every measured graph (the CC points run on `sym`, not `rmat`) must
+    // exceed the pool budget, or the per-point `segment_bytes_read > budget`
+    // assertion would fail mid-run with a misleading message.
+    let footprint_of = |graph: &Graph, name: &str| -> u64 {
+        let probe = SlfeEngine::build(
+            graph,
+            ClusterConfig::new(2, 1),
+            EngineConfig::default()
+                .with_trace(false)
+                .with_storage_budget(options.budget)
+                .with_storage_segment_bytes(options.segment),
+        );
+        let footprint = probe.storage().expect("probe engine").footprint_bytes();
+        assert!(
+            footprint > options.budget,
+            "{name} segment footprint {footprint} B must exceed the pool budget {} B for this benchmark to mean anything — lower --budget or raise --vertices",
+            options.budget
+        );
+        footprint
+    };
+    let footprint = footprint_of(&rmat, "rmat");
+    footprint_of(&sym, "symmetric");
+    eprintln!(
+        "rmat: {} vertices, {} edges, segment footprint {} KiB vs pool budget {} KiB",
+        rmat.num_vertices(),
+        rmat.num_edges(),
+        footprint >> 10,
+        options.budget >> 10
+    );
+
+    let mut points = Vec::new();
+    for workers in [1usize, 4] {
+        points.push(measure("sssp", &rmat, &options, workers, || SsspProgram {
+            root,
+        }));
+        points.push(measure("bfs", &rmat, &options, workers, || BfsProgram {
+            root,
+        }));
+        points.push(measure("cc", &sym, &options, workers, || cc::CcProgram));
+        points.push(measure("widestpath", &rmat, &options, workers, || {
+            WidestPathProgram { root }
+        }));
+    }
+
+    for p in &points {
+        assert!(
+            p.values_bit_identical,
+            "{} at {} workers: out-of-core values diverge from in-memory",
+            p.app, p.workers
+        );
+        assert!(
+            p.segment_bytes_read > options.budget,
+            "{} at {} workers: streamed only {} B against a {} B budget — the pool never cycled",
+            p.app,
+            p.workers,
+            p.segment_bytes_read,
+            options.budget
+        );
+        assert!(
+            p.pool_peak_resident_bytes <= options.budget,
+            "{} at {} workers: pool resident {} B exceeded the {} B budget",
+            p.app,
+            p.workers,
+            p.pool_peak_resident_bytes,
+            options.budget
+        );
+    }
+
+    let mut json = String::from("{\n");
+    let _ = write!(
+        json,
+        "  \"git_commit\": {},\n  \"hardware_threads\": {hardware_threads},\n  \"note\": {},\n",
+        json::string(&slfe_bench::git_commit()),
+        json::string("every point runs the same app on the in-memory adjacency and on the disk-segment store behind a clock buffer pool; values are asserted bit-identical, segment_bytes_read > budget (the pool cycled) and pool peak residency <= budget before this file is written. Wall clock depends on hardware_threads and disk cache; counters are machine-independent")
+    );
+    let _ = writeln!(
+        json,
+        "  \"graphs\": {{\"rmat\": {{\"vertices\": {}, \"edges\": {}}}, \"symmetric\": {{\"vertices\": {}, \"edges\": {}}}}},",
+        rmat.num_vertices(),
+        rmat.num_edges(),
+        sym.num_vertices(),
+        sym.num_edges()
+    );
+    let _ = writeln!(
+        json,
+        "  \"storage\": {{\"pool_budget_bytes\": {}, \"segment_bytes\": {}, \"rmat_segment_footprint_bytes\": {footprint}}},",
+        options.budget, options.segment
+    );
+    json.push_str("  \"apps\": [");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "\n    {{\"app\": {}, \"workers_per_node\": {}, \"memory_wall_seconds\": {}, \"oocore_wall_seconds\": {}, \"work\": {}, \"iterations\": {}, \"segments_faulted\": {}, \"segment_bytes_read\": {}, \"pool_peak_resident_bytes\": {}, \"values_bit_identical\": {}}}",
+            json::string(p.app),
+            p.workers,
+            json::float_fixed(p.memory_wall_seconds, 6),
+            json::float_fixed(p.oocore_wall_seconds, 6),
+            p.work,
+            p.iterations,
+            p.segments_faulted,
+            p.segment_bytes_read,
+            p.pool_peak_resident_bytes,
+            p.values_bit_identical
+        );
+    }
+    json.push_str("\n  ]\n}\n");
+
+    if let Err(e) = std::fs::write(&options.out, &json) {
+        eprintln!("cannot write {}: {e}", options.out.display());
+        std::process::exit(1);
+    }
+    println!("{json}");
+    eprintln!("wrote {}", options.out.display());
+}

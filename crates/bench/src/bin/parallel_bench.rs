@@ -26,6 +26,7 @@
 //! per-iteration bookkeeping.
 
 use slfe_apps::{pagerank::PageRankProgram, sssp::SsspProgram};
+use slfe_bench::json;
 use slfe_bench::timing::time_best_of;
 use slfe_cluster::ClusterConfig;
 use slfe_core::{EngineConfig, SlfeEngine};
@@ -180,15 +181,19 @@ where
 
 fn scaling_json(app: &str, points: &[ScalingPoint]) -> String {
     let mut out = String::new();
-    let _ = write!(out, "    \"{app}\": [");
+    let _ = write!(out, "    {}: [", json::string(app));
     for (i, p) in points.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         let _ = write!(
             out,
-            "\n      {{\"nodes\": {}, \"workers_per_node\": {}, \"total_workers\": {}, \"threads_spawned\": {}, \"wall_seconds\": {:.6}, \"speedup_vs_1_worker\": {:.4}, \"schedule_parallelism\": {:.4}, \"iterations\": {}, \"total_work\": {}, \"messages\": {}, \"chunks_skipped\": {}}}",
-            p.nodes, p.workers_per_node, p.total_workers, p.threads_spawned, p.wall_seconds, p.speedup_vs_1_worker, p.schedule_parallelism, p.iterations, p.total_work, p.messages, p.chunks_skipped
+            "\n      {{\"nodes\": {}, \"workers_per_node\": {}, \"total_workers\": {}, \"threads_spawned\": {}, \"wall_seconds\": {}, \"speedup_vs_1_worker\": {}, \"schedule_parallelism\": {}, \"iterations\": {}, \"total_work\": {}, \"messages\": {}, \"chunks_skipped\": {}}}",
+            p.nodes, p.workers_per_node, p.total_workers, p.threads_spawned,
+            json::float_fixed(p.wall_seconds, 6),
+            json::float_fixed(p.speedup_vs_1_worker, 4),
+            json::float_fixed(p.schedule_parallelism, 4),
+            p.iterations, p.total_work, p.messages, p.chunks_skipped
         );
     }
     out.push_str("\n    ]");
@@ -290,8 +295,9 @@ fn main() {
     let mut json = String::from("{\n");
     let _ = write!(
         json,
-        "  \"git_commit\": \"{}\",\n  \"hardware_threads\": {hardware_threads},\n  \"note\": \"speedup_vs_1_worker is measured wall clock against the (1 node, 1 worker) baseline and is bounded by hardware_threads; schedule_parallelism is counted work / busiest simulated worker over the deterministic degree-aware schedule and shows what total_workers yield on unconstrained hardware; threads_spawned pins the persistent pool (always total_workers - 1, however many iterations ran)\",\n",
-        slfe_bench::git_commit()
+        "  \"git_commit\": {},\n  \"hardware_threads\": {hardware_threads},\n  \"note\": {},\n",
+        json::string(&slfe_bench::git_commit()),
+        json::string("speedup_vs_1_worker is measured wall clock against the (1 node, 1 worker) baseline and is bounded by hardware_threads; schedule_parallelism is counted work / busiest simulated worker over the deterministic degree-aware schedule and shows what total_workers yield on unconstrained hardware; threads_spawned pins the persistent pool (always total_workers - 1, however many iterations ran)")
     );
     let _ = writeln!(
         json,
@@ -306,13 +312,13 @@ fn main() {
     json.push_str("\n  },\n");
     let _ = writeln!(
         json,
-        "  \"redundancy\": {{\"graph\": {{\"kind\": \"layered\", \"vertices\": {}, \"edges\": {}}}, \"workers\": {rr_workers}, \"rr_on_wall_seconds\": {:.6}, \"rr_off_wall_seconds\": {:.6}, \"rr_on_work\": {rr_on_work}, \"rr_off_work\": {rr_off_work}, \"rr_wall_speedup\": {:.4}, \"rr_work_reduction_percent\": {:.2}}}",
+        "  \"redundancy\": {{\"graph\": {{\"kind\": \"layered\", \"vertices\": {}, \"edges\": {}}}, \"workers\": {rr_workers}, \"rr_on_wall_seconds\": {}, \"rr_off_wall_seconds\": {}, \"rr_on_work\": {rr_on_work}, \"rr_off_work\": {rr_off_work}, \"rr_wall_speedup\": {}, \"rr_work_reduction_percent\": {}}}",
         layered.num_vertices(),
         layered.num_edges(),
-        rr_on.best_seconds,
-        rr_off.best_seconds,
-        rr_off.best_seconds / rr_on.best_seconds.max(1e-12),
-        100.0 * (1.0 - rr_on_work as f64 / rr_off_work.max(1) as f64)
+        json::float_fixed(rr_on.best_seconds, 6),
+        json::float_fixed(rr_off.best_seconds, 6),
+        json::float_fixed(rr_off.best_seconds / rr_on.best_seconds.max(1e-12), 4),
+        json::float_fixed(100.0 * (1.0 - rr_on_work as f64 / rr_off_work.max(1) as f64), 2)
     );
     json.push_str("}\n");
 

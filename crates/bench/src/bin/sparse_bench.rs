@@ -17,6 +17,7 @@
 //! tracking the active set, not the total chunk count.
 
 use slfe_apps::{bfs::BfsProgram, sssp::SsspProgram};
+use slfe_bench::json;
 use slfe_bench::timing::time_best_of;
 use slfe_cluster::ClusterConfig;
 use slfe_core::{EngineConfig, GraphProgram, SlfeEngine};
@@ -133,17 +134,17 @@ where
 
 fn sweep_json(name: &str, points: &[SweepPoint]) -> String {
     let mut out = String::new();
-    let _ = write!(out, "    \"{name}\": [");
+    let _ = write!(out, "    {}: [", json::string(name));
     for (i, p) in points.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         let _ = write!(
             out,
-            "\n      {{\"label\": \"{}\", \"sparse_push_density\": {}, \"wall_seconds\": {:.6}, \"work\": {}, \"scratch_bytes_peak\": {}, \"chunks_skipped\": {}, \"chunk_slots\": {}, \"chunk_visits\": {}, \"iterations\": {}}}",
-            p.label,
-            p.density,
-            p.wall_seconds,
+            "\n      {{\"label\": {}, \"sparse_push_density\": {}, \"wall_seconds\": {}, \"work\": {}, \"scratch_bytes_peak\": {}, \"chunks_skipped\": {}, \"chunk_slots\": {}, \"chunk_visits\": {}, \"iterations\": {}}}",
+            json::string(p.label),
+            json::float(p.density),
+            json::float_fixed(p.wall_seconds, 6),
             p.work,
             p.scratch_bytes_peak,
             p.chunks_skipped,
@@ -255,8 +256,9 @@ fn main() {
     let mut json = String::from("{\n");
     let _ = write!(
         json,
-        "  \"git_commit\": \"{}\",\n  \"hardware_threads\": {hardware_threads},\n  \"note\": \"chunk_slots = chunks x iterations (what a frontier-blind executor visits); chunk_visits is what the activity summaries actually visited; scratch_bytes_peak is the live push-scratch high-water mark; dense/default/sparse values are asserted bit-identical before this file is written\",\n",
-        slfe_bench::git_commit()
+        "  \"git_commit\": {},\n  \"hardware_threads\": {hardware_threads},\n  \"note\": {},\n",
+        json::string(&slfe_bench::git_commit()),
+        json::string("chunk_slots = chunks x iterations (what a frontier-blind executor visits); chunk_visits is what the activity summaries actually visited; scratch_bytes_peak is the live push-scratch high-water mark; dense/default/sparse values are asserted bit-identical before this file is written")
     );
     let _ = writeln!(
         json,

@@ -11,6 +11,7 @@
 //! paper's tables and series.
 
 pub mod experiments;
+pub mod json;
 pub mod provenance;
 pub mod runner;
 pub mod timing;

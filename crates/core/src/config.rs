@@ -80,6 +80,24 @@ pub struct EngineConfig {
     /// everywhere; anything `> 1.0` forces sparse scratch everywhere (useful
     /// for the equivalence tests).
     pub sparse_push_density: f64,
+    /// Out-of-core execution: when set, the engine writes the graph's CSR/CSC
+    /// to disk in segments at build time and every traversal phase streams
+    /// them through a clock buffer pool holding at most this many bytes
+    /// resident (both directions share the pool). `None` (the default) keeps
+    /// the historical in-memory execution. Values are **bit-identical** either
+    /// way — the segments store the same sorted lists the in-memory structure
+    /// holds — and skipped chunks fault zero segments, so the activity
+    /// summaries double as the I/O planner. The budget must comfortably
+    /// exceed `total_workers × storage_segment_bytes` (each worker's cursor
+    /// pins one segment).
+    pub storage_budget_bytes: Option<u64>,
+    /// Target on-disk bytes per segment of the out-of-core store (ignored
+    /// when `storage_budget_bytes` is `None`).
+    pub storage_segment_bytes: usize,
+    /// Directory for the out-of-core backing files; a process-unique
+    /// directory under the system temp dir when `None`. Files are removed
+    /// when the last store generation drops.
+    pub storage_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -93,6 +111,9 @@ impl Default for EngineConfig {
             cost: CostModel::default(),
             pull_threshold: 0.05,
             sparse_push_density: 0.02,
+            storage_budget_bytes: None,
+            storage_segment_bytes: 64 << 10,
+            storage_dir: None,
         }
     }
 }
@@ -143,6 +164,37 @@ impl EngineConfig {
         assert!(density >= 0.0, "density threshold must be non-negative");
         self.sparse_push_density = density;
         self
+    }
+
+    /// Builder-style switch to out-of-core execution with the given buffer
+    /// pool byte budget.
+    pub fn with_storage_budget(mut self, budget_bytes: u64) -> Self {
+        assert!(budget_bytes > 0, "storage budget must be positive");
+        self.storage_budget_bytes = Some(budget_bytes);
+        self
+    }
+
+    /// Builder-style override of the out-of-core segment size.
+    pub fn with_storage_segment_bytes(mut self, segment_bytes: usize) -> Self {
+        assert!(segment_bytes > 0, "segment size must be positive");
+        self.storage_segment_bytes = segment_bytes;
+        self
+    }
+
+    /// Builder-style override of the out-of-core backing-file directory.
+    pub fn with_storage_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.storage_dir = Some(dir.into());
+        self
+    }
+
+    /// The out-of-core storage parameters this configuration requests, if any.
+    pub fn storage_config(&self) -> Option<slfe_graph::StorageConfig> {
+        self.storage_budget_bytes
+            .map(|budget_bytes| slfe_graph::StorageConfig {
+                budget_bytes,
+                segment_bytes: self.storage_segment_bytes,
+                dir: self.storage_dir.clone(),
+            })
     }
 }
 

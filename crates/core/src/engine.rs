@@ -136,7 +136,8 @@ use crate::program::{AggregationKind, GraphProgram};
 use crate::result::ProgramResult;
 use crate::rrg::RrGuidance;
 use slfe_cluster::{ChunkScheduler, Cluster, ClusterConfig, GlobalChunkLayout, WorkerPool};
-use slfe_graph::{Bitset, Graph, VertexId};
+use slfe_graph::storage::{AdjacencyStore, StreamCursor};
+use slfe_graph::{Bitset, Graph, GraphStorage, VertexId};
 use slfe_metrics::{
     Counters, ExecutionStats, IterationRecord, IterationTrace, Mode, PhaseBreakdown,
 };
@@ -439,6 +440,13 @@ pub struct SlfeEngine<'g> {
     /// engine construction stays free of this O(V) scan (only a cold run or
     /// the server's dirty-fraction fallback pays it, once per engine).
     chunk_rr: std::sync::OnceLock<Vec<(u32, u32)>>,
+    /// Out-of-core mode ([`EngineConfig::storage_budget_bytes`]): the graph's
+    /// CSR/CSC on disk in segments, traversed through a byte-budgeted buffer
+    /// pool instead of the in-memory adjacency. `None` keeps the historical
+    /// all-in-RAM execution. Values are bit-identical either way; the
+    /// difference is which bytes are resident (and the
+    /// `segments_faulted`/`segment_bytes_read` counters).
+    storage: Option<Arc<GraphStorage>>,
     preprocessing_seconds: f64,
     preprocessing_wall_seconds: f64,
 }
@@ -508,6 +516,39 @@ impl<'g> SlfeEngine<'g> {
         pool: Arc<WorkerPool>,
         layout: GlobalChunkLayout,
     ) -> Self {
+        let storage = config.storage_config().map(|sc| {
+            Arc::new(
+                GraphStorage::build(graph, &sc)
+                    .expect("failed to write out-of-core graph segments"),
+            )
+        });
+        Self::with_prebuilt_layout_and_storage(graph, cluster, config, rrg, pool, layout, storage)
+    }
+
+    /// [`SlfeEngine::with_prebuilt_layout`] reusing an existing out-of-core
+    /// store instead of re-writing the segments — the serving path:
+    /// `slfe_delta::DeltaServer` patches only the dirty segments of the
+    /// previous graph version's store ([`GraphStorage::patched`]) and hands
+    /// the patched generation here, so applying a batch re-encodes `O(dirty
+    /// segments)` bytes rather than the whole graph. `storage`, when present,
+    /// must cover the engine's graph; when `None` the engine runs in-memory
+    /// regardless of what the configuration requests.
+    pub fn with_prebuilt_layout_and_storage(
+        graph: &'g Graph,
+        cluster: Cluster,
+        config: EngineConfig,
+        rrg: RrGuidance,
+        pool: Arc<WorkerPool>,
+        layout: GlobalChunkLayout,
+        storage: Option<Arc<GraphStorage>>,
+    ) -> Self {
+        if let Some(storage) = &storage {
+            assert_eq!(
+                storage.out_store().store_num_vertices(),
+                graph.num_vertices(),
+                "segmented store must cover the engine's graph"
+            );
+        }
         assert_eq!(
             rrg.num_vertices(),
             graph.num_vertices(),
@@ -551,6 +592,7 @@ impl<'g> SlfeEngine<'g> {
             pool,
             layout,
             chunk_rr: std::sync::OnceLock::new(),
+            storage,
             preprocessing_seconds,
             // No guidance BFS ran inside this constructor.
             preprocessing_wall_seconds: 0.0,
@@ -605,6 +647,11 @@ impl<'g> SlfeEngine<'g> {
     /// The degree-aware, cluster-wide chunk layout the executor claims from.
     pub fn layout(&self) -> &GlobalChunkLayout {
         &self.layout
+    }
+
+    /// The out-of-core segment store, when the engine runs in that mode.
+    pub fn storage(&self) -> Option<&Arc<GraphStorage>> {
+        self.storage.as_ref()
     }
 
     /// Simulated seconds spent generating the guidance (Figure 8 overhead).
@@ -859,11 +906,37 @@ impl<'g> SlfeEngine<'g> {
     }
 
     /// The shared iteration loop behind [`SlfeEngine::run`] and
-    /// [`SlfeEngine::run_from`].
+    /// [`SlfeEngine::run_from`]: dispatch to the configured adjacency store —
+    /// the in-memory CSR/CSC, or the disk-segment store behind the buffer
+    /// pool. Both instantiations traverse identical `(neighbor, weight)`
+    /// sequences, so results are bit-identical; only residency and the
+    /// segment-fault counters differ.
     fn run_seeded<P: GraphProgram>(
         &self,
         program: &P,
         seed: RunSeed<P::Value>,
+    ) -> ProgramResult<P::Value> {
+        match &self.storage {
+            Some(storage) => {
+                self.run_seeded_on(program, seed, storage.out_store(), storage.in_store())
+            }
+            None => self.run_seeded_on(
+                program,
+                seed,
+                self.graph.out_adjacency(),
+                self.graph.in_adjacency(),
+            ),
+        }
+    }
+
+    /// The iteration loop proper, generic over the adjacency store each
+    /// traversal phase streams from.
+    fn run_seeded_on<P: GraphProgram, S: AdjacencyStore>(
+        &self,
+        program: &P,
+        seed: RunSeed<P::Value>,
+        out_store: &S,
+        in_store: &S,
     ) -> ProgramResult<P::Value> {
         self.cluster.reset_run_state();
         let graph = self.graph;
@@ -967,6 +1040,9 @@ impl<'g> SlfeEngine<'g> {
             };
             let full_push = mode == Mode::Push && (last_mode_was_pull || force_flush);
             let comm_before = self.cluster.comm_stats();
+            // Out-of-core accounting: the buffer pool's monotone fault
+            // counters, deltaed per iteration into the trace and run totals.
+            let pool_before = self.storage.as_ref().map(|s| s.pool().counters());
 
             let mut iter_counters = Counters::zero();
             let mut changed_this_iter = 0usize;
@@ -1081,6 +1157,7 @@ impl<'g> SlfeEngine<'g> {
                 for node in self.cluster.nodes() {
                     let outcome = self.push_phase_sequential(
                         program,
+                        out_store,
                         node,
                         iter,
                         tolerance,
@@ -1103,6 +1180,7 @@ impl<'g> SlfeEngine<'g> {
                         newly_converged.fill(0);
                         self.pull_phase_global(
                             program,
+                            in_store,
                             iter,
                             rr,
                             arithmetic,
@@ -1126,6 +1204,7 @@ impl<'g> SlfeEngine<'g> {
                     }
                     Mode::Push => self.push_phase_global(
                         program,
+                        out_store,
                         iter,
                         tolerance,
                         &active,
@@ -1152,19 +1231,29 @@ impl<'g> SlfeEngine<'g> {
                 if mode == Mode::Push {
                     // High-water mark of the push gather scratch actually
                     // allocated (capacities persist across `clear`, so this is
-                    // the live footprint, not the phase's touched count).
-                    let mut scratch: u64 = worker_states.iter().map(|ws| ws.scratch_bytes()).sum();
-                    scratch += (merged_values.len() * std::mem::size_of::<P::Value>()
-                        + merged_touched.words().len() * 8
-                        + merged_nodes.len() * 8) as u64
-                        + merged_sparse.bytes();
-                    iter_counters.scratch_bytes_peak = scratch;
+                    // the live footprint, not the phase's touched count). Each
+                    // worker reports its own live footprint; the shared merge
+                    // buffers are the engine's. The barrier merge below sums
+                    // the concurrent windows (`Counters::merge_concurrent`) —
+                    // every worker's scratch is live *simultaneously* at this
+                    // barrier, so a max would under-report the true peak by up
+                    // to the worker count.
+                    for ws in worker_states.iter_mut() {
+                        ws.counters.scratch_bytes_peak = ws.scratch_bytes();
+                    }
+                    iter_counters.scratch_bytes_peak =
+                        (merged_values.len() * std::mem::size_of::<P::Value>()
+                            + merged_touched.words().len() * 8
+                            + merged_nodes.len() * 8) as u64
+                            + merged_sparse.bytes();
                 }
 
                 // Merge per-worker scratch at the iteration barrier: counters,
-                // change tallies, activated frontier bits and the message matrix.
+                // change tallies, activated frontier bits and the message
+                // matrix. Concurrent-window semantics: flow counters sum, and
+                // so do the simultaneously-live scratch footprints.
                 for ws in worker_states.iter_mut() {
-                    iter_counters += ws.counters;
+                    iter_counters = iter_counters.merge_concurrent(ws.counters);
                     ws.counters = Counters::zero();
                     changed_this_iter += ws.changed;
                     ws.changed = 0;
@@ -1264,6 +1353,12 @@ impl<'g> SlfeEngine<'g> {
             let iter_bytes = comm_after.bytes - comm_before.bytes;
             iter_counters.messages_sent = iter_messages;
             iter_counters.bytes_sent = iter_bytes;
+            if let (Some(before), Some(storage)) = (pool_before, &self.storage) {
+                let after = storage.pool().counters();
+                iter_counters.segments_faulted += after.segments_faulted - before.segments_faulted;
+                iter_counters.segment_bytes_read +=
+                    after.segment_bytes_read - before.segment_bytes_read;
+            }
 
             let comm_seconds = self
                 .cluster
@@ -1375,9 +1470,10 @@ impl<'g> SlfeEngine<'g> {
     /// at zero cost; `newly_converged[ci]` reports how many of chunk `ci`'s
     /// vertices crossed the multi ruler's stability threshold this phase.
     #[allow(clippy::too_many_arguments)]
-    fn pull_phase_global<P: GraphProgram>(
+    fn pull_phase_global<P: GraphProgram, S: AdjacencyStore>(
         &self,
         program: &P,
+        in_store: &S,
         iter: u32,
         rr: bool,
         arithmetic: bool,
@@ -1414,6 +1510,10 @@ impl<'g> SlfeEngine<'g> {
                 let owned = self.cluster.vertices_of(chunk.node);
                 let mut chunk_work = 0u64;
                 let mut converged_now = 0u32;
+                // Destinations stream in ascending id order, so this cursor
+                // pins (and, out of core, faults) one CSC segment at a time;
+                // skipped chunks never reach here and fault nothing.
+                let mut in_cursor = StreamCursor::new(in_store);
                 for &dst in &owned[chunk.start..chunk.end] {
                     // Safety: `dst` is owned by exactly one chunk, and each chunk is
                     // processed by exactly one worker, so every shared-slice index
@@ -1421,6 +1521,7 @@ impl<'g> SlfeEngine<'g> {
                     chunk_work += unsafe {
                         self.pull_vertex(
                             program,
+                            &mut in_cursor,
                             dst,
                             iter,
                             rr,
@@ -1452,9 +1553,10 @@ impl<'g> SlfeEngine<'g> {
     /// The caller must guarantee exclusive access to index `dst` of every shared
     /// slice for the duration of the call.
     #[allow(clippy::too_many_arguments)]
-    unsafe fn pull_vertex<P: GraphProgram>(
+    unsafe fn pull_vertex<P: GraphProgram, S: AdjacencyStore>(
         &self,
         program: &P,
+        in_cursor: &mut StreamCursor<'_, S>,
         dst: VertexId,
         iter: u32,
         rr: bool,
@@ -1497,7 +1599,10 @@ impl<'g> SlfeEngine<'g> {
         // vertex id and chunking makes ownership monotone in the id, so de-duplicating
         // consecutive owners counts exactly one message per contributing remote node.
         let mut last_remote_owner = usize::MAX;
-        for (src, weight) in self.graph.in_edges(dst) {
+        // Resolved after the ruler gates above, so a gated vertex faults no
+        // segment. Both stores serve the same sorted list.
+        let (in_targets, in_weights) = in_cursor.list(dst);
+        for (&src, &weight) in in_targets.iter().zip(in_weights) {
             work += 1;
             ws.counters.edge_computations += 1;
             if let Some(contribution) =
@@ -1560,9 +1665,10 @@ impl<'g> SlfeEngine<'g> {
     /// kept verbatim so `workers_per_node: 1` reproduces the pre-parallelism
     /// engine bit-for-bit (per-edge update counting included).
     #[allow(clippy::too_many_arguments)]
-    fn push_phase_sequential<P: GraphProgram>(
+    fn push_phase_sequential<P: GraphProgram, S: AdjacencyStore>(
         &self,
         program: &P,
+        out_store: &S,
         node: usize,
         iter: u32,
         tolerance: f64,
@@ -1576,13 +1682,19 @@ impl<'g> SlfeEngine<'g> {
     ) -> slfe_cluster::ScheduleOutcome {
         let owned = self.cluster.vertices_of(node);
         let mut work = 0u64;
+        // Owned vertices ascend, so one cursor streams the node's CSR
+        // segments in order; inactive sources never touch it.
+        let mut out_cursor = StreamCursor::new(out_store);
         for &src in owned {
+            if !active.get(src as usize) {
+                continue;
+            }
             work += self.push_vertex(
                 program,
+                &mut out_cursor,
                 src,
                 iter,
                 tolerance,
-                active,
                 prev_values,
                 values,
                 next_active,
@@ -1597,16 +1709,16 @@ impl<'g> SlfeEngine<'g> {
         }
     }
 
-    /// Push-mode processing of one source vertex (Algorithm 3), sequential path.
-    /// Returns the counted work performed.
+    /// Push-mode processing of one **active** source vertex (Algorithm 3),
+    /// sequential path. Returns the counted work performed.
     #[allow(clippy::too_many_arguments)]
-    fn push_vertex<P: GraphProgram>(
+    fn push_vertex<P: GraphProgram, S: AdjacencyStore>(
         &self,
         program: &P,
+        out_cursor: &mut StreamCursor<'_, S>,
         src: VertexId,
         iter: u32,
         tolerance: f64,
-        active: &Bitset,
         prev_values: &[P::Value],
         values: &mut [P::Value],
         next_active: &mut Bitset,
@@ -1615,13 +1727,14 @@ impl<'g> SlfeEngine<'g> {
         counters: &mut Counters,
     ) -> u64 {
         let s = src as usize;
-        if !active.get(s) || self.graph.out_degree(src) == 0 {
+        let (out_targets, out_weights) = out_cursor.list(src);
+        if out_targets.is_empty() {
             return 0;
         }
         let mut work = 0u64;
         let src_owner = self.cluster.owner_of(src);
         let src_value = prev_values[s];
-        for (dst, weight) in self.graph.out_edges(src) {
+        for (&dst, &weight) in out_targets.iter().zip(out_weights) {
             work += 1;
             counters.edge_computations += 1;
             let Some(contribution) = program.edge_contribution(src, src_value, weight) else {
@@ -1713,9 +1826,10 @@ impl<'g> SlfeEngine<'g> {
     /// owner in `merge_work_by_node`. Chunks flagged in `skip` hold no active
     /// source and are left untouched at zero cost.
     #[allow(clippy::too_many_arguments)]
-    fn push_phase_global<P: GraphProgram>(
+    fn push_phase_global<P: GraphProgram, S: AdjacencyStore>(
         &self,
         program: &P,
+        out_store: &S,
         iter: u32,
         tolerance: f64,
         active: &Bitset,
@@ -1739,7 +1853,6 @@ impl<'g> SlfeEngine<'g> {
         merge_work_by_node: &mut [u64],
     ) {
         let chunks = self.layout.chunks();
-        let graph = self.graph;
         let costs_shared = SharedSlice::new(chunk_costs);
         let identity = program.identity();
 
@@ -1759,13 +1872,18 @@ impl<'g> SlfeEngine<'g> {
                 let node_word = chunk.node / 64;
                 let node_bit = 1u64 << (chunk.node % 64);
                 let mut chunk_work = 0u64;
-                let process_source = |ws: &mut WorkerScratch<P::Value>, src: VertexId| -> u64 {
-                    if graph.out_degree(src) == 0 {
+                // Active sources stream in ascending id order; only they
+                // fault CSR segments (a frontier-empty chunk was skipped
+                // before this closure ran).
+                let mut out_cursor = StreamCursor::new(out_store);
+                let mut process_source = |ws: &mut WorkerScratch<P::Value>, src: VertexId| -> u64 {
+                    let (out_targets, out_weights) = out_cursor.list(src);
+                    if out_targets.is_empty() {
                         return 0;
                     }
                     let mut work = 0u64;
                     let src_value = prev_values[src as usize];
-                    for (dst, weight) in graph.out_edges(src) {
+                    for (&dst, &weight) in out_targets.iter().zip(out_weights) {
                         work += 1;
                         ws.counters.edge_computations += 1;
                         let Some(contribution) = program.edge_contribution(src, src_value, weight)
@@ -2469,6 +2587,108 @@ mod tests {
                 .map(|v| v.to_bits())
                 .collect::<Vec<_>>(),
         );
+    }
+
+    /// Seeded-loop property test for [`SparsePushMap`] growth: entries and
+    /// contribution masks must survive every rehash, probe chains must stay
+    /// findable right across the 7/8 load boundary, and a destination whose
+    /// folded value happens to equal the fold identity must still round-trip
+    /// (present-with-identity-value is distinct from absent).
+    #[test]
+    fn sparse_push_map_growth_preserves_entries_and_masks() {
+        let mask_words = 2usize;
+        for seed in 0..8u64 {
+            let mut rng = slfe_graph::rng::SplitMix64::seed_from_u64(seed * 131 + 17);
+            let mut map: SparsePushMap<f32> = SparsePushMap::new(mask_words);
+            let mut reference: std::collections::HashMap<u32, (u32, [u64; 2])> =
+                std::collections::HashMap::new();
+            // Enough inserts to force several rehash generations (64 -> 128 ->
+            // 256 -> 512 slots), with duplicate destinations folding via min.
+            let inserts = 420 + (seed as usize % 50);
+            for i in 0..inserts {
+                let dst = rng.range_u32(0, 700);
+                // Identity-valued destinations appear deliberately.
+                let value = if i % 13 == 0 {
+                    f32::INFINITY
+                } else {
+                    rng.range_f32(0.0, 100.0)
+                };
+                let mask_bit = rng.range_u32(0, 128) as usize;
+                let (slot, fresh) = map.slot_for(dst, f32::INFINITY);
+                if fresh {
+                    map.values[slot] = value;
+                } else {
+                    map.values[slot] = map.values[slot].min(value);
+                }
+                map.masks[slot * mask_words + mask_bit / 64] |= 1u64 << (mask_bit % 64);
+                let entry = reference
+                    .entry(dst)
+                    .or_insert((f32::INFINITY.to_bits(), [0u64; 2]));
+                entry.0 = f32::from_bits(entry.0).min(value).to_bits();
+                entry.1[mask_bit / 64] |= 1u64 << (mask_bit % 64);
+            }
+            assert_eq!(map.len, reference.len(), "seed {seed}: live entry count");
+            // The table grew across the 7/8 boundary at least once.
+            assert!(map.keys.len() >= 512, "seed {seed}: expected several grows");
+            assert!(
+                map.len * 8 <= map.keys.len() * 7,
+                "seed {seed}: load factor above 7/8"
+            );
+            // Every inserted destination is still findable through the probe
+            // chain (slot_for reports it as non-fresh) with its exact folded
+            // value and OR-ed mask — identity-valued entries included.
+            let mut seen = std::collections::HashMap::new();
+            map.for_each(|dst, value, mask| {
+                seen.insert(dst, (value.to_bits(), [mask[0], mask[1]]));
+            });
+            assert_eq!(seen, reference, "seed {seed}: entries diverge after grow");
+            for (&dst, &(bits, mask)) in &reference {
+                let (slot, fresh) = map.slot_for(dst, f32::INFINITY);
+                assert!(!fresh, "seed {seed}: {dst} lost from the probe chain");
+                assert_eq!(map.values[slot].to_bits(), bits);
+                assert_eq!(map.masks[slot * mask_words], mask[0]);
+                assert_eq!(map.masks[slot * mask_words + 1], mask[1]);
+            }
+        }
+    }
+
+    /// Probe-chain integrity exactly at the grow trigger: inserting the entry
+    /// that crosses `len + 1 > 7/8 · capacity` rehashes first, and every
+    /// pre-existing entry must remain reachable in the doubled table.
+    #[test]
+    fn sparse_push_map_probe_chains_survive_the_load_boundary() {
+        let mut map: SparsePushMap<u64> = SparsePushMap::new(0);
+        // Fill the initial 64-slot table to exactly its 7/8 threshold: 56
+        // entries fit, the 57th must trigger the grow (the map grows when
+        // (len + 1) * 8 > capacity * 7).
+        let spread = |i: u32| i * 97 + 5; // non-contiguous keys -> real probing
+        let mut i = 0u32;
+        while (map.len + 1) * 8 <= map.keys.len().max(64) * 7 {
+            let (slot, fresh) = map.slot_for(spread(i), 0);
+            assert!(fresh);
+            map.values[slot] = u64::from(spread(i)) * 3;
+            i += 1;
+            if map.keys.len() > 64 {
+                break;
+            }
+        }
+        assert_eq!(map.keys.len(), 64, "should still be in the first table");
+        let filled = i;
+        let (slot, fresh) = map.slot_for(spread(filled), 0);
+        assert!(fresh);
+        map.values[slot] = u64::from(spread(filled)) * 3;
+        assert_eq!(map.keys.len(), 128, "crossing 7/8 load must double");
+        for j in 0..=filled {
+            let (slot, fresh) = map.slot_for(spread(j), 0);
+            assert!(!fresh, "key {} unreachable after the boundary grow", j);
+            assert_eq!(map.values[slot], u64::from(spread(j)) * 3);
+        }
+        // clear() keeps capacity but drops entries; release() drops both.
+        map.clear();
+        assert_eq!(map.len, 0);
+        assert_eq!(map.keys.len(), 128);
+        map.release();
+        assert_eq!(map.bytes(), 0);
     }
 
     #[test]

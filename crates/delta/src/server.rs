@@ -3,7 +3,7 @@
 
 use slfe_cluster::{Cluster, ClusterConfig, GlobalChunkLayout, LayoutPatchStats, WorkerPool};
 use slfe_core::{EngineConfig, GraphProgram, ProgramResult, RepairReport, RrGuidance, SlfeEngine};
-use slfe_graph::{BatchEffect, Graph, UpdateBatch, VertexId};
+use slfe_graph::{BatchEffect, Graph, GraphStorage, UpdateBatch, VertexId};
 use slfe_partition::{ChunkingPartitioner, Partitioner, Partitioning};
 use std::sync::Arc;
 use std::time::Instant;
@@ -61,9 +61,15 @@ pub struct BatchOutcome {
     /// ingest node to their partition owners.
     pub distribution_messages: u64,
     /// What patching the chunk layout to this graph version cost: only the
-    /// dirty endpoints' owner nodes (plus the appended-vertex node) are
-    /// re-derived; everything else is carried over from the previous version.
+    /// dirty endpoints' owner nodes (plus the appended vertices' receiving
+    /// nodes) are re-derived; everything else is carried over from the
+    /// previous version.
     pub layout_patch: LayoutPatchStats,
+    /// Out-of-core serving only: how many disk segments this batch rewrote
+    /// across both adjacency directions ([`GraphStorage::patched`] — the
+    /// segment analogue of the adjacency range patch). 0 when the server runs
+    /// in-memory.
+    pub segments_rewritten: u64,
     /// Wall-clock seconds for the whole apply (graph patch + guidance + rerun).
     pub wall_seconds: f64,
 }
@@ -136,8 +142,9 @@ where
     pool: Arc<WorkerPool>,
     /// The vertex → node assignment, built once at startup and **kept stable
     /// across graph versions** (the id space only grows; appended vertices
-    /// join the last node). Stability is what lets the chunk layout be
-    /// patched instead of re-derived per batch; sharing the `Arc` with each
+    /// join the least-loaded node, so sustained growth cannot skew one
+    /// node's load). Stability is what lets the chunk layout be patched
+    /// instead of re-derived per batch; sharing the `Arc` with each
     /// version's cluster is what keeps batch application free of O(V) copies.
     partitioning: Arc<Partitioning>,
     /// The degree-aware chunk layout of the current graph version,
@@ -146,6 +153,11 @@ where
     /// server builds — warm and cold paths share the same instance, built
     /// once per applied version.
     layout: GlobalChunkLayout,
+    /// Out-of-core serving ([`EngineConfig::storage_budget_bytes`] set): the
+    /// current graph version's disk-segment store, patched per batch at the
+    /// dirty segments only and threaded into every engine this server builds.
+    /// `None` runs in-memory.
+    storage: Option<Arc<GraphStorage>>,
     result: ProgramResult<P::Value>,
     stats: ServerStats,
 }
@@ -166,13 +178,22 @@ where
         let cluster =
             Cluster::with_shared_partitioning(Arc::clone(&partitioning), config.cluster.clone());
         let layout = cluster.build_layout(&graph);
-        let engine = SlfeEngine::with_prebuilt_layout(
+        // Out-of-core serving: the segments are written once here; every
+        // batch then patches only the dirty ones (`GraphStorage::patched`).
+        let storage = config.engine.storage_config().map(|sc| {
+            Arc::new(
+                GraphStorage::build(&graph, &sc)
+                    .expect("failed to write out-of-core graph segments"),
+            )
+        });
+        let engine = SlfeEngine::with_prebuilt_layout_and_storage(
             &graph,
             cluster,
             config.engine.clone(),
             rrg.clone(),
             Arc::clone(&pool),
             layout.clone(),
+            storage.clone(),
         );
         let result = engine.run(&program);
         drop(engine);
@@ -185,6 +206,7 @@ where
             pool,
             partitioning,
             layout,
+            storage,
             result,
             stats: ServerStats::default(),
         }
@@ -212,6 +234,7 @@ where
                 full_recompute: false,
                 distribution_messages: 0,
                 layout_patch: LayoutPatchStats::default(),
+                segments_rewritten: 0,
                 wall_seconds: start.elapsed().as_secs_f64(),
             };
         }
@@ -221,16 +244,18 @@ where
 
         // One partitioning, one layout, per applied version — shared by the
         // warm path and the cold-run fallback alike. The partitioning only
-        // grows (appended vertices join the last node), so chunk estimates
-        // move exclusively at the batch's dirty endpoints, and the layout is
-        // patched there instead of being re-derived with an O(V+E) scan+sort.
+        // grows (appended vertices join the least-loaded nodes, keeping the
+        // per-node loads bounded under sustained growth), so chunk estimates
+        // move exclusively at the batch's dirty endpoints plus the receiving
+        // nodes, and the layout is patched there instead of being re-derived
+        // with an O(V+E) scan+sort.
         let num_nodes = self.config.cluster.num_nodes;
         // The previous version's cluster is gone by now, so the Arc is
         // unshared and `make_mut` extends in place.
-        Arc::make_mut(&mut self.partitioning).extend_to(n, num_nodes - 1);
+        let growth_receivers = Arc::make_mut(&mut self.partitioning).extend_to(n);
         let mut touched = vec![false; num_nodes];
-        if effect.vertices_added > 0 {
-            touched[num_nodes - 1] = true;
+        for node in growth_receivers {
+            touched[node] = true;
         }
         for &v in &effect.dirty {
             touched[self.partitioning.owner_of(v)] = true;
@@ -241,17 +266,30 @@ where
         let (layout, layout_patch) =
             self.layout
                 .patched(&graph, &owned, self.config.cluster.chunk_size, &touched);
+        // Out-of-core: rewrite only the segments a dirty endpoint lives in
+        // (plus fresh segments for appended vertices); the clean ones keep
+        // their bytes and any warm buffer-pool frames.
+        let (storage, segments_rewritten) = match &self.storage {
+            Some(storage) => {
+                let (patched, rewritten) = storage
+                    .patched(&graph, &effect.dirty)
+                    .expect("failed to patch out-of-core segments");
+                (Some(Arc::new(patched)), rewritten)
+            }
+            None => (None, 0),
+        };
         let cluster = Cluster::with_shared_partitioning(
             Arc::clone(&self.partitioning),
             self.config.cluster.clone(),
         );
-        let engine = SlfeEngine::with_prebuilt_layout(
+        let engine = SlfeEngine::with_prebuilt_layout_and_storage(
             &graph,
             cluster,
             self.config.engine.clone(),
             rrg.clone(),
             Arc::clone(&self.pool),
             layout.clone(),
+            storage.clone(),
         );
         let dirty_fraction = effect.dirty.len() as f64 / n.max(1) as f64;
         let full_recompute = dirty_fraction > self.config.full_recompute_dirty_fraction;
@@ -276,6 +314,7 @@ where
             full_recompute,
             distribution_messages,
             layout_patch,
+            segments_rewritten,
             wall_seconds: start.elapsed().as_secs_f64(),
         };
         self.stats.batches_applied += 1;
@@ -286,6 +325,7 @@ where
         self.graph = graph;
         self.rrg = rrg;
         self.layout = layout;
+        self.storage = storage;
         self.program = program;
         self.result = result;
         outcome
@@ -349,6 +389,12 @@ where
     /// The current graph version's chunk layout (patched, not rebuilt).
     pub fn layout(&self) -> &GlobalChunkLayout {
         &self.layout
+    }
+
+    /// The current graph version's out-of-core segment store (patched per
+    /// batch), when the server runs in that mode.
+    pub fn storage(&self) -> Option<&Arc<GraphStorage>> {
+        self.storage.as_ref()
     }
 
     /// Cumulative serving statistics.
@@ -634,9 +680,12 @@ mod tests {
         let outcome = server.apply(&batch);
         assert!(outcome.converged);
         assert_eq!(server.partitioning().num_vertices(), n as usize + 8);
-        // Appended ids belong to the last node, keeping its list ascending.
-        let last = server.config().cluster.num_nodes - 1;
-        assert_eq!(server.partitioning().owner_of(n + 7), last);
+        // Every node's list stays ascending no matter which node received
+        // which appended id.
+        for node in 0..server.config().cluster.num_nodes {
+            let owned = server.partitioning().vertices_of(node);
+            assert!(owned.windows(2).all(|w| w[0] < w[1]));
+        }
         let (mutated, _) = graph.apply_batch(&batch);
         let oracle = SlfeEngine::build(
             &mutated,
@@ -656,6 +705,114 @@ mod tests {
                 .map(|v| v.to_bits())
                 .collect::<Vec<_>>(),
         );
+    }
+
+    /// Growth-skew regression: sustained append-heavy batches must keep the
+    /// stable partitioning's node loads bounded (the old code piled every
+    /// grown vertex onto the last node, unboundedly) while serving stays
+    /// bit-correct against a from-scratch oracle.
+    #[test]
+    fn sustained_growth_batches_keep_node_loads_bounded() {
+        let graph = generators::rmat(400, 2400, 0.57, 0.19, 0.19, 53);
+        let root = stats::highest_out_degree_vertex(&graph).unwrap();
+        let config = ServerConfig {
+            cluster: ClusterConfig::new(4, 1),
+            ..ServerConfig::default()
+        };
+        let mut server = sssp_server(graph.clone(), root, config);
+        let spread = |p: &Partitioning| {
+            let c = p.vertex_counts();
+            c.iter().max().unwrap() - c.iter().min().unwrap()
+        };
+        let initial_spread = spread(server.partitioning());
+        let mut current = graph;
+        for round in 0..10u64 {
+            // Each batch appends 6 fresh vertices hanging off existing ones.
+            let n = current.num_vertices() as u32;
+            let mut rng = SplitMix64::seed_from_u64(round + 900);
+            let mut batch = UpdateBatch::new();
+            for k in 0..6u32 {
+                batch.insert(rng.range_u32(0, n), n + k, rng.range_f32(1.0, 4.0));
+            }
+            let outcome = server.apply(&batch);
+            assert!(outcome.converged);
+            current = current.apply_batch(&batch).0;
+            assert!(
+                spread(server.partitioning()) <= initial_spread.max(1),
+                "round {round}: node loads {:?} diverged",
+                server.partitioning().vertex_counts()
+            );
+        }
+        // All 60 appended vertices were assigned (and, per the loop above,
+        // without widening the vertex-count spread).
+        let counts = server.partitioning().vertex_counts();
+        assert_eq!(counts.iter().sum::<usize>(), current.num_vertices());
+        let oracle = SlfeEngine::build(&current, ClusterConfig::new(4, 1), EngineConfig::default())
+            .run(&SsspProgram { root });
+        assert_eq!(
+            server
+                .values()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            oracle
+                .values
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    /// Out-of-core serving: a server whose engine streams disk segments must
+    /// serve bit-identical values to an in-memory one across mixed batches,
+    /// while patching only the dirty segments per batch.
+    #[test]
+    fn out_of_core_server_matches_in_memory_and_patches_segments() {
+        let graph = generators::rmat(600, 4200, 0.57, 0.19, 0.19, 19);
+        let root = stats::highest_out_degree_vertex(&graph).unwrap();
+        let oocore = ServerConfig {
+            engine: EngineConfig::default()
+                .with_storage_budget(24 << 10)
+                .with_storage_segment_bytes(2 << 10),
+            ..ServerConfig::default()
+        };
+        let mut server = sssp_server(graph.clone(), root, oocore);
+        let mut reference = sssp_server(graph.clone(), root, ServerConfig::default());
+        assert!(server.storage().is_some());
+        let total_segments = {
+            let s = server.storage().unwrap();
+            s.out_store().num_segments() + s.in_store().num_segments()
+        };
+        let mut current = graph;
+        for round in 0..3u64 {
+            let batch = mixed_batch(&current, round + 31, 15);
+            let outcome = server.apply(&batch);
+            let ref_outcome = reference.apply(&batch);
+            assert!(outcome.converged && ref_outcome.converged);
+            assert!(outcome.segments_rewritten > 0);
+            assert!(
+                outcome.segments_rewritten < total_segments as u64,
+                "round {round}: batch rewrote all {total_segments} segments"
+            );
+            assert_eq!(ref_outcome.segments_rewritten, 0);
+            current = current.apply_batch(&batch).0;
+            assert_eq!(
+                server
+                    .values()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                reference
+                    .values()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                "round {round}: out-of-core serving diverges from in-memory"
+            );
+        }
+        let pool = server.storage().unwrap().pool();
+        assert!(pool.counters().segments_faulted > 0);
+        assert!(pool.peak_resident_bytes() <= pool.budget_bytes());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use crate::builder::GraphBuilder;
 use crate::graph::Graph;
-use crate::types::{EdgeWeight, VertexId};
+use crate::types::{EdgeWeight, VertexId, INVALID_VERTEX};
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
@@ -17,6 +17,21 @@ pub enum LoadError {
     Io(io::Error),
     /// A line could not be parsed; carries the 1-based line number and its content.
     Parse { line: usize, content: String },
+    /// A vertex id falls outside the valid id space: at or above the header's
+    /// declared vertex count, or — absent a header — at or above
+    /// [`crate::INVALID_VERTEX`] (the reserved sentinel). Earlier revisions
+    /// silently truncated such ids through the `u32` parse; a graph quietly
+    /// missing declared vertices is far worse than a load failure, so this is
+    /// now a structured error carrying the 1-based line and the offending id.
+    IdOutOfRange {
+        /// 1-based line number of the offending edge.
+        line: usize,
+        /// The offending vertex id as written in the file.
+        id: u64,
+        /// First invalid id: the declared vertex count when a header bounds
+        /// the id space, the sentinel otherwise.
+        limit: u64,
+    },
 }
 
 impl std::fmt::Display for LoadError {
@@ -25,6 +40,12 @@ impl std::fmt::Display for LoadError {
             LoadError::Io(e) => write!(f, "i/o error: {e}"),
             LoadError::Parse { line, content } => {
                 write!(f, "parse error on line {line}: {content:?}")
+            }
+            LoadError::IdOutOfRange { line, id, limit } => {
+                write!(
+                    f,
+                    "vertex id {id} on line {line} is outside the valid id space (limit {limit})"
+                )
             }
         }
     }
@@ -38,18 +59,61 @@ impl From<io::Error> for LoadError {
     }
 }
 
+/// Extract the declared vertex count from the header comment this module's
+/// writer emits (`# slfe edge list: N vertices, M edges`). Foreign comment
+/// lines simply do not match.
+fn declared_vertices(comment: &str) -> Option<usize> {
+    let rest = comment.strip_prefix("# slfe edge list:")?.trim_start();
+    let count_tok = rest.split_whitespace().next()?;
+    rest.split_whitespace()
+        .nth(1)
+        .filter(|&unit| unit.starts_with("vertices"))?;
+    count_tok.parse().ok()
+}
+
 /// Parse an edge list from any reader. Lines beginning with `#` or `%` and blank
-/// lines are skipped. Each remaining line must be `src dst` or `src dst weight`.
+/// lines are skipped, except that this module's own header comment
+/// (`# slfe edge list: N vertices, ...`) declares the vertex count: the graph
+/// then gets exactly `N` vertices (isolated trailing vertices survive a
+/// round-trip) and any edge endpoint `>= N` is a [`LoadError::IdOutOfRange`]
+/// instead of silently growing — or, before this check existed, silently
+/// corrupting — the id space. Each remaining line must be `src dst` or
+/// `src dst weight`.
 pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Graph, LoadError> {
     let mut builder = GraphBuilder::new();
+    let mut declared: Option<usize> = None;
     for (idx, line) in reader.lines().enumerate() {
         let line = line?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            if declared.is_none() {
+                if let Some(n) = declared_vertices(trimmed) {
+                    // The id space tops out below the sentinel; a header
+                    // declaring more vertices than that describes a graph
+                    // this format cannot hold (and would otherwise drive a
+                    // huge allocation), so it fails at the header line.
+                    if n as u64 > INVALID_VERTEX as u64 {
+                        return Err(LoadError::Parse {
+                            line: idx + 1,
+                            content: line,
+                        });
+                    }
+                    declared = Some(n);
+                    builder = builder.with_vertices(n);
+                }
+            }
             continue;
         }
+        // Ids parse as u64 first so an id too large for `VertexId` is reported
+        // as the id it actually was, not as a generic parse failure. A header
+        // may declare any count, but the id space itself still tops out at
+        // the sentinel — without the cap, a declared count past 2^32 would
+        // let huge ids through to a silently wrapping `as VertexId` cast.
+        let limit = declared
+            .map(|n| (n as u64).min(INVALID_VERTEX as u64))
+            .unwrap_or(INVALID_VERTEX as u64);
         let mut parts = trimmed.split_whitespace();
-        let parse = |tok: Option<&str>| -> Option<VertexId> { tok?.parse().ok() };
+        let parse = |tok: Option<&str>| -> Option<u64> { tok?.parse().ok() };
         let src = parse(parts.next());
         let dst = parse(parts.next());
         let weight: Option<EdgeWeight> = match parts.next() {
@@ -58,7 +122,14 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Graph, LoadError> {
         };
         match (src, dst, weight) {
             (Some(s), Some(d), Some(w)) if parts.next().is_none() => {
-                builder.add_edge(s, d, w);
+                if let Some(&id) = [s, d].iter().find(|&&id| id >= limit) {
+                    return Err(LoadError::IdOutOfRange {
+                        line: idx + 1,
+                        id,
+                        limit,
+                    });
+                }
+                builder.add_edge(s as VertexId, d as VertexId, w);
             }
             _ => {
                 return Err(LoadError::Parse {
@@ -139,9 +210,9 @@ mod tests {
         write_edge_list(&g, &mut buf).unwrap();
         let g2 = read_edge_list(Cursor::new(buf)).unwrap();
         assert_eq!(g.num_edges(), g2.num_edges());
-        // The text format only records edges, so trailing isolated vertices are not
-        // reconstructed; every vertex of the re-read graph must match the original.
-        assert!(g2.num_vertices() <= g.num_vertices());
+        // The header declares the vertex count, so even trailing isolated
+        // vertices are reconstructed exactly.
+        assert_eq!(g2.num_vertices(), g.num_vertices());
         for v in g2.vertices() {
             assert_eq!(g.out_neighbors(v), g2.out_neighbors(v));
         }
@@ -157,6 +228,84 @@ mod tests {
         let g2 = load_edge_list(&path).unwrap();
         assert_eq!(g2.num_edges(), 5);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn id_past_the_declared_vertex_count_is_a_structured_error() {
+        let input = "# slfe edge list: 4 vertices, 2 edges\n0 1\n2 9 1.5\n";
+        match read_edge_list(Cursor::new(input)).unwrap_err() {
+            LoadError::IdOutOfRange { line, id, limit } => {
+                assert_eq!(line, 3);
+                assert_eq!(id, 9);
+                assert_eq!(limit, 4);
+            }
+            other => panic!("expected IdOutOfRange, got {other}"),
+        }
+        // The source id is checked too.
+        let input = "# slfe edge list: 4 vertices, 1 edges\n7 0\n";
+        match read_edge_list(Cursor::new(input)).unwrap_err() {
+            LoadError::IdOutOfRange { line, id, .. } => {
+                assert_eq!((line, id), (2, 7));
+            }
+            other => panic!("expected IdOutOfRange, got {other}"),
+        }
+    }
+
+    #[test]
+    fn ids_outside_the_u32_id_space_are_rejected_not_truncated() {
+        // u32::MAX is the INVALID_VERTEX sentinel; anything at or above it
+        // must fail loudly with the offending id, not wrap or vanish.
+        for bad in [u32::MAX as u64, u32::MAX as u64 + 1, 99_999_999_999] {
+            let input = format!("0 1\n1 {bad}\n");
+            match read_edge_list(Cursor::new(input)).unwrap_err() {
+                LoadError::IdOutOfRange { line, id, limit } => {
+                    assert_eq!(line, 2);
+                    assert_eq!(id, bad);
+                    assert_eq!(limit, u32::MAX as u64);
+                }
+                other => panic!("expected IdOutOfRange for {bad}, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn declared_vertex_count_preserves_isolated_trailing_vertices() {
+        let g = crate::generators::path(4); // 4 vertices, 3 edges
+        let mut buf = Vec::new();
+        writeln!(
+            buf,
+            "# slfe edge list: 10 vertices, {} edges",
+            g.num_edges()
+        )
+        .unwrap();
+        for v in g.vertices() {
+            for (u, w) in g.out_edges(v) {
+                writeln!(buf, "{v} {u} {w}").unwrap();
+            }
+        }
+        let loaded = read_edge_list(Cursor::new(buf)).unwrap();
+        assert_eq!(loaded.num_vertices(), 10);
+        assert_eq!(loaded.num_edges(), 3);
+        assert_eq!(loaded.out_degree(9), 0);
+    }
+
+    #[test]
+    fn oversized_declared_counts_do_not_reopen_the_wrapping_cast() {
+        // A header claiming more vertices than the u32 id space holds is
+        // rejected at the header line — its huge ids must never reach the
+        // (wrapping) `as VertexId` cast, nor drive a giant allocation.
+        let input = "# slfe edge list: 6000000000 vertices, 1 edges\n4294967296 1\n";
+        match read_edge_list(Cursor::new(input)).unwrap_err() {
+            LoadError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("expected Parse at the header, got {other}"),
+        }
+    }
+
+    #[test]
+    fn foreign_comments_do_not_declare_a_vertex_count() {
+        let input = "# 2 vertices of interest\n0 5\n";
+        let g = read_edge_list(Cursor::new(input)).unwrap();
+        assert_eq!(g.num_vertices(), 6);
     }
 
     #[test]
@@ -228,16 +377,14 @@ mod tests {
 
         assert_graphs_equal(&g, &g1);
         assert_graphs_equal(&g1, &g2);
-        // The format records edges only, so trailing isolated vertices vanish on
-        // the *first* reload; after that the vertex count is a fixpoint.
+        // The header's declared vertex count makes load-save-load a byte-level
+        // fixpoint from the very first save, isolated trailing vertices included.
+        assert_eq!(g1.num_vertices(), g.num_vertices());
         assert_eq!(g1.num_vertices(), g2.num_vertices());
-        // Byte-level fixpoint past the header (whose vertex count may shrink
-        // once, per the above): saving the reloaded graph reproduces the file.
-        let body = |path: &std::path::Path| {
-            let text = std::fs::read_to_string(path).unwrap();
-            text.split_once('\n').unwrap().1.to_string()
-        };
-        assert_eq!(body(&first), body(&second));
+        assert_eq!(
+            std::fs::read_to_string(&first).unwrap(),
+            std::fs::read_to_string(&second).unwrap()
+        );
         std::fs::remove_file(&first).ok();
         std::fs::remove_file(&second).ok();
     }

@@ -18,6 +18,11 @@
 //! * [`delta`] — staged edge-update batches ([`UpdateBatch`]) applied against the
 //!   immutable graph by rebuilding only touched adjacency ranges
 //!   ([`Graph::apply_batch`]); the backbone of the incremental serving subsystem.
+//! * [`storage`] — out-of-core adjacency: CSR/CSC written to disk in
+//!   self-contained segments ([`SegmentedStore`]) and served through a
+//!   byte-budgeted clock [`BufferPool`]; the [`AdjacencyStore`] trait lets the
+//!   engine traverse either representation bit-identically, and
+//!   [`GraphStorage::patched`] rewrites only dirty segments per update batch.
 //! * [`rng`] — a tiny dependency-free SplitMix64 PRNG backing the generators.
 //! * [`io`] — plain-text edge-list load/save.
 //! * [`datasets`] — a registry of the seven named graphs of the paper (PK, OK, LJ,
@@ -34,6 +39,7 @@ pub mod graph;
 pub mod io;
 pub mod rng;
 pub mod stats;
+pub mod storage;
 pub mod types;
 
 pub use bitset::{AtomicBitset, Bitset};
@@ -41,4 +47,8 @@ pub use builder::GraphBuilder;
 pub use csr::Adjacency;
 pub use delta::{BatchEffect, UpdateBatch};
 pub use graph::Graph;
+pub use storage::{
+    AdjacencyStore, AdjacencyView, BufferPool, GraphStorage, PoolCounters, SegmentedStore,
+    StorageConfig, StreamCursor,
+};
 pub use types::{EdgeWeight, VertexId, INVALID_VERTEX};

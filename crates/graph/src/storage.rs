@@ -1,0 +1,1098 @@
+//! Out-of-core adjacency storage: disk-resident CSR/CSC segments served
+//! through a byte-budgeted buffer pool.
+//!
+//! The in-memory [`Adjacency`] caps graph size at RAM. This module adds the
+//! GraphChi-style alternative the real engine needs for graphs past memory:
+//!
+//! * [`AdjacencyStore`] — the abstraction the engine's pull/push phases
+//!   traverse. The in-memory [`Adjacency`] implements it at zero cost (a view
+//!   is just `&Adjacency`), so the historical execution paths are untouched.
+//! * [`SegmentedStore`] — one adjacency direction written to disk in
+//!   fixed-byte-budget **segments**: a contiguous vertex range's local offset
+//!   array plus its neighbor/weight arrays, self-contained so a segment can be
+//!   rewritten without shifting its siblings. The in-RAM footprint is only the
+//!   segment *directory* (a few dozen bytes per segment).
+//! * [`BufferPool`] — a clock (second-chance) cache of decoded segments with a
+//!   byte budget. Faults and bytes read are counted
+//!   ([`PoolCounters`]), and pinned segments (ones a worker currently
+//!   traverses) are never evicted.
+//! * [`GraphStorage`] — both directions of one graph version sharing a single
+//!   pool, plus [`GraphStorage::patched`]: the segment analogue of
+//!   [`Adjacency::patched`] — after an edge-update batch only the segments
+//!   covering dirty vertices are rewritten (appended to the store file, the
+//!   directory repointed), every clean segment's bytes stay where they are and
+//!   its cached frame stays warm.
+//!
+//! Traversal streams through a [`StreamCursor`]: the engine walks each chunk's
+//! vertices in ascending id order, so the cursor holds (pins) exactly one
+//! segment at a time per worker and faults a segment only when a vertex
+//! actually needs it — skipped chunks and inactive sources fault nothing,
+//! which is what makes the chunk-level activity summaries double as the I/O
+//! planner.
+//!
+//! Segment lists are stored in the same sorted-by-neighbor order the
+//! in-memory structure maintains, so a traversal through either store visits
+//! byte-identical `(neighbor, weight)` sequences — the engine-level
+//! bit-for-bit equivalence tests rest on that.
+
+use crate::csr::Adjacency;
+use crate::types::{EdgeWeight, VertexId};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Abstract adjacency access for the engine's traversal phases.
+///
+/// `view(lo, hi)` pins whatever backing storage serves vertices `lo..hi`;
+/// `view_span(v)` reports the natural streaming granule containing `v` (the
+/// whole graph for the in-memory store, one segment for a [`SegmentedStore`]),
+/// which is what [`StreamCursor`] advances by.
+pub trait AdjacencyStore: Sync {
+    /// A pinned window of the store serving some vertex range.
+    type View<'a>: AdjacencyView
+    where
+        Self: 'a;
+
+    /// Pin the storage backing vertices `lo..hi` (half-open) and return a view.
+    fn view(&self, lo: VertexId, hi: VertexId) -> Self::View<'_>;
+
+    /// The half-open vertex range of the streaming granule containing `v`.
+    fn view_span(&self, v: VertexId) -> (VertexId, VertexId);
+
+    /// Number of vertices the store covers.
+    fn store_num_vertices(&self) -> usize;
+}
+
+/// A pinned window of adjacency data; `list(v)` is only valid for vertices
+/// inside the range the view was created for.
+pub trait AdjacencyView {
+    /// Neighbor list and parallel weights of `v`, sorted by neighbor id.
+    fn list(&self, v: VertexId) -> (&[VertexId], &[EdgeWeight]);
+}
+
+impl AdjacencyStore for Adjacency {
+    type View<'a> = &'a Adjacency;
+
+    fn view(&self, _lo: VertexId, _hi: VertexId) -> &Adjacency {
+        self
+    }
+
+    fn view_span(&self, _v: VertexId) -> (VertexId, VertexId) {
+        (0, self.num_vertices() as VertexId)
+    }
+
+    fn store_num_vertices(&self) -> usize {
+        self.num_vertices()
+    }
+}
+
+impl AdjacencyView for &Adjacency {
+    #[inline]
+    fn list(&self, v: VertexId) -> (&[VertexId], &[EdgeWeight]) {
+        (self.neighbors(v), self.weights(v))
+    }
+}
+
+/// Ascending-order adjacency reader over any [`AdjacencyStore`]: re-views the
+/// store whenever the requested vertex leaves the current granule. One cursor
+/// per worker pins at most one segment at a time.
+pub struct StreamCursor<'a, S: AdjacencyStore> {
+    store: &'a S,
+    /// Current granule: `(lo, hi, view)`.
+    current: Option<(VertexId, VertexId, S::View<'a>)>,
+}
+
+impl<'a, S: AdjacencyStore> StreamCursor<'a, S> {
+    /// A cursor with nothing pinned yet.
+    pub fn new(store: &'a S) -> Self {
+        Self {
+            store,
+            current: None,
+        }
+    }
+
+    /// Neighbor list and weights of `v`, faulting the granule containing `v`
+    /// if the cursor is not already positioned on it.
+    #[inline]
+    pub fn list(&mut self, v: VertexId) -> (&[VertexId], &[EdgeWeight]) {
+        let outside = match &self.current {
+            Some((lo, hi, _)) => v < *lo || v >= *hi,
+            None => true,
+        };
+        if outside {
+            // Unpin the old granule *before* faulting the next one, so each
+            // cursor holds at most one segment at any instant — the pinned-set
+            // bound (`total_workers` segments) the budget sizing docs promise.
+            self.current = None;
+            let (lo, hi) = self.store.view_span(v);
+            debug_assert!(lo <= v && v < hi, "granule must contain the vertex");
+            self.current = Some((lo, hi, self.store.view(lo, hi)));
+        }
+        self.current.as_ref().expect("positioned above").2.list(v)
+    }
+}
+
+/// Decoded payload of one segment, shared between the pool and pinning views.
+#[derive(Debug)]
+pub struct SegmentData {
+    /// First vertex covered.
+    v_start: VertexId,
+    /// Local offsets: vertex `v_start + i` owns
+    /// `targets[offsets[i]..offsets[i+1]]` (and the parallel weights).
+    offsets: Vec<u32>,
+    targets: Vec<VertexId>,
+    weights: Vec<EdgeWeight>,
+}
+
+impl SegmentData {
+    /// Number of vertices covered.
+    fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Resident footprint in bytes.
+    fn resident_bytes(&self) -> u64 {
+        (self.offsets.len() * 4 + self.targets.len() * 4 + self.weights.len() * 4) as u64
+    }
+
+    /// Neighbor list + weights of `v` (must lie inside this segment).
+    #[inline]
+    fn list(&self, v: VertexId) -> (&[VertexId], &[EdgeWeight]) {
+        let i = (v - self.v_start) as usize;
+        let (lo, hi) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+        (&self.targets[lo..hi], &self.weights[lo..hi])
+    }
+
+    /// Serialize to the on-disk little-endian layout (offsets, targets, weights).
+    fn encode(&self) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(self.resident_bytes() as usize);
+        for &o in &self.offsets {
+            bytes.extend_from_slice(&o.to_le_bytes());
+        }
+        for &t in &self.targets {
+            bytes.extend_from_slice(&t.to_le_bytes());
+        }
+        for &w in &self.weights {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        bytes
+    }
+
+    /// Decode the on-disk layout; counts come from the directory entry.
+    fn decode(meta: &SegmentMeta, bytes: &[u8]) -> Self {
+        let nv = meta.num_vertices as usize;
+        let ne = meta.num_edges as usize;
+        assert_eq!(bytes.len(), (nv + 1) * 4 + ne * 8, "corrupt segment");
+        let word = |i: usize| -> [u8; 4] { bytes[i * 4..i * 4 + 4].try_into().unwrap() };
+        let offsets = (0..nv + 1).map(|i| u32::from_le_bytes(word(i))).collect();
+        let targets = (0..ne)
+            .map(|i| VertexId::from_le_bytes(word(nv + 1 + i)))
+            .collect();
+        let weights = (0..ne)
+            .map(|i| EdgeWeight::from_le_bytes(word(nv + 1 + ne + i)))
+            .collect();
+        Self {
+            v_start: meta.v_start,
+            offsets,
+            targets,
+            weights,
+        }
+    }
+}
+
+/// One directory entry: where a segment's bytes live and what they cover.
+/// The directory is the only per-segment state that stays in RAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SegmentMeta {
+    /// First vertex covered (segments are contiguous and sorted).
+    v_start: VertexId,
+    /// Vertices covered.
+    num_vertices: u32,
+    /// Edges stored.
+    num_edges: u64,
+    /// Byte offset into the store file. Patching appends rewritten segments,
+    /// so an offset uniquely identifies one immutable version of a segment's
+    /// bytes — which is what lets patched generations share the buffer pool
+    /// without invalidating clean segments' cached frames.
+    file_offset: u64,
+    /// Byte length on disk.
+    bytes: u64,
+}
+
+impl SegmentMeta {
+    fn v_end(&self) -> VertexId {
+        self.v_start + self.num_vertices
+    }
+}
+
+/// Cache-wide fault statistics, all monotone counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Segments faulted from disk (cache misses).
+    pub segments_faulted: u64,
+    /// Bytes read from disk by those faults.
+    pub segment_bytes_read: u64,
+}
+
+/// One resident cache frame.
+#[derive(Debug)]
+struct Frame {
+    key: (u64, u64),
+    data: Arc<SegmentData>,
+    bytes: u64,
+    /// Clock reference bit: set on every hit, cleared as the hand passes.
+    referenced: bool,
+}
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    /// `(file id, file offset)` → index into `frames`.
+    map: HashMap<(u64, u64), usize>,
+    frames: Vec<Option<Frame>>,
+    free: Vec<usize>,
+    resident_bytes: u64,
+    hand: usize,
+}
+
+/// Clock (second-chance) segment cache with a byte budget.
+///
+/// Eviction runs *before* a faulted segment is inserted, so resident bytes
+/// never exceed the budget as long as the segments currently pinned by
+/// traversal cursors (one per worker) plus the incoming segment fit within
+/// it; a pinned frame (its `Arc` held outside the pool) is never evicted.
+#[derive(Debug)]
+pub struct BufferPool {
+    budget_bytes: u64,
+    inner: Mutex<PoolInner>,
+    faults: AtomicU64,
+    bytes_read: AtomicU64,
+    peak_resident: AtomicU64,
+}
+
+impl BufferPool {
+    /// An empty pool with the given byte budget.
+    pub fn new(budget_bytes: u64) -> Self {
+        Self {
+            budget_bytes,
+            inner: Mutex::new(PoolInner::default()),
+            faults: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            peak_resident: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Monotone fault statistics.
+    pub fn counters(&self) -> PoolCounters {
+        PoolCounters {
+            segments_faulted: self.faults.load(Ordering::Relaxed),
+            segment_bytes_read: self.bytes_read.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.inner.lock().unwrap().resident_bytes
+    }
+
+    /// High-water mark of resident bytes.
+    pub fn peak_resident_bytes(&self) -> u64 {
+        self.peak_resident.load(Ordering::Relaxed)
+    }
+
+    /// Fetch the segment identified by `key`, loading it through `load` on a
+    /// miss. The returned `Arc` pins the frame against eviction.
+    fn get(
+        &self,
+        key: (u64, u64),
+        load: impl FnOnce() -> io::Result<(SegmentData, u64)>,
+    ) -> io::Result<Arc<SegmentData>> {
+        {
+            let mut inner = self.inner.lock().unwrap();
+            if let Some(&slot) = inner.map.get(&key) {
+                let frame = inner.frames[slot].as_mut().expect("mapped frame");
+                frame.referenced = true;
+                return Ok(Arc::clone(&frame.data));
+            }
+        }
+        // Miss: read and decode *outside* the lock, so workers faulting
+        // distinct segments stream from disk concurrently — in the
+        // pool-cycling regime (budget far below footprint) faulting dominates
+        // the iteration, and serialising it would collapse parallel traversal
+        // to one thread's I/O throughput. Two workers racing on the same
+        // segment may both read it; the re-check below keeps one copy and the
+        // fault counters stay honest (both reads really happened).
+        let (data, disk_bytes) = load()?;
+        self.faults.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(disk_bytes, Ordering::Relaxed);
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(&slot) = inner.map.get(&key) {
+            let frame = inner.frames[slot].as_mut().expect("mapped frame");
+            frame.referenced = true;
+            return Ok(Arc::clone(&frame.data));
+        }
+        let data = Arc::new(data);
+        let bytes = data.resident_bytes();
+        Self::evict_until(&mut inner, self.budget_bytes.saturating_sub(bytes));
+        let slot = inner.free.pop().unwrap_or_else(|| {
+            inner.frames.push(None);
+            inner.frames.len() - 1
+        });
+        inner.frames[slot] = Some(Frame {
+            key,
+            data: Arc::clone(&data),
+            bytes,
+            referenced: true,
+        });
+        inner.map.insert(key, slot);
+        inner.resident_bytes += bytes;
+        self.peak_resident
+            .fetch_max(inner.resident_bytes, Ordering::Relaxed);
+        Ok(data)
+    }
+
+    /// Clock-evict unpinned frames until resident bytes fit `target`, or every
+    /// remaining frame is pinned/just-referenced twice around.
+    fn evict_until(inner: &mut PoolInner, target: u64) {
+        if inner.frames.is_empty() {
+            return;
+        }
+        let mut sweeps = 0usize;
+        let limit = inner.frames.len() * 2;
+        while inner.resident_bytes > target && sweeps < limit {
+            sweeps += 1;
+            let slot = inner.hand % inner.frames.len();
+            inner.hand = (inner.hand + 1) % inner.frames.len();
+            let evict = match &mut inner.frames[slot] {
+                Some(frame) => {
+                    if frame.referenced {
+                        frame.referenced = false;
+                        false
+                    } else {
+                        // Pinned iff a traversal still holds the Arc.
+                        Arc::strong_count(&frame.data) == 1
+                    }
+                }
+                None => false,
+            };
+            if evict {
+                let frame = inner.frames[slot].take().expect("checked above");
+                inner.map.remove(&frame.key);
+                inner.resident_bytes -= frame.bytes;
+                inner.free.push(slot);
+            }
+        }
+    }
+
+    /// Drop a set of frames outright (their segments were superseded by a
+    /// patch); pinned frames are left for the clock to reclaim.
+    fn invalidate(&self, keys: impl IntoIterator<Item = (u64, u64)>) {
+        let mut inner = self.inner.lock().unwrap();
+        for key in keys {
+            if let Some(&slot) = inner.map.get(&key) {
+                if inner.frames[slot]
+                    .as_ref()
+                    .is_some_and(|f| Arc::strong_count(&f.data) == 1)
+                {
+                    let frame = inner.frames[slot].take().expect("mapped frame");
+                    inner.map.remove(&frame.key);
+                    inner.resident_bytes -= frame.bytes;
+                    inner.free.push(slot);
+                }
+            }
+        }
+    }
+}
+
+/// A process-created backing directory, removed when the last store file
+/// inside it drops (user-supplied directories are never removed).
+#[derive(Debug)]
+struct StorageDir {
+    path: PathBuf,
+}
+
+impl Drop for StorageDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir(&self.path);
+    }
+}
+
+/// Shared append-only backing file of one adjacency direction; generations of
+/// patched stores share it, and its bytes are deleted when the last one drops.
+#[derive(Debug)]
+struct StoreFile {
+    file: File,
+    path: PathBuf,
+    /// Distinguishes files inside the shared pool's key space.
+    id: u64,
+    /// Next append offset. Lives on the shared file (not the store) so that
+    /// patches taken from *any* generation reserve disjoint byte ranges.
+    append_cursor: AtomicU64,
+    /// Keeps an auto-created parent directory alive; dropped — and the
+    /// directory removed — after the file itself is deleted below. Held for
+    /// its `Drop` ordering only, never read.
+    #[allow(dead_code)]
+    dir: Option<Arc<StorageDir>>,
+}
+
+impl Drop for StoreFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+fn next_file_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// One adjacency direction stored on disk in self-contained segments.
+#[derive(Debug, Clone)]
+pub struct SegmentedStore {
+    file: Arc<StoreFile>,
+    pool: Arc<BufferPool>,
+    /// Sorted, contiguous directory covering `0..num_vertices`.
+    segments: Vec<SegmentMeta>,
+    num_vertices: usize,
+    num_edges: usize,
+}
+
+impl SegmentedStore {
+    /// Write `adj` to `path` in segments of roughly `segment_bytes` bytes each
+    /// and return a store reading them back through `pool`.
+    pub fn build(
+        adj: &Adjacency,
+        path: &Path,
+        segment_bytes: usize,
+        pool: Arc<BufferPool>,
+    ) -> io::Result<Self> {
+        Self::build_in(adj, path, segment_bytes, pool, None)
+    }
+
+    fn build_in(
+        adj: &Adjacency,
+        path: &Path,
+        segment_bytes: usize,
+        pool: Arc<BufferPool>,
+        dir: Option<Arc<StorageDir>>,
+    ) -> io::Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut store = Self {
+            file: Arc::new(StoreFile {
+                file,
+                path: path.to_path_buf(),
+                id: next_file_id(),
+                append_cursor: AtomicU64::new(0),
+                dir,
+            }),
+            pool,
+            segments: Vec::new(),
+            num_vertices: adj.num_vertices(),
+            num_edges: adj.num_edges(),
+        };
+        let metas = store.append_range(adj, 0, adj.num_vertices() as VertexId, segment_bytes)?;
+        store.segments = metas;
+        Ok(store)
+    }
+
+    /// Cut vertices `lo..hi` of `adj` into segments of ~`segment_bytes` and
+    /// append their encodings to the file, returning their directory entries.
+    fn append_range(
+        &mut self,
+        adj: &Adjacency,
+        lo: VertexId,
+        hi: VertexId,
+        segment_bytes: usize,
+    ) -> io::Result<Vec<SegmentMeta>> {
+        let mut metas = Vec::new();
+        let mut v = lo;
+        while v < hi {
+            let seg_start = v;
+            let mut offsets: Vec<u32> = vec![0];
+            let mut targets: Vec<VertexId> = Vec::new();
+            let mut weights: Vec<EdgeWeight> = Vec::new();
+            let mut bytes = 4usize; // the leading offset entry
+            while v < hi {
+                let (ns, ws) = (adj.neighbors(v), adj.weights(v));
+                targets.extend_from_slice(ns);
+                weights.extend_from_slice(ws);
+                offsets.push(targets.len() as u32);
+                bytes += 4 + ns.len() * 8;
+                v += 1;
+                if bytes >= segment_bytes {
+                    break;
+                }
+            }
+            let data = SegmentData {
+                v_start: seg_start,
+                offsets,
+                targets,
+                weights,
+            };
+            metas.push(self.append_segment(&data)?);
+        }
+        Ok(metas)
+    }
+
+    /// Append one encoded segment, reserving its byte range on the shared file.
+    fn append_segment(&mut self, data: &SegmentData) -> io::Result<SegmentMeta> {
+        use std::io::{Seek, SeekFrom, Write};
+        let encoded = data.encode();
+        let offset = self
+            .file
+            .append_cursor
+            .fetch_add(encoded.len() as u64, Ordering::Relaxed);
+        let mut file = &self.file.file;
+        file.seek(SeekFrom::Start(offset))?;
+        file.write_all(&encoded)?;
+        Ok(SegmentMeta {
+            v_start: data.v_start,
+            num_vertices: data.num_vertices() as u32,
+            num_edges: data.targets.len() as u64,
+            file_offset: offset,
+            bytes: encoded.len() as u64,
+        })
+    }
+
+    /// Index of the segment containing `v`.
+    fn segment_of(&self, v: VertexId) -> usize {
+        debug_assert!((v as usize) < self.num_vertices);
+        self.segments.partition_point(|m| m.v_end() <= v)
+    }
+
+    /// Fault (or hit) segment `idx` through the pool.
+    fn fetch(&self, idx: usize) -> Arc<SegmentData> {
+        let meta = self.segments[idx];
+        self.pool
+            .get((self.file.id, meta.file_offset), || {
+                let mut bytes = vec![0u8; meta.bytes as usize];
+                read_exact_at(&self.file.file, &mut bytes, meta.file_offset)?;
+                Ok((SegmentData::decode(&meta, &bytes), meta.bytes))
+            })
+            .expect("segment read failed (store file vanished?)")
+    }
+
+    /// Number of segments in the directory.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total on-disk bytes of the *live* segments (superseded generations of
+    /// patched segments still occupy file space but are not counted).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.segments.iter().map(|m| m.bytes).sum()
+    }
+
+    /// Stored edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Re-derive this store against `new_adj` after an edge-update batch:
+    /// segments covering a vertex in `dirty` are re-encoded from `new_adj`
+    /// and appended to the file (their directory entries repointed, their
+    /// superseded cache frames dropped); grown vertices get fresh segments.
+    /// Clean segments keep their bytes and any warm cache frames. Returns the
+    /// patched store and the number of segments rewritten (appended ones
+    /// included).
+    ///
+    /// The caller guarantees `dirty` covers every vertex whose list in this
+    /// direction changed, and that the id space only grew.
+    pub fn patched(
+        &self,
+        new_adj: &Adjacency,
+        dirty: &[VertexId],
+        segment_bytes: usize,
+    ) -> io::Result<(Self, u64)> {
+        assert!(
+            new_adj.num_vertices() >= self.num_vertices,
+            "the id space only grows"
+        );
+        let mut out = self.clone();
+        out.num_vertices = new_adj.num_vertices();
+        out.num_edges = new_adj.num_edges();
+        let mut rewrite: Vec<usize> = dirty
+            .iter()
+            .filter(|&&v| (v as usize) < self.num_vertices)
+            .map(|&v| self.segment_of(v))
+            .collect();
+        rewrite.sort_unstable();
+        rewrite.dedup();
+        // Re-encode each dirty vertex range through the same byte-budget
+        // splitter the build uses, so a range whose lists grew past the
+        // segment budget splits instead of ballooning — an oversized segment
+        // would eventually exceed the whole pool budget and break the
+        // residency invariant. One dirty segment may therefore become
+        // several; the directory is re-spliced below.
+        let mut superseded = Vec::with_capacity(rewrite.len());
+        let mut rewritten = 0u64;
+        let mut segments = Vec::with_capacity(out.segments.len());
+        let mut rewrite_cursor = 0usize;
+        for (idx, old) in self.segments.iter().enumerate() {
+            if rewrite.get(rewrite_cursor) == Some(&idx) {
+                rewrite_cursor += 1;
+                superseded.push((self.file.id, old.file_offset));
+                let fresh = out.append_range(new_adj, old.v_start, old.v_end(), segment_bytes)?;
+                rewritten += fresh.len() as u64;
+                segments.extend(fresh);
+            } else {
+                segments.push(*old);
+            }
+        }
+        if new_adj.num_vertices() > self.num_vertices {
+            let appended = out.append_range(
+                new_adj,
+                self.num_vertices as VertexId,
+                new_adj.num_vertices() as VertexId,
+                segment_bytes,
+            )?;
+            rewritten += appended.len() as u64;
+            segments.extend(appended);
+        }
+        out.segments = segments;
+        self.pool.invalidate(superseded);
+        Ok((out, rewritten))
+    }
+}
+
+/// Positioned read safe under the concurrent segment loads
+/// [`BufferPool::get`] performs outside its lock: unix `pread` and Windows
+/// `seek_read` never touch the shared cursor; any other platform serializes
+/// its seek+read pairs on a process-wide lock so two faulting workers cannot
+/// interleave and decode each other's bytes.
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt;
+        file.read_exact_at(buf, offset)
+    }
+    #[cfg(windows)]
+    {
+        use std::os::windows::fs::FileExt;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let n = file.seek_read(&mut buf[done..], offset + done as u64)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "segment truncated",
+                ));
+            }
+            done += n;
+        }
+        Ok(())
+    }
+    #[cfg(not(any(unix, windows)))]
+    {
+        use std::io::{Read, Seek, SeekFrom};
+        static SEEK_LOCK: Mutex<()> = Mutex::new(());
+        let _guard = SEEK_LOCK.lock().unwrap();
+        let mut f = file;
+        f.seek(SeekFrom::Start(offset))?;
+        f.read_exact(buf)
+    }
+}
+
+/// A pinned run of segments serving a contiguous vertex range. Lookups keep a
+/// cursor hint because the engine walks vertices in ascending order.
+pub struct SegmentRangeView<'a> {
+    store: &'a SegmentedStore,
+    /// Index of the first pinned segment in the store's directory.
+    first: usize,
+    pinned: Vec<Arc<SegmentData>>,
+    hint: std::cell::Cell<usize>,
+}
+
+impl AdjacencyView for SegmentRangeView<'_> {
+    #[inline]
+    fn list(&self, v: VertexId) -> (&[VertexId], &[EdgeWeight]) {
+        let mut i = self.hint.get().min(self.pinned.len() - 1);
+        // The hint is almost always right (ascending traversal); otherwise
+        // walk, falling back to the directory only on a wild jump.
+        loop {
+            let meta = &self.store.segments[self.first + i];
+            if v < meta.v_start {
+                i -= 1;
+            } else if v >= meta.v_end() {
+                i += 1;
+            } else {
+                self.hint.set(i);
+                return self.pinned[i].list(v);
+            }
+        }
+    }
+}
+
+impl AdjacencyStore for SegmentedStore {
+    type View<'a> = SegmentRangeView<'a>;
+
+    fn view(&self, lo: VertexId, hi: VertexId) -> SegmentRangeView<'_> {
+        debug_assert!(lo < hi, "empty view range");
+        let first = self.segment_of(lo);
+        let last = self.segment_of(hi - 1);
+        let pinned = (first..=last).map(|i| self.fetch(i)).collect();
+        SegmentRangeView {
+            store: self,
+            first,
+            pinned,
+            hint: std::cell::Cell::new(0),
+        }
+    }
+
+    fn view_span(&self, v: VertexId) -> (VertexId, VertexId) {
+        let meta = &self.segments[self.segment_of(v)];
+        (meta.v_start, meta.v_end())
+    }
+
+    fn store_num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+}
+
+/// Configuration of an out-of-core graph store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageConfig {
+    /// Byte budget of the shared buffer pool (both directions count against
+    /// it). Must comfortably exceed `workers × segment_bytes` — each worker's
+    /// cursor pins one segment — or faulted segments cannot be cached.
+    pub budget_bytes: u64,
+    /// Target on-disk bytes per segment.
+    pub segment_bytes: usize,
+    /// Directory for the backing files; a process-unique directory under
+    /// [`std::env::temp_dir`] when `None`. Files are deleted when the last
+    /// store generation drops.
+    pub dir: Option<PathBuf>,
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        Self {
+            budget_bytes: 64 << 20,
+            segment_bytes: 64 << 10,
+            dir: None,
+        }
+    }
+}
+
+/// Both adjacency directions of one graph version on disk, sharing one
+/// buffer pool — the out-of-core counterpart of [`crate::Graph`]'s CSR+CSC
+/// pair.
+#[derive(Debug)]
+pub struct GraphStorage {
+    out: SegmentedStore,
+    incoming: SegmentedStore,
+    pool: Arc<BufferPool>,
+    segment_bytes: usize,
+}
+
+impl GraphStorage {
+    /// Write both directions of `graph` to disk under `config`.
+    pub fn build(graph: &crate::Graph, config: &StorageConfig) -> io::Result<Self> {
+        // An auto-created directory is removed when the last generation's
+        // files drop; a user-supplied one is left alone.
+        let (dir, dir_guard) = match &config.dir {
+            Some(d) => (d.clone(), None),
+            None => {
+                let d = std::env::temp_dir().join(format!(
+                    "slfe-oocore-{}-{}",
+                    std::process::id(),
+                    next_file_id()
+                ));
+                (d.clone(), Some(Arc::new(StorageDir { path: d })))
+            }
+        };
+        std::fs::create_dir_all(&dir)?;
+        let pool = Arc::new(BufferPool::new(config.budget_bytes));
+        let out = SegmentedStore::build_in(
+            graph.out_adjacency(),
+            &dir.join(format!("csr-{}.seg", next_file_id())),
+            config.segment_bytes,
+            Arc::clone(&pool),
+            dir_guard.clone(),
+        )?;
+        let incoming = SegmentedStore::build_in(
+            graph.in_adjacency(),
+            &dir.join(format!("csc-{}.seg", next_file_id())),
+            config.segment_bytes,
+            Arc::clone(&pool),
+            dir_guard,
+        )?;
+        Ok(Self {
+            out,
+            incoming,
+            pool,
+            segment_bytes: config.segment_bytes,
+        })
+    }
+
+    /// The CSR (outgoing) direction.
+    pub fn out_store(&self) -> &SegmentedStore {
+        &self.out
+    }
+
+    /// The CSC (incoming) direction.
+    pub fn in_store(&self) -> &SegmentedStore {
+        &self.incoming
+    }
+
+    /// The shared buffer pool.
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Total live on-disk bytes across both directions.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.out.footprint_bytes() + self.incoming.footprint_bytes()
+    }
+
+    /// Patch both directions against the post-batch `graph`: only segments
+    /// covering a vertex in `dirty` (the batch's dirty endpoints) are
+    /// rewritten, plus fresh segments for appended vertices. Returns the new
+    /// storage generation — sharing this one's files and pool — and the
+    /// total segments rewritten.
+    pub fn patched(&self, graph: &crate::Graph, dirty: &[VertexId]) -> io::Result<(Self, u64)> {
+        let (out, a) = self
+            .out
+            .patched(graph.out_adjacency(), dirty, self.segment_bytes)?;
+        let (incoming, b) =
+            self.incoming
+                .patched(graph.in_adjacency(), dirty, self.segment_bytes)?;
+        Ok((
+            Self {
+                out,
+                incoming,
+                pool: Arc::clone(&self.pool),
+                segment_bytes: self.segment_bytes,
+            },
+            a + b,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::UpdateBatch;
+    use crate::generators;
+
+    fn tmp_config(budget: u64, segment: usize) -> StorageConfig {
+        StorageConfig {
+            budget_bytes: budget,
+            segment_bytes: segment,
+            dir: None,
+        }
+    }
+
+    fn assert_lists_match(graph: &crate::Graph, storage: &GraphStorage) {
+        let mut out_cursor = StreamCursor::new(storage.out_store());
+        let mut in_cursor = StreamCursor::new(storage.in_store());
+        for v in graph.vertices() {
+            let (ts, ws) = out_cursor.list(v);
+            assert_eq!(ts, graph.out_neighbors(v), "CSR list of {v}");
+            assert_eq!(ws, graph.out_weights(v), "CSR weights of {v}");
+            let (ts, ws) = in_cursor.list(v);
+            assert_eq!(ts, graph.in_neighbors(v), "CSC list of {v}");
+            assert_eq!(ws, graph.in_weights(v), "CSC weights of {v}");
+        }
+    }
+
+    #[test]
+    fn segmented_store_round_trips_every_list() {
+        let g = generators::rmat(500, 4000, 0.57, 0.19, 0.19, 3);
+        let storage = GraphStorage::build(&g, &tmp_config(1 << 20, 1 << 10)).unwrap();
+        assert!(storage.out_store().num_segments() > 1);
+        assert_eq!(storage.out_store().num_edges(), g.num_edges());
+        assert_lists_match(&g, &storage);
+    }
+
+    #[test]
+    fn in_memory_adjacency_implements_the_store_trait() {
+        let g = generators::rmat(100, 700, 0.57, 0.19, 0.19, 5);
+        let adj = g.in_adjacency();
+        assert_eq!(adj.store_num_vertices(), g.num_vertices());
+        let mut cursor = StreamCursor::new(adj);
+        for v in g.vertices() {
+            assert_eq!(cursor.list(v).0, g.in_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn pool_stays_within_budget_and_counts_refaults() {
+        let g = generators::rmat(2000, 16000, 0.57, 0.19, 0.19, 7);
+        let budget = 16 << 10; // far below the footprint
+        let storage = GraphStorage::build(&g, &tmp_config(budget, 2 << 10)).unwrap();
+        assert!(storage.footprint_bytes() > budget);
+        // Two full passes: the second must refault what the first evicted.
+        for _ in 0..2 {
+            let mut cursor = StreamCursor::new(storage.out_store());
+            for v in g.vertices() {
+                let _ = cursor.list(v);
+            }
+        }
+        let c = storage.pool().counters();
+        assert!(
+            c.segments_faulted > storage.out_store().num_segments() as u64,
+            "second pass must refault ({} faults, {} segments)",
+            c.segments_faulted,
+            storage.out_store().num_segments()
+        );
+        assert!(c.segment_bytes_read > budget);
+        assert!(
+            storage.pool().peak_resident_bytes() <= budget,
+            "peak resident {} exceeds budget {budget}",
+            storage.pool().peak_resident_bytes()
+        );
+    }
+
+    #[test]
+    fn generous_budget_faults_each_segment_once() {
+        let g = generators::rmat(800, 6400, 0.57, 0.19, 0.19, 11);
+        let storage = GraphStorage::build(&g, &tmp_config(64 << 20, 2 << 10)).unwrap();
+        for _ in 0..3 {
+            let mut cursor = StreamCursor::new(storage.in_store());
+            for v in g.vertices() {
+                let _ = cursor.list(v);
+            }
+        }
+        let c = storage.pool().counters();
+        assert_eq!(
+            c.segments_faulted,
+            storage.in_store().num_segments() as u64,
+            "warm passes must not refault"
+        );
+    }
+
+    #[test]
+    fn patched_store_serves_the_mutated_graph() {
+        for seed in 0..4u64 {
+            let g = generators::rmat(600, 4200, 0.57, 0.19, 0.19, seed + 40);
+            let storage = GraphStorage::build(&g, &tmp_config(1 << 20, 1 << 10)).unwrap();
+            let mut rng = crate::rng::SplitMix64::seed_from_u64(seed);
+            let n = g.num_vertices() as u32;
+            let mut batch = UpdateBatch::new();
+            for _ in 0..25 {
+                let src = rng.range_u32(0, n);
+                if rng.next_f64() < 0.6 {
+                    let hi = if rng.next_f64() < 0.3 { n + 6 } else { n };
+                    batch.insert(src, rng.range_u32(0, hi), rng.range_f32(1.0, 9.0));
+                } else if let Some(&dst) = g.out_neighbors(src).first() {
+                    batch.delete(src, dst);
+                }
+            }
+            let (mutated, effect) = g.apply_batch(&batch);
+            let (patched, rewritten) = storage.patched(&mutated, &effect.dirty).unwrap();
+            assert!(rewritten > 0);
+            let total_segments =
+                patched.out_store().num_segments() + patched.in_store().num_segments();
+            assert!(
+                (rewritten as usize) < total_segments,
+                "a small batch must not rewrite every segment ({rewritten} of {total_segments})"
+            );
+            assert_lists_match(&mutated, &patched);
+            // The pre-patch generation still serves the old graph.
+            assert_lists_match(&g, &storage);
+        }
+    }
+
+    /// Sustained growth concentrated in one vertex range must re-split the
+    /// dirty segment on patch, not balloon it: an ever-growing segment would
+    /// eventually exceed the whole pool budget and break the residency
+    /// invariant.
+    #[test]
+    fn patching_resplits_segments_that_outgrow_the_byte_budget() {
+        let segment_bytes = 1 << 10;
+        let mut graph = generators::path(400);
+        let mut storage =
+            GraphStorage::build(&graph, &tmp_config(64 << 10, segment_bytes)).unwrap();
+        // 12 batches of 40 edges all out of vertex 3: its segment's range
+        // accumulates ~480 edges (~4 KiB), several times the segment budget.
+        for round in 0..12u32 {
+            let mut batch = UpdateBatch::new();
+            for k in 0..40u32 {
+                batch.insert(3, 4 + ((round * 40 + k) * 7) % 390, 1.0 + round as f32);
+            }
+            let (mutated, effect) = graph.apply_batch(&batch);
+            let (patched, _) = storage.patched(&mutated, &effect.dirty).unwrap();
+            graph = mutated;
+            storage = patched;
+        }
+        assert!(graph.out_degree(3) > 300);
+        assert_lists_match(&graph, &storage);
+        // No segment may grow past the budget by more than one vertex's
+        // list (the splitter closes a segment only after the vertex that
+        // crossed the line).
+        let hub_list_bytes = (graph.out_degree(3) * 8) as u64;
+        for store in [storage.out_store(), storage.in_store()] {
+            for meta in &store.segments {
+                assert!(
+                    meta.bytes <= segment_bytes as u64 + hub_list_bytes + 8,
+                    "segment covering {}..{} ballooned to {} B",
+                    meta.v_start,
+                    meta.v_end(),
+                    meta.bytes
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn view_pins_segments_against_eviction() {
+        let g = generators::rmat(1500, 12000, 0.57, 0.19, 0.19, 13);
+        let budget = 8 << 10;
+        let storage = GraphStorage::build(&g, &tmp_config(budget, 2 << 10)).unwrap();
+        // Pin the first segment, then sweep the whole store to force eviction
+        // pressure; the pinned data must stay valid (and identical) throughout.
+        let store = storage.out_store();
+        let view = store.view(0, 1);
+        let before: Vec<VertexId> = view.list(0).0.to_vec();
+        let mut cursor = StreamCursor::new(store);
+        for v in g.vertices() {
+            let _ = cursor.list(v);
+        }
+        assert_eq!(view.list(0).0, before.as_slice());
+    }
+
+    #[test]
+    fn auto_created_directories_are_removed_with_the_last_generation() {
+        let g = generators::path(32);
+        let storage = GraphStorage::build(&g, &tmp_config(1 << 20, 1 << 10)).unwrap();
+        let dir = storage.out.file.path.parent().unwrap().to_path_buf();
+        assert!(dir.exists());
+        drop(storage);
+        assert!(!dir.exists(), "auto-created temp dir must not leak");
+    }
+
+    #[test]
+    fn backing_files_are_deleted_when_the_last_generation_drops() {
+        let dir = std::env::temp_dir().join(format!("slfe-oocore-droptest-{}", std::process::id()));
+        let g = generators::path(64);
+        let config = StorageConfig {
+            dir: Some(dir.clone()),
+            ..tmp_config(1 << 20, 1 << 10)
+        };
+        let storage = GraphStorage::build(&g, &config).unwrap();
+        let count_files = || std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+        assert_eq!(count_files(), 2);
+        let mut batch = UpdateBatch::new();
+        batch.insert(0, 63, 2.0);
+        let (mutated, effect) = g.apply_batch(&batch);
+        let (patched, _) = storage.patched(&mutated, &effect.dirty).unwrap();
+        drop(storage);
+        assert_eq!(count_files(), 2, "shared files survive the old generation");
+        drop(patched);
+        assert_eq!(count_files(), 0, "files deleted with the last generation");
+        let _ = std::fs::remove_dir(&dir);
+    }
+}

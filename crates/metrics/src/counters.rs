@@ -42,9 +42,21 @@ pub struct Counters {
     /// Peak bytes of push-mode gather scratch (per-worker dense buffers or
     /// sparse contribution maps, plus the shared merge buffers) live at any
     /// iteration barrier inside this counter window. Unlike every other field
-    /// this is a high-water mark: addition takes the max, so summing iteration
-    /// counters into run totals reports the run's peak, not a meaningless sum.
+    /// this is a high-water mark, and merging it depends on how the two
+    /// windows relate in *time*: [`Counters::merge_concurrent`] (windows live
+    /// simultaneously — several workers' scratch at one barrier) **sums** the
+    /// footprints, while `+` (windows sequential in time — iterations into a
+    /// run total) takes the max. Using `+` across concurrent windows
+    /// under-reports the true peak by up to a factor of the worker count.
     pub scratch_bytes_peak: u64,
+    /// Out-of-core execution: segments faulted from disk through the buffer
+    /// pool. 0 when the engine runs against the in-memory store. Unlike the
+    /// work counters this is an I/O statistic: it depends on cache state and
+    /// chunk→worker timing, so it is *not* guaranteed identical across worker
+    /// counts.
+    pub segments_faulted: u64,
+    /// Bytes those segment faults read from disk.
+    pub segment_bytes_read: u64,
 }
 
 impl Counters {
@@ -67,6 +79,19 @@ impl Counters {
     pub fn work(&self) -> u64 {
         self.edge_computations + self.vertex_updates
     }
+
+    /// Combine two counter windows that were live **at the same time** — e.g.
+    /// two workers' phase counters merged at a barrier. Flow counters sum
+    /// either way; `scratch_bytes_peak` differs: memory held simultaneously
+    /// adds up, so the concurrent merge **sums** it, where the sequential `+`
+    /// takes the max. Summing per-worker footprints at each barrier and
+    /// max-ing barriers across time is what reports the run's true peak.
+    pub fn merge_concurrent(self, rhs: Counters) -> Counters {
+        Counters {
+            scratch_bytes_peak: self.scratch_bytes_peak + rhs.scratch_bytes_peak,
+            ..self + rhs
+        }
+    }
 }
 
 impl Add for Counters {
@@ -79,8 +104,12 @@ impl Add for Counters {
             bytes_sent: self.bytes_sent + rhs.bytes_sent,
             threads_spawned: self.threads_spawned + rhs.threads_spawned,
             chunks_skipped: self.chunks_skipped + rhs.chunks_skipped,
-            // A peak, not a flow: combining windows keeps the high-water mark.
+            // A peak, not a flow: combining *sequential* windows keeps the
+            // high-water mark (concurrent windows must use
+            // `merge_concurrent`, which sums the simultaneously-live bytes).
             scratch_bytes_peak: self.scratch_bytes_peak.max(rhs.scratch_bytes_peak),
+            segments_faulted: self.segments_faulted + rhs.segments_faulted,
+            segment_bytes_read: self.segment_bytes_read + rhs.segment_bytes_read,
         }
     }
 }
@@ -129,11 +158,14 @@ impl AtomicCounters {
             vertex_updates: self.vertex_updates.load(Ordering::Relaxed),
             messages_sent: self.messages_sent.load(Ordering::Relaxed),
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
-            // Worker-side counters never spawn threads, skip chunks or own
-            // scratch; the engine reports those directly into its run's totals.
+            // Worker-side counters never spawn threads, skip chunks, own
+            // scratch or fault segments; the engine reports those directly
+            // into its run's totals.
             threads_spawned: 0,
             chunks_skipped: 0,
             scratch_bytes_peak: 0,
+            segments_faulted: 0,
+            segment_bytes_read: 0,
         }
     }
 
@@ -161,6 +193,8 @@ mod tests {
             threads_spawned: 5,
             chunks_skipped: 6,
             scratch_bytes_peak: 7,
+            segments_faulted: 8,
+            segment_bytes_read: 9,
         };
         let b = Counters {
             edge_computations: 10,
@@ -170,6 +204,8 @@ mod tests {
             threads_spawned: 50,
             chunks_skipped: 60,
             scratch_bytes_peak: 70,
+            segments_faulted: 80,
+            segment_bytes_read: 90,
         };
         let mut c = a + b;
         assert_eq!(c.edge_computations, 11);
@@ -177,6 +213,8 @@ mod tests {
         assert_eq!(c.threads_spawned, 55);
         assert_eq!(c.chunks_skipped, 66);
         assert_eq!(c.scratch_bytes_peak, 70, "peak merges as a max");
+        assert_eq!(c.segments_faulted, 88);
+        assert_eq!(c.segment_bytes_read, 99);
         c += a;
         assert_eq!(c.vertex_updates, 24);
         assert_eq!(c.threads_spawned, 60);
@@ -185,6 +223,31 @@ mod tests {
             c.scratch_bytes_peak, 70,
             "smaller window does not lower the peak"
         );
+    }
+
+    /// The barrier-merge semantics the engine relies on: worker scratch live
+    /// *simultaneously* at one barrier sums; barriers across *time* max.
+    /// Hand-computed: three workers holding 100/50/25 bytes at iteration 1
+    /// (footprint 175), two workers holding 60/60 at iteration 2 (footprint
+    /// 120) — the run peak is 175, not `max(100, 60) = 100` as the old
+    /// max-everywhere merge would report.
+    #[test]
+    fn concurrent_merge_sums_scratch_and_sequential_merge_maxes_it() {
+        let worker = |scratch: u64| Counters {
+            edge_computations: 1,
+            scratch_bytes_peak: scratch,
+            ..Counters::zero()
+        };
+        let barrier1 = worker(100)
+            .merge_concurrent(worker(50))
+            .merge_concurrent(worker(25));
+        assert_eq!(barrier1.scratch_bytes_peak, 175, "concurrent sums");
+        assert_eq!(barrier1.edge_computations, 3, "flow counters still sum");
+        let barrier2 = worker(60).merge_concurrent(worker(60));
+        assert_eq!(barrier2.scratch_bytes_peak, 120);
+        let run = barrier1 + barrier2;
+        assert_eq!(run.scratch_bytes_peak, 175, "sequential maxes");
+        assert_eq!(run.edge_computations, 5);
     }
 
     #[test]

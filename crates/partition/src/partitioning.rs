@@ -59,23 +59,47 @@ impl Partitioning {
         self.parts.iter().map(|p| p.len()).collect()
     }
 
-    /// Grow the id space to `new_num_vertices`, assigning every appended vertex
-    /// to `node`. The vertex-id space only ever grows across
-    /// [`slfe_graph::Graph::apply_batch`], so a serving loop can keep one
-    /// partitioning stable across graph versions — the prerequisite for
-    /// patching the chunk layout instead of re-deriving it — by extending it
-    /// per batch instead of re-partitioning. Appended ids exceed all existing
-    /// ones, so each node's vertex list stays ascending.
-    pub fn extend_to(&mut self, new_num_vertices: usize, node: NodeId) {
-        assert!(node < self.parts.len(), "target node out of range");
+    /// Grow the id space to `new_num_vertices`, assigning each appended vertex
+    /// to the **least-loaded** node (fewest owned vertices, ties to the lowest
+    /// node id) at the moment it is appended. The vertex-id space only ever
+    /// grows across [`slfe_graph::Graph::apply_batch`], so a serving loop can
+    /// keep one partitioning stable across graph versions — the prerequisite
+    /// for patching the chunk layout instead of re-deriving it — by extending
+    /// it per batch instead of re-partitioning. Appended ids exceed all
+    /// existing ones, so each node's vertex list stays ascending regardless of
+    /// which node receives it.
+    ///
+    /// Earlier revisions appended every grown vertex to one fixed node, so a
+    /// sustained-growth workload skewed that node's load without bound; the
+    /// least-loaded rule keeps the vertex-count imbalance within one vertex of
+    /// where it started, batch after batch (pinned by test).
+    ///
+    /// Returns the distinct nodes that received at least one appended vertex,
+    /// ascending — the set a serving loop must mark dirty when patching its
+    /// chunk layout.
+    pub fn extend_to(&mut self, new_num_vertices: usize) -> Vec<NodeId> {
         assert!(
             new_num_vertices >= self.owner.len(),
             "the id space only grows"
         );
+        let mut counts: Vec<usize> = self.parts.iter().map(|p| p.len()).collect();
+        let mut receivers = Vec::new();
         for v in self.owner.len()..new_num_vertices {
+            let node = counts
+                .iter()
+                .enumerate()
+                .min_by_key(|&(i, &c)| (c, i))
+                .map(|(i, _)| i)
+                .expect("at least one partition");
+            counts[node] += 1;
             self.owner.push(node);
             self.parts[node].push(v as VertexId);
+            if !receivers.contains(&node) {
+                receivers.push(node);
+            }
         }
+        receivers.sort_unstable();
+        receivers
     }
 
     /// Number of *outgoing* edges whose source is owned by each node — the measure
@@ -151,25 +175,60 @@ mod tests {
     }
 
     #[test]
-    fn extend_to_appends_to_the_chosen_node_and_stays_valid() {
-        let mut p = Partitioning::from_owners(vec![0, 1, 0, 1], 2);
-        p.extend_to(7, 1);
+    fn extend_to_fills_the_least_loaded_node_and_stays_valid() {
+        // Node 0 owns 3 vertices, node 1 owns 1: the first two appends level
+        // node 1 up, the third (a tie) goes to the lowest node id.
+        let mut p = Partitioning::from_owners(vec![0, 1, 0, 0], 2);
+        let receivers = p.extend_to(7);
         assert_eq!(p.num_vertices(), 7);
-        assert_eq!(p.vertices_of(1), &[1, 3, 4, 5, 6]);
+        assert_eq!(receivers, vec![0, 1]);
+        assert_eq!(p.vertices_of(1), &[1, 4, 5]);
+        assert_eq!(p.vertices_of(0), &[0, 2, 3, 6]);
         assert!(p.vertices_of(1).windows(2).all(|w| w[0] < w[1]));
-        assert_eq!(p.owner_of(6), 1);
         let g = generators::path(7);
         p.validate(&g).unwrap();
+        // Growth keeps alternating toward balance (ties to the lowest id).
+        let receivers = p.extend_to(9);
+        assert_eq!(receivers, vec![0, 1]);
+        assert_eq!(p.vertex_counts(), vec![5, 4]);
         // Extending to the current size is a no-op.
-        p.extend_to(7, 0);
-        assert_eq!(p.num_vertices(), 7);
+        assert_eq!(p.extend_to(9), Vec::<NodeId>::new());
+        assert_eq!(p.num_vertices(), 9);
+    }
+
+    /// The growth-skew regression the serving loop exposed: many consecutive
+    /// append batches must keep node loads balanced instead of piling every
+    /// grown vertex onto one node.
+    #[test]
+    fn sustained_growth_keeps_node_loads_balanced() {
+        let nodes = 4;
+        let mut p = Partitioning::from_owners(vec![0, 1, 2, 3, 0, 1], nodes);
+        let initial_spread = {
+            let c = p.vertex_counts();
+            c.iter().max().unwrap() - c.iter().min().unwrap()
+        };
+        let mut n = p.num_vertices();
+        for batch in 0..50 {
+            n += 1 + (batch % 5); // varied batch sizes
+            p.extend_to(n);
+            let counts = p.vertex_counts();
+            let spread = counts.iter().max().unwrap() - counts.iter().min().unwrap();
+            assert!(
+                spread <= initial_spread.max(1),
+                "batch {batch}: node loads diverged to {counts:?}"
+            );
+        }
+        assert_eq!(p.num_vertices(), n);
+        for node in 0..nodes {
+            assert!(p.vertices_of(node).windows(2).all(|w| w[0] < w[1]));
+        }
     }
 
     #[test]
     #[should_panic(expected = "only grows")]
     fn extend_to_rejects_shrinking() {
         let mut p = Partitioning::from_owners(vec![0, 0], 1);
-        p.extend_to(1, 0);
+        p.extend_to(1);
     }
 
     #[test]
