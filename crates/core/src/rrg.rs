@@ -651,6 +651,49 @@ impl RrGuidance {
         }
         hist
     }
+
+    /// `true` when the generation BFS seeded from the highest-out-degree hub
+    /// because the graph had no in-degree-0 root. Persisted by snapshots:
+    /// repair must keep regenerating after a restore exactly as it did before.
+    pub fn used_fallback_root(&self) -> bool {
+        self.used_fallback_root
+    }
+
+    /// Reassemble a guidance from its stored parts — the snapshot-restore
+    /// path. The arrays must come from (or be shaped like) a real guidance:
+    /// `last_iter` and `level` parallel, `max_level` their actual maximum.
+    pub fn from_parts(
+        last_iter: Vec<u32>,
+        level: Vec<u32>,
+        max_level: u32,
+        work: u64,
+        used_fallback_root: bool,
+    ) -> Self {
+        assert_eq!(last_iter.len(), level.len());
+        Self {
+            last_iter,
+            level,
+            max_level,
+            work,
+            used_fallback_root,
+        }
+    }
+
+    /// Pad the guidance to cover `n >= num_vertices()` vertices without
+    /// recomputing anything: appended vertices get `level = UNREACHED` and
+    /// `last_iter = 0` ("never skip" — always safe). This is the lazy-
+    /// maintenance stopgap that lets warm engine runs proceed against a grown
+    /// graph with *stale* guidance; the appended ids must be in the dirty set
+    /// of the next [`RrGuidance::repair`] so a later sync reproduces exactly
+    /// what regeneration would (repair's seeding then discovers any appended
+    /// in-degree-0 vertex as a level-0 root).
+    pub fn extended_to(&self, n: usize) -> Self {
+        assert!(n >= self.num_vertices(), "the id space only grows");
+        let mut padded = self.clone();
+        padded.last_iter.resize(n, 0);
+        padded.level.resize(n, UNREACHED);
+        padded
+    }
 }
 
 #[cfg(test)]
@@ -902,5 +945,46 @@ mod tests {
                 fresh.generation_work()
             );
         }
+    }
+
+    #[test]
+    fn from_parts_round_trips_through_the_getters() {
+        let g = generators::rmat(200, 1200, 0.57, 0.19, 0.19, 5);
+        let rrg = RrGuidance::generate(&g);
+        let rebuilt = RrGuidance::from_parts(
+            rrg.last_iters().to_vec(),
+            rrg.levels().to_vec(),
+            rrg.max_level(),
+            rrg.generation_work(),
+            rrg.used_fallback_root(),
+        );
+        assert_eq!(rebuilt, rrg);
+        assert!(rebuilt.guidance_eq(&rrg));
+    }
+
+    #[test]
+    fn extended_guidance_repairs_to_regeneration_with_appended_dirty() {
+        // The lazy-maintenance contract: pad stale guidance across a growing
+        // batch, defer the repair, then sync with a dirty set that includes
+        // the appended id range — the result must equal regeneration,
+        // including for appended *isolated* vertices (id-space gap fills),
+        // which regeneration seeds as level-0 roots.
+        let g = generators::rmat(300, 2000, 0.57, 0.19, 0.19, 31);
+        let old = RrGuidance::generate(&g);
+        let old_n = g.num_vertices();
+        let mut batch = UpdateBatch::new();
+        batch.insert(3, old_n as u32 + 9, 2.0); // leaves old_n..old_n+9 isolated
+        batch.insert(7, 11, 4.0);
+        batch.delete(2, *g.out_neighbors(2).first().unwrap_or(&3));
+        let (mutated, effect) = g.apply_batch(&batch);
+        let padded = old.extended_to(mutated.num_vertices());
+        assert_eq!(padded.num_vertices(), mutated.num_vertices());
+        assert_eq!(padded.last_iter(old_n as u32), 0, "padding never skips");
+        let mut dirty: Vec<u32> = effect.dirty.clone();
+        dirty.extend(old_n as u32..mutated.num_vertices() as u32);
+        dirty.sort_unstable();
+        dirty.dedup();
+        let (synced, _) = padded.repair(&mutated, &dirty, 2);
+        assert!(synced.guidance_eq(&RrGuidance::generate(&mutated)));
     }
 }

@@ -1,0 +1,630 @@
+//! Durability for the delta server: write-ahead logging, atomic fixpoint
+//! snapshots, and the compaction trigger riding the snapshot path.
+//!
+//! The contract mirrors what ledger-grade serving stores provide:
+//!
+//! * Every [`slfe_graph::UpdateBatch`] is appended to a checksummed,
+//!   length-prefixed **write-ahead log** and fsync'd *before* the in-memory
+//!   graph or the out-of-core segment files see it. A `kill -9` at any point
+//!   therefore loses at most the batch whose WAL append had not yet returned
+//!   — never one the caller was told about.
+//! * Every N batches (or M WAL bytes) the server writes a **snapshot** of its
+//!   exact served state — graph (raw adjacency arrays, physically exact),
+//!   fixpoint values, RR guidance, stable partitioning, cumulative stats —
+//!   via temp file + rename, then trims the WAL. Recovery loads the snapshot
+//!   and replays only the WAL suffix past its sequence number through the
+//!   identical warm apply path, which is what makes recovered values
+//!   **bit-identical** to an uninterrupted run for every registered app.
+//! * Corruption is handled structurally, never with a panic: a torn or
+//!   bit-flipped WAL tail truncates to the last valid frame; a corrupt
+//!   snapshot is a typed [`DurabilityError`].
+
+use slfe_core::RrGuidance;
+use slfe_graph::io::binary::{self, Reader};
+use slfe_graph::{Graph, UpdateBatch};
+use slfe_metrics::DurabilityCounters;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::server::ServerStats;
+
+/// Frame magic of one WAL entry ("SLFW").
+const WAL_MAGIC: u32 = 0x534C_4657;
+/// Snapshot file magic ("SLFS").
+const SNAPSHOT_MAGIC: u32 = 0x534C_4653;
+/// Snapshot format version.
+const SNAPSHOT_VERSION: u32 = 1;
+/// Bytes of a WAL frame header: magic, sequence, payload length, checksum.
+const WAL_HEADER_BYTES: usize = 4 + 8 + 4 + 4;
+
+/// Durability knobs of a [`crate::DeltaServer`].
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding the WAL and snapshot files. Created if absent.
+    pub dir: PathBuf,
+    /// Snapshot after this many applied batches since the last snapshot.
+    pub snapshot_every_batches: u64,
+    /// ... or once the WAL holds at least this many bytes, whichever first.
+    pub snapshot_wal_bytes: u64,
+    /// Out-of-core serving: compact the segment files (rewriting live
+    /// segments into a fresh generation) whenever a snapshot finds their
+    /// dead-byte fraction above this threshold, bounding on-disk size.
+    pub max_dead_fraction: f64,
+}
+
+impl DurabilityConfig {
+    /// Defaults: snapshot every 8 batches or 1 MiB of WAL, compact past 50%
+    /// dead bytes.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            snapshot_every_batches: 8,
+            snapshot_wal_bytes: 1 << 20,
+            max_dead_fraction: 0.5,
+        }
+    }
+
+    /// Set the batch-count snapshot cadence.
+    pub fn with_snapshot_every(mut self, batches: u64) -> Self {
+        self.snapshot_every_batches = batches.max(1);
+        self
+    }
+
+    /// Set the WAL-bytes snapshot trigger.
+    pub fn with_snapshot_wal_bytes(mut self, bytes: u64) -> Self {
+        self.snapshot_wal_bytes = bytes;
+        self
+    }
+
+    /// Set the compaction dead-byte threshold.
+    pub fn with_max_dead_fraction(mut self, fraction: f64) -> Self {
+        self.max_dead_fraction = fraction;
+        self
+    }
+
+    /// Path of the write-ahead log.
+    pub fn wal_path(&self) -> PathBuf {
+        self.dir.join("wal.log")
+    }
+
+    /// Path of the current snapshot.
+    pub fn snapshot_path(&self) -> PathBuf {
+        self.dir.join("snapshot.bin")
+    }
+
+    fn snapshot_tmp_path(&self) -> PathBuf {
+        self.dir.join("snapshot.bin.tmp")
+    }
+}
+
+/// Structured failures of the durability layer. Corruption is a value, not a
+/// panic: recovery always either succeeds or reports *why* it cannot.
+#[derive(Debug)]
+pub enum DurabilityError {
+    /// Underlying filesystem failure.
+    Io(io::Error),
+    /// No snapshot exists at the given path (nothing to recover from —
+    /// create the server instead).
+    MissingSnapshot(PathBuf),
+    /// The snapshot file exists but failed checksum or structural
+    /// validation; `reason` names the first check that failed.
+    CorruptSnapshot {
+        /// The first validation step that failed.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurabilityError::Io(e) => write!(f, "i/o error: {e}"),
+            DurabilityError::MissingSnapshot(p) => {
+                write!(f, "no snapshot at {}", p.display())
+            }
+            DurabilityError::CorruptSnapshot { reason } => {
+                write!(f, "corrupt snapshot: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {}
+
+impl From<io::Error> for DurabilityError {
+    fn from(e: io::Error) -> Self {
+        DurabilityError::Io(e)
+    }
+}
+
+/// What scanning a WAL file found: the decodable prefix and how much torn or
+/// corrupt tail was discarded.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// Valid entries in append order, each `(sequence, batch)`.
+    pub entries: Vec<(u64, UpdateBatch)>,
+    /// Bytes of the valid prefix.
+    pub valid_bytes: u64,
+    /// Bytes past the last valid frame (torn write or bit flip) that were
+    /// discarded.
+    pub bytes_truncated: u64,
+}
+
+/// Append handle over the write-ahead log. Opening scans the existing file,
+/// truncates any invalid tail to the last valid frame, and returns what must
+/// be replayed.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    bytes: u64,
+}
+
+impl Wal {
+    /// Open (creating if absent) the WAL at `path`. Any torn or corrupt tail
+    /// is truncated away so subsequent appends extend a valid log.
+    pub fn open(path: &Path) -> io::Result<(Self, WalReplay)> {
+        let replay = Self::scan(path)?;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        file.set_len(replay.valid_bytes)?;
+        let mut wal = Self {
+            file,
+            bytes: replay.valid_bytes,
+        };
+        if replay.bytes_truncated > 0 {
+            wal.file.sync_data()?;
+        }
+        use std::io::Seek;
+        wal.file.seek(io::SeekFrom::Start(replay.valid_bytes))?;
+        Ok((wal, replay))
+    }
+
+    /// Decode the valid frame prefix of the WAL at `path`; a missing file is
+    /// an empty log. Never panics on corrupt bytes.
+    fn scan(path: &Path) -> io::Result<WalReplay> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let mut entries = Vec::new();
+        let mut pos = 0usize;
+        while let Some((seq, batch, len)) = decode_frame(&bytes[pos..]) {
+            entries.push((seq, batch));
+            pos += len;
+        }
+        Ok(WalReplay {
+            entries,
+            valid_bytes: pos as u64,
+            bytes_truncated: (bytes.len() - pos) as u64,
+        })
+    }
+
+    /// Append one batch under sequence number `seq` and fsync. Returns the
+    /// frame's byte length. This is *the* durability point: it must complete
+    /// before the batch touches the graph or the segment files.
+    pub fn append(&mut self, seq: u64, batch: &UpdateBatch) -> io::Result<u64> {
+        let payload = batch.to_bytes();
+        let mut frame = Vec::with_capacity(WAL_HEADER_BYTES + payload.len());
+        binary::put_u32(&mut frame, WAL_MAGIC);
+        binary::put_u64(&mut frame, seq);
+        binary::put_u32(&mut frame, payload.len() as u32);
+        binary::put_u32(&mut frame, frame_crc(seq, &payload));
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        self.bytes += frame.len() as u64;
+        Ok(frame.len() as u64)
+    }
+
+    /// Current log length in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Drop every entry — called right after a snapshot covering them all
+    /// landed. (Safe even if the process dies first: replay skips entries at
+    /// or below the snapshot's sequence number.)
+    pub fn truncate_all(&mut self) -> io::Result<()> {
+        self.file.set_len(0)?;
+        use std::io::Seek;
+        self.file.seek(io::SeekFrom::Start(0))?;
+        self.file.sync_data()?;
+        self.bytes = 0;
+        Ok(())
+    }
+}
+
+/// Checksum of one frame: sequence number plus payload (the header fields
+/// the magic does not already pin).
+fn frame_crc(seq: u64, payload: &[u8]) -> u32 {
+    let mut bytes = Vec::with_capacity(8 + payload.len());
+    binary::put_u64(&mut bytes, seq);
+    bytes.extend_from_slice(payload);
+    binary::crc32(&bytes)
+}
+
+/// Decode one frame from the front of `buf`; `None` on anything invalid
+/// (short header, wrong magic, bad checksum, undecodable payload).
+fn decode_frame(buf: &[u8]) -> Option<(u64, UpdateBatch, usize)> {
+    let mut r = Reader::new(buf);
+    if r.u32()? != WAL_MAGIC {
+        return None;
+    }
+    let seq = r.u64()?;
+    let len = r.u32()? as usize;
+    let crc = r.u32()?;
+    let payload = r.bytes(len)?;
+    if frame_crc(seq, payload) != crc {
+        return None;
+    }
+    let batch = UpdateBatch::from_bytes(payload)?;
+    Some((seq, batch, WAL_HEADER_BYTES + len))
+}
+
+/// Fixed-layout binary encoding for snapshot-able program values. The tag is
+/// recorded in the snapshot header so a restore under the wrong program type
+/// fails structurally instead of reinterpreting bits.
+pub trait SnapshotValue: Copy {
+    /// Format tag written to (and checked against) the snapshot header.
+    const TAG: u8;
+    /// Append the exact bit pattern.
+    fn write(self, out: &mut Vec<u8>);
+    /// Read one value back.
+    fn read(r: &mut Reader<'_>) -> Option<Self>;
+}
+
+impl SnapshotValue for f32 {
+    const TAG: u8 = 1;
+    fn write(self, out: &mut Vec<u8>) {
+        binary::put_f32(out, self);
+    }
+    fn read(r: &mut Reader<'_>) -> Option<Self> {
+        r.f32()
+    }
+}
+
+/// The pair layout SpMV serves (`(numerator, count)`-style accumulators).
+impl SnapshotValue for (f32, f32) {
+    const TAG: u8 = 2;
+    fn write(self, out: &mut Vec<u8>) {
+        binary::put_f32(out, self.0);
+        binary::put_f32(out, self.1);
+    }
+    fn read(r: &mut Reader<'_>) -> Option<Self> {
+        Some((r.f32()?, r.f32()?))
+    }
+}
+
+/// Everything a snapshot persists, borrowed from the live server.
+pub(crate) struct SnapshotState<'a, V> {
+    pub seq: u64,
+    pub stats: ServerStats,
+    pub graph: &'a Graph,
+    pub values: &'a [V],
+    pub guidance: &'a RrGuidance,
+    pub owners: &'a [usize],
+    pub num_parts: usize,
+}
+
+/// A decoded snapshot, owned.
+pub(crate) struct LoadedSnapshot<V> {
+    pub seq: u64,
+    pub stats: ServerStats,
+    pub graph: Graph,
+    pub values: Vec<V>,
+    pub guidance: RrGuidance,
+    pub owners: Vec<usize>,
+    pub num_parts: usize,
+}
+
+/// Write `state` atomically (temp file, fsync, rename, directory fsync) as
+/// the current snapshot. Returns the file's byte length.
+pub(crate) fn write_snapshot<V: SnapshotValue>(
+    config: &DurabilityConfig,
+    state: &SnapshotState<'_, V>,
+) -> io::Result<u64> {
+    let mut out = Vec::new();
+    binary::put_u32(&mut out, SNAPSHOT_MAGIC);
+    binary::put_u32(&mut out, SNAPSHOT_VERSION);
+    binary::put_u8(&mut out, V::TAG);
+    binary::put_u64(&mut out, state.seq);
+    binary::put_u64(&mut out, state.stats.batches_applied);
+    binary::put_u64(&mut out, state.stats.total_work);
+    binary::put_u64(&mut out, state.stats.total_distribution_messages);
+    binary::put_u64(&mut out, state.stats.full_recomputes);
+    binary::put_u64(&mut out, state.stats.guidance_regenerations);
+    binary::encode_graph(&mut out, state.graph);
+    binary::put_u64(&mut out, state.values.len() as u64);
+    for &v in state.values {
+        v.write(&mut out);
+    }
+    let g = state.guidance;
+    binary::put_u64(&mut out, g.num_vertices() as u64);
+    for &li in g.last_iters() {
+        binary::put_u32(&mut out, li);
+    }
+    for &l in g.levels() {
+        binary::put_u32(&mut out, l);
+    }
+    binary::put_u32(&mut out, g.max_level());
+    binary::put_u64(&mut out, g.generation_work());
+    binary::put_u8(&mut out, g.used_fallback_root() as u8);
+    binary::put_u64(&mut out, state.num_parts as u64);
+    binary::put_u64(&mut out, state.owners.len() as u64);
+    for &o in state.owners {
+        binary::put_u32(&mut out, o as u32);
+    }
+    let crc = binary::crc32(&out);
+    binary::put_u32(&mut out, crc);
+
+    let tmp = config.snapshot_tmp_path();
+    let mut file = File::create(&tmp)?;
+    file.write_all(&out)?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, config.snapshot_path())?;
+    sync_dir(&config.dir)?;
+    Ok(out.len() as u64)
+}
+
+/// Load and validate the current snapshot.
+pub(crate) fn read_snapshot<V: SnapshotValue>(
+    config: &DurabilityConfig,
+) -> Result<LoadedSnapshot<V>, DurabilityError> {
+    let path = config.snapshot_path();
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return Err(DurabilityError::MissingSnapshot(path));
+        }
+        Err(e) => return Err(e.into()),
+    };
+    let corrupt = |reason: &'static str| DurabilityError::CorruptSnapshot { reason };
+    if bytes.len() < 4 {
+        return Err(corrupt("shorter than its checksum"));
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let stored_crc = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if binary::crc32(body) != stored_crc {
+        return Err(corrupt("checksum mismatch"));
+    }
+    let mut r = Reader::new(body);
+    if r.u32() != Some(SNAPSHOT_MAGIC) {
+        return Err(corrupt("bad magic"));
+    }
+    if r.u32() != Some(SNAPSHOT_VERSION) {
+        return Err(corrupt("unknown version"));
+    }
+    if r.u8() != Some(V::TAG) {
+        return Err(corrupt("value-type tag mismatch"));
+    }
+    let seq = r.u64().ok_or_else(|| corrupt("truncated header"))?;
+    let stats = ServerStats {
+        batches_applied: r.u64().ok_or_else(|| corrupt("truncated stats"))?,
+        total_work: r.u64().ok_or_else(|| corrupt("truncated stats"))?,
+        total_distribution_messages: r.u64().ok_or_else(|| corrupt("truncated stats"))?,
+        full_recomputes: r.u64().ok_or_else(|| corrupt("truncated stats"))?,
+        guidance_regenerations: r.u64().ok_or_else(|| corrupt("truncated stats"))?,
+    };
+    let graph = binary::decode_graph(&mut r).ok_or_else(|| corrupt("invalid graph section"))?;
+    let n = graph.num_vertices();
+    let value_count = r.u64().ok_or_else(|| corrupt("truncated values"))? as usize;
+    if value_count != n {
+        return Err(corrupt("value count does not match the graph"));
+    }
+    let mut values = Vec::with_capacity(value_count);
+    for _ in 0..value_count {
+        values.push(V::read(&mut r).ok_or_else(|| corrupt("truncated values"))?);
+    }
+    let gn = r.u64().ok_or_else(|| corrupt("truncated guidance"))? as usize;
+    if gn != n {
+        return Err(corrupt("guidance size does not match the graph"));
+    }
+    let mut last_iter = Vec::with_capacity(gn);
+    for _ in 0..gn {
+        last_iter.push(r.u32().ok_or_else(|| corrupt("truncated guidance"))?);
+    }
+    let mut level = Vec::with_capacity(gn);
+    for _ in 0..gn {
+        level.push(r.u32().ok_or_else(|| corrupt("truncated guidance"))?);
+    }
+    let max_level = r.u32().ok_or_else(|| corrupt("truncated guidance"))?;
+    let work = r.u64().ok_or_else(|| corrupt("truncated guidance"))?;
+    let fallback = match r.u8() {
+        Some(0) => false,
+        Some(1) => true,
+        _ => return Err(corrupt("invalid fallback-root flag")),
+    };
+    let guidance = RrGuidance::from_parts(last_iter, level, max_level, work, fallback);
+    let num_parts = r.u64().ok_or_else(|| corrupt("truncated partitioning"))? as usize;
+    let owner_count = r.u64().ok_or_else(|| corrupt("truncated partitioning"))? as usize;
+    if owner_count != n || num_parts == 0 {
+        return Err(corrupt("partitioning does not match the graph"));
+    }
+    let mut owners = Vec::with_capacity(owner_count);
+    for _ in 0..owner_count {
+        let o = r.u32().ok_or_else(|| corrupt("truncated partitioning"))? as usize;
+        if o >= num_parts {
+            return Err(corrupt("owner outside the node range"));
+        }
+        owners.push(o);
+    }
+    if !r.is_empty() {
+        return Err(corrupt("trailing bytes"));
+    }
+    Ok(LoadedSnapshot {
+        seq,
+        stats,
+        graph,
+        values,
+        guidance,
+        owners,
+        num_parts,
+    })
+}
+
+/// fsync the directory so a just-renamed snapshot survives power loss.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+        Ok(())
+    }
+}
+
+/// The live durability state a durable [`crate::DeltaServer`] carries.
+#[derive(Debug)]
+pub(crate) struct DurabilityState {
+    pub config: DurabilityConfig,
+    pub wal: Wal,
+    /// Sequence number of the last batch appended to the WAL.
+    pub seq: u64,
+    /// Sequence number the current snapshot covers.
+    pub snapshot_seq: u64,
+    pub counters: DurabilityCounters,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slfe_graph::rng::SplitMix64;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("slfe-durability-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn random_batch(rng: &mut SplitMix64, ops: usize) -> UpdateBatch {
+        let mut batch = UpdateBatch::new();
+        for _ in 0..ops {
+            let src = rng.range_u32(0, 500);
+            let dst = rng.range_u32(0, 500);
+            if rng.next_f64() < 0.7 {
+                batch.insert(src, dst, rng.range_f32(0.1, 9.0));
+            } else {
+                batch.delete(src, dst);
+            }
+        }
+        batch
+    }
+
+    #[test]
+    fn wal_round_trips_seeded_random_batches() {
+        for seed in 0..6u64 {
+            let dir = tmp_dir(&format!("roundtrip-{seed}"));
+            let path = dir.join("wal.log");
+            let mut rng = SplitMix64::seed_from_u64(seed);
+            let mut written = Vec::new();
+            {
+                let (mut wal, replay) = Wal::open(&path).unwrap();
+                assert!(replay.entries.is_empty());
+                for seq in 1..=10u64 {
+                    let batch = random_batch(&mut rng, (seq as usize % 5) * 7);
+                    wal.append(seq, &batch).unwrap();
+                    written.push((seq, batch));
+                }
+            }
+            let (_, replay) = Wal::open(&path).unwrap();
+            assert_eq!(replay.bytes_truncated, 0);
+            assert_eq!(replay.entries.len(), written.len());
+            for ((seq, batch), (wseq, wbatch)) in replay.entries.iter().zip(&written) {
+                assert_eq!(seq, wseq);
+                assert_eq!(
+                    batch.stages().collect::<Vec<_>>(),
+                    wbatch.stages().collect::<Vec<_>>()
+                );
+            }
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_the_last_valid_entry() {
+        let dir = tmp_dir("torn");
+        let path = dir.join("wal.log");
+        let mut rng = SplitMix64::seed_from_u64(9);
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            for seq in 1..=4u64 {
+                wal.append(seq, &random_batch(&mut rng, 12)).unwrap();
+            }
+        }
+        let full = std::fs::read(&path).unwrap();
+        // Chop the file at every possible byte boundary: recovery must keep
+        // exactly the frames that fit, discard the tail, and never panic.
+        for cut in 0..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let (_, replay) = Wal::open(&path).unwrap();
+            assert_eq!(
+                replay.valid_bytes + replay.bytes_truncated,
+                cut as u64,
+                "cut {cut}"
+            );
+            assert!(replay.entries.len() <= 4);
+            // Opening truncated the file to the valid prefix on disk.
+            assert_eq!(std::fs::metadata(&path).unwrap().len(), replay.valid_bytes);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flips_are_detected_and_cut_the_log_there() {
+        let dir = tmp_dir("flip");
+        let path = dir.join("wal.log");
+        let mut rng = SplitMix64::seed_from_u64(11);
+        let mut frame_starts = vec![0u64];
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            for seq in 1..=3u64 {
+                wal.append(seq, &random_batch(&mut rng, 10)).unwrap();
+                frame_starts.push(wal.bytes());
+            }
+        }
+        let full = std::fs::read(&path).unwrap();
+        for i in (0..full.len()).step_by(7) {
+            let mut bad = full.clone();
+            bad[i] ^= 0x40;
+            std::fs::write(&path, &bad).unwrap();
+            let (_, replay) = Wal::open(&path).unwrap();
+            // The flip invalidates the frame containing byte i; every entry
+            // before that frame survives, nothing after it is trusted.
+            let hit_frame = frame_starts.iter().filter(|&&s| s <= i as u64).count() - 1;
+            assert_eq!(replay.entries.len(), hit_frame, "flip at byte {i}");
+            assert_eq!(replay.valid_bytes, frame_starts[hit_frame]);
+            assert!(replay.bytes_truncated > 0);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncate_all_empties_the_log_for_new_appends() {
+        let dir = tmp_dir("trim");
+        let path = dir.join("wal.log");
+        let mut rng = SplitMix64::seed_from_u64(13);
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        for seq in 1..=5u64 {
+            wal.append(seq, &random_batch(&mut rng, 8)).unwrap();
+        }
+        wal.truncate_all().unwrap();
+        assert_eq!(wal.bytes(), 0);
+        // Appends after the trim land at the file start with later seqs.
+        wal.append(6, &random_batch(&mut rng, 8)).unwrap();
+        drop(wal);
+        let (_, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.entries.len(), 1);
+        assert_eq!(replay.entries[0].0, 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -21,6 +21,11 @@
 //!    and fixpoint, applies batches, accounts the simulated cost of shipping
 //!    each batch to its partitions, and answers point and top-k value queries
 //!    between batches.
+//! 5. **Durability** — [`durability`] adds a checksummed write-ahead log
+//!    (fsync'd before any state changes), atomic fixpoint snapshots with
+//!    segment-file compaction riding the snapshot path, and kill-9 recovery
+//!    ([`DeltaServer::open`]) that replays the WAL suffix to values
+//!    bit-identical to an uninterrupted run.
 //!
 //! Determinism: everything the batch did not disturb keeps its bit pattern, and
 //! the re-converged region is computed by the same deterministic engine paths as
@@ -28,8 +33,10 @@
 //! bit-for-bit the answer a from-scratch run on the current graph would give
 //! (within convergence tolerance for arithmetic programs).
 
+pub mod durability;
 pub mod server;
 
+pub use durability::{DurabilityConfig, DurabilityError, SnapshotValue, Wal, WalReplay};
 pub use server::{BatchOutcome, DeltaServer, ServerConfig, ServerStats};
 // Re-exported so serving code can stage batches without importing slfe-graph.
 pub use slfe_graph::{BatchEffect, UpdateBatch};

@@ -1,10 +1,15 @@
 //! The [`DeltaServer`] serving loop: apply an edge-update batch, repair the RR
 //! guidance, warm re-converge the program, answer queries.
 
+use crate::durability::{
+    self, DurabilityConfig, DurabilityError, DurabilityState, SnapshotState, SnapshotValue, Wal,
+};
 use slfe_cluster::{Cluster, ClusterConfig, GlobalChunkLayout, LayoutPatchStats, WorkerPool};
 use slfe_core::{EngineConfig, GraphProgram, ProgramResult, RepairReport, RrGuidance, SlfeEngine};
 use slfe_graph::{BatchEffect, Graph, GraphStorage, UpdateBatch, VertexId};
+use slfe_metrics::{DurabilityCounters, ExecutionStats};
 use slfe_partition::{ChunkingPartitioner, Partitioner, Partitioning};
+use std::io;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -70,6 +75,13 @@ pub struct BatchOutcome {
     /// segment analogue of the adjacency range patch). 0 when the server runs
     /// in-memory.
     pub segments_rewritten: u64,
+    /// Out-of-core serving only: bytes of the backing segment files the
+    /// current graph version actually references. 0 when in-memory.
+    pub storage_live_bytes: u64,
+    /// Out-of-core serving only: bytes of superseded segment versions still
+    /// occupying the backing files (reclaimed by compaction on the snapshot
+    /// path). 0 when in-memory.
+    pub storage_dead_bytes: u64,
     /// Wall-clock seconds for the whole apply (graph patch + guidance + rerun).
     pub wall_seconds: f64,
 }
@@ -160,6 +172,16 @@ where
     storage: Option<Arc<GraphStorage>>,
     result: ProgramResult<P::Value>,
     stats: ServerStats,
+    /// Dirty vertices accumulated since the guidance was last brought up to
+    /// date. The warm path never reads the rulers, so repair is deferred
+    /// until something does: a full-recompute fallback, a snapshot, or the
+    /// [`DeltaServer::guidance`] accessor. Appended vertex ids are included
+    /// (they must be in the repair's dirty set for repair to reproduce
+    /// regeneration exactly).
+    pending_guidance_dirty: Vec<VertexId>,
+    /// WAL + snapshot state when this server was built through
+    /// [`DeltaServer::create_durable`] / [`DeltaServer::open`].
+    durability: Option<DurabilityState>,
 }
 
 impl<P, F> DeltaServer<P, F>
@@ -209,18 +231,63 @@ where
             storage,
             result,
             stats: ServerStats::default(),
+            pending_guidance_dirty: Vec::new(),
+            durability: None,
         }
     }
 
-    /// Apply one edge-update batch: patch the graph, repair the guidance, warm
-    /// re-converge the program, and account the batch-shipping traffic.
-    pub fn apply(&mut self, batch: &UpdateBatch) -> BatchOutcome {
+    /// Bring the guidance up to date with `graph`, draining `pending`.
+    /// Returns the synced guidance and what the sync cost (a zero-work report
+    /// when nothing was pending).
+    fn sync_guidance_parts(
+        rrg: &RrGuidance,
+        pending: &mut Vec<VertexId>,
+        graph: &Graph,
+        pool: &WorkerPool,
+    ) -> (RrGuidance, RepairReport) {
+        let padded = rrg.extended_to(graph.num_vertices());
+        if pending.is_empty() {
+            return (
+                padded,
+                RepairReport {
+                    regenerated: false,
+                    affected_vertices: 0,
+                    work: 0,
+                },
+            );
+        }
+        pending.sort_unstable();
+        pending.dedup();
+        let repaired = padded.repair_on(graph, pending, pool);
+        pending.clear();
+        repaired
+    }
+
+    /// Byte health of the out-of-core backing files: `(live, dead)`, both 0
+    /// when the server runs in-memory.
+    fn storage_byte_health(storage: &Option<Arc<GraphStorage>>) -> (u64, u64) {
+        storage
+            .as_ref()
+            .map(|s| (s.footprint_bytes(), s.dead_bytes()))
+            .unwrap_or((0, 0))
+    }
+
+    /// Apply one edge-update batch *to the in-memory state only*: patch the
+    /// graph, warm re-converge the program, and account the batch-shipping
+    /// traffic. No write-ahead logging happens here — this is the path WAL
+    /// replay re-drives during recovery, and what [`DeltaServer::apply`] runs
+    /// after the batch is durably logged. Guidance maintenance is *lazy*: the
+    /// warm path never reads the rulers, so dirty vertices only accumulate
+    /// here and the repair runs when a cold run, snapshot, or guidance query
+    /// actually needs them.
+    pub fn apply_committed(&mut self, batch: &UpdateBatch) -> BatchOutcome {
         let start = Instant::now();
         let (graph, effect) = self.graph.apply_batch(batch);
         if effect.is_noop() {
             // Nothing changed: keep every artifact (graph version, cluster,
             // guidance, fixpoint) instead of rebuilding them all for nothing.
             self.stats.batches_applied += 1;
+            let (storage_live_bytes, storage_dead_bytes) = Self::storage_byte_health(&self.storage);
             return BatchOutcome {
                 effect,
                 guidance: RepairReport {
@@ -235,11 +302,43 @@ where
                 distribution_messages: 0,
                 layout_patch: LayoutPatchStats::default(),
                 segments_rewritten: 0,
+                storage_live_bytes,
+                storage_dead_bytes,
                 wall_seconds: start.elapsed().as_secs_f64(),
             };
         }
+        let old_n = self.graph.num_vertices();
         let n = graph.num_vertices();
-        let (rrg, guidance) = self.rrg.repair_on(&graph, &effect.dirty, &self.pool);
+        // Defer guidance repair: remember what this batch dirtied (including
+        // every appended vertex id — repair needs them in its dirty set to
+        // reproduce regeneration exactly) and only pay for the repair on the
+        // paths that read rulers.
+        self.pending_guidance_dirty.extend_from_slice(&effect.dirty);
+        self.pending_guidance_dirty
+            .extend(old_n as VertexId..n as VertexId);
+        let dirty_fraction = effect.dirty.len() as f64 / n.max(1) as f64;
+        let full_recompute = dirty_fraction > self.config.full_recompute_dirty_fraction;
+        let (rrg, guidance) = if full_recompute {
+            // The cold run reads the rulers: sync now.
+            Self::sync_guidance_parts(
+                &self.rrg,
+                &mut self.pending_guidance_dirty,
+                &graph,
+                &self.pool,
+            )
+        } else {
+            // Warm restart: rulers are never read, only the engine's size
+            // invariant must hold. Stale levels are fine; appended vertices
+            // are padded as "never early-converged" so nothing is skipped.
+            (
+                self.rrg.extended_to(n),
+                RepairReport {
+                    regenerated: false,
+                    affected_vertices: 0,
+                    work: 0,
+                },
+            )
+        };
         let program = (self.make_program)(&graph);
 
         // One partitioning, one layout, per applied version — shared by the
@@ -291,8 +390,6 @@ where
             layout.clone(),
             storage.clone(),
         );
-        let dirty_fraction = effect.dirty.len() as f64 / n.max(1) as f64;
-        let full_recompute = dirty_fraction > self.config.full_recompute_dirty_fraction;
         let result = if full_recompute {
             engine.run(&program)
         } else {
@@ -305,6 +402,7 @@ where
         );
         drop(engine);
 
+        let (storage_live_bytes, storage_dead_bytes) = Self::storage_byte_health(&storage);
         let outcome = BatchOutcome {
             effect,
             guidance,
@@ -315,6 +413,8 @@ where
             distribution_messages,
             layout_patch,
             segments_rewritten,
+            storage_live_bytes,
+            storage_dead_bytes,
             wall_seconds: start.elapsed().as_secs_f64(),
         };
         self.stats.batches_applied += 1;
@@ -376,9 +476,46 @@ where
         &self.result
     }
 
-    /// The incrementally maintained guidance.
-    pub fn guidance(&self) -> &RrGuidance {
+    /// The incrementally maintained guidance, brought up to date first.
+    ///
+    /// Guidance maintenance is lazy (warm restarts never read the rulers), so
+    /// querying it is the moment any deferred repair runs — hence `&mut`.
+    pub fn guidance(&mut self) -> &RrGuidance {
+        self.sync_guidance();
         &self.rrg
+    }
+
+    /// Run any deferred guidance repair now (no-op when nothing is pending).
+    fn sync_guidance(&mut self) {
+        if self.pending_guidance_dirty.is_empty()
+            && self.rrg.num_vertices() == self.graph.num_vertices()
+        {
+            return;
+        }
+        let (rrg, report) = Self::sync_guidance_parts(
+            &self.rrg,
+            &mut self.pending_guidance_dirty,
+            &self.graph,
+            &self.pool,
+        );
+        self.stats.guidance_regenerations += report.regenerated as u64;
+        self.rrg = rrg;
+    }
+
+    /// Counted work a guidance sync would do right now: 0 when nothing is
+    /// pending. (Test hook for pinning the warm path's repair work at zero.)
+    pub fn pending_guidance_vertices(&self) -> usize {
+        self.pending_guidance_dirty.len()
+    }
+
+    /// Durability activity counters, when this server is durable.
+    pub fn durability_counters(&self) -> Option<&DurabilityCounters> {
+        self.durability.as_ref().map(|d| &d.counters)
+    }
+
+    /// Sequence number of the last WAL-logged batch, when durable.
+    pub fn wal_seq(&self) -> Option<u64> {
+        self.durability.as_ref().map(|d| d.seq)
     }
 
     /// The stable vertex → node assignment shared by every graph version.
@@ -410,6 +547,240 @@ where
     /// The serving configuration.
     pub fn config(&self) -> &ServerConfig {
         &self.config
+    }
+}
+
+impl<P, F> DeltaServer<P, F>
+where
+    P: GraphProgram,
+    P::Value: SnapshotValue,
+    F: Fn(&Graph) -> P,
+{
+    /// Apply one edge-update batch durably: append it to the write-ahead log
+    /// and fsync *first*, then run [`DeltaServer::apply_committed`], then
+    /// snapshot (and possibly compact the segment files) if the cadence says
+    /// so. On a non-durable server this is exactly `apply_committed`.
+    ///
+    /// Write-side I/O failure panics — a server that cannot log can no longer
+    /// honor its durability contract, and silently continuing would.
+    pub fn apply(&mut self, batch: &UpdateBatch) -> BatchOutcome {
+        if let Some(d) = self.durability.as_mut() {
+            let seq = d.seq + 1;
+            let frame_bytes = d
+                .wal
+                .append(seq, batch)
+                .expect("failed to append the batch to the write-ahead log");
+            d.seq = seq;
+            d.counters.wal_entries_appended += 1;
+            d.counters.wal_bytes_appended += frame_bytes;
+            d.counters.wal_fsyncs += 1;
+        }
+        let outcome = self.apply_committed(batch);
+        self.maybe_snapshot()
+            .expect("failed to write a fixpoint snapshot");
+        outcome
+    }
+
+    /// Snapshot now if the cadence (batches since the last snapshot, or WAL
+    /// bytes) says one is due. No-op on a non-durable server.
+    fn maybe_snapshot(&mut self) -> io::Result<()> {
+        let Some(d) = self.durability.as_ref() else {
+            return Ok(());
+        };
+        let due = d.seq - d.snapshot_seq >= d.config.snapshot_every_batches
+            || d.wal.bytes() >= d.config.snapshot_wal_bytes;
+        if due {
+            self.snapshot()?;
+        }
+        Ok(())
+    }
+
+    /// Write a fixpoint snapshot of the current served state (atomic temp +
+    /// rename), compact the out-of-core segment files first when their
+    /// dead-byte fraction exceeds [`DurabilityConfig::max_dead_fraction`],
+    /// then trim the WAL — every logged batch is now covered by the snapshot.
+    ///
+    /// Panics when called on a server without durability state.
+    pub fn snapshot(&mut self) -> io::Result<()> {
+        assert!(
+            self.durability.is_some(),
+            "snapshot() requires a durable server (create_durable/open)"
+        );
+        // The snapshot stores the guidance, so bring it up to date: recovery
+        // then restores rulers identical to what a cold run would need.
+        self.sync_guidance();
+        // Compaction rides the snapshot path: rewrite live segments into a
+        // fresh generation when too much of the backing files is dead bytes.
+        let max_dead = self.durability.as_ref().unwrap().config.max_dead_fraction;
+        let needs_compaction = self
+            .storage
+            .as_ref()
+            .is_some_and(|s| s.dead_fraction() > max_dead);
+        if needs_compaction {
+            let storage = self.storage.as_ref().unwrap();
+            let before = storage.file_bytes();
+            let compacted = storage.compacted(&self.graph)?;
+            let reclaimed = before.saturating_sub(compacted.file_bytes());
+            self.storage = Some(Arc::new(compacted));
+            let d = self.durability.as_mut().unwrap();
+            d.counters.compactions += 1;
+            d.counters.compaction_bytes_reclaimed += reclaimed;
+        }
+        let d = self.durability.as_mut().unwrap();
+        let bytes = durability::write_snapshot(
+            &d.config,
+            &SnapshotState {
+                seq: d.seq,
+                stats: self.stats,
+                graph: &self.graph,
+                values: &self.result.values,
+                guidance: &self.rrg,
+                owners: self.partitioning.owners(),
+                num_parts: self.partitioning.num_parts(),
+            },
+        )?;
+        d.counters.snapshots_written += 1;
+        d.counters.snapshot_bytes_written += bytes;
+        d.snapshot_seq = d.seq;
+        // Safe even if we die before this lands: replay skips entries at or
+        // below the snapshot's sequence number.
+        d.wal.truncate_all()
+    }
+
+    /// Build a fresh durable server: run [`DeltaServer::new`], then write the
+    /// initial snapshot so [`DeltaServer::open`] always finds one.
+    pub fn create_durable(
+        graph: Graph,
+        make_program: F,
+        config: ServerConfig,
+        durability: DurabilityConfig,
+    ) -> io::Result<Self> {
+        std::fs::create_dir_all(&durability.dir)?;
+        let mut server = Self::new(graph, make_program, config);
+        let (wal, _) = Wal::open(&durability.wal_path())?;
+        let mut state = DurabilityState {
+            config: durability,
+            wal,
+            seq: 0,
+            snapshot_seq: 0,
+            counters: DurabilityCounters::zero(),
+        };
+        // A fresh server supersedes whatever a previous life logged here.
+        state.wal.truncate_all()?;
+        server.durability = Some(state);
+        server.snapshot()?;
+        Ok(server)
+    }
+
+    /// Recover a durable server from its snapshot plus WAL suffix: load the
+    /// snapshot (graph, fixpoint values, guidance, partitioning, stats),
+    /// rebuild the runtime artifacts (pool, layout, segment files), then
+    /// replay every WAL entry past the snapshot's sequence number through the
+    /// identical warm apply path. The recovered values are bit-identical to
+    /// an uninterrupted run's — for min/max and arithmetic programs alike.
+    ///
+    /// A torn or corrupt WAL tail is truncated silently (those batches were
+    /// never acknowledged); a corrupt snapshot is a structured error, never a
+    /// panic.
+    pub fn open(
+        make_program: F,
+        config: ServerConfig,
+        durability: DurabilityConfig,
+    ) -> Result<Self, DurabilityError> {
+        let snap = durability::read_snapshot::<P::Value>(&durability)?;
+        if snap.num_parts != config.cluster.num_nodes {
+            return Err(DurabilityError::CorruptSnapshot {
+                reason: "snapshot partitioning does not match the cluster config",
+            });
+        }
+        let graph = snap.graph;
+        let n = graph.num_vertices();
+        let pool = Arc::new(WorkerPool::new(config.cluster.total_workers()));
+        let program = make_program(&graph);
+        let partitioning = Arc::new(Partitioning::from_owners(snap.owners, snap.num_parts));
+        let cluster =
+            Cluster::with_shared_partitioning(Arc::clone(&partitioning), config.cluster.clone());
+        let layout = cluster.build_layout(&graph);
+        drop(cluster);
+        let storage = match config.engine.storage_config() {
+            Some(sc) => Some(Arc::new(GraphStorage::build(&graph, &sc)?)),
+            None => None,
+        };
+        // The fixpoint values are the snapshot's; the run-shaped metadata is
+        // zeroed (warm restarts read only the values).
+        let result = ProgramResult {
+            values: snap.values,
+            stats: ExecutionStats::new("slfe", program.name()),
+            last_changed_iter: vec![0; n],
+            per_node_worker_work: vec![
+                vec![0; config.cluster.workers_per_node];
+                config.cluster.num_nodes
+            ],
+            converged: true,
+        };
+        let (wal, replay) = Wal::open(&durability.wal_path())?;
+        let mut counters = DurabilityCounters::zero();
+        counters.wal_bytes_truncated += replay.bytes_truncated;
+        let mut server = Self {
+            make_program,
+            program,
+            graph,
+            config,
+            rrg: snap.guidance,
+            pool,
+            partitioning,
+            layout,
+            storage,
+            result,
+            stats: snap.stats,
+            pending_guidance_dirty: Vec::new(),
+            durability: None,
+        };
+        // Re-drive the unacknowledged suffix through the exact same path the
+        // live server used. Entries at or below the snapshot's sequence are
+        // already folded in (the process died between the snapshot rename
+        // and the WAL trim) — skipping them is what makes replay idempotent.
+        let mut seq = snap.seq;
+        for (entry_seq, batch) in replay.entries {
+            if entry_seq <= snap.seq {
+                continue;
+            }
+            server.apply_committed(&batch);
+            counters.wal_entries_replayed += 1;
+            seq = entry_seq;
+        }
+        server.durability = Some(DurabilityState {
+            config: durability,
+            wal,
+            seq,
+            snapshot_seq: snap.seq,
+            counters,
+        });
+        // Replay may have pushed the cadence past its trigger; snapshotting
+        // *after* the loop (never mid-replay) keeps the WAL intact until
+        // every entry is re-applied.
+        server.maybe_snapshot()?;
+        Ok(server)
+    }
+
+    /// Open the durable server at `durability.dir` if a snapshot exists
+    /// there, otherwise build a fresh one from `make_graph()`.
+    pub fn open_or_create(
+        make_graph: impl FnOnce() -> Graph,
+        make_program: F,
+        config: ServerConfig,
+        durability: DurabilityConfig,
+    ) -> Result<Self, DurabilityError> {
+        if durability.snapshot_path().exists() {
+            Self::open(make_program, config, durability)
+        } else {
+            Ok(Self::create_durable(
+                make_graph(),
+                make_program,
+                config,
+                durability,
+            )?)
+        }
     }
 }
 
@@ -813,6 +1184,252 @@ mod tests {
         let pool = server.storage().unwrap().pool();
         assert!(pool.counters().segments_faulted > 0);
         assert!(pool.peak_resident_bytes() <= pool.budget_bytes());
+    }
+
+    fn durable_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("slfe-server-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn bits(values: &[f32]) -> Vec<u32> {
+        values.iter().map(|v| v.to_bits()).collect()
+    }
+
+    /// A durable server re-opened after a clean drop (snapshot + WAL suffix
+    /// on disk) serves values bit-identical to an uninterrupted server, and
+    /// its cumulative stats line up.
+    #[test]
+    fn reopened_durable_server_is_bit_identical_to_an_uninterrupted_one() {
+        let dir = durable_dir("reopen");
+        let graph = generators::rmat(500, 3500, 0.57, 0.19, 0.19, 61);
+        let root = stats::highest_out_degree_vertex(&graph).unwrap();
+        let make = move |_: &Graph| SsspProgram { root };
+        let durability = DurabilityConfig::new(&dir).with_snapshot_every(3);
+        let mut durable = DeltaServer::create_durable(
+            graph.clone(),
+            make,
+            ServerConfig::default(),
+            durability.clone(),
+        )
+        .unwrap();
+        let mut witness = sssp_server(graph.clone(), root, ServerConfig::default());
+        let mut current = graph;
+        for round in 0..5u64 {
+            let batch = mixed_batch(&current, round + 400, 20);
+            durable.apply(&batch);
+            witness.apply(&batch);
+            current = current.apply_batch(&batch).0;
+        }
+        let expected_stats = *durable.stats();
+        drop(durable);
+
+        let mut reopened = DeltaServer::open(make, ServerConfig::default(), durability).unwrap();
+        assert_eq!(bits(reopened.values()), bits(witness.values()));
+        assert_eq!(*reopened.stats(), expected_stats);
+        // Snapshot at seq 3, entries 4 and 5 replayed from the WAL.
+        assert_eq!(
+            reopened.durability_counters().unwrap().wal_entries_replayed,
+            2
+        );
+        // The restored guidance keeps the maintenance invariant.
+        assert!(reopened
+            .guidance()
+            .guidance_eq(&RrGuidance::generate(&current)));
+        std::fs::remove_dir_all(reopened.durability_counters().map(|_| &dir).unwrap()).unwrap();
+    }
+
+    /// Replay skips WAL entries the snapshot already covers — the state a
+    /// crash between the snapshot rename and the WAL trim leaves behind.
+    #[test]
+    fn replay_skips_entries_the_snapshot_already_covers() {
+        let dir = durable_dir("idempotent");
+        let graph = generators::rmat(300, 2000, 0.57, 0.19, 0.19, 67);
+        let root = stats::highest_out_degree_vertex(&graph).unwrap();
+        let make = move |_: &Graph| SsspProgram { root };
+        // Cadence high enough that nothing snapshots on its own.
+        let durability = DurabilityConfig::new(&dir).with_snapshot_every(100);
+        let mut server = DeltaServer::create_durable(
+            graph.clone(),
+            make,
+            ServerConfig::default(),
+            durability.clone(),
+        )
+        .unwrap();
+        let mut current = graph;
+        for round in 0..3u64 {
+            let batch = mixed_batch(&current, round + 40, 15);
+            server.apply(&batch);
+            current = current.apply_batch(&batch).0;
+        }
+        let expected = bits(server.values());
+        // Freeze the WAL as it stands, snapshot (which trims it), then put
+        // the stale WAL back: every entry is now ≤ the snapshot's sequence.
+        let stale_wal = std::fs::read(durability.wal_path()).unwrap();
+        server.snapshot().unwrap();
+        std::fs::write(durability.wal_path(), &stale_wal).unwrap();
+        drop(server);
+
+        let reopened = DeltaServer::open(make, ServerConfig::default(), durability).unwrap();
+        assert_eq!(
+            reopened.durability_counters().unwrap().wal_entries_replayed,
+            0,
+            "entries covered by the snapshot must not be re-applied"
+        );
+        assert_eq!(bits(reopened.values()), expected);
+        assert_eq!(reopened.stats().batches_applied, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A torn WAL tail (the write the kill interrupted) rolls back to the
+    /// last fully logged batch — recovery serves that prefix's exact values.
+    #[test]
+    fn torn_wal_tail_recovers_the_last_fully_logged_batch() {
+        let dir = durable_dir("torn");
+        let graph = generators::rmat(300, 2000, 0.57, 0.19, 0.19, 71);
+        let root = stats::highest_out_degree_vertex(&graph).unwrap();
+        let make = move |_: &Graph| SsspProgram { root };
+        let durability = DurabilityConfig::new(&dir).with_snapshot_every(100);
+        let mut server = DeltaServer::create_durable(
+            graph.clone(),
+            make,
+            ServerConfig::default(),
+            durability.clone(),
+        )
+        .unwrap();
+        let mut witness = sssp_server(graph.clone(), root, ServerConfig::default());
+        let mut current = graph;
+        let mut wal_after = Vec::new();
+        for round in 0..4u64 {
+            let batch = mixed_batch(&current, round + 4000, 12);
+            server.apply(&batch);
+            current = current.apply_batch(&batch).0;
+            if round < 3 {
+                witness.apply(&batch);
+            }
+            wal_after.push(std::fs::metadata(durability.wal_path()).unwrap().len());
+        }
+        drop(server);
+        // Tear the 4th entry: keep a strict prefix of its frame.
+        let full = std::fs::read(durability.wal_path()).unwrap();
+        std::fs::write(
+            durability.wal_path(),
+            &full[..(wal_after[2] as usize + 5).min(full.len())],
+        )
+        .unwrap();
+
+        let reopened = DeltaServer::open(make, ServerConfig::default(), durability).unwrap();
+        assert_eq!(bits(reopened.values()), bits(witness.values()));
+        assert_eq!(reopened.stats().batches_applied, 3);
+        assert!(reopened.durability_counters().unwrap().wal_bytes_truncated > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Warm batches must not pay for guidance repair: the repair runs lazily
+    /// when something reads the rulers, and it then matches regeneration.
+    #[test]
+    fn warm_batches_defer_guidance_repair_entirely() {
+        let graph = generators::rmat(500, 3500, 0.57, 0.19, 0.19, 83);
+        let root = stats::highest_out_degree_vertex(&graph).unwrap();
+        let mut server = sssp_server(graph.clone(), root, ServerConfig::default());
+        let mut current = graph;
+        for round in 0..3u64 {
+            let batch = mixed_batch(&current, round + 640, 20);
+            let outcome = server.apply(&batch);
+            current = current.apply_batch(&batch).0;
+            assert!(!outcome.full_recompute, "round {round} must stay warm");
+            assert_eq!(
+                outcome.guidance.work, 0,
+                "round {round}: the warm path paid for guidance repair"
+            );
+            assert!(!outcome.guidance.regenerated);
+        }
+        assert!(server.pending_guidance_vertices() > 0);
+        // First read pays the deferred repair and lands on regeneration.
+        assert!(server
+            .guidance()
+            .guidance_eq(&RrGuidance::generate(&current)));
+        assert_eq!(server.pending_guidance_vertices(), 0);
+    }
+
+    /// Out-of-core durable serving: snapshots compact the segment files past
+    /// the configured dead-byte bound, and compaction never perturbs values.
+    #[test]
+    fn snapshots_compact_the_segment_files_past_the_dead_byte_bound() {
+        let dir = durable_dir("compact");
+        let graph = generators::rmat(600, 4200, 0.57, 0.19, 0.19, 89);
+        let root = stats::highest_out_degree_vertex(&graph).unwrap();
+        let make = move |_: &Graph| SsspProgram { root };
+        let oocore = ServerConfig {
+            engine: EngineConfig::default()
+                .with_storage_budget(24 << 10)
+                .with_storage_segment_bytes(2 << 10),
+            ..ServerConfig::default()
+        };
+        let durability = DurabilityConfig::new(&dir)
+            .with_snapshot_every(2)
+            .with_max_dead_fraction(0.15);
+        let mut server =
+            DeltaServer::create_durable(graph.clone(), make, oocore, durability.clone()).unwrap();
+        let mut witness = sssp_server(graph.clone(), root, ServerConfig::default());
+        let mut current = graph;
+        for round in 0..8u64 {
+            let batch = mixed_batch(&current, round + 7000, 25);
+            let outcome = server.apply(&batch);
+            witness.apply(&batch);
+            current = current.apply_batch(&batch).0;
+            assert_eq!(bits(server.values()), bits(witness.values()));
+            // Byte health is reported per batch.
+            assert!(outcome.storage_live_bytes > 0);
+            // Right after a snapshot the dead fraction sits at or below the
+            // bound (a fresh compaction leaves it at zero).
+            if server.wal_seq() == Some(round + 1) && (round + 1) % 2 == 0 {
+                let s = server.storage().unwrap();
+                assert!(
+                    s.dead_fraction() <= durability.max_dead_fraction,
+                    "round {round}: dead fraction {} above the bound",
+                    s.dead_fraction()
+                );
+            }
+        }
+        let counters = server.durability_counters().unwrap();
+        assert!(counters.compactions >= 1, "no snapshot ever compacted");
+        assert!(counters.compaction_bytes_reclaimed > 0);
+        assert!(counters.snapshots_written >= 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Corruption surfaces as structured errors, never a panic.
+    #[test]
+    fn corrupt_or_missing_snapshots_are_structured_errors() {
+        let dir = durable_dir("corrupt");
+        let make = |_: &Graph| SsspProgram { root: 0 };
+        let durability = DurabilityConfig::new(&dir);
+        match DeltaServer::open(make, ServerConfig::default(), durability.clone()) {
+            Err(crate::DurabilityError::MissingSnapshot(_)) => {}
+            other => panic!(
+                "expected MissingSnapshot, got {:?}",
+                other.err().map(|e| e.to_string())
+            ),
+        }
+        let graph = generators::rmat(200, 1200, 0.57, 0.19, 0.19, 97);
+        let server =
+            DeltaServer::create_durable(graph, make, ServerConfig::default(), durability.clone())
+                .unwrap();
+        drop(server);
+        // Flip one byte in the middle of the snapshot: checksum must catch it.
+        let mut bytes = std::fs::read(durability.snapshot_path()).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(durability.snapshot_path(), &bytes).unwrap();
+        match DeltaServer::open(make, ServerConfig::default(), durability) {
+            Err(crate::DurabilityError::CorruptSnapshot { .. }) => {}
+            other => panic!(
+                "expected CorruptSnapshot, got {:?}",
+                other.err().map(|e| e.to_string())
+            ),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

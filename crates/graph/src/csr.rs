@@ -134,6 +134,43 @@ impl Adjacency {
         &self.offsets
     }
 
+    /// Raw neighbor array, parallel to [`Self::raw_weights`]. Together with
+    /// [`Self::offsets`] these are the complete physical representation — the
+    /// snapshot writer persists them verbatim so a restore reproduces the
+    /// structure *bit-for-bit*, duplicate-pair ordering included (rebuilding
+    /// from an edge list would not: `sort_unstable` may reorder equal keys).
+    pub fn raw_targets(&self) -> &[VertexId] {
+        &self.targets
+    }
+
+    /// Raw weight array, parallel to [`Self::raw_targets`].
+    pub fn raw_weights(&self) -> &[EdgeWeight] {
+        &self.weights
+    }
+
+    /// Reassemble an adjacency from its raw arrays — the snapshot-restore path.
+    ///
+    /// The caller must supply arrays that came from (or are shaped like) a real
+    /// adjacency: `offsets` monotone with `offsets[0] == 0` and a final entry
+    /// equal to `targets.len()`, `weights` parallel to `targets`. The decoder in
+    /// [`crate::io::binary`] validates untrusted bytes before calling this.
+    pub(crate) fn from_raw(
+        offsets: Vec<usize>,
+        targets: Vec<VertexId>,
+        weights: Vec<EdgeWeight>,
+    ) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(offsets[0], 0);
+        debug_assert_eq!(*offsets.last().unwrap(), targets.len());
+        debug_assert_eq!(targets.len(), weights.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        Self {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
     /// Build a new adjacency by replacing the lists of a few vertices and copying
     /// every untouched range wholesale — the compacting rebuild behind
     /// [`crate::Graph::apply_batch`].

@@ -117,6 +117,64 @@ impl UpdateBatch {
             .iter()
             .map(|(&(s, d), op)| (s, d, matches!(op, EdgeOp::Delete)))
     }
+
+    /// Iterate the resolved stages in key order, weights included:
+    /// `(src, dst, Some(weight))` for an upsert, `(src, dst, None)` for a
+    /// deletion. Unlike [`UpdateBatch::pairs`] this loses nothing the batch
+    /// will do to the graph — it is the basis of the WAL encoding.
+    pub fn stages(&self) -> impl Iterator<Item = (VertexId, VertexId, Option<EdgeWeight>)> + '_ {
+        self.ops.iter().map(|(&(s, d), op)| match op {
+            EdgeOp::Insert(w) => (s, d, Some(*w)),
+            EdgeOp::Delete => (s, d, None),
+        })
+    }
+
+    /// Encode the *resolved* batch (distinct pairs, last stage winning) as
+    /// bytes for the write-ahead log. Overwrite history is not persisted:
+    /// [`Graph::apply_batch`] only ever consumes the resolved map, so a
+    /// decoded batch applies identically even though its
+    /// [`UpdateBatch::staged_ops`] counts only the surviving stages.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.ops.len() * 13);
+        crate::io::binary::put_u32(&mut out, self.ops.len() as u32);
+        for (src, dst, weight) in self.stages() {
+            crate::io::binary::put_u32(&mut out, src);
+            crate::io::binary::put_u32(&mut out, dst);
+            match weight {
+                Some(w) => {
+                    crate::io::binary::put_u8(&mut out, 1);
+                    crate::io::binary::put_f32(&mut out, w);
+                }
+                None => crate::io::binary::put_u8(&mut out, 0),
+            }
+        }
+        out
+    }
+
+    /// Decode a batch written by [`UpdateBatch::to_bytes`]. Returns `None` on
+    /// any structural problem — short buffer, trailing garbage, unknown op
+    /// tag, or a sentinel vertex id — never panics.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut r = crate::io::binary::Reader::new(bytes);
+        let count = r.u32()? as usize;
+        let mut batch = UpdateBatch::new();
+        for _ in 0..count {
+            let src = r.u32()?;
+            let dst = r.u32()?;
+            if src == crate::INVALID_VERTEX || dst == crate::INVALID_VERTEX {
+                return None;
+            }
+            match r.u8()? {
+                0 => batch.delete(src, dst),
+                1 => batch.insert(src, dst, r.f32()?),
+                _ => return None,
+            };
+        }
+        if !r.is_empty() {
+            return None;
+        }
+        Some(batch)
+    }
 }
 
 /// What applying a batch actually changed — the contract between graph mutation
@@ -518,6 +576,64 @@ mod tests {
                 assert!((v as usize) < patched.num_vertices());
             }
         }
+    }
+
+    #[test]
+    fn stages_preserve_weights_and_deletes() {
+        let mut batch = UpdateBatch::new();
+        batch.insert(0, 1, 2.5).delete(3, 4).insert(0, 1, 7.0);
+        let stages: Vec<_> = batch.stages().collect();
+        assert_eq!(stages, vec![(0, 1, Some(7.0)), (3, 4, None)]);
+    }
+
+    #[test]
+    fn batch_bytes_round_trip_applies_identically() {
+        for seed in 0..8u64 {
+            let g = generators::rmat(120, 700, 0.57, 0.19, 0.19, seed + 40);
+            let mut rng = SplitMix64::seed_from_u64(seed * 31 + 7);
+            let mut batch = UpdateBatch::new();
+            for _ in 0..40 {
+                let src = rng.range_u32(0, 130);
+                let dst = rng.range_u32(0, 130);
+                if rng.next_f64() < 0.6 {
+                    batch.insert(src, dst, rng.range_f32(0.5, 9.0));
+                } else {
+                    batch.delete(src, dst);
+                }
+            }
+            let decoded = UpdateBatch::from_bytes(&batch.to_bytes()).expect("round trip");
+            assert_eq!(decoded.len(), batch.len());
+            assert_eq!(
+                decoded.stages().collect::<Vec<_>>(),
+                batch.stages().collect::<Vec<_>>()
+            );
+            let (a, ea) = g.apply_batch(&batch);
+            let (b, eb) = g.apply_batch(&decoded);
+            assert_same_graph(&a, &b);
+            assert_eq!(ea, eb);
+        }
+    }
+
+    #[test]
+    fn corrupt_batch_bytes_decode_to_none() {
+        let mut batch = UpdateBatch::new();
+        batch.insert(1, 2, 3.0).delete(4, 5);
+        let bytes = batch.to_bytes();
+        // Truncations.
+        for cut in 0..bytes.len() {
+            assert!(
+                UpdateBatch::from_bytes(&bytes[..cut]).is_none(),
+                "cut {cut}"
+            );
+        }
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(UpdateBatch::from_bytes(&long).is_none());
+        // Unknown op tag.
+        let mut bad_tag = bytes.clone();
+        bad_tag[12] = 9;
+        assert!(UpdateBatch::from_bytes(&bad_tag).is_none());
     }
 
     #[test]

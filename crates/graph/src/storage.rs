@@ -391,6 +391,23 @@ impl BufferPool {
         }
     }
 
+    /// Drop every unpinned frame belonging to `file_id` — compaction retired
+    /// the whole file, so none of its segments can ever be requested again.
+    /// Pinned frames (a traversal still holds the `Arc`, and with it the old
+    /// `StoreFile`) are left for the clock to reclaim.
+    fn invalidate_file(&self, file_id: u64) {
+        let keys: Vec<(u64, u64)> = {
+            let inner = self.inner.lock().unwrap();
+            inner
+                .map
+                .keys()
+                .filter(|(fid, _)| *fid == file_id)
+                .copied()
+                .collect()
+        };
+        self.invalidate(keys);
+    }
+
     /// Drop a set of frames outright (their segments were superseded by a
     /// patch); pinned frames are left for the clock to reclaim.
     fn invalidate(&self, keys: impl IntoIterator<Item = (u64, u64)>) {
@@ -593,6 +610,18 @@ impl SegmentedStore {
     /// patched segments still occupy file space but are not counted).
     pub fn footprint_bytes(&self) -> u64 {
         self.segments.iter().map(|m| m.bytes).sum()
+    }
+
+    /// Total bytes ever appended to the backing file — live segments plus
+    /// every superseded segment version left behind by patches.
+    pub fn file_bytes(&self) -> u64 {
+        self.file.append_cursor.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of superseded segment versions still occupying the backing file.
+    /// Only compaction ([`GraphStorage::compacted`]) reclaims them.
+    pub fn dead_bytes(&self) -> u64 {
+        self.file_bytes().saturating_sub(self.footprint_bytes())
     }
 
     /// Stored edges.
@@ -857,6 +886,74 @@ impl GraphStorage {
         self.out.footprint_bytes() + self.incoming.footprint_bytes()
     }
 
+    /// Total backing-file bytes across both directions, dead bytes included.
+    pub fn file_bytes(&self) -> u64 {
+        self.out.file_bytes() + self.incoming.file_bytes()
+    }
+
+    /// Bytes of superseded segment versions across both directions.
+    pub fn dead_bytes(&self) -> u64 {
+        self.out.dead_bytes() + self.incoming.dead_bytes()
+    }
+
+    /// Fraction of the backing files occupied by superseded segment versions
+    /// (0.0 for empty files). The compaction trigger compares this against
+    /// its configured threshold.
+    pub fn dead_fraction(&self) -> f64 {
+        let file = self.file_bytes();
+        if file == 0 {
+            0.0
+        } else {
+            self.dead_bytes() as f64 / file as f64
+        }
+    }
+
+    /// Rewrite both directions into fresh backing files containing only live
+    /// data, retiring the current generation's files: their unpinned buffer
+    /// -pool frames are dropped immediately, and the files themselves are
+    /// deleted once the last pre-compaction generation drops
+    /// ([`StoreFile`]'s `Drop`). The new storage lives in the same directory
+    /// and shares the same pool; `graph` must be the graph version this
+    /// storage currently serves.
+    pub fn compacted(&self, graph: &crate::Graph) -> io::Result<Self> {
+        assert_eq!(
+            graph.num_vertices(),
+            self.out.num_vertices,
+            "compaction requires the graph version this storage serves"
+        );
+        assert_eq!(graph.num_edges(), self.out.num_edges);
+        let dir = self
+            .out
+            .file
+            .path
+            .parent()
+            .expect("store file has a parent directory")
+            .to_path_buf();
+        let dir_guard = self.out.file.dir.clone();
+        let out = SegmentedStore::build_in(
+            graph.out_adjacency(),
+            &dir.join(format!("csr-{}.seg", next_file_id())),
+            self.segment_bytes,
+            Arc::clone(&self.pool),
+            dir_guard.clone(),
+        )?;
+        let incoming = SegmentedStore::build_in(
+            graph.in_adjacency(),
+            &dir.join(format!("csc-{}.seg", next_file_id())),
+            self.segment_bytes,
+            Arc::clone(&self.pool),
+            dir_guard,
+        )?;
+        self.pool.invalidate_file(self.out.file.id);
+        self.pool.invalidate_file(self.incoming.file.id);
+        Ok(Self {
+            out,
+            incoming,
+            pool: Arc::clone(&self.pool),
+            segment_bytes: self.segment_bytes,
+        })
+    }
+
     /// Patch both directions against the post-batch `graph`: only segments
     /// covering a vertex in `dirty` (the batch's dirty endpoints) are
     /// rewritten, plus fresh segments for appended vertices. Returns the new
@@ -1062,6 +1159,85 @@ mod tests {
             let _ = cursor.list(v);
         }
         assert_eq!(view.list(0).0, before.as_slice());
+    }
+
+    #[test]
+    fn dead_bytes_track_superseded_segment_versions() {
+        let g = generators::rmat(400, 2800, 0.57, 0.19, 0.19, 21);
+        let storage = GraphStorage::build(&g, &tmp_config(1 << 20, 1 << 10)).unwrap();
+        assert_eq!(storage.dead_bytes(), 0, "a fresh build has no dead bytes");
+        assert_eq!(storage.file_bytes(), storage.footprint_bytes());
+        let mut batch = UpdateBatch::new();
+        batch.insert(0, 1, 5.0).insert(7, 3, 2.0);
+        let (mutated, effect) = g.apply_batch(&batch);
+        let (patched, _) = storage.patched(&mutated, &effect.dirty).unwrap();
+        assert!(patched.dead_bytes() > 0, "patching strands old versions");
+        assert_eq!(
+            patched.file_bytes(),
+            patched.footprint_bytes() + patched.dead_bytes()
+        );
+        assert!(patched.dead_fraction() > 0.0 && patched.dead_fraction() < 1.0);
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_bytes_and_serves_identical_lists() {
+        let mut graph = generators::rmat(500, 3500, 0.57, 0.19, 0.19, 23);
+        let mut storage = GraphStorage::build(&graph, &tmp_config(1 << 20, 1 << 10)).unwrap();
+        let mut rng = crate::rng::SplitMix64::seed_from_u64(99);
+        for _ in 0..10 {
+            let n = graph.num_vertices() as u32;
+            let mut batch = UpdateBatch::new();
+            for _ in 0..20 {
+                batch.insert(
+                    rng.range_u32(0, n),
+                    rng.range_u32(0, n),
+                    rng.range_f32(1.0, 9.0),
+                );
+            }
+            let (mutated, effect) = graph.apply_batch(&batch);
+            let (patched, _) = storage.patched(&mutated, &effect.dirty).unwrap();
+            graph = mutated;
+            storage = patched;
+        }
+        assert!(storage.dead_fraction() > 0.2, "batches strand dead bytes");
+        let faulted_before = storage.pool().counters().segments_faulted;
+        let compacted = storage.compacted(&graph).unwrap();
+        assert_eq!(
+            compacted.dead_bytes(),
+            0,
+            "compaction removes every dead byte"
+        );
+        assert_eq!(compacted.file_bytes(), compacted.footprint_bytes());
+        assert_lists_match(&graph, &compacted);
+        // The retired generation keeps serving until dropped.
+        assert_lists_match(&graph, &storage);
+        // The retired files' frames were invalidated: fresh traversal faults.
+        assert!(compacted.pool().counters().segments_faulted > faulted_before);
+    }
+
+    #[test]
+    fn compaction_retires_old_backing_files_on_drop() {
+        let dir = std::env::temp_dir().join(format!("slfe-oocore-compact-{}", std::process::id()));
+        let g = generators::path(64);
+        let config = StorageConfig {
+            dir: Some(dir.clone()),
+            ..tmp_config(1 << 20, 1 << 10)
+        };
+        let storage = GraphStorage::build(&g, &config).unwrap();
+        let count_files = || std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+        assert_eq!(count_files(), 2);
+        let compacted = storage.compacted(&g).unwrap();
+        assert_eq!(count_files(), 4, "old and new generations coexist");
+        drop(storage);
+        assert_eq!(
+            count_files(),
+            2,
+            "retired files deleted with the old generation"
+        );
+        assert_lists_match(&g, &compacted);
+        drop(compacted);
+        assert_eq!(count_files(), 0);
+        let _ = std::fs::remove_dir(&dir);
     }
 
     #[test]

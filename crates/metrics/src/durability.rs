@@ -1,0 +1,90 @@
+//! Durability instrumentation: WAL, snapshot, and compaction counters.
+//!
+//! The delta server's durability layer (`slfe-delta::durability`) reports its
+//! activity through this plain value type, mirroring the engine's
+//! [`crate::Counters`] style: cheap monotone tallies, summable across
+//! windows, never used for synchronisation.
+
+use std::ops::{Add, AddAssign};
+
+/// A snapshot of durability work performed by a serving process.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityCounters {
+    /// Update batches appended to the write-ahead log.
+    pub wal_entries_appended: u64,
+    /// Bytes those appends wrote (frame headers included).
+    pub wal_bytes_appended: u64,
+    /// fsync (`sync_data`) calls issued by WAL appends — the per-batch
+    /// durability cost the bench reports.
+    pub wal_fsyncs: u64,
+    /// Batches re-applied from the WAL during recovery.
+    pub wal_entries_replayed: u64,
+    /// Bytes of torn or corrupt WAL tail discarded when opening the log.
+    pub wal_bytes_truncated: u64,
+    /// Snapshots written (atomic temp-file + rename cycles completed).
+    pub snapshots_written: u64,
+    /// Bytes of the snapshot files written.
+    pub snapshot_bytes_written: u64,
+    /// Segment-file compactions performed on the snapshot path.
+    pub compactions: u64,
+    /// Dead backing-file bytes those compactions reclaimed.
+    pub compaction_bytes_reclaimed: u64,
+}
+
+impl DurabilityCounters {
+    /// A zeroed counter set.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+}
+
+impl Add for DurabilityCounters {
+    type Output = DurabilityCounters;
+    fn add(self, rhs: DurabilityCounters) -> DurabilityCounters {
+        DurabilityCounters {
+            wal_entries_appended: self.wal_entries_appended + rhs.wal_entries_appended,
+            wal_bytes_appended: self.wal_bytes_appended + rhs.wal_bytes_appended,
+            wal_fsyncs: self.wal_fsyncs + rhs.wal_fsyncs,
+            wal_entries_replayed: self.wal_entries_replayed + rhs.wal_entries_replayed,
+            wal_bytes_truncated: self.wal_bytes_truncated + rhs.wal_bytes_truncated,
+            snapshots_written: self.snapshots_written + rhs.snapshots_written,
+            snapshot_bytes_written: self.snapshot_bytes_written + rhs.snapshot_bytes_written,
+            compactions: self.compactions + rhs.compactions,
+            compaction_bytes_reclaimed: self.compaction_bytes_reclaimed
+                + rhs.compaction_bytes_reclaimed,
+        }
+    }
+}
+
+impl AddAssign for DurabilityCounters {
+    fn add_assign(&mut self, rhs: DurabilityCounters) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_fieldwise() {
+        let a = DurabilityCounters {
+            wal_entries_appended: 1,
+            wal_bytes_appended: 2,
+            wal_fsyncs: 3,
+            wal_entries_replayed: 4,
+            wal_bytes_truncated: 5,
+            snapshots_written: 6,
+            snapshot_bytes_written: 7,
+            compactions: 8,
+            compaction_bytes_reclaimed: 9,
+        };
+        let mut c = a + a;
+        assert_eq!(c.wal_entries_appended, 2);
+        assert_eq!(c.compaction_bytes_reclaimed, 18);
+        c += a;
+        assert_eq!(c.wal_fsyncs, 9);
+        assert_eq!(c.snapshot_bytes_written, 21);
+        assert_eq!(DurabilityCounters::zero(), DurabilityCounters::default());
+    }
+}

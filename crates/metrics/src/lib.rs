@@ -9,6 +9,8 @@
 //!
 //! * [`counters`] — cheap computation/communication counters, with an atomic variant
 //!   for concurrent workers.
+//! * [`durability`] — WAL/snapshot/compaction counters for the serving layer's
+//!   durability subsystem.
 //! * [`stats`] — the [`ExecutionStats`] summary every engine run returns.
 //! * [`trace`] — per-iteration traces used to regenerate the figure 9 curves.
 //! * [`imbalance`] — intra-/inter-node imbalance measures (figure 10).
@@ -16,12 +18,14 @@
 //!   harness to print paper-style tables.
 
 pub mod counters;
+pub mod durability;
 pub mod imbalance;
 pub mod report;
 pub mod stats;
 pub mod trace;
 
 pub use counters::{AtomicCounters, Counters};
+pub use durability::DurabilityCounters;
 pub use imbalance::{inter_node_spread, intra_node_speedup, BusyTimes};
 pub use report::{Series, Table};
 pub use stats::{ExecutionStats, PhaseBreakdown};
