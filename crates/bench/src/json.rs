@@ -1,107 +1,21 @@
-//! Minimal JSON emission helpers shared by every `BENCH_*.json`-writing bin.
+//! JSON emission helpers shared by every `BENCH_*.json`-writing bin.
 //!
-//! The bench bins hand-assemble their JSON (no serde in the offline
-//! container). Two classes of bug crept in repeatedly: string fields
-//! (`git_commit`, labels, notes) interpolated without escaping, and simulated
-//! or derived floats (speedups, seconds) printed as bare `NaN`/`inf`, neither
-//! of which is valid JSON. Every string and float a bin emits must go through
-//! [`string`] / [`float`] (or [`float_fixed`]), which escape and guard.
+//! The implementation (emitters *and* the validating parser) lives in
+//! [`slfe_metrics::json`] so the telemetry exporters and the bench bins share
+//! one definition; this module re-exports it under the historical path.
 
-/// A JSON string literal: quoted, with `"`/`\\` and control characters
-/// escaped.
-pub fn string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// A JSON number from a float: the shortest round-trip representation for
-/// finite values, `null` for `NaN`/`±inf` (bare `NaN` is not JSON).
-pub fn float(x: f64) -> String {
-    if x.is_finite() {
-        let mut s = format!("{x}");
-        // `{}` prints integral floats without a point; keep them numbers but
-        // unambiguous floats for downstream readers.
-        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
-            s.push_str(".0");
-        }
-        s
-    } else {
-        "null".to_string()
-    }
-}
-
-/// [`float`] with fixed precision for finite values.
-pub fn float_fixed(x: f64, precision: usize) -> String {
-    if x.is_finite() {
-        format!("{x:.precision$}")
-    } else {
-        "null".to_string()
-    }
-}
+pub use slfe_metrics::json::*;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn strings_are_quoted_and_escaped() {
-        assert_eq!(string("plain"), "\"plain\"");
-        assert_eq!(string("a\"b"), "\"a\\\"b\"");
-        assert_eq!(string("back\\slash"), "\"back\\\\slash\"");
-        assert_eq!(string("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
-        assert_eq!(string("bell\u{7}"), "\"bell\\u0007\"");
-        assert_eq!(string(""), "\"\"");
-    }
-
-    #[test]
-    fn non_finite_floats_become_null() {
-        assert_eq!(float(f64::NAN), "null");
-        assert_eq!(float(f64::INFINITY), "null");
-        assert_eq!(float(f64::NEG_INFINITY), "null");
-        assert_eq!(float_fixed(f64::NAN, 6), "null");
-        assert_eq!(float_fixed(f64::NEG_INFINITY, 2), "null");
-    }
-
-    #[test]
-    fn finite_floats_stay_numbers() {
-        assert_eq!(float(1.5), "1.5");
-        assert_eq!(float(2.0), "2.0");
-        assert_eq!(float(-0.25), "-0.25");
-        assert_eq!(float_fixed(1.23456789, 4), "1.2346");
-        assert_eq!(float_fixed(3.0, 6), "3.000000");
-    }
-
-    #[test]
-    fn emitted_fields_survive_a_json_sanity_scan() {
-        // A smoke "parser": balanced quotes, no bare NaN/inf tokens.
-        let doc = format!(
-            "{{\"label\": {}, \"speedup\": {}, \"seconds\": {}}}",
-            string("odd \"label\"\n"),
-            float(f64::INFINITY),
-            float_fixed(0.125, 6)
-        );
-        assert!(!doc.contains("NaN") && !doc.contains("inf"));
-        let unescaped_quotes = doc
-            .as_bytes()
-            .iter()
-            .enumerate()
-            .filter(|&(i, &b)| b == b'"' && (i == 0 || doc.as_bytes()[i - 1] != b'\\'))
-            .count();
-        assert_eq!(unescaped_quotes % 2, 0);
+    fn reexports_cover_emitters_and_parser() {
+        let doc = format!("{{\"s\": {}, \"f\": {}}}", string("x"), float(1.5));
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("f").unwrap().as_f64(), Some(1.5));
+        assert_eq!(float_fixed(2.0, 2), "2.00");
     }
 }

@@ -38,5 +38,5 @@ pub use cluster::Cluster;
 pub use comm::{CommCostModel, CommStats, CommTracker};
 pub use config::ClusterConfig;
 pub use layout::{GlobalChunkLayout, LayoutPatchStats, WorkChunk};
-pub use pool::WorkerPool;
+pub use pool::{PoolActivity, WorkerPool};
 pub use stealing::{ChunkScheduler, ScheduleOutcome, SchedulingPolicy, DEFAULT_CHUNK_SIZE};

@@ -34,6 +34,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 /// Process-wide count of OS threads ever spawned by any [`WorkerPool`].
 static PROCESS_SPAWNS: AtomicU64 = AtomicU64::new(0);
@@ -124,6 +125,60 @@ struct PoolShared {
     job_ready: Condvar,
     /// Workers → caller: the last worker of the epoch finished.
     job_done: Condvar,
+    /// Per-worker nanoseconds spent inside task calls, indexed by worker id.
+    /// Plain monotonic accounting — two clock reads per worker per phase —
+    /// kept outside `Counters` so it never affects engine determinism.
+    busy_ns: Vec<AtomicU64>,
+}
+
+/// Measured busy/idle/barrier-wait accounting for one [`WorkerPool`], so the
+/// *measured* parallelism of a run can be compared against the cost model's
+/// `schedule_parallelism`.
+///
+/// All times are wall nanoseconds. Busy time is time spent inside task
+/// closures; barrier-wait time is the publisher's time blocked on the phase
+/// barrier; lifetime is the pool's age when the snapshot was taken. Fractions
+/// are per-worker busy time over lifetime, so `1 - busy` includes both
+/// genuine idle parking and (on an oversubscribed host) preemption.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolActivity {
+    /// Nanoseconds each worker spent executing tasks, indexed by worker id.
+    pub per_worker_busy_nanos: Vec<u64>,
+    /// Nanoseconds the publisher spent blocked waiting for phase barriers.
+    pub barrier_wait_nanos: u64,
+    /// Number of completed phases.
+    pub phases: u64,
+    /// Pool age in nanoseconds at snapshot time.
+    pub lifetime_nanos: u64,
+}
+
+impl PoolActivity {
+    /// Per-worker busy fraction of the pool's lifetime, in `[0, 1]`.
+    pub fn busy_fractions(&self) -> Vec<f64> {
+        let life = (self.lifetime_nanos.max(1)) as f64;
+        self.per_worker_busy_nanos
+            .iter()
+            .map(|&b| (b as f64 / life).min(1.0))
+            .collect()
+    }
+
+    /// Per-worker idle fraction (`1 - busy`).
+    pub fn idle_fractions(&self) -> Vec<f64> {
+        self.busy_fractions().iter().map(|b| 1.0 - b).collect()
+    }
+
+    /// Publisher barrier-wait fraction of the pool's lifetime, in `[0, 1]`.
+    pub fn barrier_wait_fraction(&self) -> f64 {
+        let life = (self.lifetime_nanos.max(1)) as f64;
+        (self.barrier_wait_nanos as f64 / life).min(1.0)
+    }
+
+    /// Average number of simultaneously busy workers over the pool's lifetime
+    /// — the measured counterpart of the cost model's `schedule_parallelism`.
+    pub fn average_concurrency(&self) -> f64 {
+        let life = (self.lifetime_nanos.max(1)) as f64;
+        self.per_worker_busy_nanos.iter().sum::<u64>() as f64 / life
+    }
 }
 
 /// A persistent pool of parked worker threads executing phase jobs.
@@ -139,6 +194,12 @@ pub struct WorkerPool {
     /// erasure it guards) assumes a single publisher at a time, so concurrent
     /// [`WorkerPool::run`] calls queue here instead of corrupting each other.
     publisher: Mutex<()>,
+    /// Publisher nanoseconds blocked on phase barriers.
+    barrier_ns: AtomicU64,
+    /// Completed phases.
+    phase_count: AtomicU64,
+    /// Pool construction time, the origin for [`PoolActivity::lifetime_nanos`].
+    created: Instant,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -166,6 +227,7 @@ impl WorkerPool {
             }),
             job_ready: Condvar::new(),
             job_done: Condvar::new(),
+            busy_ns: (0..threads).map(|_| AtomicU64::new(0)).collect(),
         });
         let handles: Vec<std::thread::JoinHandle<()>> = (1..threads)
             .map(|worker| {
@@ -182,6 +244,24 @@ impl WorkerPool {
             handles,
             threads,
             publisher: Mutex::new(()),
+            barrier_ns: AtomicU64::new(0),
+            phase_count: AtomicU64::new(0),
+            created: Instant::now(),
+        }
+    }
+
+    /// Snapshot measured busy/idle/barrier-wait accounting since construction.
+    pub fn activity(&self) -> PoolActivity {
+        PoolActivity {
+            per_worker_busy_nanos: self
+                .shared
+                .busy_ns
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            barrier_wait_nanos: self.barrier_ns.load(Ordering::Relaxed),
+            phases: self.phase_count.load(Ordering::Relaxed),
+            lifetime_nanos: self.created.elapsed().as_nanos() as u64,
         }
     }
 
@@ -217,7 +297,10 @@ impl WorkerPool {
     /// the caller's frame unwinds.
     pub fn run<'task>(&self, task: &'task (dyn Fn(usize) + Sync + 'task)) {
         if self.threads == 1 {
+            let began = Instant::now();
             task(0);
+            self.shared.busy_ns[0].fetch_add(began.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            self.phase_count.fetch_add(1, Ordering::Relaxed);
             return;
         }
         // One publisher at a time; recover from poisoning (a previous caller
@@ -246,7 +329,10 @@ impl WorkerPool {
         // The caller is worker 0 — no thread sits idle waiting for the phase.
         // Catch a local panic so the barrier below always runs before this
         // frame (which workers still borrow through `erased`) can unwind.
+        let began = Instant::now();
         let local = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(0)));
+        self.shared.busy_ns[0].fetch_add(began.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let barrier_began = Instant::now();
         let worker_panics = {
             let mut state = self.shared.state.lock().expect("pool mutex");
             while state.pending > 0 {
@@ -255,6 +341,9 @@ impl WorkerPool {
             state.task = None;
             state.panicked
         };
+        self.barrier_ns
+            .fetch_add(barrier_began.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.phase_count.fetch_add(1, Ordering::Relaxed);
         if let Err(payload) = local {
             std::panic::resume_unwind(payload);
         }
@@ -284,9 +373,11 @@ impl WorkerPool {
             // so the pointee outlives this call. A panicking task is caught so
             // the barrier always completes (and no lock is held on unwind);
             // the publisher re-raises it after the barrier.
+            let began = Instant::now();
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
                 (*task.0)(worker)
             }));
+            shared.busy_ns[worker].fetch_add(began.elapsed().as_nanos() as u64, Ordering::Relaxed);
             let mut state = shared.state.lock().expect("pool mutex");
             if outcome.is_err() {
                 state.panicked += 1;
@@ -436,5 +527,47 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_panics() {
         WorkerPool::new(0);
+    }
+
+    #[test]
+    fn activity_accounts_busy_time_per_worker_and_phases() {
+        let pool = WorkerPool::new(3);
+        for _ in 0..4 {
+            pool.run(&|_| {
+                // Do a little real work so busy time is nonzero even at
+                // coarse clock resolution.
+                let mut acc = 0u64;
+                for i in 0..50_000u64 {
+                    acc = acc.wrapping_add(i * i);
+                }
+                std::hint::black_box(acc);
+            });
+        }
+        let activity = pool.activity();
+        assert_eq!(activity.per_worker_busy_nanos.len(), 3);
+        assert_eq!(activity.phases, 4);
+        assert!(activity.per_worker_busy_nanos.iter().all(|&b| b > 0));
+        assert!(activity.lifetime_nanos > 0);
+        let busy = activity.busy_fractions();
+        let idle = activity.idle_fractions();
+        for (b, i) in busy.iter().zip(idle.iter()) {
+            assert!((0.0..=1.0).contains(b));
+            assert!((b + i - 1.0).abs() < 1e-9);
+        }
+        assert!((0.0..=1.0).contains(&activity.barrier_wait_fraction()));
+        assert!(activity.average_concurrency() >= 0.0);
+    }
+
+    #[test]
+    fn single_worker_activity_counts_inline_phases() {
+        let pool = WorkerPool::new(1);
+        pool.run(&|_| {
+            std::hint::black_box((0..10_000u64).sum::<u64>());
+        });
+        let activity = pool.activity();
+        assert_eq!(activity.phases, 1);
+        assert_eq!(activity.per_worker_busy_nanos.len(), 1);
+        assert!(activity.per_worker_busy_nanos[0] > 0);
+        assert_eq!(activity.barrier_wait_nanos, 0);
     }
 }

@@ -1,6 +1,7 @@
 //! Engine configuration: redundancy reduction, scheduling, tracing and cost model.
 
 use slfe_cluster::SchedulingPolicy;
+use slfe_metrics::TelemetryConfig;
 
 /// Whether the engine applies the paper's redundancy-reduction guidance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -98,6 +99,10 @@ pub struct EngineConfig {
     /// directory under the system temp dir when `None`. Files are removed
     /// when the last store generation drops.
     pub storage_dir: Option<std::path::PathBuf>,
+    /// Telemetry (span tracing + latency histograms). Off by default; an off
+    /// run is bit-identical in values, counters and messages to an
+    /// un-instrumented run (pinned by `tests/telemetry.rs`).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for EngineConfig {
@@ -114,6 +119,7 @@ impl Default for EngineConfig {
             storage_budget_bytes: None,
             storage_segment_bytes: 64 << 10,
             storage_dir: None,
+            telemetry: TelemetryConfig::off(),
         }
     }
 }
@@ -181,6 +187,13 @@ impl EngineConfig {
         self
     }
 
+    /// Builder-style toggle for telemetry (span tracing + latency
+    /// histograms).
+    pub fn with_telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = TelemetryConfig { enabled };
+        self
+    }
+
     /// Builder-style override of the out-of-core backing-file directory.
     pub fn with_storage_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
         self.storage_dir = Some(dir.into());
@@ -233,6 +246,9 @@ mod tests {
         assert!(!c.trace);
         let c = c.with_sparse_push_density(2.0);
         assert_eq!(c.sparse_push_density, 2.0);
+        assert!(!c.telemetry.enabled, "telemetry must default off");
+        let c = c.with_telemetry(true);
+        assert!(c.telemetry.enabled);
     }
 
     #[test]

@@ -138,9 +138,8 @@ use crate::rrg::RrGuidance;
 use slfe_cluster::{ChunkScheduler, Cluster, ClusterConfig, GlobalChunkLayout, WorkerPool};
 use slfe_graph::storage::{AdjacencyStore, StreamCursor};
 use slfe_graph::{Bitset, Graph, GraphStorage, VertexId};
-use slfe_metrics::{
-    Counters, ExecutionStats, IterationRecord, IterationTrace, Mode, PhaseBreakdown,
-};
+use slfe_metrics::telemetry::{RunRecorder, SpanWindow, Telemetry};
+use slfe_metrics::{Counters, ExecutionStats, Mode, PhaseBreakdown};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -347,6 +346,10 @@ struct WorkerScratch<V> {
     contrib_nodes: Vec<u64>,
     /// Sparse push scratch: the compact map used below the density threshold.
     sparse: SparsePushMap<V>,
+    /// Telemetry: the worker's execute window for the current phase, covered
+    /// lock-free inside the phase closure and drained by the coordinator
+    /// after the pool barrier. Never read when telemetry is off.
+    window: SpanWindow,
 }
 
 impl<V: Copy> WorkerScratch<V> {
@@ -364,6 +367,7 @@ impl<V: Copy> WorkerScratch<V> {
             touched: Bitset::new(0),
             contrib_nodes: Vec::new(),
             sparse: SparsePushMap::new(mask_words),
+            window: SpanWindow::default(),
         }
     }
 
@@ -447,6 +451,11 @@ pub struct SlfeEngine<'g> {
     /// difference is which bytes are resident (and the
     /// `segments_faulted`/`segment_bytes_read` counters).
     storage: Option<Arc<GraphStorage>>,
+    /// Telemetry hub (span tracing + latency histograms), built from
+    /// `config.telemetry` and attached to the storage buffer pool when one is
+    /// present. Disabled by default; the disabled hub's begin/end are no-ops
+    /// and the engine's hot paths read zero clocks through it.
+    telemetry: Arc<Telemetry>,
     preprocessing_seconds: f64,
     preprocessing_wall_seconds: f64,
 }
@@ -584,6 +593,10 @@ impl<'g> SlfeEngine<'g> {
         // paper's claim that the overhead is negligible and amortised (§4.4).
         let workers = cluster.config().total_workers().max(1) as f64;
         let preprocessing_seconds = config.cost.seconds(rrg.generation_work()) / workers;
+        let telemetry = Arc::new(Telemetry::new(config.telemetry));
+        if let Some(storage) = &storage {
+            storage.pool().set_telemetry(&telemetry);
+        }
         Self {
             graph,
             cluster,
@@ -593,10 +606,27 @@ impl<'g> SlfeEngine<'g> {
             layout,
             chunk_rr: std::sync::OnceLock::new(),
             storage,
+            telemetry,
             preprocessing_seconds,
             // No guidance BFS ran inside this constructor.
             preprocessing_wall_seconds: 0.0,
         }
+    }
+
+    /// Replace the telemetry hub — the serving path: `DeltaServer` keeps one
+    /// hub across the fresh engine it builds per batch, so spans and
+    /// histograms accumulate over the server's lifetime instead of resetting
+    /// every batch. Re-attaches the hub to the storage buffer pool.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        if let Some(storage) = &self.storage {
+            storage.pool().set_telemetry(&telemetry);
+        }
+        self.telemetry = telemetry;
+    }
+
+    /// The engine's telemetry hub.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Per-chunk `(min, max)` ruler bounds, computed on first ruler-gated use.
@@ -1010,7 +1040,11 @@ impl<'g> SlfeEngine<'g> {
         let mut chunk_converged: Vec<u32> = vec![0; num_chunks];
         let mut newly_converged: Vec<u32> = vec![0; num_chunks];
 
-        let mut trace = IterationTrace::new();
+        // The run recorder is the single write point for per-iteration data:
+        // it feeds both the iteration trace (config.trace) and the span layer
+        // plus iteration-wall histogram (config.telemetry). Spans buffer
+        // locally and flush to the hub once at `finish`.
+        let mut rec = RunRecorder::new(&self.telemetry, self.config.trace);
         let mut totals = seed.preset;
         let mut simulated_exec_seconds = 0.0f64;
 
@@ -1033,10 +1067,15 @@ impl<'g> SlfeEngine<'g> {
                 force_flush = true;
             }
             iterations_run = iter;
+            let iter_span = rec.begin();
             let mode = if force_flush || (seed.push_only && !arithmetic) {
                 Mode::Push
             } else {
                 self.select_mode(program, &active, active_count)
+            };
+            let mode_name = match mode {
+                Mode::Pull => "pull",
+                Mode::Push => "push",
             };
             let full_push = mode == Mode::Push && (last_mode_was_pull || force_flush);
             let comm_before = self.cluster.comm_stats();
@@ -1154,6 +1193,7 @@ impl<'g> SlfeEngine<'g> {
                 // Historical sequential push: nodes in ascending order with
                 // per-edge counting — the `workers_per_node: 1` oracle path the
                 // determinism guarantees are anchored to.
+                let phase_span = rec.begin();
                 for node in self.cluster.nodes() {
                     let outcome = self.push_phase_sequential(
                         program,
@@ -1173,8 +1213,13 @@ impl<'g> SlfeEngine<'g> {
                     self.cluster.record_node_work(node, outcome.total_work);
                     iteration_node_makespan = iteration_node_makespan.max(outcome.makespan());
                 }
+                // Sequential push executes on the calling thread (worker 0);
+                // the execute window coincides with the phase.
+                rec.end_on(phase_span, "execute", mode_name, 0);
+                rec.end(phase_span, "phase", mode_name);
             } else {
                 // One global phase: every node's chunks on the machine-wide pool.
+                let phase_span = rec.begin();
                 match mode {
                     Mode::Pull => {
                         newly_converged.fill(0);
@@ -1228,6 +1273,13 @@ impl<'g> SlfeEngine<'g> {
                         &mut merge_work_by_node,
                     ),
                 }
+                rec.end(phase_span, "phase", mode_name);
+                // The phase's pool barrier has passed: every worker's execute
+                // window is quiescent, so draining them here is race-free (the
+                // "per-worker lock-free buffers drained at barriers" rule).
+                for (w, ws) in worker_states.iter_mut().enumerate() {
+                    rec.worker_window(&mut ws.window, "execute", mode_name, w as u32);
+                }
                 if mode == Mode::Push {
                     // High-water mark of the push gather scratch actually
                     // allocated (capacities persist across `clear`, so this is
@@ -1252,6 +1304,8 @@ impl<'g> SlfeEngine<'g> {
                 // change tallies, activated frontier bits and the message
                 // matrix. Concurrent-window semantics: flow counters sum, and
                 // so do the simultaneously-live scratch footprints.
+                let barrier_span = rec.begin();
+                let merge_span = rec.begin();
                 for ws in worker_states.iter_mut() {
                     iter_counters = iter_counters.merge_concurrent(ws.counters);
                     ws.counters = Counters::zero();
@@ -1277,6 +1331,7 @@ impl<'g> SlfeEngine<'g> {
                         }
                     }
                 }
+                rec.end(merge_span, "merge", "engine");
 
                 // Simulated-cluster accounting: in the *model* each node still
                 // only has `workers_per_node` workers, however many pool threads
@@ -1312,6 +1367,7 @@ impl<'g> SlfeEngine<'g> {
                     self.cluster.record_node_work(node, sim.total_work);
                     iteration_node_makespan = iteration_node_makespan.max(sim.makespan());
                 }
+                rec.end(barrier_span, "barrier", "engine");
             }
 
             // Graduate min/max chunks to frontier-based pull skipping: a chunk
@@ -1369,15 +1425,14 @@ impl<'g> SlfeEngine<'g> {
             simulated_exec_seconds += compute_seconds + comm_seconds;
 
             totals += iter_counters;
-            if self.config.trace {
-                trace.push(IterationRecord {
-                    iteration: iter,
-                    mode,
-                    active_vertices: active_count,
-                    counters: iter_counters,
-                    seconds: compute_seconds + comm_seconds,
-                });
-            }
+            rec.end_iteration(
+                iter_span,
+                iter,
+                mode,
+                active_count,
+                iter_counters,
+                compute_seconds + comm_seconds,
+            );
 
             std::mem::swap(&mut active, &mut next_active);
             active_count = active.count_ones();
@@ -1419,7 +1474,7 @@ impl<'g> SlfeEngine<'g> {
             preprocessing_seconds: if rr { self.preprocessing_seconds } else { 0.0 },
             execution_seconds: simulated_exec_seconds,
         };
-        stats.trace = trace;
+        stats.trace = rec.finish();
         stats.per_node_work = self.cluster.per_node_work();
 
         ProgramResult {
@@ -1496,6 +1551,9 @@ impl<'g> SlfeEngine<'g> {
         let last_changed_shared = SharedSlice::new(last_changed_iter);
         let costs_shared = SharedSlice::new(chunk_costs);
         let converged_shared = SharedSlice::new(newly_converged);
+        // `None` when telemetry is off: the hot closure then reads no clocks
+        // at all — the off path stays bit-and-instruction-identical.
+        let clock = self.telemetry.clock_if_enabled();
 
         scheduler.run_workers(
             &self.pool,
@@ -1506,6 +1564,7 @@ impl<'g> SlfeEngine<'g> {
                 if skip[ci] {
                     return 0;
                 }
+                let began = clock.map(|c| c.now_ns());
                 let chunk = &chunks[ci];
                 let owned = self.cluster.vertices_of(chunk.node);
                 let mut chunk_work = 0u64;
@@ -1541,6 +1600,9 @@ impl<'g> SlfeEngine<'g> {
                 // single processor.
                 unsafe { costs_shared.set(ci, chunk_work) };
                 unsafe { converged_shared.set(ci, converged_now) };
+                if let Some(c) = clock {
+                    ws.window.cover(began.unwrap_or(0), c.now_ns());
+                }
                 chunk_work
             },
         );
@@ -1855,6 +1917,8 @@ impl<'g> SlfeEngine<'g> {
         let chunks = self.layout.chunks();
         let costs_shared = SharedSlice::new(chunk_costs);
         let identity = program.identity();
+        // `None` when telemetry is off: the hot closure then reads no clocks.
+        let clock = self.telemetry.clock_if_enabled();
 
         scheduler.run_workers(
             &self.pool,
@@ -1865,6 +1929,7 @@ impl<'g> SlfeEngine<'g> {
                 if skip[ci] {
                     return 0;
                 }
+                let began = clock.map(|c| c.now_ns());
                 let chunk = &chunks[ci];
                 let owned = self.cluster.vertices_of(chunk.node);
                 // Every source in this chunk is owned by `chunk.node` — the
@@ -1937,6 +2002,9 @@ impl<'g> SlfeEngine<'g> {
                 }
                 // Safety: each cost slot belongs to this chunk's single processor.
                 unsafe { costs_shared.set(ci, chunk_work) };
+                if let Some(c) = clock {
+                    ws.window.cover(began.unwrap_or(0), c.now_ns());
+                }
                 chunk_work
             },
         );

@@ -36,3 +36,4 @@ pub use engine::SlfeEngine;
 pub use program::{AggregationKind, GraphProgram};
 pub use result::ProgramResult;
 pub use rrg::{RepairReport, RrGuidance};
+pub use slfe_metrics::TelemetryConfig;

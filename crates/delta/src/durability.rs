@@ -150,6 +150,16 @@ pub struct WalReplay {
     pub bytes_truncated: u64,
 }
 
+/// Result of one [`Wal::append`]: the frame's on-disk size and the measured
+/// latency of the fsync that made it durable.
+#[derive(Debug, Clone, Copy)]
+pub struct WalAppend {
+    /// Bytes written for the frame (header + payload).
+    pub frame_bytes: u64,
+    /// Wall-clock nanoseconds spent in `sync_data` for this frame.
+    pub fsync_nanos: u64,
+}
+
 /// Append handle over the write-ahead log. Opening scans the existing file,
 /// truncates any invalid tail to the last valid frame, and returns what must
 /// be replayed.
@@ -204,10 +214,11 @@ impl Wal {
         })
     }
 
-    /// Append one batch under sequence number `seq` and fsync. Returns the
-    /// frame's byte length. This is *the* durability point: it must complete
-    /// before the batch touches the graph or the segment files.
-    pub fn append(&mut self, seq: u64, batch: &UpdateBatch) -> io::Result<u64> {
+    /// Append one batch under sequence number `seq` and fsync. This is *the*
+    /// durability point: it must complete before the batch touches the graph
+    /// or the segment files. The returned record carries the frame's byte
+    /// length and the measured fsync latency for the telemetry layer.
+    pub fn append(&mut self, seq: u64, batch: &UpdateBatch) -> io::Result<WalAppend> {
         let payload = batch.to_bytes();
         let mut frame = Vec::with_capacity(WAL_HEADER_BYTES + payload.len());
         binary::put_u32(&mut frame, WAL_MAGIC);
@@ -216,9 +227,14 @@ impl Wal {
         binary::put_u32(&mut frame, frame_crc(seq, &payload));
         frame.extend_from_slice(&payload);
         self.file.write_all(&frame)?;
+        let fsync_began = std::time::Instant::now();
         self.file.sync_data()?;
+        let fsync_nanos = fsync_began.elapsed().as_nanos() as u64;
         self.bytes += frame.len() as u64;
-        Ok(frame.len() as u64)
+        Ok(WalAppend {
+            frame_bytes: frame.len() as u64,
+            fsync_nanos,
+        })
     }
 
     /// Current log length in bytes.

@@ -7,7 +7,10 @@ use crate::durability::{
 use slfe_cluster::{Cluster, ClusterConfig, GlobalChunkLayout, LayoutPatchStats, WorkerPool};
 use slfe_core::{EngineConfig, GraphProgram, ProgramResult, RepairReport, RrGuidance, SlfeEngine};
 use slfe_graph::{BatchEffect, Graph, GraphStorage, UpdateBatch, VertexId};
-use slfe_metrics::{DurabilityCounters, ExecutionStats};
+use slfe_metrics::{
+    DurabilityCounters, ExecutionStats, MetricsRegistry, Telemetry, TelemetrySnapshot,
+    HIST_BATCH_APPLY, HIST_WAL_FSYNC,
+};
 use slfe_partition::{ChunkingPartitioner, Partitioner, Partitioning};
 use std::io;
 use std::sync::Arc;
@@ -84,6 +87,9 @@ pub struct BatchOutcome {
     pub storage_dead_bytes: u64,
     /// Wall-clock seconds for the whole apply (graph patch + guidance + rerun).
     pub wall_seconds: f64,
+    /// Wall-clock seconds the WAL fsync for this batch took (0.0 on a
+    /// non-durable server).
+    pub wal_fsync_seconds: f64,
 }
 
 /// Cumulative serving statistics.
@@ -182,6 +188,10 @@ where
     /// WAL + snapshot state when this server was built through
     /// [`DeltaServer::create_durable`] / [`DeltaServer::open`].
     durability: Option<DurabilityState>,
+    /// The server's telemetry hub ([`EngineConfig::telemetry`]-gated), shared
+    /// with every engine this server builds so spans and latency histograms
+    /// accumulate over the serving lifetime instead of resetting per batch.
+    telemetry: Arc<Telemetry>,
 }
 
 impl<P, F> DeltaServer<P, F>
@@ -208,7 +218,8 @@ where
                     .expect("failed to write out-of-core graph segments"),
             )
         });
-        let engine = SlfeEngine::with_prebuilt_layout_and_storage(
+        let telemetry = Arc::new(Telemetry::new(config.engine.telemetry));
+        let mut engine = SlfeEngine::with_prebuilt_layout_and_storage(
             &graph,
             cluster,
             config.engine.clone(),
@@ -217,7 +228,10 @@ where
             layout.clone(),
             storage.clone(),
         );
+        engine.set_telemetry(Arc::clone(&telemetry));
+        let cold_span = telemetry.begin();
         let result = engine.run(&program);
+        telemetry.end(cold_span, "cold_run", "server", 0);
         drop(engine);
         Self {
             make_program,
@@ -233,6 +247,7 @@ where
             stats: ServerStats::default(),
             pending_guidance_dirty: Vec::new(),
             durability: None,
+            telemetry,
         }
     }
 
@@ -282,12 +297,17 @@ where
     /// actually needs them.
     pub fn apply_committed(&mut self, batch: &UpdateBatch) -> BatchOutcome {
         let start = Instant::now();
+        let batch_span = self.telemetry.begin();
         let (graph, effect) = self.graph.apply_batch(batch);
         if effect.is_noop() {
             // Nothing changed: keep every artifact (graph version, cluster,
             // guidance, fixpoint) instead of rebuilding them all for nothing.
             self.stats.batches_applied += 1;
             let (storage_live_bytes, storage_dead_bytes) = Self::storage_byte_health(&self.storage);
+            let wall = start.elapsed();
+            self.telemetry.end(batch_span, "batch", "server", 0);
+            self.telemetry
+                .record_ns(HIST_BATCH_APPLY, wall.as_nanos() as u64);
             return BatchOutcome {
                 effect,
                 guidance: RepairReport {
@@ -304,7 +324,8 @@ where
                 segments_rewritten: 0,
                 storage_live_bytes,
                 storage_dead_bytes,
-                wall_seconds: start.elapsed().as_secs_f64(),
+                wall_seconds: wall.as_secs_f64(),
+                wal_fsync_seconds: 0.0,
             };
         }
         let old_n = self.graph.num_vertices();
@@ -320,12 +341,16 @@ where
         let full_recompute = dirty_fraction > self.config.full_recompute_dirty_fraction;
         let (rrg, guidance) = if full_recompute {
             // The cold run reads the rulers: sync now.
-            Self::sync_guidance_parts(
+            let repair_span = self.telemetry.begin();
+            let parts = Self::sync_guidance_parts(
                 &self.rrg,
                 &mut self.pending_guidance_dirty,
                 &graph,
                 &self.pool,
-            )
+            );
+            self.telemetry
+                .end(repair_span, "guidance_repair", "server", 0);
+            parts
         } else {
             // Warm restart: rulers are never read, only the engine's size
             // invariant must hold. Stale levels are fine; appended vertices
@@ -381,7 +406,7 @@ where
             Arc::clone(&self.partitioning),
             self.config.cluster.clone(),
         );
-        let engine = SlfeEngine::with_prebuilt_layout_and_storage(
+        let mut engine = SlfeEngine::with_prebuilt_layout_and_storage(
             &graph,
             cluster,
             self.config.engine.clone(),
@@ -390,11 +415,19 @@ where
             layout.clone(),
             storage.clone(),
         );
+        engine.set_telemetry(Arc::clone(&self.telemetry));
+        let run_span = self.telemetry.begin();
         let result = if full_recompute {
             engine.run(&program)
         } else {
             engine.run_from_effect(&program, &self.result, &effect)
         };
+        let run_name = if full_recompute {
+            "cold_run"
+        } else {
+            "warm_restart"
+        };
+        self.telemetry.end(run_span, run_name, "server", 0);
         let distribution_messages = engine.cluster().record_batch_distribution(
             self.config.ingest_node,
             effect.dirty.iter().copied(),
@@ -403,6 +436,10 @@ where
         drop(engine);
 
         let (storage_live_bytes, storage_dead_bytes) = Self::storage_byte_health(&storage);
+        let wall = start.elapsed();
+        self.telemetry.end(batch_span, "batch", "server", 0);
+        self.telemetry
+            .record_ns(HIST_BATCH_APPLY, wall.as_nanos() as u64);
         let outcome = BatchOutcome {
             effect,
             guidance,
@@ -415,7 +452,8 @@ where
             segments_rewritten,
             storage_live_bytes,
             storage_dead_bytes,
-            wall_seconds: start.elapsed().as_secs_f64(),
+            wall_seconds: wall.as_secs_f64(),
+            wal_fsync_seconds: 0.0,
         };
         self.stats.batches_applied += 1;
         self.stats.total_work += outcome.work;
@@ -492,12 +530,15 @@ where
         {
             return;
         }
+        let repair_span = self.telemetry.begin();
         let (rrg, report) = Self::sync_guidance_parts(
             &self.rrg,
             &mut self.pending_guidance_dirty,
             &self.graph,
             &self.pool,
         );
+        self.telemetry
+            .end(repair_span, "guidance_repair", "server", 0);
         self.stats.guidance_regenerations += report.regenerated as u64;
         self.rrg = rrg;
     }
@@ -544,6 +585,188 @@ where
         &self.pool
     }
 
+    /// Everything the telemetry hub has collected over the serving lifetime:
+    /// spans (batch, WAL append, guidance repair, warm restarts, engine
+    /// iterations, segment faults) and latency histograms. Empty when
+    /// [`EngineConfig::telemetry`] is off.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.telemetry.snapshot()
+    }
+
+    /// A point-in-time metrics registry over every layer the server drives:
+    /// pool worker busy/idle/barrier-wait fractions, buffer-pool hit/miss/
+    /// eviction rates, WAL and snapshot counters, storage byte health, and
+    /// cumulative serving statistics. Always populated — the registry reads
+    /// counters that are maintained regardless of the telemetry switch.
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+
+        let activity = self.pool.activity();
+        let busy = activity.busy_fractions();
+        let idle = activity.idle_fractions();
+        for (worker, (b, i)) in busy.iter().zip(idle.iter()).enumerate() {
+            let label = worker.to_string();
+            reg.gauge_with(
+                "slfe_pool_worker_busy_fraction",
+                &[("worker", &label)],
+                "Fraction of the pool's lifetime this worker spent executing tasks",
+                *b,
+            );
+            reg.gauge_with(
+                "slfe_pool_worker_idle_fraction",
+                &[("worker", &label)],
+                "Fraction of the pool's lifetime this worker spent idle",
+                *i,
+            );
+        }
+        reg.gauge(
+            "slfe_pool_barrier_wait_fraction",
+            "Fraction of the pool's lifetime the coordinator spent waiting at phase barriers",
+            activity.barrier_wait_fraction(),
+        );
+        reg.gauge(
+            "slfe_pool_average_concurrency",
+            "Mean number of simultaneously busy workers over the pool's lifetime",
+            activity.average_concurrency(),
+        );
+        reg.counter(
+            "slfe_pool_phases_total",
+            "Parallel phases the pool has executed",
+            activity.phases as f64,
+        );
+
+        if let Some(storage) = &self.storage {
+            let pool = storage.pool();
+            let c = pool.counters();
+            reg.counter(
+                "slfe_storage_segment_hits_total",
+                "Buffer-pool gets served from a resident frame",
+                c.segment_hits as f64,
+            );
+            reg.counter(
+                "slfe_storage_segments_faulted_total",
+                "Buffer-pool gets that read a segment from disk",
+                c.segments_faulted as f64,
+            );
+            reg.counter(
+                "slfe_storage_segments_evicted_total",
+                "Frames evicted by the clock sweep to stay inside the budget",
+                c.segments_evicted as f64,
+            );
+            reg.counter(
+                "slfe_storage_segment_bytes_read_total",
+                "Bytes read from the segment files",
+                c.segment_bytes_read as f64,
+            );
+            reg.gauge(
+                "slfe_storage_pool_hit_rate",
+                "Buffer-pool hit rate (hits / gets); NaN before the first get",
+                c.hit_rate().unwrap_or(f64::NAN),
+            );
+            reg.gauge(
+                "slfe_storage_pool_resident_bytes",
+                "Bytes currently resident in the buffer pool",
+                pool.resident_bytes() as f64,
+            );
+            reg.gauge(
+                "slfe_storage_pool_peak_resident_bytes",
+                "High-water mark of resident buffer-pool bytes",
+                pool.peak_resident_bytes() as f64,
+            );
+            reg.gauge(
+                "slfe_storage_pool_budget_bytes",
+                "Configured buffer-pool byte budget",
+                pool.budget_bytes() as f64,
+            );
+            reg.gauge(
+                "slfe_storage_live_bytes",
+                "Backing-file bytes the current graph version references",
+                storage.footprint_bytes() as f64,
+            );
+            reg.gauge(
+                "slfe_storage_dead_bytes",
+                "Backing-file bytes of superseded segment versions awaiting compaction",
+                storage.dead_bytes() as f64,
+            );
+        }
+
+        if let Some(d) = &self.durability {
+            let c = &d.counters;
+            reg.counter(
+                "slfe_wal_entries_appended_total",
+                "Update batches appended to the write-ahead log",
+                c.wal_entries_appended as f64,
+            );
+            reg.counter(
+                "slfe_wal_bytes_appended_total",
+                "Bytes those WAL appends wrote, frame headers included",
+                c.wal_bytes_appended as f64,
+            );
+            reg.counter(
+                "slfe_wal_fsyncs_total",
+                "fsync calls issued by WAL appends",
+                c.wal_fsyncs as f64,
+            );
+            reg.counter(
+                "slfe_wal_entries_replayed_total",
+                "Batches re-applied from the WAL during recovery",
+                c.wal_entries_replayed as f64,
+            );
+            reg.counter(
+                "slfe_wal_bytes_truncated_total",
+                "Torn or corrupt WAL tail bytes discarded on open",
+                c.wal_bytes_truncated as f64,
+            );
+            reg.counter(
+                "slfe_snapshots_written_total",
+                "Fixpoint snapshots written",
+                c.snapshots_written as f64,
+            );
+            reg.counter(
+                "slfe_snapshot_bytes_written_total",
+                "Bytes of snapshot files written",
+                c.snapshot_bytes_written as f64,
+            );
+            reg.counter(
+                "slfe_storage_compactions_total",
+                "Segment-file compactions performed on the snapshot path",
+                c.compactions as f64,
+            );
+            reg.counter(
+                "slfe_storage_compaction_bytes_reclaimed_total",
+                "Dead backing-file bytes compactions reclaimed",
+                c.compaction_bytes_reclaimed as f64,
+            );
+        }
+
+        reg.counter(
+            "slfe_server_batches_applied_total",
+            "Update batches the server has applied",
+            self.stats.batches_applied as f64,
+        );
+        reg.counter(
+            "slfe_server_work_total",
+            "Counted re-convergence work across all batches",
+            self.stats.total_work as f64,
+        );
+        reg.counter(
+            "slfe_server_distribution_messages_total",
+            "Simulated batch-distribution messages",
+            self.stats.total_distribution_messages as f64,
+        );
+        reg.counter(
+            "slfe_server_full_recomputes_total",
+            "Batches that fell back to a from-scratch run",
+            self.stats.full_recomputes as f64,
+        );
+        reg.counter(
+            "slfe_server_guidance_regenerations_total",
+            "Guidance updates that fell back to full regeneration",
+            self.stats.guidance_regenerations as f64,
+        );
+        reg
+    }
+
     /// The serving configuration.
     pub fn config(&self) -> &ServerConfig {
         &self.config
@@ -564,18 +787,25 @@ where
     /// Write-side I/O failure panics — a server that cannot log can no longer
     /// honor its durability contract, and silently continuing would.
     pub fn apply(&mut self, batch: &UpdateBatch) -> BatchOutcome {
+        let telemetry = Arc::clone(&self.telemetry);
+        let mut wal_fsync_seconds = 0.0;
         if let Some(d) = self.durability.as_mut() {
             let seq = d.seq + 1;
-            let frame_bytes = d
+            let append_span = telemetry.begin();
+            let append = d
                 .wal
                 .append(seq, batch)
                 .expect("failed to append the batch to the write-ahead log");
+            telemetry.end(append_span, "wal_append", "server", 0);
+            telemetry.record_ns(HIST_WAL_FSYNC, append.fsync_nanos);
+            wal_fsync_seconds = append.fsync_nanos as f64 * 1e-9;
             d.seq = seq;
             d.counters.wal_entries_appended += 1;
-            d.counters.wal_bytes_appended += frame_bytes;
+            d.counters.wal_bytes_appended += append.frame_bytes;
             d.counters.wal_fsyncs += 1;
         }
-        let outcome = self.apply_committed(batch);
+        let mut outcome = self.apply_committed(batch);
+        outcome.wal_fsync_seconds = wal_fsync_seconds;
         self.maybe_snapshot()
             .expect("failed to write a fixpoint snapshot");
         outcome
@@ -606,6 +836,7 @@ where
             self.durability.is_some(),
             "snapshot() requires a durable server (create_durable/open)"
         );
+        let snapshot_span = self.telemetry.begin();
         // The snapshot stores the guidance, so bring it up to date: recovery
         // then restores rulers identical to what a cold run would need.
         self.sync_guidance();
@@ -644,7 +875,9 @@ where
         d.snapshot_seq = d.seq;
         // Safe even if we die before this lands: replay skips entries at or
         // below the snapshot's sequence number.
-        d.wal.truncate_all()
+        let trimmed = d.wal.truncate_all();
+        self.telemetry.end(snapshot_span, "snapshot", "server", 0);
+        trimmed
     }
 
     /// Build a fresh durable server: run [`DeltaServer::new`], then write the
@@ -721,6 +954,7 @@ where
         let (wal, replay) = Wal::open(&durability.wal_path())?;
         let mut counters = DurabilityCounters::zero();
         counters.wal_bytes_truncated += replay.bytes_truncated;
+        let config_telemetry = config.engine.telemetry;
         let mut server = Self {
             make_program,
             program,
@@ -735,6 +969,7 @@ where
             stats: snap.stats,
             pending_guidance_dirty: Vec::new(),
             durability: None,
+            telemetry: Arc::new(Telemetry::new(config_telemetry)),
         };
         // Re-drive the unacknowledged suffix through the exact same path the
         // live server used. Entries at or below the snapshot's sequence are
@@ -1430,6 +1665,120 @@ mod tests {
             ),
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A durable, out-of-core, telemetry-on server surfaces fsync / batch /
+    /// segment-fault latency histograms, server spans, and a fully populated
+    /// metrics registry.
+    #[test]
+    fn durable_server_telemetry_collects_spans_histograms_and_metrics() {
+        let dir = durable_dir("telemetry");
+        let graph = generators::rmat(400, 2800, 0.57, 0.19, 0.19, 13);
+        let root = stats::highest_out_degree_vertex(&graph).unwrap();
+        let make = move |_: &Graph| SsspProgram { root };
+        let config = ServerConfig {
+            engine: EngineConfig::default()
+                .with_telemetry(true)
+                .with_storage_budget(24 << 10)
+                .with_storage_segment_bytes(2 << 10),
+            ..ServerConfig::default()
+        };
+        let durability = DurabilityConfig::new(&dir).with_snapshot_every(2);
+        let mut server =
+            DeltaServer::create_durable(graph.clone(), make, config, durability).unwrap();
+        let mut current = graph;
+        for round in 0..3u64 {
+            let batch = mixed_batch(&current, round + 150, 15);
+            let outcome = server.apply(&batch);
+            assert!(outcome.converged);
+            assert!(
+                outcome.wal_fsync_seconds > 0.0,
+                "round {round}: durable apply must report its fsync latency"
+            );
+            current = current.apply_batch(&batch).0;
+        }
+        let snap = server.telemetry();
+        for hist in [
+            slfe_metrics::HIST_WAL_FSYNC,
+            slfe_metrics::HIST_BATCH_APPLY,
+            slfe_metrics::HIST_ITERATION_WALL,
+            slfe_metrics::HIST_SEGMENT_FAULT,
+        ] {
+            let h = snap
+                .histogram(hist)
+                .unwrap_or_else(|| panic!("histogram {hist} missing"));
+            assert!(!h.is_empty(), "histogram {hist} recorded nothing");
+            assert!(h.percentile(0.99).unwrap() >= h.percentile(0.5).unwrap());
+        }
+        assert_eq!(
+            snap.histogram(slfe_metrics::HIST_WAL_FSYNC)
+                .unwrap()
+                .count(),
+            3
+        );
+        for span in ["batch", "wal_append", "snapshot", "iteration", "execute"] {
+            assert!(
+                snap.spans.iter().any(|s| s.name == span),
+                "span {span} never recorded"
+            );
+        }
+        // The trace document round-trips through the real JSON parser.
+        let doc = snap.chrome_trace();
+        let parsed = slfe_metrics::json::parse(&doc).unwrap();
+        assert!(!parsed
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+
+        let reg = server.metrics_registry();
+        assert_eq!(reg.get("slfe_wal_fsyncs_total").unwrap().value, 3.0);
+        assert_eq!(
+            reg.get("slfe_server_batches_applied_total").unwrap().value,
+            3.0
+        );
+        assert!(
+            reg.get("slfe_storage_segments_faulted_total")
+                .unwrap()
+                .value
+                > 0.0
+        );
+        assert!(reg.get("slfe_storage_live_bytes").unwrap().value > 0.0);
+        let workers = server.config().cluster.total_workers();
+        for w in 0..workers {
+            let label = w.to_string();
+            let busy = reg
+                .get_with("slfe_pool_worker_busy_fraction", &[("worker", &label)])
+                .unwrap()
+                .value;
+            assert!((0.0..=1.0).contains(&busy));
+        }
+        let text = reg.prometheus_text();
+        assert!(text.contains("# TYPE slfe_wal_fsyncs_total counter"));
+        assert!(text.contains("slfe_pool_worker_busy_fraction{worker=\"0\"}"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// With telemetry off (the default) the hub stays empty while the metrics
+    /// registry — which reads always-on counters — remains fully usable.
+    #[test]
+    fn telemetry_off_server_collects_nothing_but_still_reports_metrics() {
+        let graph = generators::rmat(200, 1200, 0.57, 0.19, 0.19, 29);
+        let mut server = sssp_server(graph.clone(), 0, ServerConfig::default());
+        let outcome = server.apply(&mixed_batch(&graph, 9, 10));
+        assert_eq!(outcome.wal_fsync_seconds, 0.0);
+        let snap = server.telemetry();
+        assert!(snap.spans.is_empty());
+        assert!(snap.histograms.is_empty());
+        let reg = server.metrics_registry();
+        assert_eq!(
+            reg.get("slfe_server_batches_applied_total").unwrap().value,
+            1.0
+        );
+        assert!(reg.get("slfe_pool_phases_total").unwrap().value > 0.0);
+        assert!(reg.get("slfe_wal_fsyncs_total").is_none(), "not durable");
+        assert!(reg.get("slfe_storage_live_bytes").is_none(), "in-memory");
     }
 
     #[test]

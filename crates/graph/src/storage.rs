@@ -41,8 +41,10 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+use slfe_metrics::telemetry::{SpanEvent, Telemetry, HIST_SEGMENT_FAULT};
 
 /// Abstract adjacency access for the engine's traversal phases.
 ///
@@ -235,6 +237,24 @@ pub struct PoolCounters {
     pub segments_faulted: u64,
     /// Bytes read from disk by those faults.
     pub segment_bytes_read: u64,
+    /// Cache hits — `get` calls satisfied without touching disk, so
+    /// `segment_hits + segments_faulted` equals total `get` calls.
+    pub segment_hits: u64,
+    /// Frames the clock hand reclaimed (budget-pressure evictions; explicit
+    /// invalidations after patches/compaction are not counted here).
+    pub segments_evicted: u64,
+}
+
+impl PoolCounters {
+    /// Hit rate over all `get` calls, in `[0, 1]`; `None` before any access.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.segment_hits + self.segments_faulted;
+        if total == 0 {
+            None
+        } else {
+            Some(self.segment_hits as f64 / total as f64)
+        }
+    }
 }
 
 /// One resident cache frame.
@@ -270,6 +290,12 @@ pub struct BufferPool {
     faults: AtomicU64,
     bytes_read: AtomicU64,
     peak_resident: AtomicU64,
+    hits: AtomicU64,
+    evictions: AtomicU64,
+    /// Optional telemetry hub for fault spans/latency histograms. Guarded by
+    /// `has_telemetry` so the common un-instrumented path never locks.
+    telemetry: Mutex<Option<Arc<Telemetry>>>,
+    has_telemetry: AtomicBool,
 }
 
 impl BufferPool {
@@ -281,7 +307,29 @@ impl BufferPool {
             faults: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
             peak_resident: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            telemetry: Mutex::new(None),
+            has_telemetry: AtomicBool::new(false),
         }
+    }
+
+    /// Attach a telemetry hub; fault latencies will be recorded as spans and
+    /// into the segment-fault histogram. Disabled hubs are ignored, keeping
+    /// the un-instrumented fast path free of clock reads.
+    pub fn set_telemetry(&self, telemetry: &Arc<Telemetry>) {
+        if telemetry.enabled() {
+            *self.telemetry.lock().unwrap() = Some(Arc::clone(telemetry));
+            self.has_telemetry.store(true, Ordering::Release);
+        }
+    }
+
+    /// The attached (enabled) telemetry hub, if any.
+    pub fn telemetry_handle(&self) -> Option<Arc<Telemetry>> {
+        if !self.has_telemetry.load(Ordering::Acquire) {
+            return None;
+        }
+        self.telemetry.lock().unwrap().clone()
     }
 
     /// The configured byte budget.
@@ -294,6 +342,8 @@ impl BufferPool {
         PoolCounters {
             segments_faulted: self.faults.load(Ordering::Relaxed),
             segment_bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            segment_hits: self.hits.load(Ordering::Relaxed),
+            segments_evicted: self.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -319,6 +369,7 @@ impl BufferPool {
             if let Some(&slot) = inner.map.get(&key) {
                 let frame = inner.frames[slot].as_mut().expect("mapped frame");
                 frame.referenced = true;
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(Arc::clone(&frame.data));
             }
         }
@@ -329,7 +380,20 @@ impl BufferPool {
         // to one thread's I/O throughput. Two workers racing on the same
         // segment may both read it; the re-check below keeps one copy and the
         // fault counters stay honest (both reads really happened).
+        let telemetry = self.telemetry_handle();
+        let fault_start = telemetry.as_ref().map(|t| t.clock().now_ns());
         let (data, disk_bytes) = load()?;
+        if let (Some(t), Some(start_ns)) = (&telemetry, fault_start) {
+            let dur_ns = t.clock().now_ns().saturating_sub(start_ns);
+            t.push_span(SpanEvent {
+                name: "segment_fault",
+                cat: "storage",
+                track: Telemetry::lane(),
+                start_ns,
+                dur_ns,
+            });
+            t.record_ns(HIST_SEGMENT_FAULT, dur_ns);
+        }
         self.faults.fetch_add(1, Ordering::Relaxed);
         self.bytes_read.fetch_add(disk_bytes, Ordering::Relaxed);
         let mut inner = self.inner.lock().unwrap();
@@ -340,7 +404,11 @@ impl BufferPool {
         }
         let data = Arc::new(data);
         let bytes = data.resident_bytes();
-        Self::evict_until(&mut inner, self.budget_bytes.saturating_sub(bytes));
+        Self::evict_until(
+            &mut inner,
+            self.budget_bytes.saturating_sub(bytes),
+            &self.evictions,
+        );
         let slot = inner.free.pop().unwrap_or_else(|| {
             inner.frames.push(None);
             inner.frames.len() - 1
@@ -360,7 +428,7 @@ impl BufferPool {
 
     /// Clock-evict unpinned frames until resident bytes fit `target`, or every
     /// remaining frame is pinned/just-referenced twice around.
-    fn evict_until(inner: &mut PoolInner, target: u64) {
+    fn evict_until(inner: &mut PoolInner, target: u64, evicted: &AtomicU64) {
         if inner.frames.is_empty() {
             return;
         }
@@ -387,6 +455,7 @@ impl BufferPool {
                 inner.map.remove(&frame.key);
                 inner.resident_bytes -= frame.bytes;
                 inner.free.push(slot);
+                evicted.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -592,11 +661,23 @@ impl SegmentedStore {
     /// Fault (or hit) segment `idx` through the pool.
     fn fetch(&self, idx: usize) -> Arc<SegmentData> {
         let meta = self.segments[idx];
+        // Only consulted on a miss; `telemetry_handle` is an atomic-bool
+        // check when no hub is attached.
+        let telemetry = self.pool.telemetry_handle();
         self.pool
             .get((self.file.id, meta.file_offset), || {
                 let mut bytes = vec![0u8; meta.bytes as usize];
+                let read_began = telemetry.as_ref().map(|t| t.begin());
                 read_exact_at(&self.file.file, &mut bytes, meta.file_offset)?;
-                Ok((SegmentData::decode(&meta, &bytes), meta.bytes))
+                if let (Some(t), Some(h)) = (&telemetry, read_began) {
+                    t.end(h, "disk_read", "storage", Telemetry::lane());
+                }
+                let decode_began = telemetry.as_ref().map(|t| t.begin());
+                let data = SegmentData::decode(&meta, &bytes);
+                if let (Some(t), Some(h)) = (&telemetry, decode_began) {
+                    t.end(h, "decode", "storage", Telemetry::lane());
+                }
+                Ok((data, meta.bytes))
             })
             .expect("segment read failed (store file vanished?)")
     }

@@ -1,0 +1,331 @@
+//! Exporters: Chrome trace JSON, flame tables, and a Prometheus-style
+//! metrics registry.
+
+use std::fmt::Write as _;
+
+use crate::json;
+use crate::report::Table;
+use crate::telemetry::SpanEvent;
+
+/// Render spans as a Chrome `chrome://tracing` / Perfetto-loadable document:
+/// one `ph: "X"` (complete) event per span, timestamps in microseconds,
+/// workers mapped to `tid`s.
+pub fn chrome_trace_json(spans: &[SpanEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\": [");
+    for (i, span) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{\"name\": {}, \"cat\": {}, \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \"pid\": 0, \"tid\": {}}}",
+            json::string(span.name),
+            json::string(span.cat),
+            json::float(span.start_ns as f64 / 1_000.0),
+            json::float(span.dur_ns as f64 / 1_000.0),
+            span.track
+        );
+    }
+    out.push_str("], \"displayTimeUnit\": \"ms\"}");
+    out
+}
+
+/// Aggregate spans by `(category, name)` into a plain-text flame table:
+/// count, total milliseconds, mean microseconds, and share of the total,
+/// sorted by total time descending.
+pub fn flame_table(spans: &[SpanEvent]) -> Table {
+    let mut rows: Vec<(&'static str, &'static str, u64, u64)> = Vec::new();
+    for span in spans {
+        if let Some(row) = rows
+            .iter_mut()
+            .find(|(cat, name, _, _)| *cat == span.cat && *name == span.name)
+        {
+            row.2 += 1;
+            row.3 += span.dur_ns;
+        } else {
+            rows.push((span.cat, span.name, 1, span.dur_ns));
+        }
+    }
+    rows.sort_by(|a, b| b.3.cmp(&a.3).then(a.1.cmp(b.1)).then(a.0.cmp(b.0)));
+    let grand_total: u64 = rows.iter().map(|r| r.3).sum();
+    let mut table = Table::new(
+        "Flame table",
+        &["span", "cat", "count", "total_ms", "mean_us", "share_%"],
+    );
+    for (cat, name, count, total_ns) in rows {
+        let share = if grand_total > 0 {
+            100.0 * total_ns as f64 / grand_total as f64
+        } else {
+            0.0
+        };
+        table.add_row(&[
+            name.to_string(),
+            cat.to_string(),
+            count.to_string(),
+            format!("{:.3}", total_ns as f64 / 1e6),
+            format!("{:.1}", total_ns as f64 / 1e3 / count as f64),
+            format!("{share:.1}"),
+        ]);
+    }
+    table
+}
+
+/// Whether a metric is a monotonically increasing counter or a point-in-time
+/// gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing.
+    Counter,
+    /// Point-in-time value.
+    Gauge,
+}
+
+/// One named metric sample, optionally labelled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Metric name, e.g. `"slfe_pool_busy_fraction"`.
+    pub name: String,
+    /// Label pairs, e.g. `[("worker", "0")]`.
+    pub labels: Vec<(String, String)>,
+    /// Counter or gauge.
+    pub kind: MetricKind,
+    /// One-line help string for the exposition header.
+    pub help: String,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// A flat, on-demand snapshot of named counters and gauges, renderable in the
+/// Prometheus text exposition format.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    metrics: Vec<Metric>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an unlabelled counter.
+    pub fn counter(&mut self, name: &str, help: &str, value: f64) -> &mut Self {
+        self.push(name, &[], MetricKind::Counter, help, value)
+    }
+
+    /// Add an unlabelled gauge.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) -> &mut Self {
+        self.push(name, &[], MetricKind::Gauge, help, value)
+    }
+
+    /// Add a labelled counter.
+    pub fn counter_with(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        value: f64,
+    ) -> &mut Self {
+        self.push(name, labels, MetricKind::Counter, help, value)
+    }
+
+    /// Add a labelled gauge.
+    pub fn gauge_with(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        value: f64,
+    ) -> &mut Self {
+        self.push(name, labels, MetricKind::Gauge, help, value)
+    }
+
+    fn push(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+        help: &str,
+        value: f64,
+    ) -> &mut Self {
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            kind,
+            help: help.to_string(),
+            value,
+        });
+        self
+    }
+
+    /// All samples, in insertion order.
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+
+    /// First sample with `name` (any labels).
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// Sample with `name` and exactly the given labels.
+    pub fn get_with(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Metric> {
+        self.metrics.iter().find(|m| {
+            m.name == name
+                && m.labels.len() == labels.len()
+                && m.labels
+                    .iter()
+                    .zip(labels.iter())
+                    .all(|((k, v), (lk, lv))| k == lk && v == lv)
+        })
+    }
+
+    /// Render the Prometheus text exposition format: `# HELP` / `# TYPE`
+    /// emitted once per metric name (first occurrence wins), label values
+    /// escaped per the spec, non-finite values as `NaN`/`+Inf`/`-Inf`.
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        let mut described: Vec<&str> = Vec::new();
+        for metric in &self.metrics {
+            if !described.contains(&metric.name.as_str()) {
+                described.push(&metric.name);
+                let kind = match metric.kind {
+                    MetricKind::Counter => "counter",
+                    MetricKind::Gauge => "gauge",
+                };
+                let _ = writeln!(out, "# HELP {} {}", metric.name, metric.help);
+                let _ = writeln!(out, "# TYPE {} {}", metric.name, kind);
+            }
+            out.push_str(&metric.name);
+            if !metric.labels.is_empty() {
+                out.push('{');
+                for (i, (k, v)) in metric.labels.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let escaped = v.replace('\\', "\\\\").replace('"', "\\\"");
+                    let _ = write!(out, "{k}=\"{escaped}\"");
+                }
+                out.push('}');
+            }
+            let value = if metric.value.is_nan() {
+                "NaN".to_string()
+            } else if metric.value == f64::INFINITY {
+                "+Inf".to_string()
+            } else if metric.value == f64::NEG_INFINITY {
+                "-Inf".to_string()
+            } else {
+                format!("{}", metric.value)
+            };
+            let _ = writeln!(out, " {value}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+
+    fn span(name: &'static str, cat: &'static str, track: u32, start: u64, dur: u64) -> SpanEvent {
+        SpanEvent {
+            name,
+            cat,
+            track,
+            start_ns: start,
+            dur_ns: dur,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_complete_events() {
+        let spans = vec![
+            span("iteration", "pull", 0, 1_000, 2_000),
+            span("execute", "pull", 1, 1_100, 800),
+        ];
+        let doc = chrome_trace_json(&spans);
+        let v = parse(&doc).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("name").unwrap().as_str(), Some("iteration"));
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(events[0].get("ts").unwrap().as_f64(), Some(1.0));
+        assert_eq!(events[0].get("dur").unwrap().as_f64(), Some(2.0));
+        assert_eq!(events[1].get("tid").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn empty_chrome_trace_still_parses() {
+        let v = parse(&chrome_trace_json(&[])).unwrap();
+        assert_eq!(v.get("traceEvents"), Some(&Json::Array(vec![])));
+    }
+
+    #[test]
+    fn flame_table_aggregates_and_sorts_by_total() {
+        let spans = vec![
+            span("execute", "pull", 1, 0, 500),
+            span("execute", "pull", 2, 0, 1_500),
+            span("merge", "engine", 0, 0, 100),
+        ];
+        let text = flame_table(&spans).render();
+        let execute_line = text.lines().position(|l| l.starts_with("execute")).unwrap();
+        let merge_line = text.lines().position(|l| l.starts_with("merge")).unwrap();
+        assert!(
+            execute_line < merge_line,
+            "larger total must sort first:\n{text}"
+        );
+        assert!(text.contains("2"), "execute count should be 2:\n{text}");
+    }
+
+    #[test]
+    fn flame_table_of_no_spans_is_empty_but_renders() {
+        let table = flame_table(&[]);
+        assert_eq!(table.num_rows(), 0);
+        assert!(table.render().contains("Flame table"));
+    }
+
+    #[test]
+    fn registry_lookup_honours_labels() {
+        let mut r = MetricsRegistry::new();
+        r.gauge_with("busy", &[("worker", "0")], "busy fraction", 0.25)
+            .gauge_with("busy", &[("worker", "1")], "busy fraction", 0.75);
+        assert_eq!(r.get("busy").unwrap().value, 0.25);
+        assert_eq!(r.get_with("busy", &[("worker", "1")]).unwrap().value, 0.75);
+        assert!(r.get_with("busy", &[("worker", "9")]).is_none());
+        assert!(r.get("missing").is_none());
+    }
+
+    #[test]
+    fn prometheus_text_emits_help_and_type_once_per_name() {
+        let mut r = MetricsRegistry::new();
+        r.counter("slfe_wal_fsyncs_total", "WAL fsync calls", 7.0);
+        r.gauge_with("slfe_pool_busy_fraction", &[("worker", "0")], "busy", 0.5);
+        r.gauge_with("slfe_pool_busy_fraction", &[("worker", "1")], "busy", 0.25);
+        let text = r.prometheus_text();
+        assert_eq!(
+            text.matches("# TYPE slfe_pool_busy_fraction gauge").count(),
+            1
+        );
+        assert!(text.contains("# HELP slfe_wal_fsyncs_total WAL fsync calls"));
+        assert!(text.contains("# TYPE slfe_wal_fsyncs_total counter"));
+        assert!(text.contains("slfe_wal_fsyncs_total 7"));
+        assert!(text.contains("slfe_pool_busy_fraction{worker=\"0\"} 0.5"));
+        assert!(text.contains("slfe_pool_busy_fraction{worker=\"1\"} 0.25"));
+    }
+
+    #[test]
+    fn prometheus_text_guards_non_finite_and_escapes_labels() {
+        let mut r = MetricsRegistry::new();
+        r.gauge("g_nan", "a nan", f64::NAN);
+        r.gauge("g_inf", "an inf", f64::INFINITY);
+        r.gauge_with("g_lab", &[("path", "a\"b\\c")], "odd label", 1.0);
+        let text = r.prometheus_text();
+        assert!(text.contains("g_nan NaN"));
+        assert!(text.contains("g_inf +Inf"));
+        assert!(text.contains("g_lab{path=\"a\\\"b\\\\c\"} 1"));
+    }
+}

@@ -1,0 +1,340 @@
+//! Log2-bucketed latency histograms.
+//!
+//! An HDR-style histogram over `u64` values (nanoseconds in practice) with a
+//! fixed 64×32 bucket grid: one row per power-of-two magnitude, 32 sub-buckets
+//! per row, so relative quantization error is bounded by 1/32 ≈ 3% everywhere.
+//! Values below 32 are recorded exactly. Histograms merge with `+`, and
+//! percentile queries are answered against the recorded `[min, max]` bounds so
+//! `p100` is always the exact maximum observed.
+
+use std::ops::{Add, AddAssign};
+
+/// Sub-buckets per power-of-two row. Must be a power of two.
+const SUB_BUCKETS: usize = 32;
+/// log2(SUB_BUCKETS).
+const SUB_BITS: u32 = 5;
+/// Total bucket slots: 64 rows × 32 sub-buckets.
+const NUM_BUCKETS: usize = 64 * SUB_BUCKETS;
+
+/// A mergeable log2-bucketed histogram of `u64` samples.
+///
+/// Bucket storage is allocated lazily on the first `record`, so an empty
+/// histogram (the telemetry-off common case) costs three words.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// Bucket index for a value: exact below `SUB_BUCKETS`, otherwise the top
+/// `SUB_BITS + 1` significant bits select (row, sub-bucket).
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize; // >= SUB_BITS
+    let sub = ((v >> (msb as u32 - SUB_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+    (msb - SUB_BITS as usize + 1) * SUB_BUCKETS + sub
+}
+
+/// Smallest value that maps to bucket `idx` — the inverse of [`bucket_index`].
+fn bucket_lower_bound(idx: usize) -> u64 {
+    if idx < SUB_BUCKETS {
+        return idx as u64;
+    }
+    let row = idx / SUB_BUCKETS;
+    let sub = (idx % SUB_BUCKETS) as u64;
+    let msb = (row - 1) as u32 + SUB_BITS;
+    if msb >= 64 {
+        // One past the bucket of u64::MAX; only reachable as an exclusive
+        // upper bound, never from a recorded sample.
+        return u64::MAX;
+    }
+    (1u64 << msb) + (sub << (msb - SUB_BITS))
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; NUM_BUCKETS];
+        }
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact minimum recorded sample; `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Exact maximum recorded sample; `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Arithmetic mean of recorded samples; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// The value at percentile `p` in `[0, 1]`; `None` when empty.
+    ///
+    /// Answers with the lower bound of the bucket holding the rank-`⌈p·count⌉`
+    /// sample, clamped to the exact recorded `[min, max]` — so `p = 0` returns
+    /// the exact minimum and `p = 1` the exact maximum, and every answer is
+    /// within one log2/32 bucket of the true order statistic.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == self.count {
+            // The last-rank sample is the recorded maximum — answer exactly.
+            return Some(self.max);
+        }
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(bucket_lower_bound(idx).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+impl Add for LatencyHistogram {
+    type Output = LatencyHistogram;
+
+    fn add(mut self, rhs: LatencyHistogram) -> LatencyHistogram {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for LatencyHistogram {
+    fn add_assign(&mut self, rhs: LatencyHistogram) {
+        if rhs.count == 0 {
+            return;
+        }
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; NUM_BUCKETS];
+        }
+        for (dst, src) in self.buckets.iter_mut().zip(rhs.buckets.iter()) {
+            *dst += src;
+        }
+        self.count += rhs.count;
+        self.sum = self.sum.saturating_add(rhs.sum);
+        self.min = self.min.min(rhs.min);
+        self.max = self.max.max(rhs.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SplitMix64 — a tiny local copy so this zero-dependency crate can run
+    /// seeded property loops without depending on `slfe-graph`.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Relative error bound between a bucket lower bound and any value in that
+    /// bucket: one sub-bucket width, i.e. 1/32 of the value's magnitude (plus
+    /// a small absolute slack for single-digit values, which are exact anyway).
+    fn within_one_bucket(answer: u64, reference: u64) -> bool {
+        let lo = bucket_lower_bound(bucket_index(reference));
+        let hi_idx = bucket_index(reference) + 1;
+        let hi = bucket_lower_bound(hi_idx);
+        answer >= lo.min(reference) && answer <= hi.max(reference)
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..32u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower_bound(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_invertible_at_boundaries() {
+        let mut prev = 0usize;
+        for msb in 5..63u32 {
+            for sub in 0..SUB_BUCKETS as u64 {
+                let v = (1u64 << msb) + (sub << (msb - SUB_BITS));
+                let idx = bucket_index(v);
+                assert!(idx >= prev, "index not monotone at v={v}");
+                prev = idx;
+                assert_eq!(bucket_lower_bound(idx), v, "inverse failed at v={v}");
+            }
+        }
+        assert!(bucket_index(u64::MAX) < NUM_BUCKETS);
+    }
+
+    #[test]
+    fn min_max_and_extreme_percentiles_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [17u64, 900, 35_000, 1_000_000_007] {
+            h.record(v);
+        }
+        assert_eq!(h.min(), Some(17));
+        assert_eq!(h.max(), Some(1_000_000_007));
+        assert_eq!(h.percentile(0.0), Some(17));
+        assert_eq!(h.percentile(1.0), Some(1_000_000_007));
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn empty_histogram_answers_none() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn property_percentiles_within_one_bucket_of_sorted_reference() {
+        let mut rng = Rng(0x5eed_0001);
+        for _ in 0..20 {
+            let n = 200 + (rng.next() % 800) as usize;
+            let mut h = LatencyHistogram::new();
+            let mut vals: Vec<u64> = Vec::with_capacity(n);
+            for _ in 0..n {
+                // Span ~9 orders of magnitude like real latencies do.
+                let magnitude = rng.next() % 30;
+                let v = (rng.next() % 1000).wrapping_shl(magnitude as u32) | 1;
+                vals.push(v);
+                h.record(v);
+            }
+            vals.sort_unstable();
+            for p in [0.5f64, 0.9, 0.99] {
+                let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+                let reference = vals[rank - 1];
+                let answer = h.percentile(p).unwrap();
+                assert!(
+                    within_one_bucket(answer, reference),
+                    "p{p}: answer {answer} not within one bucket of reference {reference}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn property_merge_matches_concatenated_stream() {
+        let mut rng = Rng(0x5eed_0002);
+        for _ in 0..10 {
+            let mut a = LatencyHistogram::new();
+            let mut b = LatencyHistogram::new();
+            let mut all = LatencyHistogram::new();
+            for i in 0..500 {
+                let v = rng.next() % 10_000_000;
+                if i % 2 == 0 {
+                    a.record(v);
+                } else {
+                    b.record(v);
+                }
+                all.record(v);
+            }
+            let merged = a.clone() + b.clone();
+            assert_eq!(merged, all);
+            // AddAssign agrees with Add.
+            let mut assigned = a;
+            assigned += b;
+            assert_eq!(assigned, all);
+        }
+    }
+
+    #[test]
+    fn property_merge_is_associative() {
+        let mut rng = Rng(0x5eed_0003);
+        let mut parts = [
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+        ];
+        for i in 0..600 {
+            parts[i % 3].record(rng.next() % 1_000_000);
+        }
+        let [a, b, c] = parts;
+        let left = (a.clone() + b.clone()) + c.clone();
+        let right = a + (b + c);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_identity() {
+        let mut h = LatencyHistogram::new();
+        h.record(42);
+        let merged = h.clone() + LatencyHistogram::new();
+        assert_eq!(merged, h);
+        let other_way = LatencyHistogram::new() + h.clone();
+        assert_eq!(other_way, h);
+    }
+
+    #[test]
+    fn mean_and_sum_track_samples() {
+        let mut h = LatencyHistogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.sum(), 60);
+        assert!((h.mean().unwrap() - 20.0).abs() < 1e-12);
+    }
+}

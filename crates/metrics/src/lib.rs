@@ -16,17 +16,34 @@
 //! * [`imbalance`] — intra-/inter-node imbalance measures (figure 10).
 //! * [`report`] — plain-text table and series rendering used by the experiments
 //!   harness to print paper-style tables.
+//! * [`telemetry`] — span tracing and latency histograms, `TelemetryConfig`-gated
+//!   with a strict no-op fast path.
+//! * [`histogram`] — log2-bucketed, mergeable latency histograms.
+//! * [`export`] — Chrome trace JSON, flame tables, and a Prometheus-text
+//!   metrics registry.
+//! * [`json`] — hand-rolled JSON emission helpers plus a real parser for
+//!   validating every emitted document.
 
 pub mod counters;
 pub mod durability;
+pub mod export;
+pub mod histogram;
 pub mod imbalance;
+pub mod json;
 pub mod report;
 pub mod stats;
+pub mod telemetry;
 pub mod trace;
 
 pub use counters::{AtomicCounters, Counters};
 pub use durability::DurabilityCounters;
+pub use export::{chrome_trace_json, flame_table, Metric, MetricKind, MetricsRegistry};
+pub use histogram::LatencyHistogram;
 pub use imbalance::{inter_node_spread, intra_node_speedup, BusyTimes};
 pub use report::{Series, Table};
 pub use stats::{ExecutionStats, PhaseBreakdown};
+pub use telemetry::{
+    RunRecorder, SpanEvent, SpanHandle, SpanWindow, Telemetry, TelemetryClock, TelemetryConfig,
+    TelemetrySnapshot, HIST_BATCH_APPLY, HIST_ITERATION_WALL, HIST_SEGMENT_FAULT, HIST_WAL_FSYNC,
+};
 pub use trace::{IterationRecord, IterationTrace, Mode};

@@ -102,18 +102,25 @@ impl Series {
         &self.points
     }
 
-    /// Render as text with bars scaled to `width` characters for the maximum value.
+    /// Render as text with bars scaled to `width` characters for the maximum
+    /// value. Degenerate series are safe: an all-zero (or all-negative, or
+    /// non-finite) series renders empty bars rather than dividing by a zero
+    /// range, and a single positive point gets the full-width bar.
     pub fn render(&self, width: usize) -> String {
         let mut out = format!("-- {} --\n", self.title);
         let max = self
             .points
             .iter()
             .map(|(_, v)| *v)
-            .fold(0.0f64, f64::max)
-            .max(f64::MIN_POSITIVE);
+            .filter(|v| v.is_finite())
+            .fold(0.0f64, f64::max);
         let label_width = self.points.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
         for (label, value) in &self.points {
-            let bar_len = ((value / max) * width as f64).round().max(0.0) as usize;
+            let bar_len = if max <= 0.0 || !value.is_finite() || *value <= 0.0 {
+                0
+            } else {
+                ((value / max) * width as f64).round().min(width as f64) as usize
+            };
             out.push_str(&format!(
                 "{:<lw$}  {:>12.4}  {}\n",
                 label,
@@ -196,6 +203,61 @@ mod tests {
         let s = Series::new("empty");
         let text = s.render(10);
         assert_eq!(text.lines().count(), 1);
+    }
+
+    #[test]
+    fn all_zero_series_renders_without_bars() {
+        let mut s = Series::new("zeros");
+        s.push("a", 0.0).push("b", 0.0).push("c", 0.0);
+        let text = s.render(40);
+        assert!(
+            !text.contains('#'),
+            "all-zero series must draw no bars:\n{text}"
+        );
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn single_point_series_gets_a_full_width_bar() {
+        let mut s = Series::new("single");
+        s.push("only", 3.25);
+        let text = s.render(20);
+        let hashes = text.chars().filter(|&c| c == '#').count();
+        assert_eq!(hashes, 20);
+    }
+
+    #[test]
+    fn tiny_subnormal_values_cannot_explode_the_bar() {
+        // Regression: dividing by f64::MIN_POSITIVE used to turn a subnormal
+        // series into a bar of astronomical length (OOM in `"#".repeat`).
+        let mut s = Series::new("tiny");
+        s.push("sub", 1e-310).push("sub2", 5e-311);
+        let text = s.render(40);
+        for line in text.lines().skip(1) {
+            assert!(line.chars().filter(|&c| c == '#').count() <= 40);
+        }
+    }
+
+    #[test]
+    fn non_finite_and_negative_points_render_empty_bars() {
+        let mut s = Series::new("mixed");
+        s.push("nan", f64::NAN)
+            .push("inf", f64::INFINITY)
+            .push("neg", -4.0)
+            .push("pos", 2.0);
+        let text = s.render(10);
+        let bar = |label: &str| {
+            text.lines()
+                .find(|l| l.starts_with(label))
+                .unwrap()
+                .chars()
+                .filter(|&c| c == '#')
+                .count()
+        };
+        assert_eq!(bar("nan"), 0);
+        assert_eq!(bar("inf"), 0);
+        assert_eq!(bar("neg"), 0);
+        assert_eq!(bar("pos"), 10);
     }
 
     #[test]

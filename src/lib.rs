@@ -51,6 +51,6 @@ pub mod prelude {
     pub use slfe_core::{EngineConfig, RedundancyMode, SlfeEngine};
     pub use slfe_delta::{BatchOutcome, DeltaServer, ServerConfig};
     pub use slfe_graph::{Graph, GraphBuilder, UpdateBatch, VertexId};
-    pub use slfe_metrics::ExecutionStats;
+    pub use slfe_metrics::{ExecutionStats, TelemetryConfig};
     pub use slfe_partition::{ChunkingPartitioner, Partitioner};
 }
