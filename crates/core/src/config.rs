@@ -207,6 +207,7 @@ impl EngineConfig {
                 budget_bytes,
                 segment_bytes: self.storage_segment_bytes,
                 dir: self.storage_dir.clone(),
+                retry: slfe_graph::RetryPolicy::default(),
             })
     }
 }

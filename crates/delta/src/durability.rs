@@ -21,11 +21,14 @@
 
 use slfe_core::RrGuidance;
 use slfe_graph::io::binary::{self, Reader};
-use slfe_graph::{Graph, UpdateBatch};
+use slfe_graph::{
+    with_retries, FaultAction, FaultInjector, FaultSite, Graph, RetryPolicy, UpdateBatch,
+};
 use slfe_metrics::DurabilityCounters;
 use std::fs::{File, OpenOptions};
-use std::io::{self, Write as _};
+use std::io::{self, Seek as _, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::server::ServerStats;
 
@@ -51,6 +54,11 @@ pub struct DurabilityConfig {
     /// segments into a fresh generation) whenever a snapshot finds their
     /// dead-byte fraction above this threshold, bounding on-disk size.
     pub max_dead_fraction: f64,
+    /// Retry/backoff budget applied to every durability I/O (WAL append and
+    /// fsync, WAL trim, snapshot write/rename/read). Transient failures
+    /// within the budget are absorbed with no observable effect; disk-full
+    /// errors are never retried.
+    pub retry: RetryPolicy,
 }
 
 impl DurabilityConfig {
@@ -62,6 +70,7 @@ impl DurabilityConfig {
             snapshot_every_batches: 8,
             snapshot_wal_bytes: 1 << 20,
             max_dead_fraction: 0.5,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -80,6 +89,12 @@ impl DurabilityConfig {
     /// Set the compaction dead-byte threshold.
     pub fn with_max_dead_fraction(mut self, fraction: f64) -> Self {
         self.max_dead_fraction = fraction;
+        self
+    }
+
+    /// Set the I/O retry/backoff budget.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -167,13 +182,28 @@ pub struct WalAppend {
 pub struct Wal {
     file: File,
     bytes: u64,
+    faults: Option<Arc<FaultInjector>>,
+    retry: RetryPolicy,
 }
 
 impl Wal {
     /// Open (creating if absent) the WAL at `path`. Any torn or corrupt tail
     /// is truncated away so subsequent appends extend a valid log.
     pub fn open(path: &Path) -> io::Result<(Self, WalReplay)> {
-        let replay = Self::scan(path)?;
+        Self::open_with(path, None, RetryPolicy::default())
+    }
+
+    /// [`Wal::open`] with a fault injector and retry budget attached. The
+    /// opening scan itself runs under the retry budget so transient read
+    /// failures are absorbed before any truncation decision is made.
+    pub fn open_with(
+        path: &Path,
+        faults: Option<Arc<FaultInjector>>,
+        retry: RetryPolicy,
+    ) -> io::Result<(Self, WalReplay)> {
+        let replay = with_retries(&retry, faults.as_deref(), || {
+            Self::scan(path, faults.as_deref())
+        })?;
         let file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -184,18 +214,35 @@ impl Wal {
         let mut wal = Self {
             file,
             bytes: replay.valid_bytes,
+            faults,
+            retry,
         };
         if replay.bytes_truncated > 0 {
             wal.file.sync_data()?;
         }
-        use std::io::Seek;
         wal.file.seek(io::SeekFrom::Start(replay.valid_bytes))?;
         Ok((wal, replay))
     }
 
     /// Decode the valid frame prefix of the WAL at `path`; a missing file is
     /// an empty log. Never panics on corrupt bytes.
-    fn scan(path: &Path) -> io::Result<WalReplay> {
+    ///
+    /// An injected short read fails the scan instead of delivering a
+    /// truncated buffer: acting on a partial read here would truncate
+    /// durable frames that are in fact intact on disk, so the only safe
+    /// reaction is to report the read as failed and let the retry budget
+    /// (or the caller) try again.
+    fn scan(path: &Path, faults: Option<&FaultInjector>) -> io::Result<WalReplay> {
+        match faults.and_then(|i| i.on_io(FaultSite::WalOpen)) {
+            Some(FaultAction::Error(e)) => return Err(e),
+            Some(FaultAction::ShortIo) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "injected short WAL read at open",
+                ));
+            }
+            None => {}
+        }
         let bytes = match std::fs::read(path) {
             Ok(b) => b,
             Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
@@ -218,6 +265,11 @@ impl Wal {
     /// durability point: it must complete before the batch touches the graph
     /// or the segment files. The returned record carries the frame's byte
     /// length and the measured fsync latency for the telemetry layer.
+    ///
+    /// Failed attempts (including injected short writes that leave a partial
+    /// frame on disk) are repaired by truncating back to the last durable
+    /// frame before each retry, so a retried append never duplicates or
+    /// interleaves frame bytes.
     pub fn append(&mut self, seq: u64, batch: &UpdateBatch) -> io::Result<WalAppend> {
         let payload = batch.to_bytes();
         let mut frame = Vec::with_capacity(WAL_HEADER_BYTES + payload.len());
@@ -226,11 +278,47 @@ impl Wal {
         binary::put_u32(&mut frame, payload.len() as u32);
         binary::put_u32(&mut frame, frame_crc(seq, &payload));
         frame.extend_from_slice(&payload);
-        self.file.write_all(&frame)?;
-        let fsync_began = std::time::Instant::now();
-        self.file.sync_data()?;
-        let fsync_nanos = fsync_began.elapsed().as_nanos() as u64;
+        let appended = with_retries(&self.retry, self.faults.as_deref(), || {
+            Self::try_append_once(&self.file, self.bytes, &frame, self.faults.as_deref())
+        })?;
         self.bytes += frame.len() as u64;
+        Ok(appended)
+    }
+
+    /// One append attempt: repair any partial bytes a previous attempt left,
+    /// write the frame, fsync.
+    fn try_append_once(
+        file: &File,
+        valid_bytes: u64,
+        frame: &[u8],
+        faults: Option<&FaultInjector>,
+    ) -> io::Result<WalAppend> {
+        if file.metadata()?.len() != valid_bytes {
+            file.set_len(valid_bytes)?;
+        }
+        (&*file).seek(io::SeekFrom::Start(valid_bytes))?;
+        match faults.and_then(|i| i.on_io(FaultSite::WalAppend)) {
+            Some(FaultAction::Error(e)) => return Err(e),
+            Some(FaultAction::ShortIo) => {
+                (&*file).write_all(&frame[..frame.len() / 2])?;
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "injected short WAL append",
+                ));
+            }
+            None => {}
+        }
+        (&*file).write_all(frame)?;
+        match faults.and_then(|i| i.on_io(FaultSite::WalFsync)) {
+            Some(FaultAction::Error(e)) => return Err(e),
+            Some(FaultAction::ShortIo) => {
+                return Err(io::Error::other("injected WAL fsync failure"));
+            }
+            None => {}
+        }
+        let fsync_began = std::time::Instant::now();
+        file.sync_data()?;
+        let fsync_nanos = fsync_began.elapsed().as_nanos() as u64;
         Ok(WalAppend {
             frame_bytes: frame.len() as u64,
             fsync_nanos,
@@ -246,10 +334,23 @@ impl Wal {
     /// landed. (Safe even if the process dies first: replay skips entries at
     /// or below the snapshot's sequence number.)
     pub fn truncate_all(&mut self) -> io::Result<()> {
-        self.file.set_len(0)?;
-        use std::io::Seek;
-        self.file.seek(io::SeekFrom::Start(0))?;
-        self.file.sync_data()?;
+        let file = &self.file;
+        with_retries(&self.retry, self.faults.as_deref(), || {
+            match self
+                .faults
+                .as_deref()
+                .and_then(|i| i.on_io(FaultSite::WalTrim))
+            {
+                Some(FaultAction::Error(e)) => return Err(e),
+                Some(FaultAction::ShortIo) => {
+                    return Err(io::Error::other("injected WAL trim failure"));
+                }
+                None => {}
+            }
+            file.set_len(0)?;
+            (&*file).seek(io::SeekFrom::Start(0))?;
+            file.sync_data()
+        })?;
         self.bytes = 0;
         Ok(())
     }
@@ -340,9 +441,15 @@ pub(crate) struct LoadedSnapshot<V> {
 
 /// Write `state` atomically (temp file, fsync, rename, directory fsync) as
 /// the current snapshot. Returns the file's byte length.
+///
+/// Both phases — materialising the temp file and renaming it into place —
+/// run under the config's retry budget. A failed attempt leaves at worst a
+/// stale temp file; the current snapshot is replaced only by the atomic
+/// rename, so a failure here never corrupts the recovery point.
 pub(crate) fn write_snapshot<V: SnapshotValue>(
     config: &DurabilityConfig,
     state: &SnapshotState<'_, V>,
+    faults: Option<&FaultInjector>,
 ) -> io::Result<u64> {
     let mut out = Vec::new();
     binary::put_u32(&mut out, SNAPSHOT_MAGIC);
@@ -379,26 +486,71 @@ pub(crate) fn write_snapshot<V: SnapshotValue>(
     binary::put_u32(&mut out, crc);
 
     let tmp = config.snapshot_tmp_path();
-    let mut file = File::create(&tmp)?;
-    file.write_all(&out)?;
-    file.sync_all()?;
-    drop(file);
-    std::fs::rename(&tmp, config.snapshot_path())?;
-    sync_dir(&config.dir)?;
+    with_retries(&config.retry, faults, || {
+        match faults.and_then(|i| i.on_io(FaultSite::SnapshotWrite)) {
+            Some(FaultAction::Error(e)) => return Err(e),
+            Some(FaultAction::ShortIo) => {
+                // A short write leaves a torn temp file behind; the retry
+                // recreates it from scratch, so nothing durable is harmed.
+                let mut file = File::create(&tmp)?;
+                file.write_all(&out[..out.len() / 2])?;
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "injected short snapshot write",
+                ));
+            }
+            None => {}
+        }
+        let mut file = File::create(&tmp)?;
+        file.write_all(&out)?;
+        file.sync_all()
+    })?;
+    with_retries(&config.retry, faults, || {
+        match faults.and_then(|i| i.on_io(FaultSite::SnapshotRename)) {
+            Some(FaultAction::Error(e)) => return Err(e),
+            Some(FaultAction::ShortIo) => {
+                return Err(io::Error::other("injected snapshot rename failure"));
+            }
+            None => {}
+        }
+        std::fs::rename(&tmp, config.snapshot_path())?;
+        sync_dir(&config.dir)
+    })?;
     Ok(out.len() as u64)
 }
 
 /// Load and validate the current snapshot.
+///
+/// The read runs under the config's retry budget; an injected short read
+/// delivers a truncated buffer, which the trailing checksum then rejects as
+/// a typed [`DurabilityError::CorruptSnapshot`] — corruption stays a value,
+/// never a panic.
 pub(crate) fn read_snapshot<V: SnapshotValue>(
     config: &DurabilityConfig,
+    faults: Option<&FaultInjector>,
 ) -> Result<LoadedSnapshot<V>, DurabilityError> {
     let path = config.snapshot_path();
-    let bytes = match std::fs::read(&path) {
-        Ok(b) => b,
-        Err(e) if e.kind() == io::ErrorKind::NotFound => {
-            return Err(DurabilityError::MissingSnapshot(path));
+    let bytes = with_retries(&config.retry, faults, || {
+        let short = match faults.and_then(|i| i.on_io(FaultSite::SnapshotRead)) {
+            Some(FaultAction::Error(e)) => return Err(e),
+            Some(FaultAction::ShortIo) => true,
+            None => false,
+        };
+        let mut b = match std::fs::read(&path) {
+            Ok(b) => Some(b),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e),
+        };
+        if short {
+            if let Some(buf) = b.as_mut() {
+                buf.truncate(buf.len() / 2);
+            }
         }
-        Err(e) => return Err(e.into()),
+        Ok(b)
+    })?;
+    let bytes = match bytes {
+        Some(b) => b,
+        None => return Err(DurabilityError::MissingSnapshot(path)),
     };
     let corrupt = |reason: &'static str| DurabilityError::CorruptSnapshot { reason };
     if bytes.len() < 4 {

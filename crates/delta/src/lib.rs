@@ -26,6 +26,13 @@
 //!    segment-file compaction riding the snapshot path, and kill-9 recovery
 //!    ([`DeltaServer::open`]) that replays the WAL suffix to values
 //!    bit-identical to an uninterrupted run.
+//! 6. **Graceful degradation** — [`health`] types the failure contract for
+//!    I/O errors (not just `kill -9`): transient faults are absorbed by
+//!    bounded retries, unreadable segments are quarantined and rebuilt,
+//!    failed snapshots degrade health while serving continues, and
+//!    unrecoverable write failures flip the server into a read-only
+//!    [`ServingMode`] that still answers queries — driven deterministically
+//!    by [`slfe_graph::FaultPlan`] schedules in the crashpoint sweep.
 //!
 //! Determinism: everything the batch did not disturb keeps its bit pattern, and
 //! the re-converged region is computed by the same deterministic engine paths as
@@ -34,9 +41,11 @@
 //! (within convergence tolerance for arithmetic programs).
 
 pub mod durability;
+pub mod health;
 pub mod server;
 
 pub use durability::{DurabilityConfig, DurabilityError, SnapshotValue, Wal, WalReplay};
+pub use health::{ApplyError, Health, ServingMode};
 pub use server::{BatchOutcome, DeltaServer, ServerConfig, ServerStats};
 // Re-exported so serving code can stage batches without importing slfe-graph.
 pub use slfe_graph::{BatchEffect, UpdateBatch};

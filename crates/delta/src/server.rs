@@ -4,12 +4,15 @@
 use crate::durability::{
     self, DurabilityConfig, DurabilityError, DurabilityState, SnapshotState, SnapshotValue, Wal,
 };
+use crate::health::{ApplyError, Health};
 use slfe_cluster::{Cluster, ClusterConfig, GlobalChunkLayout, LayoutPatchStats, WorkerPool};
 use slfe_core::{EngineConfig, GraphProgram, ProgramResult, RepairReport, RrGuidance, SlfeEngine};
-use slfe_graph::{BatchEffect, Graph, GraphStorage, UpdateBatch, VertexId};
+use slfe_graph::{
+    is_disk_full, BatchEffect, FaultInjector, FaultPlan, Graph, GraphStorage, UpdateBatch, VertexId,
+};
 use slfe_metrics::{
-    DurabilityCounters, ExecutionStats, MetricsRegistry, Telemetry, TelemetrySnapshot,
-    HIST_BATCH_APPLY, HIST_WAL_FSYNC,
+    DurabilityCounters, ExecutionStats, FaultCounters, MetricsRegistry, Telemetry,
+    TelemetrySnapshot, HIST_BATCH_APPLY, HIST_WAL_FSYNC,
 };
 use slfe_partition::{ChunkingPartitioner, Partitioner, Partitioning};
 use std::io;
@@ -33,6 +36,12 @@ pub struct ServerConfig {
     /// runs the program from scratch instead of warm-starting: past this point
     /// the invalidation pass would walk most of the graph anyway.
     pub full_recompute_dirty_fraction: f64,
+    /// Deterministic fault schedule armed from construction (so faults can
+    /// fire during the open/recovery disk reads too). `None` — the default —
+    /// leaves the injector disarmed: one relaxed atomic load per I/O call,
+    /// behavior bit-identical to a build without the fault layer (pinned by
+    /// `tests/faults.rs`).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -42,6 +51,7 @@ impl Default for ServerConfig {
             engine: EngineConfig::default(),
             ingest_node: 0,
             full_recompute_dirty_fraction: 0.5,
+            fault_plan: None,
         }
     }
 }
@@ -90,6 +100,11 @@ pub struct BatchOutcome {
     /// Wall-clock seconds the WAL fsync for this batch took (0.0 on a
     /// non-durable server).
     pub wal_fsync_seconds: f64,
+    /// `true` when the batch itself succeeded but a post-apply durability
+    /// step (snapshot or compaction) failed and was absorbed: the server
+    /// keeps serving read-write with the WAL growing until a later snapshot
+    /// lands. Details are on [`crate::Health`].
+    pub degraded: bool,
 }
 
 /// Cumulative serving statistics.
@@ -151,7 +166,10 @@ where
 {
     make_program: F,
     program: P,
-    graph: Graph,
+    /// The current graph version, shared (`Arc`) with the segment store's
+    /// quarantine-rebuild path so unreadable segments can be reconstructed
+    /// from the authoritative in-memory adjacency.
+    graph: Arc<Graph>,
     config: ServerConfig,
     rrg: RrGuidance,
     /// The persistent worker pool, created once at server startup and threaded
@@ -192,6 +210,13 @@ where
     /// with every engine this server builds so spans and latency histograms
     /// accumulate over the serving lifetime instead of resetting per batch.
     telemetry: Arc<Telemetry>,
+    /// The fault injector every disk touchpoint of this server consults —
+    /// disarmed (one relaxed atomic load per call) unless
+    /// [`ServerConfig::fault_plan`] armed it or a test arms it directly.
+    faults: Arc<FaultInjector>,
+    /// Degradation state: read-only mode, snapshot-failure staleness, and
+    /// recovery-action counts.
+    health: Health,
 }
 
 impl<P, F> DeltaServer<P, F>
@@ -201,7 +226,21 @@ where
 {
     /// Build the server: partition `graph`, generate the guidance, run the
     /// program cold once. Every subsequent [`DeltaServer::apply`] is warm.
+    ///
+    /// Panics when the out-of-core segment files cannot be written; use
+    /// [`DeltaServer::try_new`] for a typed error instead.
     pub fn new(graph: Graph, make_program: F, config: ServerConfig) -> Self {
+        Self::try_new(graph, make_program, config)
+            .expect("failed to write out-of-core graph segments")
+    }
+
+    /// [`DeltaServer::new`] with build-time I/O failure as a typed error.
+    pub fn try_new(graph: Graph, make_program: F, config: ServerConfig) -> io::Result<Self> {
+        let graph = Arc::new(graph);
+        let faults = match &config.fault_plan {
+            Some(plan) => FaultInjector::armed(plan.clone()),
+            None => FaultInjector::disabled(),
+        };
         let pool = Arc::new(WorkerPool::new(config.cluster.total_workers()));
         let program = make_program(&graph);
         let rrg = RrGuidance::generate_parallel_on(&graph, &pool);
@@ -212,12 +251,17 @@ where
         let layout = cluster.build_layout(&graph);
         // Out-of-core serving: the segments are written once here; every
         // batch then patches only the dirty ones (`GraphStorage::patched`).
-        let storage = config.engine.storage_config().map(|sc| {
-            Arc::new(
-                GraphStorage::build(&graph, &sc)
-                    .expect("failed to write out-of-core graph segments"),
-            )
-        });
+        // The in-memory graph is attached as the recovery source so
+        // unreadable segments can be quarantined and rebuilt from it.
+        let storage = match config.engine.storage_config() {
+            Some(sc) => {
+                let mut s =
+                    GraphStorage::build_with_faults(&graph, &sc, Some(Arc::clone(&faults)))?;
+                s.set_recovery(&graph);
+                Some(Arc::new(s))
+            }
+            None => None,
+        };
         let telemetry = Arc::new(Telemetry::new(config.engine.telemetry));
         let mut engine = SlfeEngine::with_prebuilt_layout_and_storage(
             &graph,
@@ -233,7 +277,7 @@ where
         let result = engine.run(&program);
         telemetry.end(cold_span, "cold_run", "server", 0);
         drop(engine);
-        Self {
+        Ok(Self {
             make_program,
             program,
             graph,
@@ -248,7 +292,9 @@ where
             pending_guidance_dirty: Vec::new(),
             durability: None,
             telemetry,
-        }
+            faults,
+            health: Health::new(),
+        })
     }
 
     /// Bring the guidance up to date with `graph`, draining `pending`.
@@ -295,10 +341,101 @@ where
     /// warm path never reads the rulers, so dirty vertices only accumulate
     /// here and the repair runs when a cold run, snapshot, or guidance query
     /// actually needs them.
+    ///
+    /// Panics on unrecoverable storage failure; use
+    /// [`DeltaServer::try_apply_committed`] for the typed-error contract.
     pub fn apply_committed(&mut self, batch: &UpdateBatch) -> BatchOutcome {
+        self.try_apply_committed(batch)
+            .unwrap_or_else(|e| panic!("failed to apply a committed batch: {e}"))
+    }
+
+    /// Run one engine pass over `graph` with the given artifacts; returns
+    /// the program result and the batch-distribution message count.
+    #[allow(clippy::too_many_arguments)]
+    fn run_engine(
+        &self,
+        graph: &Graph,
+        program: &P,
+        rrg: &RrGuidance,
+        layout: &GlobalChunkLayout,
+        storage: Option<Arc<GraphStorage>>,
+        full_recompute: bool,
+        effect: &BatchEffect,
+    ) -> (ProgramResult<P::Value>, u64) {
+        let cluster = Cluster::with_shared_partitioning(
+            Arc::clone(&self.partitioning),
+            self.config.cluster.clone(),
+        );
+        let mut engine = SlfeEngine::with_prebuilt_layout_and_storage(
+            graph,
+            cluster,
+            self.config.engine.clone(),
+            rrg.clone(),
+            Arc::clone(&self.pool),
+            layout.clone(),
+            storage,
+        );
+        engine.set_telemetry(Arc::clone(&self.telemetry));
+        let run_span = self.telemetry.begin();
+        let result = if full_recompute {
+            engine.run(program)
+        } else {
+            engine.run_from_effect(program, &self.result, effect)
+        };
+        let run_name = if full_recompute {
+            "cold_run"
+        } else {
+            "warm_restart"
+        };
+        self.telemetry.end(run_span, run_name, "server", 0);
+        let distribution_messages = engine.cluster().record_batch_distribution(
+            self.config.ingest_node,
+            effect.dirty.iter().copied(),
+            UPDATE_RECORD_BYTES,
+        );
+        (result, distribution_messages)
+    }
+
+    /// Rebuild the out-of-core segment store for `graph` from scratch (the
+    /// in-memory adjacency is authoritative) and re-attach it as its own
+    /// recovery source. Returns the store and its total segment count.
+    fn rebuild_storage(&mut self, graph: &Arc<Graph>) -> io::Result<(Arc<GraphStorage>, u64)> {
+        let sc = self
+            .config
+            .engine
+            .storage_config()
+            .expect("storage rebuild requires an out-of-core configuration");
+        let mut s = GraphStorage::build_with_faults(graph, &sc, Some(Arc::clone(&self.faults)))?;
+        s.set_recovery(graph);
+        let rewritten = (s.out_store().num_segments() + s.in_store().num_segments()) as u64;
+        self.health.note_storage_rebuild();
+        Ok((Arc::new(s), rewritten))
+    }
+
+    /// Restore the pre-batch mutable state after a discarded run: the
+    /// accumulated guidance-dirty set and the (grown) stable partitioning.
+    /// Everything else — graph version, layout, fixpoint, stats — was never
+    /// assigned, so the server still serves the previous version exactly.
+    fn rollback_batch(&mut self, old_n: usize, pending_before: Vec<VertexId>) {
+        self.pending_guidance_dirty = pending_before;
+        if self.partitioning.num_vertices() > old_n {
+            let owners = self.partitioning.owners()[..old_n].to_vec();
+            let parts = self.partitioning.num_parts();
+            self.partitioning = Arc::new(Partitioning::from_owners(owners, parts));
+        }
+    }
+
+    /// [`DeltaServer::apply_committed`] with the graceful-degradation
+    /// contract: unreadable segments are retried, quarantined and rebuilt
+    /// in place; a segment store that can be neither patched nor rebuilt, or
+    /// an execution still poisoned after one re-drive on a fresh store,
+    /// flips the server read-only and returns a typed error — the previous
+    /// version's values keep serving untouched either way.
+    pub fn try_apply_committed(&mut self, batch: &UpdateBatch) -> Result<BatchOutcome, ApplyError> {
         let start = Instant::now();
         let batch_span = self.telemetry.begin();
         let (graph, effect) = self.graph.apply_batch(batch);
+        let graph = Arc::new(graph);
         if effect.is_noop() {
             // Nothing changed: keep every artifact (graph version, cluster,
             // guidance, fixpoint) instead of rebuilding them all for nothing.
@@ -308,7 +445,7 @@ where
             self.telemetry.end(batch_span, "batch", "server", 0);
             self.telemetry
                 .record_ns(HIST_BATCH_APPLY, wall.as_nanos() as u64);
-            return BatchOutcome {
+            return Ok(BatchOutcome {
                 effect,
                 guidance: RepairReport {
                     regenerated: false,
@@ -326,10 +463,39 @@ where
                 storage_dead_bytes,
                 wall_seconds: wall.as_secs_f64(),
                 wal_fsync_seconds: 0.0,
-            };
+                degraded: false,
+            });
         }
         let old_n = self.graph.num_vertices();
         let n = graph.num_vertices();
+        // Out-of-core: rewrite only the segments a dirty endpoint lives in
+        // (plus fresh segments for appended vertices); the clean ones keep
+        // their bytes and any warm buffer-pool frames. This runs *before*
+        // any server state mutates: a store that can be neither patched nor
+        // rebuilt leaves the previous version serving untouched.
+        let (storage, segments_rewritten) = match &self.storage {
+            Some(storage) => match storage.patched(&graph, &effect.dirty) {
+                Ok((mut patched, rewritten)) => {
+                    patched.set_recovery(&graph);
+                    (Some(Arc::new(patched)), rewritten)
+                }
+                Err(patch_err) => match self.rebuild_storage(&graph) {
+                    Ok((rebuilt, rewritten)) => (Some(rebuilt), rewritten),
+                    Err(rebuild_err) => {
+                        self.telemetry.end(batch_span, "batch", "server", 0);
+                        self.health.enter_read_only(format!(
+                            "segment store could not be patched ({patch_err}) or rebuilt \
+                             ({rebuild_err})"
+                        ));
+                        return Err(ApplyError::StoragePatch(rebuild_err));
+                    }
+                },
+            },
+            None => (None, 0),
+        };
+        // Everything past this point mutates server state; remember what a
+        // poisoned-execution rollback must restore.
+        let pending_before = self.pending_guidance_dirty.clone();
         // Defer guidance repair: remember what this batch dirtied (including
         // every appended vertex id — repair needs them in its dirty set to
         // reproduce regeneration exactly) and only pay for the repair on the
@@ -390,50 +556,69 @@ where
         let (layout, layout_patch) =
             self.layout
                 .patched(&graph, &owned, self.config.cluster.chunk_size, &touched);
-        // Out-of-core: rewrite only the segments a dirty endpoint lives in
-        // (plus fresh segments for appended vertices); the clean ones keep
-        // their bytes and any warm buffer-pool frames.
-        let (storage, segments_rewritten) = match &self.storage {
-            Some(storage) => {
-                let (patched, rewritten) = storage
-                    .patched(&graph, &effect.dirty)
-                    .expect("failed to patch out-of-core segments");
-                (Some(Arc::new(patched)), rewritten)
-            }
-            None => (None, 0),
-        };
-        let cluster = Cluster::with_shared_partitioning(
-            Arc::clone(&self.partitioning),
-            self.config.cluster.clone(),
-        );
-        let mut engine = SlfeEngine::with_prebuilt_layout_and_storage(
+        let (mut result, distribution_messages) = self.run_engine(
             &graph,
-            cluster,
-            self.config.engine.clone(),
-            rrg.clone(),
-            Arc::clone(&self.pool),
-            layout.clone(),
+            &program,
+            &rrg,
+            &layout,
             storage.clone(),
+            full_recompute,
+            &effect,
         );
-        engine.set_telemetry(Arc::clone(&self.telemetry));
-        let run_span = self.telemetry.begin();
-        let result = if full_recompute {
-            engine.run(&program)
-        } else {
-            engine.run_from_effect(&program, &self.result, &effect)
-        };
-        let run_name = if full_recompute {
-            "cold_run"
-        } else {
-            "warm_restart"
-        };
-        self.telemetry.end(run_span, run_name, "server", 0);
-        let distribution_messages = engine.cluster().record_batch_distribution(
-            self.config.ingest_node,
-            effect.dirty.iter().copied(),
-            UPDATE_RECORD_BYTES,
-        );
-        drop(engine);
+        let mut storage = storage;
+        let mut segments_rewritten = segments_rewritten;
+        // A poisoned run means segment reads failed beyond what retries and
+        // quarantine-rebuilds could absorb — the computed values may rest on
+        // placeholder (empty) adjacency lists. Discard them, rebuild the
+        // store from the authoritative in-memory graph, and re-drive the run
+        // once; a second poisoning rolls the server back to the previous
+        // version and flips it read-only.
+        let poison_note = storage.as_ref().and_then(|s| {
+            s.take_poisoned().then(|| {
+                s.poison_note()
+                    .unwrap_or_else(|| "unreadable segments".to_string())
+            })
+        });
+        if let Some(note) = poison_note {
+            self.faults.note_poisoned_run();
+            let redriven = self
+                .rebuild_storage(&graph)
+                .and_then(|(rebuilt, rewritten)| {
+                    let (rerun, _) = self.run_engine(
+                        &graph,
+                        &program,
+                        &rrg,
+                        &layout,
+                        Some(Arc::clone(&rebuilt)),
+                        full_recompute,
+                        &effect,
+                    );
+                    if rebuilt.take_poisoned() {
+                        self.faults.note_poisoned_run();
+                        Err(io::Error::other(rebuilt.poison_note().unwrap_or_else(
+                            || "still unreadable after a rebuild".to_string(),
+                        )))
+                    } else {
+                        Ok((rebuilt, rewritten, rerun))
+                    }
+                });
+            match redriven {
+                Ok((rebuilt, rewritten, rerun)) => {
+                    storage = Some(rebuilt);
+                    segments_rewritten = rewritten;
+                    result = rerun;
+                }
+                Err(e) => {
+                    self.telemetry.end(batch_span, "batch", "server", 0);
+                    self.rollback_batch(old_n, pending_before);
+                    let note = format!("{note}; {e}");
+                    self.health.enter_read_only(format!(
+                        "execution poisoned ({note}); restart the server to recover via WAL replay"
+                    ));
+                    return Err(ApplyError::ExecutionPoisoned { note });
+                }
+            }
+        }
 
         let (storage_live_bytes, storage_dead_bytes) = Self::storage_byte_health(&storage);
         let wall = start.elapsed();
@@ -454,6 +639,7 @@ where
             storage_dead_bytes,
             wall_seconds: wall.as_secs_f64(),
             wal_fsync_seconds: 0.0,
+            degraded: false,
         };
         self.stats.batches_applied += 1;
         self.stats.total_work += outcome.work;
@@ -466,7 +652,7 @@ where
         self.storage = storage;
         self.program = program;
         self.result = result;
-        outcome
+        Ok(outcome)
     }
 
     /// Point query: the program's current value at `v` (`None` when `v` is
@@ -552,6 +738,26 @@ where
     /// Durability activity counters, when this server is durable.
     pub fn durability_counters(&self) -> Option<&DurabilityCounters> {
         self.durability.as_ref().map(|d| &d.counters)
+    }
+
+    /// Degradation state: read-only mode, snapshot staleness, recovery
+    /// actions taken.
+    pub fn health(&self) -> &Health {
+        &self.health
+    }
+
+    /// The fault injector every disk touchpoint of this server consults.
+    /// Tests arm it mid-serving with [`FaultInjector::arm`]; it is disarmed
+    /// (and injects nothing) unless a [`ServerConfig::fault_plan`] or a test
+    /// armed it.
+    pub fn fault_injector(&self) -> &Arc<FaultInjector> {
+        &self.faults
+    }
+
+    /// Cumulative injected-fault and recovery counters (retries,
+    /// quarantines, poisoned runs) across the serving lifetime.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults.counters()
     }
 
     /// Sequence number of the last WAL-logged batch, when durable.
@@ -764,6 +970,66 @@ where
             "Guidance updates that fell back to full regeneration",
             self.stats.guidance_regenerations as f64,
         );
+
+        let fc = self.fault_counters();
+        for (kind, value) in [
+            ("transient", fc.injected_transient),
+            ("permanent", fc.injected_permanent),
+            ("short_io", fc.injected_short_io),
+            ("disk_full", fc.injected_disk_full),
+        ] {
+            reg.counter_with(
+                "slfe_faults_injected_total",
+                &[("kind", kind)],
+                "Faults the deterministic injector delivered to disk touchpoints",
+                value as f64,
+            );
+        }
+        reg.counter(
+            "slfe_io_retries_total",
+            "I/O attempts retried after a failure (bounded exponential backoff)",
+            fc.io_retries as f64,
+        );
+        reg.counter(
+            "slfe_io_retry_successes_total",
+            "I/O operations that succeeded on a retry after failing at least once",
+            fc.io_retry_successes as f64,
+        );
+        reg.counter(
+            "slfe_segments_quarantined_total",
+            "Unreadable segments quarantined and rebuilt from the in-memory graph",
+            fc.segments_quarantined as f64,
+        );
+        reg.counter(
+            "slfe_poisoned_runs_total",
+            "Engine runs discarded because segment reads failed beyond recovery",
+            fc.poisoned_runs as f64,
+        );
+        reg.gauge(
+            "slfe_health_read_only",
+            "1 when the update side is disabled after an unrecoverable write failure",
+            self.health.is_read_only() as u64 as f64,
+        );
+        reg.gauge(
+            "slfe_health_degraded",
+            "1 when any serving guarantee is currently weakened",
+            self.health.is_degraded() as u64 as f64,
+        );
+        reg.counter(
+            "slfe_snapshot_failures_total",
+            "Snapshot attempts that failed (the server keeps serving; the WAL grows)",
+            self.health.snapshot_failures() as f64,
+        );
+        reg.counter(
+            "slfe_wal_trim_failures_total",
+            "WAL trims after a successful snapshot that failed (harmless: replay skips)",
+            self.health.wal_trim_failures() as f64,
+        );
+        reg.counter(
+            "slfe_storage_rebuilds_total",
+            "Full segment-store rebuilds after a patch failure or poisoned run",
+            self.health.storage_rebuilds() as f64,
+        );
         reg
     }
 
@@ -784,18 +1050,60 @@ where
     /// snapshot (and possibly compact the segment files) if the cadence says
     /// so. On a non-durable server this is exactly `apply_committed`.
     ///
-    /// Write-side I/O failure panics — a server that cannot log can no longer
-    /// honor its durability contract, and silently continuing would.
+    /// Unrecoverable write-side failure panics — use
+    /// [`DeltaServer::try_apply`] for the typed graceful-degradation
+    /// contract. A failed *snapshot* never fails the apply on either entry
+    /// point: the batch is durable in the WAL, so the server keeps serving
+    /// with [`BatchOutcome::degraded`] set and the WAL growing until a later
+    /// snapshot lands.
     pub fn apply(&mut self, batch: &UpdateBatch) -> BatchOutcome {
+        self.try_apply(batch)
+            .unwrap_or_else(|e| panic!("failed to apply a batch: {e}"))
+    }
+
+    /// [`DeltaServer::apply`] with the graceful-degradation contract:
+    ///
+    /// * Transient I/O faults are absorbed by bounded retries — the outcome
+    ///   is bit-identical to a fault-free apply.
+    /// * A WAL append that cannot complete within the retry budget (or hits
+    ///   ENOSPC) means the durability contract is broken: the batch is
+    ///   rejected, the server flips read-only, and queries keep answering
+    ///   from the last published version.
+    /// * An unrecoverable segment-store failure likewise rejects the batch
+    ///   read-only, still serving the previous version.
+    /// * A failed snapshot or compaction is absorbed: the batch succeeds
+    ///   with [`BatchOutcome::degraded`] set.
+    ///
+    /// Once read-only, every subsequent call returns
+    /// [`ApplyError::ReadOnly`] without touching the WAL.
+    pub fn try_apply(&mut self, batch: &UpdateBatch) -> Result<BatchOutcome, ApplyError> {
+        if self.health.is_read_only() {
+            return Err(ApplyError::ReadOnly {
+                reason: self
+                    .health
+                    .read_only_reason()
+                    .unwrap_or("unknown")
+                    .to_string(),
+            });
+        }
         let telemetry = Arc::clone(&self.telemetry);
         let mut wal_fsync_seconds = 0.0;
         if let Some(d) = self.durability.as_mut() {
             let seq = d.seq + 1;
             let append_span = telemetry.begin();
-            let append = d
-                .wal
-                .append(seq, batch)
-                .expect("failed to append the batch to the write-ahead log");
+            let append = match d.wal.append(seq, batch) {
+                Ok(a) => a,
+                Err(e) => {
+                    telemetry.end(append_span, "wal_append", "server", 0);
+                    let cause = if is_disk_full(&e) {
+                        "disk full (ENOSPC) on WAL append"
+                    } else {
+                        "WAL append failed"
+                    };
+                    self.health.enter_read_only(format!("{cause}: {e}"));
+                    return Err(ApplyError::WalAppend(e));
+                }
+            };
             telemetry.end(append_span, "wal_append", "server", 0);
             telemetry.record_ns(HIST_WAL_FSYNC, append.fsync_nanos);
             wal_fsync_seconds = append.fsync_nanos as f64 * 1e-9;
@@ -804,11 +1112,15 @@ where
             d.counters.wal_bytes_appended += append.frame_bytes;
             d.counters.wal_fsyncs += 1;
         }
-        let mut outcome = self.apply_committed(batch);
+        let mut outcome = self.try_apply_committed(batch)?;
         outcome.wal_fsync_seconds = wal_fsync_seconds;
-        self.maybe_snapshot()
-            .expect("failed to write a fixpoint snapshot");
-        outcome
+        if let Err(e) = self.maybe_snapshot() {
+            // The batch is durable (WAL) and applied (memory): a failed
+            // snapshot only means the recovery point is going stale.
+            self.health.note_snapshot_failure(&e);
+            outcome.degraded = true;
+        }
+        Ok(outcome)
     }
 
     /// Snapshot now if the cadence (batches since the last snapshot, or WAL
@@ -829,6 +1141,8 @@ where
     /// rename), compact the out-of-core segment files first when their
     /// dead-byte fraction exceeds [`DurabilityConfig::max_dead_fraction`],
     /// then trim the WAL — every logged batch is now covered by the snapshot.
+    /// A trim failure is absorbed (replay skips covered entries); a snapshot
+    /// write failure is returned and leaves the previous snapshot intact.
     ///
     /// Panics when called on a server without durability state.
     pub fn snapshot(&mut self) -> io::Result<()> {
@@ -858,7 +1172,7 @@ where
             d.counters.compaction_bytes_reclaimed += reclaimed;
         }
         let d = self.durability.as_mut().unwrap();
-        let bytes = durability::write_snapshot(
+        let write = durability::write_snapshot(
             &d.config,
             &SnapshotState {
                 seq: d.seq,
@@ -869,15 +1183,27 @@ where
                 owners: self.partitioning.owners(),
                 num_parts: self.partitioning.num_parts(),
             },
-        )?;
+            Some(&self.faults),
+        );
+        let bytes = match write {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                self.telemetry.end(snapshot_span, "snapshot", "server", 0);
+                return Err(e);
+            }
+        };
         d.counters.snapshots_written += 1;
         d.counters.snapshot_bytes_written += bytes;
         d.snapshot_seq = d.seq;
-        // Safe even if we die before this lands: replay skips entries at or
-        // below the snapshot's sequence number.
-        let trimmed = d.wal.truncate_all();
+        self.health.note_snapshot_success();
+        // Safe even if we die — or the trim fails — before this lands:
+        // replay skips entries at or below the snapshot's sequence number,
+        // so a failed trim costs replay time, never correctness.
+        if d.wal.truncate_all().is_err() {
+            self.health.note_wal_trim_failure();
+        }
         self.telemetry.end(snapshot_span, "snapshot", "server", 0);
-        trimmed
+        Ok(())
     }
 
     /// Build a fresh durable server: run [`DeltaServer::new`], then write the
@@ -889,8 +1215,12 @@ where
         durability: DurabilityConfig,
     ) -> io::Result<Self> {
         std::fs::create_dir_all(&durability.dir)?;
-        let mut server = Self::new(graph, make_program, config);
-        let (wal, _) = Wal::open(&durability.wal_path())?;
+        let mut server = Self::try_new(graph, make_program, config)?;
+        let (wal, _) = Wal::open_with(
+            &durability.wal_path(),
+            Some(Arc::clone(&server.faults)),
+            durability.retry,
+        )?;
         let mut state = DurabilityState {
             config: durability,
             wal,
@@ -920,13 +1250,17 @@ where
         config: ServerConfig,
         durability: DurabilityConfig,
     ) -> Result<Self, DurabilityError> {
-        let snap = durability::read_snapshot::<P::Value>(&durability)?;
+        let faults = match &config.fault_plan {
+            Some(plan) => FaultInjector::armed(plan.clone()),
+            None => FaultInjector::disabled(),
+        };
+        let snap = durability::read_snapshot::<P::Value>(&durability, Some(&faults))?;
         if snap.num_parts != config.cluster.num_nodes {
             return Err(DurabilityError::CorruptSnapshot {
                 reason: "snapshot partitioning does not match the cluster config",
             });
         }
-        let graph = snap.graph;
+        let graph = Arc::new(snap.graph);
         let n = graph.num_vertices();
         let pool = Arc::new(WorkerPool::new(config.cluster.total_workers()));
         let program = make_program(&graph);
@@ -936,7 +1270,12 @@ where
         let layout = cluster.build_layout(&graph);
         drop(cluster);
         let storage = match config.engine.storage_config() {
-            Some(sc) => Some(Arc::new(GraphStorage::build(&graph, &sc)?)),
+            Some(sc) => {
+                let mut s =
+                    GraphStorage::build_with_faults(&graph, &sc, Some(Arc::clone(&faults)))?;
+                s.set_recovery(&graph);
+                Some(Arc::new(s))
+            }
             None => None,
         };
         // The fixpoint values are the snapshot's; the run-shaped metadata is
@@ -951,7 +1290,11 @@ where
             ],
             converged: true,
         };
-        let (wal, replay) = Wal::open(&durability.wal_path())?;
+        let (wal, replay) = Wal::open_with(
+            &durability.wal_path(),
+            Some(Arc::clone(&faults)),
+            durability.retry,
+        )?;
         let mut counters = DurabilityCounters::zero();
         counters.wal_bytes_truncated += replay.bytes_truncated;
         let config_telemetry = config.engine.telemetry;
@@ -970,6 +1313,8 @@ where
             pending_guidance_dirty: Vec::new(),
             durability: None,
             telemetry: Arc::new(Telemetry::new(config_telemetry)),
+            faults,
+            health: Health::new(),
         };
         // Re-drive the unacknowledged suffix through the exact same path the
         // live server used. Entries at or below the snapshot's sequence are
@@ -980,7 +1325,9 @@ where
             if entry_seq <= snap.seq {
                 continue;
             }
-            server.apply_committed(&batch);
+            server
+                .try_apply_committed(&batch)
+                .map_err(|e| DurabilityError::Io(io::Error::other(e.to_string())))?;
             counters.wal_entries_replayed += 1;
             seq = entry_seq;
         }
@@ -993,8 +1340,11 @@ where
         });
         // Replay may have pushed the cadence past its trigger; snapshotting
         // *after* the loop (never mid-replay) keeps the WAL intact until
-        // every entry is re-applied.
-        server.maybe_snapshot()?;
+        // every entry is re-applied. A failed snapshot here degrades health
+        // instead of failing the open — the WAL still covers every entry.
+        if let Err(e) = server.maybe_snapshot() {
+            server.health.note_snapshot_failure(&e);
+        }
         Ok(server)
     }
 

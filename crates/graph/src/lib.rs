@@ -23,6 +23,9 @@
 //!   byte-budgeted clock [`BufferPool`]; the [`AdjacencyStore`] trait lets the
 //!   engine traverse either representation bit-identically, and
 //!   [`GraphStorage::patched`] rewrites only dirty segments per update batch.
+//! * [`faults`] — deterministic, seeded I/O fault injection ([`FaultPlan`] /
+//!   [`FaultInjector`]) threaded through every disk touchpoint, plus the
+//!   bounded-backoff [`with_retries`] loop the recovery paths share.
 //! * [`rng`] — a tiny dependency-free SplitMix64 PRNG backing the generators.
 //! * [`io`] — plain-text edge-list load/save.
 //! * [`datasets`] — a registry of the seven named graphs of the paper (PK, OK, LJ,
@@ -34,6 +37,7 @@ pub mod builder;
 pub mod csr;
 pub mod datasets;
 pub mod delta;
+pub mod faults;
 pub mod generators;
 pub mod graph;
 pub mod io;
@@ -46,6 +50,10 @@ pub use bitset::{AtomicBitset, Bitset};
 pub use builder::GraphBuilder;
 pub use csr::Adjacency;
 pub use delta::{BatchEffect, UpdateBatch};
+pub use faults::{
+    is_disk_full, with_retries, FaultAction, FaultInjector, FaultKind, FaultPlan, FaultRule,
+    FaultSite, RetryPolicy, ALL_FAULT_SITES,
+};
 pub use graph::Graph;
 pub use storage::{
     AdjacencyStore, AdjacencyView, BufferPool, GraphStorage, PoolCounters, SegmentedStore,

@@ -36,6 +36,8 @@
 //! bit-for-bit equivalence tests rest on that.
 
 use crate::csr::Adjacency;
+use crate::faults::{is_disk_full, FaultAction, FaultInjector, FaultSite, RetryPolicy};
+use crate::io::binary::crc32;
 use crate::types::{EdgeWeight, VertexId};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -168,9 +170,12 @@ impl SegmentData {
         (&self.targets[lo..hi], &self.weights[lo..hi])
     }
 
-    /// Serialize to the on-disk little-endian layout (offsets, targets, weights).
+    /// Serialize to the on-disk little-endian layout (offsets, targets,
+    /// weights) followed by a CRC32 of the payload, so a torn, short or
+    /// bit-flipped segment read is detected at decode time instead of being
+    /// traversed as garbage adjacency.
     fn encode(&self) -> Vec<u8> {
-        let mut bytes = Vec::with_capacity(self.resident_bytes() as usize);
+        let mut bytes = Vec::with_capacity(self.resident_bytes() as usize + 4);
         for &o in &self.offsets {
             bytes.extend_from_slice(&o.to_le_bytes());
         }
@@ -180,15 +185,26 @@ impl SegmentData {
         for &w in &self.weights {
             bytes.extend_from_slice(&w.to_le_bytes());
         }
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
         bytes
     }
 
     /// Decode the on-disk layout; counts come from the directory entry.
-    fn decode(meta: &SegmentMeta, bytes: &[u8]) -> Self {
+    /// Returns `None` when the byte length does not match the directory or
+    /// the trailing CRC32 does not match the payload.
+    fn decode(meta: &SegmentMeta, bytes: &[u8]) -> Option<Self> {
         let nv = meta.num_vertices as usize;
         let ne = meta.num_edges as usize;
-        assert_eq!(bytes.len(), (nv + 1) * 4 + ne * 8, "corrupt segment");
-        let word = |i: usize| -> [u8; 4] { bytes[i * 4..i * 4 + 4].try_into().unwrap() };
+        if bytes.len() != (nv + 1) * 4 + ne * 8 + 4 {
+            return None;
+        }
+        let (payload, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4-byte split"));
+        if crc32(payload) != stored {
+            return None;
+        }
+        let word = |i: usize| -> [u8; 4] { payload[i * 4..i * 4 + 4].try_into().unwrap() };
         let offsets = (0..nv + 1).map(|i| u32::from_le_bytes(word(i))).collect();
         let targets = (0..ne)
             .map(|i| VertexId::from_le_bytes(word(nv + 1 + i)))
@@ -196,11 +212,23 @@ impl SegmentData {
         let weights = (0..ne)
             .map(|i| EdgeWeight::from_le_bytes(word(nv + 1 + ne + i)))
             .collect();
-        Self {
+        Some(Self {
             v_start: meta.v_start,
             offsets,
             targets,
             weights,
+        })
+    }
+
+    /// Placeholder for a segment that could be neither read nor rebuilt: the
+    /// right vertex range with every list empty. Only ever served on a
+    /// poisoned run, whose result the server discards.
+    fn empty_for(meta: &SegmentMeta) -> Self {
+        Self {
+            v_start: meta.v_start,
+            offsets: vec![0; meta.num_vertices as usize + 1],
+            targets: Vec::new(),
+            weights: Vec::new(),
         }
     }
 }
@@ -227,6 +255,12 @@ struct SegmentMeta {
 impl SegmentMeta {
     fn v_end(&self) -> VertexId {
         self.v_start + self.num_vertices
+    }
+
+    /// In-RAM bytes of the decoded segment (the on-disk `bytes` minus the
+    /// trailing CRC): what the buffer pool reserves before loading.
+    fn decoded_bytes(&self) -> u64 {
+        (self.num_vertices as u64 + 1) * 4 + self.num_edges * 8
     }
 }
 
@@ -359,9 +393,16 @@ impl BufferPool {
 
     /// Fetch the segment identified by `key`, loading it through `load` on a
     /// miss. The returned `Arc` pins the frame against eviction.
+    ///
+    /// The frame's budget (`expected_bytes`, the decoded size known from the
+    /// directory) is **reserved before** the load and **released if the load
+    /// fails**, so `resident_bytes` can never drift above the budget no
+    /// matter how many reads fail mid-fault — a failed load leaves the pool's
+    /// accounting exactly where it was.
     fn get(
         &self,
         key: (u64, u64),
+        expected_bytes: u64,
         load: impl FnOnce() -> io::Result<(SegmentData, u64)>,
     ) -> io::Result<Arc<SegmentData>> {
         {
@@ -372,6 +413,13 @@ impl BufferPool {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(Arc::clone(&frame.data));
             }
+            // Reserve the incoming frame's bytes now, evicting to make room.
+            Self::evict_until(
+                &mut inner,
+                self.budget_bytes.saturating_sub(expected_bytes),
+                &self.evictions,
+            );
+            inner.resident_bytes += expected_bytes;
         }
         // Miss: read and decode *outside* the lock, so workers faulting
         // distinct segments stream from disk concurrently — in the
@@ -382,7 +430,14 @@ impl BufferPool {
         // fault counters stay honest (both reads really happened).
         let telemetry = self.telemetry_handle();
         let fault_start = telemetry.as_ref().map(|t| t.clock().now_ns());
-        let (data, disk_bytes) = load()?;
+        let (data, disk_bytes) = match load() {
+            Ok(loaded) => loaded,
+            Err(e) => {
+                // Release the reservation: the frame never materialised.
+                self.inner.lock().unwrap().resident_bytes -= expected_bytes;
+                return Err(e);
+            }
+        };
         if let (Some(t), Some(start_ns)) = (&telemetry, fault_start) {
             let dur_ns = t.clock().now_ns().saturating_sub(start_ns);
             t.push_span(SpanEvent {
@@ -398,17 +453,18 @@ impl BufferPool {
         self.bytes_read.fetch_add(disk_bytes, Ordering::Relaxed);
         let mut inner = self.inner.lock().unwrap();
         if let Some(&slot) = inner.map.get(&key) {
+            // A racing worker inserted the same segment while we loaded:
+            // keep its copy, drop ours, hand back our reservation.
+            inner.resident_bytes -= expected_bytes;
             let frame = inner.frames[slot].as_mut().expect("mapped frame");
             frame.referenced = true;
             return Ok(Arc::clone(&frame.data));
         }
         let data = Arc::new(data);
         let bytes = data.resident_bytes();
-        Self::evict_until(
-            &mut inner,
-            self.budget_bytes.saturating_sub(bytes),
-            &self.evictions,
-        );
+        // Trade the reservation for the actual decoded size (equal in
+        // practice — both derive from the directory entry).
+        inner.resident_bytes = inner.resident_bytes - expected_bytes + bytes;
         let slot = inner.free.pop().unwrap_or_else(|| {
             inner.frames.push(None);
             inner.frames.len() - 1
@@ -420,10 +476,40 @@ impl BufferPool {
             referenced: true,
         });
         inner.map.insert(key, slot);
-        inner.resident_bytes += bytes;
         self.peak_resident
             .fetch_max(inner.resident_bytes, Ordering::Relaxed);
         Ok(data)
+    }
+
+    /// Insert an already-decoded segment (a quarantine rebuild holds the data
+    /// in hand — re-reading the replacement it just wrote would be wasted
+    /// I/O). Same budget bookkeeping as a loaded frame; a no-op if the key is
+    /// already resident.
+    fn insert(&self, key: (u64, u64), data: Arc<SegmentData>) {
+        let bytes = data.resident_bytes();
+        let mut inner = self.inner.lock().unwrap();
+        if inner.map.contains_key(&key) {
+            return;
+        }
+        Self::evict_until(
+            &mut inner,
+            self.budget_bytes.saturating_sub(bytes),
+            &self.evictions,
+        );
+        let slot = inner.free.pop().unwrap_or_else(|| {
+            inner.frames.push(None);
+            inner.frames.len() - 1
+        });
+        inner.frames[slot] = Some(Frame {
+            key,
+            data,
+            bytes,
+            referenced: true,
+        });
+        inner.map.insert(key, slot);
+        inner.resident_bytes += bytes;
+        self.peak_resident
+            .fetch_max(inner.resident_bytes, Ordering::Relaxed);
     }
 
     /// Clock-evict unpinned frames until resident bytes fit `target`, or every
@@ -539,6 +625,66 @@ fn next_file_id() -> u64 {
     NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
+/// The authoritative in-memory adjacency a quarantined segment is rebuilt
+/// from: the graph version this store generation serves (itself recovered
+/// from snapshot + WAL replay on a durable server), plus which direction of
+/// it this store encodes.
+#[derive(Clone)]
+struct RecoverySource {
+    graph: Arc<crate::Graph>,
+    outgoing: bool,
+}
+
+impl std::fmt::Debug for RecoverySource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecoverySource")
+            .field("outgoing", &self.outgoing)
+            .field("num_vertices", &self.graph.num_vertices())
+            .finish()
+    }
+}
+
+/// Per-store fault-handling state: the (optional) shared injector, the retry
+/// policy, the recovery source for quarantine rebuilds, and the quarantine
+/// directory overrides. Everything `Arc`-shared here survives `clone()` so a
+/// view pinned on an old generation keeps its fault machinery.
+#[derive(Debug, Clone, Default)]
+struct FaultState {
+    injector: Option<Arc<FaultInjector>>,
+    retry: RetryPolicy,
+    recovery: Option<RecoverySource>,
+    /// Directory index → replacement entry for segments whose original bytes
+    /// became unreadable and were rebuilt at a fresh file offset. Folded into
+    /// the directory proper on the next `patched()`/`compacted()` generation.
+    quarantined: Arc<Mutex<HashMap<usize, SegmentMeta>>>,
+    /// Relaxed fast-path guard so fetches skip the quarantine lock until the
+    /// first quarantine actually happens.
+    has_quarantined: Arc<AtomicBool>,
+    /// Set when a segment could be neither read nor rebuilt and a placeholder
+    /// was served: the current traversal's result is garbage and must be
+    /// discarded by the caller (see `GraphStorage::take_poisoned`).
+    poisoned: Arc<AtomicBool>,
+    /// Human-readable cause of the poisoning, for health reporting.
+    poison_note: Arc<Mutex<Option<String>>>,
+}
+
+impl FaultState {
+    /// The state a fresh store generation (patch or compaction) starts from:
+    /// same injector/retry/poison channel, but an empty quarantine map — the
+    /// new generation's directory already points at live replacement bytes.
+    fn fresh_generation(&self) -> Self {
+        Self {
+            injector: self.injector.clone(),
+            retry: self.retry,
+            recovery: self.recovery.clone(),
+            quarantined: Arc::new(Mutex::new(HashMap::new())),
+            has_quarantined: Arc::new(AtomicBool::new(false)),
+            poisoned: Arc::clone(&self.poisoned),
+            poison_note: Arc::clone(&self.poison_note),
+        }
+    }
+}
+
 /// One adjacency direction stored on disk in self-contained segments.
 #[derive(Debug, Clone)]
 pub struct SegmentedStore {
@@ -548,6 +694,7 @@ pub struct SegmentedStore {
     segments: Vec<SegmentMeta>,
     num_vertices: usize,
     num_edges: usize,
+    faults: FaultState,
 }
 
 impl SegmentedStore {
@@ -559,7 +706,7 @@ impl SegmentedStore {
         segment_bytes: usize,
         pool: Arc<BufferPool>,
     ) -> io::Result<Self> {
-        Self::build_in(adj, path, segment_bytes, pool, None)
+        Self::build_in(adj, path, segment_bytes, pool, None, FaultState::default())
     }
 
     fn build_in(
@@ -568,6 +715,7 @@ impl SegmentedStore {
         segment_bytes: usize,
         pool: Arc<BufferPool>,
         dir: Option<Arc<StorageDir>>,
+        faults: FaultState,
     ) -> io::Result<Self> {
         let file = OpenOptions::new()
             .read(true)
@@ -587,6 +735,7 @@ impl SegmentedStore {
             segments: Vec::new(),
             num_vertices: adj.num_vertices(),
             num_edges: adj.num_edges(),
+            faults,
         };
         let metas = store.append_range(adj, 0, adj.num_vertices() as VertexId, segment_bytes)?;
         store.segments = metas;
@@ -632,17 +781,42 @@ impl SegmentedStore {
         Ok(metas)
     }
 
-    /// Append one encoded segment, reserving its byte range on the shared file.
+    /// Append one encoded segment, reserving its byte range on the shared
+    /// file. The offset is reserved once and the write retried in place on
+    /// transient failure (partial bytes from a failed attempt are simply
+    /// overwritten), so retries never leak file space.
     fn append_segment(&mut self, data: &SegmentData) -> io::Result<SegmentMeta> {
-        use std::io::{Seek, SeekFrom, Write};
+        Self::append_segment_to(&self.file, data, &self.faults)
+    }
+
+    fn append_segment_to(
+        store_file: &StoreFile,
+        data: &SegmentData,
+        faults: &FaultState,
+    ) -> io::Result<SegmentMeta> {
         let encoded = data.encode();
-        let offset = self
-            .file
+        let offset = store_file
             .append_cursor
             .fetch_add(encoded.len() as u64, Ordering::Relaxed);
-        let mut file = &self.file.file;
-        file.seek(SeekFrom::Start(offset))?;
-        file.write_all(&encoded)?;
+        crate::faults::with_retries(&faults.retry, faults.injector.as_deref(), || {
+            if let Some(inj) = &faults.injector {
+                match inj.on_io(FaultSite::SegmentWrite) {
+                    Some(FaultAction::Error(e)) => return Err(e),
+                    Some(FaultAction::ShortIo) => {
+                        // Land half the bytes, then report the short write;
+                        // the retry rewrites the full range at the same
+                        // offset.
+                        write_exact_at(&store_file.file, &encoded[..encoded.len() / 2], offset)?;
+                        return Err(io::Error::new(
+                            io::ErrorKind::WriteZero,
+                            "injected short segment write",
+                        ));
+                    }
+                    None => {}
+                }
+            }
+            write_exact_at(&store_file.file, &encoded, offset)
+        })?;
         Ok(SegmentMeta {
             v_start: data.v_start,
             num_vertices: data.num_vertices() as u32,
@@ -658,28 +832,163 @@ impl SegmentedStore {
         self.segments.partition_point(|m| m.v_end() <= v)
     }
 
+    /// The live directory entry for `idx`: the quarantine replacement when
+    /// the original bytes went bad, the directory entry otherwise.
+    fn live_meta(&self, idx: usize) -> SegmentMeta {
+        if self.faults.has_quarantined.load(Ordering::Acquire) {
+            if let Some(meta) = self
+                .faults
+                .quarantined
+                .lock()
+                .expect("quarantine lock poisoned")
+                .get(&idx)
+            {
+                return *meta;
+            }
+        }
+        self.segments[idx]
+    }
+
     /// Fault (or hit) segment `idx` through the pool.
+    ///
+    /// Never panics on I/O failure: transient errors are retried with bounded
+    /// exponential backoff; a segment whose bytes stay unreadable is
+    /// quarantined — rebuilt from the recovery source at a fresh file offset
+    /// and served bit-identically. Only when that too is impossible does the
+    /// store serve an empty placeholder and mark itself poisoned, telling the
+    /// server to discard the run's result.
     fn fetch(&self, idx: usize) -> Arc<SegmentData> {
-        let meta = self.segments[idx];
+        let meta = self.live_meta(idx);
+        let mut attempt = 0u32;
+        let err = loop {
+            match self.load_segment(&meta) {
+                Ok(data) => {
+                    if attempt > 0 {
+                        if let Some(inj) = &self.faults.injector {
+                            inj.note_retry_success();
+                        }
+                    }
+                    return data;
+                }
+                Err(e) if attempt < self.faults.retry.max_retries && !is_disk_full(&e) => {
+                    if let Some(inj) = &self.faults.injector {
+                        inj.note_retry();
+                    }
+                    std::thread::sleep(self.faults.retry.backoff(attempt));
+                    attempt += 1;
+                }
+                Err(e) => break e,
+            }
+        };
+        match self.quarantine_rebuild(idx, &meta) {
+            Ok(data) => data,
+            Err(rebuild_err) => {
+                *self
+                    .faults
+                    .poison_note
+                    .lock()
+                    .expect("poison note lock poisoned") = Some(format!(
+                    "segment {}..{} unreadable ({err}) and unrebuildable ({rebuild_err})",
+                    meta.v_start,
+                    meta.v_end()
+                ));
+                self.faults.poisoned.store(true, Ordering::Release);
+                Arc::new(SegmentData::empty_for(&meta))
+            }
+        }
+    }
+
+    /// One pool-mediated load attempt for the segment described by `meta`.
+    fn load_segment(&self, meta: &SegmentMeta) -> io::Result<Arc<SegmentData>> {
         // Only consulted on a miss; `telemetry_handle` is an atomic-bool
         // check when no hub is attached.
         let telemetry = self.pool.telemetry_handle();
-        self.pool
-            .get((self.file.id, meta.file_offset), || {
+        self.pool.get(
+            (self.file.id, meta.file_offset),
+            meta.decoded_bytes(),
+            || {
+                let mut short_read = false;
+                if let Some(inj) = &self.faults.injector {
+                    match inj.on_io(FaultSite::SegmentRead) {
+                        Some(FaultAction::Error(e)) => return Err(e),
+                        Some(FaultAction::ShortIo) => short_read = true,
+                        None => {}
+                    }
+                }
                 let mut bytes = vec![0u8; meta.bytes as usize];
                 let read_began = telemetry.as_ref().map(|t| t.begin());
                 read_exact_at(&self.file.file, &mut bytes, meta.file_offset)?;
+                if short_read {
+                    // Deliver a truncated buffer: the validation below must
+                    // catch it exactly as it would a real torn read.
+                    bytes.truncate(bytes.len() / 2);
+                }
                 if let (Some(t), Some(h)) = (&telemetry, read_began) {
                     t.end(h, "disk_read", "storage", Telemetry::lane());
                 }
                 let decode_began = telemetry.as_ref().map(|t| t.begin());
-                let data = SegmentData::decode(&meta, &bytes);
+                let data = SegmentData::decode(meta, &bytes).ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "segment failed length/CRC validation (short read or corruption)",
+                    )
+                })?;
                 if let (Some(t), Some(h)) = (&telemetry, decode_began) {
                     t.end(h, "decode", "storage", Telemetry::lane());
                 }
                 Ok((data, meta.bytes))
-            })
-            .expect("segment read failed (store file vanished?)")
+            },
+        )
+    }
+
+    /// Rebuild an unreadable segment's bytes from the recovery source (the
+    /// in-memory graph this store generation serves), append the replacement
+    /// at a fresh offset, and repoint the quarantine directory at it. The
+    /// rebuilt lists are the same lists the lost bytes encoded, so traversal
+    /// stays bit-identical.
+    fn quarantine_rebuild(&self, idx: usize, failed: &SegmentMeta) -> io::Result<Arc<SegmentData>> {
+        let src = self.faults.recovery.as_ref().ok_or_else(|| {
+            io::Error::other("no recovery source attached (plain out-of-core store)")
+        })?;
+        let adj = if src.outgoing {
+            src.graph.out_adjacency()
+        } else {
+            src.graph.in_adjacency()
+        };
+        if (failed.v_end() as usize) > adj.num_vertices() {
+            return Err(io::Error::other(
+                "recovery source covers an older graph version",
+            ));
+        }
+        let mut offsets: Vec<u32> = vec![0];
+        let mut targets: Vec<VertexId> = Vec::new();
+        let mut weights: Vec<EdgeWeight> = Vec::new();
+        for v in failed.v_start..failed.v_end() {
+            targets.extend_from_slice(adj.neighbors(v));
+            weights.extend_from_slice(adj.weights(v));
+            offsets.push(targets.len() as u32);
+        }
+        let data = SegmentData {
+            v_start: failed.v_start,
+            offsets,
+            targets,
+            weights,
+        };
+        let meta = Self::append_segment_to(&self.file, &data, &self.faults)?;
+        debug_assert_eq!(meta.num_edges, failed.num_edges, "recovery list mismatch");
+        self.faults
+            .quarantined
+            .lock()
+            .expect("quarantine lock poisoned")
+            .insert(idx, meta);
+        self.faults.has_quarantined.store(true, Ordering::Release);
+        if let Some(inj) = &self.faults.injector {
+            inj.note_quarantine();
+        }
+        let data = Arc::new(data);
+        self.pool
+            .insert((self.file.id, meta.file_offset), Arc::clone(&data));
+        Ok(data)
     }
 
     /// Number of segments in the directory.
@@ -751,14 +1060,18 @@ impl SegmentedStore {
         let mut segments = Vec::with_capacity(out.segments.len());
         let mut rewrite_cursor = 0usize;
         for (idx, old) in self.segments.iter().enumerate() {
+            // Quarantine replacements are the live bytes: clean segments
+            // carry them into the new generation's directory, dirty ones
+            // supersede them like any other live version.
+            let live = self.live_meta(idx);
             if rewrite.get(rewrite_cursor) == Some(&idx) {
                 rewrite_cursor += 1;
-                superseded.push((self.file.id, old.file_offset));
+                superseded.push((self.file.id, live.file_offset));
                 let fresh = out.append_range(new_adj, old.v_start, old.v_end(), segment_bytes)?;
                 rewritten += fresh.len() as u64;
                 segments.extend(fresh);
             } else {
-                segments.push(*old);
+                segments.push(live);
             }
         }
         if new_adj.num_vertices() > self.num_vertices {
@@ -772,6 +1085,11 @@ impl SegmentedStore {
             segments.extend(appended);
         }
         out.segments = segments;
+        // The new generation starts with an empty quarantine map (its
+        // directory already points at live bytes) but keeps the recovery
+        // source of *this* generation until the caller re-attaches the new
+        // graph version via `GraphStorage::set_recovery`.
+        out.faults = self.faults.fresh_generation();
         self.pool.invalidate(superseded);
         Ok((out, rewritten))
     }
@@ -812,6 +1130,42 @@ fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
         let mut f = file;
         f.seek(SeekFrom::Start(offset))?;
         f.read_exact(buf)
+    }
+}
+
+/// Positioned write with the same cursor-safety contract as
+/// [`read_exact_at`]: appends and quarantine rebuilds write at reserved
+/// offsets without disturbing concurrent positioned reads.
+fn write_exact_at(file: &File, buf: &[u8], offset: u64) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt;
+        file.write_all_at(buf, offset)
+    }
+    #[cfg(windows)]
+    {
+        use std::os::windows::fs::FileExt;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let n = file.seek_write(&buf[done..], offset + done as u64)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "segment write stalled",
+                ));
+            }
+            done += n;
+        }
+        Ok(())
+    }
+    #[cfg(not(any(unix, windows)))]
+    {
+        use std::io::{Seek, SeekFrom, Write};
+        static SEEK_LOCK: Mutex<()> = Mutex::new(());
+        let _guard = SEEK_LOCK.lock().unwrap();
+        let mut f = file;
+        f.seek(SeekFrom::Start(offset))?;
+        f.write_all(buf)
     }
 }
 
@@ -884,6 +1238,9 @@ pub struct StorageConfig {
     /// [`std::env::temp_dir`] when `None`. Files are deleted when the last
     /// store generation drops.
     pub dir: Option<PathBuf>,
+    /// Bounded exponential-backoff policy for transient segment read/write
+    /// failures.
+    pub retry: RetryPolicy,
 }
 
 impl Default for StorageConfig {
@@ -892,6 +1249,7 @@ impl Default for StorageConfig {
             budget_bytes: 64 << 20,
             segment_bytes: 64 << 10,
             dir: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -910,6 +1268,17 @@ pub struct GraphStorage {
 impl GraphStorage {
     /// Write both directions of `graph` to disk under `config`.
     pub fn build(graph: &crate::Graph, config: &StorageConfig) -> io::Result<Self> {
+        Self::build_with_faults(graph, config, None)
+    }
+
+    /// [`GraphStorage::build`] with a shared fault injector attached to both
+    /// directions' disk touchpoints. Servers always attach one (disarmed by
+    /// default) so retries/quarantines are counted; plain stores pass `None`.
+    pub fn build_with_faults(
+        graph: &crate::Graph,
+        config: &StorageConfig,
+        injector: Option<Arc<FaultInjector>>,
+    ) -> io::Result<Self> {
         // An auto-created directory is removed when the last generation's
         // files drop; a user-supplied one is left alone.
         let (dir, dir_guard) = match &config.dir {
@@ -925,12 +1294,20 @@ impl GraphStorage {
         };
         std::fs::create_dir_all(&dir)?;
         let pool = Arc::new(BufferPool::new(config.budget_bytes));
+        let faults = FaultState {
+            injector,
+            retry: config.retry,
+            ..FaultState::default()
+        };
+        // Each direction gets its *own* quarantine map (directory indices are
+        // per-store) but shares the injector and the poisoned channel.
         let out = SegmentedStore::build_in(
             graph.out_adjacency(),
             &dir.join(format!("csr-{}.seg", next_file_id())),
             config.segment_bytes,
             Arc::clone(&pool),
             dir_guard.clone(),
+            faults.fresh_generation(),
         )?;
         let incoming = SegmentedStore::build_in(
             graph.in_adjacency(),
@@ -938,6 +1315,7 @@ impl GraphStorage {
             config.segment_bytes,
             Arc::clone(&pool),
             dir_guard,
+            faults.fresh_generation(),
         )?;
         Ok(Self {
             out,
@@ -945,6 +1323,64 @@ impl GraphStorage {
             pool,
             segment_bytes: config.segment_bytes,
         })
+    }
+
+    /// Attach the graph version this storage serves as the recovery source
+    /// for quarantine rebuilds. Must be re-attached after every
+    /// [`GraphStorage::patched`] (the new generation serves a new version);
+    /// the previous generation keeps its own source and stays recoverable
+    /// while pinned queries drain.
+    pub fn set_recovery(&mut self, graph: &Arc<crate::Graph>) {
+        self.out.faults.recovery = Some(RecoverySource {
+            graph: Arc::clone(graph),
+            outgoing: true,
+        });
+        self.incoming.faults.recovery = Some(RecoverySource {
+            graph: Arc::clone(graph),
+            outgoing: false,
+        });
+    }
+
+    /// Take-and-clear the poisoned flag: true when some traversal since the
+    /// last call was served a placeholder for an unrecoverable segment, so
+    /// its result is garbage and must be discarded.
+    pub fn take_poisoned(&self) -> bool {
+        // `|` not `||`: both flags must be consumed.
+        self.out.faults.poisoned.swap(false, Ordering::AcqRel)
+            | self.incoming.faults.poisoned.swap(false, Ordering::AcqRel)
+    }
+
+    /// Human-readable cause of the most recent poisoning, if any.
+    pub fn poison_note(&self) -> Option<String> {
+        for store in [&self.out, &self.incoming] {
+            if let Some(note) = store
+                .faults
+                .poison_note
+                .lock()
+                .expect("poison note lock poisoned")
+                .clone()
+            {
+                return Some(note);
+            }
+        }
+        None
+    }
+
+    /// Segments currently served from quarantine replacements (folded back
+    /// into the directory by the next patch/compaction generation).
+    pub fn quarantined_segments(&self) -> usize {
+        let count = |s: &SegmentedStore| {
+            if s.faults.has_quarantined.load(Ordering::Acquire) {
+                s.faults
+                    .quarantined
+                    .lock()
+                    .expect("quarantine lock poisoned")
+                    .len()
+            } else {
+                0
+            }
+        };
+        count(&self.out) + count(&self.incoming)
     }
 
     /// The CSR (outgoing) direction.
@@ -1017,6 +1453,7 @@ impl GraphStorage {
             self.segment_bytes,
             Arc::clone(&self.pool),
             dir_guard.clone(),
+            self.out.faults.fresh_generation(),
         )?;
         let incoming = SegmentedStore::build_in(
             graph.in_adjacency(),
@@ -1024,6 +1461,7 @@ impl GraphStorage {
             self.segment_bytes,
             Arc::clone(&self.pool),
             dir_guard,
+            self.incoming.faults.fresh_generation(),
         )?;
         self.pool.invalidate_file(self.out.file.id);
         self.pool.invalidate_file(self.incoming.file.id);
@@ -1069,7 +1507,7 @@ mod tests {
         StorageConfig {
             budget_bytes: budget,
             segment_bytes: segment,
-            dir: None,
+            ..StorageConfig::default()
         }
     }
 
@@ -1210,12 +1648,12 @@ mod tests {
         assert_lists_match(&graph, &storage);
         // No segment may grow past the budget by more than one vertex's
         // list (the splitter closes a segment only after the vertex that
-        // crossed the line).
+        // crossed the line) plus the trailing CRC word.
         let hub_list_bytes = (graph.out_degree(3) * 8) as u64;
         for store in [storage.out_store(), storage.in_store()] {
             for meta in &store.segments {
                 assert!(
-                    meta.bytes <= segment_bytes as u64 + hub_list_bytes + 8,
+                    meta.bytes <= segment_bytes as u64 + hub_list_bytes + 12,
                     "segment covering {}..{} ballooned to {} B",
                     meta.v_start,
                     meta.v_end(),
@@ -1329,6 +1767,123 @@ mod tests {
         assert!(dir.exists());
         drop(storage);
         assert!(!dir.exists(), "auto-created temp dir must not leak");
+    }
+
+    #[test]
+    fn transient_read_faults_retry_to_bit_identical_lists() {
+        use crate::faults::{FaultInjector, FaultKind, FaultPlan};
+        let g = generators::rmat(300, 2100, 0.57, 0.19, 0.19, 31);
+        let inj = FaultInjector::armed(FaultPlan::new().fail(
+            FaultSite::SegmentRead,
+            0,
+            FaultKind::Transient { failures: 2 },
+        ));
+        let mut config = tmp_config(1 << 20, 1 << 10);
+        config.retry = RetryPolicy {
+            max_retries: 3,
+            backoff_base_ms: 0,
+            backoff_cap_ms: 0,
+        };
+        let storage = GraphStorage::build_with_faults(&g, &config, Some(Arc::clone(&inj))).unwrap();
+        assert_lists_match(&g, &storage);
+        let c = inj.counters();
+        assert_eq!(c.injected_transient, 2);
+        assert_eq!(c.io_retries, 2);
+        assert_eq!(c.io_retry_successes, 1);
+        assert_eq!(c.segments_quarantined, 0);
+        assert!(!storage.take_poisoned());
+    }
+
+    /// Satellite regression: a segment read failing mid-fault must hand its
+    /// reserved frame back, so `resident_bytes` never drifts above (or, with
+    /// every load failing, off) its true value.
+    #[test]
+    fn failed_segment_reads_release_their_pool_reservation() {
+        use crate::faults::{FaultInjector, FaultKind, FaultPlan};
+        let g = generators::rmat(800, 6400, 0.57, 0.19, 0.19, 17);
+        let budget = 16 << 10;
+        let inj = FaultInjector::armed(FaultPlan::new().fail(
+            FaultSite::SegmentRead,
+            0,
+            FaultKind::Permanent,
+        ));
+        let mut config = tmp_config(budget, 2 << 10);
+        config.retry = RetryPolicy::none();
+        let storage = GraphStorage::build_with_faults(&g, &config, Some(Arc::clone(&inj))).unwrap();
+        // Every load fails (no retries, no recovery source): each reservation
+        // must be handed back, so residency never drifts off zero.
+        for _ in 0..2 {
+            let mut cursor = StreamCursor::new(storage.out_store());
+            for v in g.vertices() {
+                let _ = cursor.list(v);
+            }
+            assert_eq!(storage.pool().resident_bytes(), 0, "reservation leaked");
+        }
+        assert!(storage.take_poisoned(), "placeholders must poison the run");
+        assert!(storage.poison_note().is_some());
+        assert!(inj.counters().injected_permanent > 0);
+        // Healed store: traversal succeeds and stays within budget.
+        inj.disarm();
+        assert_lists_match(&g, &storage);
+        assert!(storage.pool().resident_bytes() <= budget);
+        assert!(storage.pool().peak_resident_bytes() <= budget);
+        assert!(!storage.take_poisoned());
+    }
+
+    #[test]
+    fn permanent_read_faults_quarantine_and_rebuild_bit_identical_segments() {
+        use crate::faults::{FaultInjector, FaultKind, FaultPlan};
+        let g = Arc::new(generators::rmat(400, 2800, 0.57, 0.19, 0.19, 19));
+        let inj = FaultInjector::armed(FaultPlan::new().fail(
+            FaultSite::SegmentRead,
+            0,
+            FaultKind::Permanent,
+        ));
+        let mut config = tmp_config(1 << 20, 1 << 10);
+        config.retry = RetryPolicy {
+            max_retries: 1,
+            backoff_base_ms: 0,
+            backoff_cap_ms: 0,
+        };
+        let mut storage =
+            GraphStorage::build_with_faults(&g, &config, Some(Arc::clone(&inj))).unwrap();
+        storage.set_recovery(&g);
+        assert_lists_match(&g, &storage);
+        let c = inj.counters();
+        assert!(c.segments_quarantined > 0, "every faulted segment rebuilds");
+        assert_eq!(
+            storage.quarantined_segments() as u64,
+            c.segments_quarantined
+        );
+        assert!(!storage.take_poisoned(), "quarantine is full recovery");
+
+        // A patch folds the quarantine replacements into the new directory.
+        inj.disarm();
+        let mut batch = UpdateBatch::new();
+        batch.insert(0, 1, 5.0);
+        let (mutated, effect) = g.apply_batch(&batch);
+        let (mut patched, _) = storage.patched(&mutated, &effect.dirty).unwrap();
+        let mutated = Arc::new(mutated);
+        patched.set_recovery(&mutated);
+        assert_eq!(patched.quarantined_segments(), 0);
+        assert_lists_match(&mutated, &patched);
+    }
+
+    /// The per-segment CRC turns silent on-disk corruption into a fallible
+    /// decode, which the quarantine path then heals from the recovery source.
+    #[test]
+    fn corrupt_segment_bytes_are_detected_and_rebuilt() {
+        let g = Arc::new(generators::rmat(200, 1400, 0.57, 0.19, 0.19, 23));
+        let mut config = tmp_config(1 << 20, 1 << 10);
+        config.retry = RetryPolicy::none();
+        let mut storage = GraphStorage::build(&g, &config).unwrap();
+        storage.set_recovery(&g);
+        // Flip bytes inside the first live segment on disk.
+        let meta = storage.out.segments[0];
+        write_exact_at(&storage.out.file.file, &[0xAB; 8], meta.file_offset).unwrap();
+        assert_lists_match(&g, &storage);
+        assert_eq!(storage.quarantined_segments(), 1);
+        assert!(!storage.take_poisoned());
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Fault-injection and fault-recovery counters.
+//!
+//! The deterministic fault layer (`slfe_graph::faults`) injects seeded I/O
+//! failures at every disk touchpoint, and the storage/durability layers report
+//! what they injected and — more importantly — what the recovery machinery did
+//! about it through this plain value type, mirroring [`crate::Counters`] and
+//! [`crate::DurabilityCounters`]: cheap monotone tallies, summable across
+//! windows, never used for synchronisation.
+
+use std::ops::{Add, AddAssign};
+
+/// A snapshot of injected faults and the recovery work they triggered.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Transient faults injected (the call fails, a later retry succeeds).
+    pub injected_transient: u64,
+    /// Permanent faults injected (every scheduled call at the site fails).
+    pub injected_permanent: u64,
+    /// Short-I/O faults injected (fewer bytes delivered than requested).
+    pub injected_short_io: u64,
+    /// Disk-full (ENOSPC) faults injected.
+    pub injected_disk_full: u64,
+    /// I/O retries performed by the bounded exponential-backoff loops.
+    pub io_retries: u64,
+    /// Retried operations that eventually succeeded.
+    pub io_retry_successes: u64,
+    /// Segments quarantined after exhausting read retries and rebuilt from
+    /// the authoritative recovery source.
+    pub segments_quarantined: u64,
+    /// Engine runs poisoned by an unrecoverable segment read (quarantine
+    /// impossible or itself failed); the server discards such a run's result.
+    pub poisoned_runs: u64,
+}
+
+impl FaultCounters {
+    /// A zeroed counter set.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Total faults injected across all kinds.
+    pub fn injected_total(&self) -> u64 {
+        self.injected_transient
+            + self.injected_permanent
+            + self.injected_short_io
+            + self.injected_disk_full
+    }
+}
+
+impl Add for FaultCounters {
+    type Output = FaultCounters;
+    fn add(self, rhs: FaultCounters) -> FaultCounters {
+        FaultCounters {
+            injected_transient: self.injected_transient + rhs.injected_transient,
+            injected_permanent: self.injected_permanent + rhs.injected_permanent,
+            injected_short_io: self.injected_short_io + rhs.injected_short_io,
+            injected_disk_full: self.injected_disk_full + rhs.injected_disk_full,
+            io_retries: self.io_retries + rhs.io_retries,
+            io_retry_successes: self.io_retry_successes + rhs.io_retry_successes,
+            segments_quarantined: self.segments_quarantined + rhs.segments_quarantined,
+            poisoned_runs: self.poisoned_runs + rhs.poisoned_runs,
+        }
+    }
+}
+
+impl AddAssign for FaultCounters {
+    fn add_assign(&mut self, rhs: FaultCounters) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_fieldwise() {
+        let a = FaultCounters {
+            injected_transient: 1,
+            injected_permanent: 2,
+            injected_short_io: 3,
+            injected_disk_full: 4,
+            io_retries: 5,
+            io_retry_successes: 6,
+            segments_quarantined: 7,
+            poisoned_runs: 8,
+        };
+        assert_eq!(a.injected_total(), 10);
+        let mut c = a + a;
+        assert_eq!(c.injected_transient, 2);
+        assert_eq!(c.poisoned_runs, 16);
+        c += a;
+        assert_eq!(c.io_retries, 15);
+        assert_eq!(FaultCounters::zero(), FaultCounters::default());
+    }
+}

@@ -11,6 +11,8 @@
 //!   for concurrent workers.
 //! * [`durability`] — WAL/snapshot/compaction counters for the serving layer's
 //!   durability subsystem.
+//! * [`faults`] — injected-fault and fault-recovery counters (retries,
+//!   quarantines, poisoned runs) for the deterministic fault-injection layer.
 //! * [`stats`] — the [`ExecutionStats`] summary every engine run returns.
 //! * [`trace`] — per-iteration traces used to regenerate the figure 9 curves.
 //! * [`imbalance`] — intra-/inter-node imbalance measures (figure 10).
@@ -27,6 +29,7 @@
 pub mod counters;
 pub mod durability;
 pub mod export;
+pub mod faults;
 pub mod histogram;
 pub mod imbalance;
 pub mod json;
@@ -38,6 +41,7 @@ pub mod trace;
 pub use counters::{AtomicCounters, Counters};
 pub use durability::DurabilityCounters;
 pub use export::{chrome_trace_json, flame_table, Metric, MetricKind, MetricsRegistry};
+pub use faults::FaultCounters;
 pub use histogram::LatencyHistogram;
 pub use imbalance::{inter_node_spread, intra_node_speedup, BusyTimes};
 pub use report::{Series, Table};

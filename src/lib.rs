@@ -49,8 +49,13 @@ pub mod prelude {
     pub use slfe_baselines::{BaselineEngine, BaselineKind};
     pub use slfe_cluster::ClusterConfig;
     pub use slfe_core::{EngineConfig, RedundancyMode, SlfeEngine};
-    pub use slfe_delta::{BatchOutcome, DeltaServer, ServerConfig};
-    pub use slfe_graph::{Graph, GraphBuilder, UpdateBatch, VertexId};
+    pub use slfe_delta::{
+        ApplyError, BatchOutcome, DeltaServer, Health, ServerConfig, ServingMode,
+    };
+    pub use slfe_graph::{
+        FaultInjector, FaultKind, FaultPlan, FaultSite, Graph, GraphBuilder, RetryPolicy,
+        UpdateBatch, VertexId,
+    };
     pub use slfe_metrics::{ExecutionStats, TelemetryConfig};
     pub use slfe_partition::{ChunkingPartitioner, Partitioner};
 }
