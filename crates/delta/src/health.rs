@@ -46,6 +46,9 @@ pub struct Health {
     /// Full segment-store rebuilds performed after a patch failure or a
     /// poisoned execution.
     storage_rebuilds: u64,
+    /// ReadOnly → ReadWrite transitions after a successful resume probe
+    /// (see [`crate::DeltaServer::try_resume_writes`]).
+    writes_resumed: u64,
 }
 
 impl Health {
@@ -95,10 +98,25 @@ impl Health {
         self.storage_rebuilds
     }
 
+    /// ReadOnly → ReadWrite transitions performed so far.
+    pub fn writes_resumed(&self) -> u64 {
+        self.writes_resumed
+    }
+
     pub(crate) fn enter_read_only(&mut self, reason: String) {
         if self.mode == ServingMode::ReadWrite {
             self.mode = ServingMode::ReadOnly;
             self.read_only_reason = Some(reason);
+        }
+    }
+
+    /// Re-enter read-write after a successful resume probe. A no-op unless
+    /// the server is currently read-only.
+    pub(crate) fn resume_writes(&mut self) {
+        if self.mode == ServingMode::ReadOnly {
+            self.mode = ServingMode::ReadWrite;
+            self.read_only_reason = None;
+            self.writes_resumed += 1;
         }
     }
 
@@ -145,6 +163,21 @@ pub enum ApplyError {
         /// What the storage layer reported about the unreadable segments.
         note: String,
     },
+}
+
+impl ApplyError {
+    /// Stable short name for the variant, independent of the (often
+    /// OS-specific) error message. The front end's quarantine rule compares
+    /// kinds — "failed the same way twice" — so messages that embed paths or
+    /// errno text don't defeat poison detection.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ApplyError::ReadOnly { .. } => "read_only",
+            ApplyError::WalAppend(_) => "wal_append",
+            ApplyError::StoragePatch(_) => "storage_patch",
+            ApplyError::ExecutionPoisoned { .. } => "execution_poisoned",
+        }
+    }
 }
 
 impl std::fmt::Display for ApplyError {
@@ -197,6 +230,33 @@ mod tests {
         h.enter_read_only("second reason must not overwrite".into());
         assert!(h.is_read_only() && h.is_degraded());
         assert_eq!(h.read_only_reason(), Some("ENOSPC"));
+
+        h.resume_writes();
+        assert_eq!(h.mode(), ServingMode::ReadWrite);
+        assert!(h.read_only_reason().is_none());
+        assert_eq!(h.writes_resumed(), 1);
+        h.resume_writes();
+        assert_eq!(h.writes_resumed(), 1, "resume while writable is a no-op");
+    }
+
+    #[test]
+    fn apply_error_kinds_are_stable() {
+        assert_eq!(
+            ApplyError::ReadOnly { reason: "x".into() }.kind(),
+            "read_only"
+        );
+        assert_eq!(
+            ApplyError::WalAppend(io::Error::other("a")).kind(),
+            "wal_append"
+        );
+        assert_eq!(
+            ApplyError::StoragePatch(io::Error::other("b")).kind(),
+            "storage_patch"
+        );
+        assert_eq!(
+            ApplyError::ExecutionPoisoned { note: "n".into() }.kind(),
+            "execution_poisoned"
+        );
     }
 
     #[test]

@@ -33,6 +33,11 @@
 //!    unrecoverable write failures flip the server into a read-only
 //!    [`ServingMode`] that still answers queries — driven deterministically
 //!    by [`slfe_graph::FaultPlan`] schedules in the crashpoint sweep.
+//! 7. **Concurrent serving** — [`frontend`] wraps the server in a
+//!    thread-safe front end: immutable published versions for
+//!    snapshot-consistent reads, a bounded admission queue with typed load
+//!    shedding, group commit sized by the dirty-fraction economics, query
+//!    deadlines, and poison-batch quarantine.
 //!
 //! Determinism: everything the batch did not disturb keeps its bit pattern, and
 //! the re-converged region is computed by the same deterministic engine paths as
@@ -41,10 +46,15 @@
 //! (within convergence tolerance for arithmetic programs).
 
 pub mod durability;
+pub mod frontend;
 pub mod health;
 pub mod server;
 
 pub use durability::{DurabilityConfig, DurabilityError, SnapshotValue, Wal, WalReplay};
+pub use frontend::{
+    AdmitError, Answer, DeadLetter, EdgeUpdate, FrontendConfig, FrontendCounterSnapshot,
+    FrontendHandle, PublishedVersion, QueryError, ServingFrontend,
+};
 pub use health::{ApplyError, Health, ServingMode};
 pub use server::{BatchOutcome, DeltaServer, ServerConfig, ServerStats};
 // Re-exported so serving code can stage batches without importing slfe-graph.

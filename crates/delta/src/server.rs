@@ -8,7 +8,8 @@ use crate::health::{ApplyError, Health};
 use slfe_cluster::{Cluster, ClusterConfig, GlobalChunkLayout, LayoutPatchStats, WorkerPool};
 use slfe_core::{EngineConfig, GraphProgram, ProgramResult, RepairReport, RrGuidance, SlfeEngine};
 use slfe_graph::{
-    is_disk_full, BatchEffect, FaultInjector, FaultPlan, Graph, GraphStorage, UpdateBatch, VertexId,
+    is_disk_full, BatchEffect, FaultAction, FaultInjector, FaultPlan, FaultSite, Graph,
+    GraphStorage, UpdateBatch, VertexId,
 };
 use slfe_metrics::{
     DurabilityCounters, ExecutionStats, FaultCounters, MetricsRegistry, Telemetry,
@@ -746,6 +747,54 @@ where
         &self.health
     }
 
+    /// Probe whether the write path works again and, if so, re-enter
+    /// read-write mode. Before this existed, read-only was terminal: an
+    /// ENOSPC that an operator later cleared still required a full reopen.
+    ///
+    /// On a durable server the probe writes, fsyncs, and removes a small
+    /// scratch file in the durability directory (consulting the
+    /// [`FaultSite::WalAppend`] injection point first, so tests drive the
+    /// outcome); a WAL-sized obstacle like a full disk fails the probe and
+    /// the server stays read-only. A non-durable server has no disk
+    /// contract left to verify, so it resumes optimistically — the next
+    /// apply re-enters read-only if the underlying failure persists.
+    ///
+    /// Returns `true` when the server is writable on exit (including when
+    /// it already was). Successful transitions increment
+    /// [`Health::writes_resumed`] and surface in the registry as
+    /// `slfe_health_writes_resumed_total`.
+    pub fn try_resume_writes(&mut self) -> bool {
+        if !self.health.is_read_only() {
+            return true;
+        }
+        if let Some(d) = self.durability.as_ref() {
+            if self.probe_write(&d.config.dir).is_err() {
+                return false;
+            }
+        }
+        self.health.resume_writes();
+        true
+    }
+
+    /// One resume probe: a 4 KiB write + fsync + unlink in `dir`, gated by
+    /// the WAL-append fault site so injection plans cover it.
+    fn probe_write(&self, dir: &std::path::Path) -> io::Result<()> {
+        if let Some(action) = self.faults.on_io(FaultSite::WalAppend) {
+            return match action {
+                FaultAction::Error(e) => Err(e),
+                FaultAction::ShortIo => Err(io::Error::other("short write on resume probe")),
+            };
+        }
+        use std::io::Write as _;
+        let path = dir.join("resume.probe");
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(&[0u8; 4096])?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::remove_file(&path)?;
+        Ok(())
+    }
+
     /// The fault injector every disk touchpoint of this server consults.
     /// Tests arm it mid-serving with [`FaultInjector::arm`]; it is disarmed
     /// (and injects nothing) unless a [`ServerConfig::fault_plan`] or a test
@@ -797,6 +846,12 @@ where
     /// [`EngineConfig::telemetry`] is off.
     pub fn telemetry(&self) -> TelemetrySnapshot {
         self.telemetry.snapshot()
+    }
+
+    /// The live telemetry hub, shared with the serving front end so reader
+    /// threads can record query latency into the same histograms.
+    pub(crate) fn telemetry_hub(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// A point-in-time metrics registry over every layer the server drives:
@@ -1029,6 +1084,11 @@ where
             "slfe_storage_rebuilds_total",
             "Full segment-store rebuilds after a patch failure or poisoned run",
             self.health.storage_rebuilds() as f64,
+        );
+        reg.counter(
+            "slfe_health_writes_resumed_total",
+            "ReadOnly -> ReadWrite transitions after a successful resume probe",
+            self.health.writes_resumed() as f64,
         );
         reg
     }

@@ -374,6 +374,16 @@ pub struct RetryPolicy {
     pub backoff_base_ms: u64,
     /// Upper bound on a single backoff sleep.
     pub backoff_cap_ms: u64,
+    /// Seed for deterministic backoff jitter; 0 (the default) disables
+    /// jitter and keeps the legacy fixed schedule. When set, each retrier
+    /// sleeps `backoff/2 + jitter` with the jitter drawn from a
+    /// [`SplitMix64`] stream keyed by `(jitter_seed, retrier, attempt)` —
+    /// concurrent retriers that failed at the same instant no longer wake
+    /// (and hammer the same device) in lockstep, while a fixed seed keeps
+    /// every sleep reproducible. Jitter only moves wake-up *times*; retry
+    /// counts and outcomes are unchanged, so fault-sweep bit-identity is
+    /// unaffected.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -382,6 +392,7 @@ impl Default for RetryPolicy {
             max_retries: 3,
             backoff_base_ms: 1,
             backoff_cap_ms: 16,
+            jitter_seed: 0,
         }
     }
 }
@@ -393,7 +404,15 @@ impl RetryPolicy {
             max_retries: 0,
             backoff_base_ms: 0,
             backoff_cap_ms: 0,
+            jitter_seed: 0,
         }
+    }
+
+    /// Enable deterministic jitter, deriving the stream from `seed`
+    /// (typically the fault plan's seed so one knob drives both schedules).
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
     }
 
     /// Sleep duration before retry attempt `attempt` (0-indexed).
@@ -403,6 +422,31 @@ impl RetryPolicy {
             .saturating_shl(attempt.min(16))
             .min(self.backoff_cap_ms);
         Duration::from_millis(ms)
+    }
+
+    /// [`RetryPolicy::backoff`] with deterministic de-synchronization:
+    /// `retrier` distinguishes concurrent backoff loops (each
+    /// [`with_retries`] call gets its own ordinal). With `jitter_seed == 0`
+    /// this is exactly `backoff(attempt)`; otherwise the sleep lands in
+    /// `[backoff/2, backoff]` — same expected magnitude, but two retriers
+    /// with different ordinals draw different offsets, so they stop
+    /// retrying in lockstep.
+    pub fn backoff_jittered(&self, attempt: u32, retrier: u64) -> Duration {
+        let base = self.backoff(attempt);
+        if self.jitter_seed == 0 || base.is_zero() {
+            return base;
+        }
+        let half = base / 2;
+        let mut rng = SplitMix64::seed_from_u64(
+            self.jitter_seed ^ retrier.rotate_left(17) ^ ((attempt as u64) << 56),
+        );
+        let span = half.as_nanos() as u64;
+        let jitter = if span == 0 {
+            0
+        } else {
+            rng.next_u64() % (span + 1)
+        };
+        half + Duration::from_nanos(jitter)
     }
 }
 
@@ -416,15 +460,23 @@ impl SaturatingShl for u64 {
     }
 }
 
+/// Process-wide ordinal handed to each [`with_retries`] invocation so
+/// concurrent retry loops draw from distinct jitter streams. Monotonic and
+/// relaxed: the value only has to be *distinct*, not ordered.
+static RETRIER_ORDINAL: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 /// Run `op` with bounded exponential-backoff retries per `policy`. Disk-full
 /// errors are returned immediately (retrying ENOSPC is pointless); other
 /// errors are retried up to `policy.max_retries` times. Retry attempts and
-/// eventual successes are recorded on `injector` when present.
+/// eventual successes are recorded on `injector` when present. When the
+/// policy carries a jitter seed, each retry loop sleeps on its own
+/// deterministic jittered schedule (see [`RetryPolicy::backoff_jittered`]).
 pub fn with_retries<T>(
     policy: &RetryPolicy,
     injector: Option<&FaultInjector>,
     mut op: impl FnMut() -> io::Result<T>,
 ) -> io::Result<T> {
+    let retrier = RETRIER_ORDINAL.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let mut attempt = 0u32;
     loop {
         match op() {
@@ -440,7 +492,7 @@ pub fn with_retries<T>(
                 if let Some(inj) = injector {
                     inj.note_retry();
                 }
-                std::thread::sleep(policy.backoff(attempt));
+                std::thread::sleep(policy.backoff_jittered(attempt, retrier));
                 attempt += 1;
             }
             Err(e) => return Err(e),
@@ -537,8 +589,7 @@ mod tests {
         let inj = FaultInjector::disabled();
         let policy = RetryPolicy {
             max_retries: 3,
-            backoff_base_ms: 0,
-            backoff_cap_ms: 0,
+            ..RetryPolicy::none()
         };
         let mut left = 2;
         let out = with_retries(&policy, Some(&inj), || {
@@ -559,8 +610,7 @@ mod tests {
     fn with_retries_gives_up_after_budget_and_never_retries_enospc() {
         let policy = RetryPolicy {
             max_retries: 2,
-            backoff_base_ms: 0,
-            backoff_cap_ms: 0,
+            ..RetryPolicy::none()
         };
         let mut calls = 0;
         let out: io::Result<()> = with_retries(&policy, None, || {
@@ -598,5 +648,60 @@ mod tests {
         assert!(p.backoff(0) >= Duration::from_millis(1));
         assert!(p.backoff(40) <= Duration::from_millis(p.backoff_cap_ms));
         assert_eq!(RetryPolicy::none().backoff(5), Duration::ZERO);
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_bounded_and_stream_dependent() {
+        let p = RetryPolicy::default().with_jitter_seed(0xC0FFEE);
+        for attempt in 0..6 {
+            for retrier in 0..8u64 {
+                let base = p.backoff(attempt);
+                let j = p.backoff_jittered(attempt, retrier);
+                // Same keys, same sleep — reproducible under a fixed seed.
+                assert_eq!(j, p.backoff_jittered(attempt, retrier));
+                // Bounded by [base/2, base].
+                assert!(j >= base / 2, "attempt {attempt} retrier {retrier}");
+                assert!(j <= base, "attempt {attempt} retrier {retrier}");
+            }
+        }
+        // Distinct retriers de-synchronize: at least one pair of streams must
+        // differ for a non-trivial backoff window.
+        let spread: Vec<Duration> = (0..16).map(|r| p.backoff_jittered(3, r)).collect();
+        assert!(spread.iter().any(|d| *d != spread[0]));
+        // Different seeds give different schedules.
+        let q = RetryPolicy::default().with_jitter_seed(0xBEEF);
+        assert!((0..16).any(|r| p.backoff_jittered(3, r) != q.backoff_jittered(3, r)));
+    }
+
+    #[test]
+    fn jitter_disabled_by_default_keeps_legacy_schedule() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.jitter_seed, 0);
+        for attempt in 0..8 {
+            assert_eq!(p.backoff_jittered(attempt, 42), p.backoff(attempt));
+        }
+        // Zero-width backoff never sleeps, jittered or not.
+        let z = RetryPolicy::none().with_jitter_seed(9);
+        assert_eq!(z.backoff_jittered(0, 1), Duration::ZERO);
+    }
+
+    #[test]
+    fn with_retries_recovers_under_jitter() {
+        let policy = RetryPolicy {
+            max_retries: 3,
+            backoff_base_ms: 1,
+            backoff_cap_ms: 1,
+            jitter_seed: 7,
+        };
+        let mut left = 2;
+        let out = with_retries(&policy, None, || {
+            if left > 0 {
+                left -= 1;
+                Err(io::Error::other("flaky"))
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(out.unwrap(), 7);
     }
 }

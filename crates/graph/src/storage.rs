@@ -1781,8 +1781,7 @@ mod tests {
         let mut config = tmp_config(1 << 20, 1 << 10);
         config.retry = RetryPolicy {
             max_retries: 3,
-            backoff_base_ms: 0,
-            backoff_cap_ms: 0,
+            ..RetryPolicy::none()
         };
         let storage = GraphStorage::build_with_faults(&g, &config, Some(Arc::clone(&inj))).unwrap();
         assert_lists_match(&g, &storage);
@@ -1842,8 +1841,7 @@ mod tests {
         let mut config = tmp_config(1 << 20, 1 << 10);
         config.retry = RetryPolicy {
             max_retries: 1,
-            backoff_base_ms: 0,
-            backoff_cap_ms: 0,
+            ..RetryPolicy::none()
         };
         let mut storage =
             GraphStorage::build_with_faults(&g, &config, Some(Arc::clone(&inj))).unwrap();

@@ -48,6 +48,7 @@ pub use report::{Series, Table};
 pub use stats::{ExecutionStats, PhaseBreakdown};
 pub use telemetry::{
     RunRecorder, SpanEvent, SpanHandle, SpanWindow, Telemetry, TelemetryClock, TelemetryConfig,
-    TelemetrySnapshot, HIST_BATCH_APPLY, HIST_ITERATION_WALL, HIST_SEGMENT_FAULT, HIST_WAL_FSYNC,
+    TelemetrySnapshot, HIST_BATCH_APPLY, HIST_ITERATION_WALL, HIST_QUERY_LATENCY,
+    HIST_SEGMENT_FAULT, HIST_WAL_FSYNC,
 };
 pub use trace::{IterationRecord, IterationTrace, Mode};

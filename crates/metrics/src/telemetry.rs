@@ -24,6 +24,9 @@ pub const HIST_WAL_FSYNC: &str = "wal_fsync_ns";
 pub const HIST_SEGMENT_FAULT: &str = "segment_fault_ns";
 /// Histogram name: per-batch apply latency at the serving layer (nanoseconds).
 pub const HIST_BATCH_APPLY: &str = "batch_apply_ns";
+/// Histogram name: read-path query latency at the serving front end
+/// (nanoseconds).
+pub const HIST_QUERY_LATENCY: &str = "query_latency_ns";
 
 /// Switches telemetry collection on or off for an engine/server instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

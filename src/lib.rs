@@ -18,8 +18,10 @@
 //! * [`baselines`] — Gemini/PowerGraph/PowerLyra/Ligra/GraphChi-style engines.
 //! * [`delta`] — incremental recomputation and update serving: stage an
 //!   [`prelude::UpdateBatch`], apply it with `Graph::apply_batch`, re-converge
-//!   warm with `SlfeEngine::run_from`, or let a
-//!   [`prelude::DeltaServer`] drive the whole loop and answer queries.
+//!   warm with `SlfeEngine::run_from`, let a [`prelude::DeltaServer`] drive
+//!   the whole loop and answer queries, or wrap it in a
+//!   [`prelude::ServingFrontend`] for concurrent snapshot-consistent reads
+//!   under update traffic with typed load shedding.
 //!
 //! ## Quickstart
 //!
@@ -50,7 +52,9 @@ pub mod prelude {
     pub use slfe_cluster::ClusterConfig;
     pub use slfe_core::{EngineConfig, RedundancyMode, SlfeEngine};
     pub use slfe_delta::{
-        ApplyError, BatchOutcome, DeltaServer, Health, ServerConfig, ServingMode,
+        AdmitError, Answer, ApplyError, BatchOutcome, DeadLetter, DeltaServer, EdgeUpdate,
+        FrontendConfig, FrontendCounterSnapshot, FrontendHandle, Health, PublishedVersion,
+        QueryError, ServerConfig, ServingFrontend, ServingMode,
     };
     pub use slfe_graph::{
         FaultInjector, FaultKind, FaultPlan, FaultSite, Graph, GraphBuilder, RetryPolicy,

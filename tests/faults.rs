@@ -746,7 +746,7 @@ fn seeded_transient_chaos_stays_bit_identical() {
     let root = stats::highest_out_degree_vertex(&graph).unwrap();
     let make = move |_: &Graph| sssp::SsspProgram { root };
 
-    let lifecycle = |plan: Option<FaultPlan>, tag: &str| -> (Vec<u8>, u64) {
+    let lifecycle = |plan: Option<FaultPlan>, seed: u64, tag: &str| -> (Vec<u8>, u64) {
         let config = ServerConfig {
             fault_plan: plan.clone(),
             ..server_config(2, EngineConfig::default())
@@ -755,11 +755,14 @@ fn seeded_transient_chaos_stays_bit_identical() {
         // The seeded schedule faults every site, and one WAL append drives
         // *two* of them (append + fsync): their transient windows can stack
         // up to four failures inside a single operation, so give the WAL a
-        // retry budget that covers the worst-case stack.
+        // retry budget that covers the worst-case stack. Jitter rides the
+        // same seed as the fault plan — de-synchronized sleeps must not
+        // move a single bit of the result.
         let retry = slfe::prelude::RetryPolicy {
             max_retries: 8,
             ..Default::default()
-        };
+        }
+        .with_jitter_seed(seed);
         let durability = DurabilityConfig::new(&dir)
             .with_snapshot_every(2)
             .with_retry(retry);
@@ -782,11 +785,12 @@ fn seeded_transient_chaos_stays_bit_identical() {
         (bytes, injected)
     };
 
-    let (expected, zero) = lifecycle(None, "chaos-witness");
+    let (expected, zero) = lifecycle(None, 0, "chaos-witness");
     assert_eq!(zero, 0);
     for seed in [1u64, 7, 23] {
         let (bytes, injected) = lifecycle(
             Some(FaultPlan::seeded_transient(seed)),
+            seed,
             &format!("chaos-{seed}"),
         );
         assert!(
