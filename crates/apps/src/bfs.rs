@@ -5,7 +5,7 @@
 //! check that `last_iter` equals the hop level plus the "latest incoming" rule.
 
 use slfe_core::{AggregationKind, GraphProgram, ProgramResult, SlfeEngine};
-use slfe_graph::{EdgeWeight, Graph, VertexId};
+use slfe_graph::{Degrees, EdgeWeight, Graph, VertexId};
 use std::collections::VecDeque;
 
 /// BFS as a [`GraphProgram`]; the vertex property is the hop count from the root.
@@ -26,7 +26,7 @@ impl GraphProgram for BfsProgram {
         "bfs"
     }
 
-    fn initial_value(&self, v: VertexId, _graph: &Graph) -> f32 {
+    fn initial_value(&self, v: VertexId, _degrees: &Degrees) -> f32 {
         if v == self.root {
             0.0
         } else {
@@ -34,7 +34,7 @@ impl GraphProgram for BfsProgram {
         }
     }
 
-    fn initial_active(&self, v: VertexId, _graph: &Graph) -> bool {
+    fn initial_active(&self, v: VertexId, _degrees: &Degrees) -> bool {
         v == self.root
     }
 

@@ -6,13 +6,36 @@
 //! component, which is the semantics the paper's CC application uses.
 //! [`symmetrize`] produces the required bidirectional graph from a directed input.
 
+use std::sync::Arc;
+
 use slfe_core::{AggregationKind, GraphProgram, ProgramResult, SlfeEngine};
-use slfe_graph::{EdgeWeight, Graph, GraphBuilder, VertexId};
+use slfe_graph::{Degrees, EdgeWeight, Graph, GraphBuilder, IdRemap, VertexId};
 
 /// Connected Components as a [`GraphProgram`]; the vertex property is the smallest
 /// vertex id seen so far (stored as `f32`, exact for ids below 2^24).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct CcProgram;
+#[derive(Debug, Clone, Default)]
+pub struct CcProgram {
+    /// External label per physical vertex, captured from a remapped graph's
+    /// id-remap. `None` labels every vertex with its own physical id, which
+    /// is only correct on an unremapped layout.
+    labels: Option<Arc<IdRemap>>,
+}
+
+impl CcProgram {
+    /// CC labelled with the graph's **external** vertex ids.
+    ///
+    /// CC is the one registered application whose values are vertex *names*:
+    /// on a physically remapped graph the component label must stay the
+    /// smallest external id, not the smallest array index, or remapping
+    /// would change served answers. Program factories should construct CC
+    /// through this — on an unremapped graph it behaves exactly like
+    /// [`CcProgram::default`].
+    pub fn for_graph(graph: &Graph) -> Self {
+        Self {
+            labels: graph.remap_arc(),
+        }
+    }
+}
 
 impl GraphProgram for CcProgram {
     type Value = f32;
@@ -25,11 +48,14 @@ impl GraphProgram for CcProgram {
         "cc"
     }
 
-    fn initial_value(&self, v: VertexId, _graph: &Graph) -> f32 {
-        v as f32
+    fn initial_value(&self, v: VertexId, _degrees: &Degrees) -> f32 {
+        match &self.labels {
+            Some(remap) => remap.to_old(v) as f32,
+            None => v as f32,
+        }
     }
 
-    fn initial_active(&self, _v: VertexId, _graph: &Graph) -> bool {
+    fn initial_active(&self, _v: VertexId, _degrees: &Degrees) -> bool {
         true
     }
 
@@ -69,9 +95,9 @@ pub fn symmetrize(graph: &Graph) -> Graph {
 }
 
 /// Run CC on an engine whose graph is already symmetric; values are component
-/// labels (the smallest vertex id of each component).
+/// labels (the smallest external vertex id of each component).
 pub fn run(engine: &SlfeEngine<'_>) -> ProgramResult<f32> {
-    engine.run(&CcProgram)
+    engine.run(&CcProgram::for_graph(engine.graph()))
 }
 
 /// Union-find reference: component label = smallest vertex id in the component,

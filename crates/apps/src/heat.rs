@@ -13,7 +13,7 @@
 //! arithmetic-aggregation application optimised by "finish early".
 
 use slfe_core::{AggregationKind, GraphProgram, ProgramResult, SlfeEngine};
-use slfe_graph::{EdgeWeight, Graph, VertexId};
+use slfe_graph::{Degrees, EdgeWeight, Graph, VertexId};
 
 /// Default diffusion coefficient.
 pub const DEFAULT_ALPHA: f32 = 0.3;
@@ -86,12 +86,12 @@ impl GraphProgram for HeatProgram {
         "heat"
     }
 
-    fn initial_value(&self, v: VertexId, _graph: &Graph) -> f32 {
+    fn initial_value(&self, v: VertexId, _degrees: &Degrees) -> f32 {
         // Vertices appended after the program's heat vector was fixed start cold.
         self.initial_heat.get(v as usize).copied().unwrap_or(0.0)
     }
 
-    fn initial_active(&self, _v: VertexId, _graph: &Graph) -> bool {
+    fn initial_active(&self, _v: VertexId, _degrees: &Degrees) -> bool {
         true
     }
 
@@ -123,7 +123,7 @@ impl GraphProgram for HeatProgram {
         (old - new).abs() as f64 > tolerance
     }
 
-    fn warm_start_value(&self, v: VertexId, _previous: Option<f32>, graph: &Graph) -> f32 {
+    fn warm_start_value(&self, v: VertexId, _previous: Option<f32>, degrees: &Degrees) -> f32 {
         // Heat's limit depends on the *initial condition*, not just the topology:
         // the diffusion map `h' = (1 - alpha) h + alpha Pᵀh` has one fixpoint per
         // initial mass distribution (any h with h = Pᵀh is stationary), so warm
@@ -131,7 +131,7 @@ impl GraphProgram for HeatProgram {
         // different answer than re-running the simulation. Restart from the
         // initial heat instead — the warm-init hook exists precisely for programs
         // whose stored state cannot be reused across topology changes.
-        self.initial_value(v, graph)
+        self.initial_value(v, degrees)
     }
 }
 
@@ -243,11 +243,12 @@ mod tests {
     fn warm_start_restarts_from_the_initial_condition() {
         let g = generators::path(4);
         let program = HeatProgram::point_source(&g, 0);
+        let d = Degrees::of(&g);
         // The previous fixpoint is discarded: heat's answer is defined by its
         // initial condition, which a topology change invalidates.
-        assert_eq!(program.warm_start_value(0, Some(0.25), &g), 1.0);
-        assert_eq!(program.warm_start_value(2, Some(0.25), &g), 0.0);
+        assert_eq!(program.warm_start_value(0, Some(0.25), &d), 1.0);
+        assert_eq!(program.warm_start_value(2, Some(0.25), &d), 0.0);
         // Vertices beyond the heat vector (appended by a batch) start cold.
-        assert_eq!(program.initial_value(9, &g), 0.0);
+        assert_eq!(program.initial_value(9, &d), 0.0);
     }
 }

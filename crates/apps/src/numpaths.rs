@@ -18,7 +18,7 @@
 //! benchmark harness does.
 
 use slfe_core::{AggregationKind, GraphProgram, ProgramResult, SlfeEngine};
-use slfe_graph::{EdgeWeight, Graph, VertexId};
+use slfe_graph::{Degrees, EdgeWeight, Graph, VertexId};
 
 /// NumPaths as a [`GraphProgram`]; the vertex property is the path count (f32, so
 /// counts are exact up to 2^24).
@@ -39,7 +39,7 @@ impl GraphProgram for NumPathsProgram {
         "numpaths"
     }
 
-    fn initial_value(&self, v: VertexId, _graph: &Graph) -> f32 {
+    fn initial_value(&self, v: VertexId, _degrees: &Degrees) -> f32 {
         if v == self.root {
             1.0
         } else {
@@ -47,7 +47,7 @@ impl GraphProgram for NumPathsProgram {
         }
     }
 
-    fn initial_active(&self, _v: VertexId, _graph: &Graph) -> bool {
+    fn initial_active(&self, _v: VertexId, _degrees: &Degrees) -> bool {
         true
     }
 

@@ -12,7 +12,7 @@
 //! ruler stops recomputing them.
 
 use slfe_core::{AggregationKind, GraphProgram, ProgramResult, SlfeEngine};
-use slfe_graph::{EdgeWeight, Graph, VertexId};
+use slfe_graph::{Degrees, EdgeWeight, Graph, VertexId};
 
 /// Default damping factor used by the paper (0.85).
 pub const DEFAULT_DAMPING: f32 = 0.85;
@@ -54,10 +54,10 @@ impl GraphProgram for PageRankProgram {
         "pagerank"
     }
 
-    fn initial_value(&self, v: VertexId, graph: &Graph) -> f32 {
+    fn initial_value(&self, v: VertexId, degrees: &Degrees) -> f32 {
         // Start from the uniform distribution, already expressed as a share.
         let rank = 1.0 / self.num_vertices.max(1) as f32;
-        let out = graph.out_degree(v);
+        let out = degrees.out_degree(v);
         if out > 0 {
             rank / out as f32
         } else {
@@ -65,7 +65,7 @@ impl GraphProgram for PageRankProgram {
         }
     }
 
-    fn initial_active(&self, _v: VertexId, _graph: &Graph) -> bool {
+    fn initial_active(&self, _v: VertexId, _degrees: &Degrees) -> bool {
         true
     }
 
@@ -90,9 +90,9 @@ impl GraphProgram for PageRankProgram {
         gathered
     }
 
-    fn vertex_update(&self, v: VertexId, value: f32, graph: &Graph) -> f32 {
+    fn vertex_update(&self, v: VertexId, value: f32, degrees: &Degrees) -> f32 {
         let rank = (1.0 - self.damping) / self.num_vertices.max(1) as f32 + self.damping * value;
-        let out = graph.out_degree(v);
+        let out = degrees.out_degree(v);
         if out > 0 {
             rank / out as f32
         } else {

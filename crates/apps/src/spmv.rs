@@ -9,7 +9,7 @@
 //! stable workload.
 
 use slfe_core::{AggregationKind, GraphProgram, ProgramResult, SlfeEngine};
-use slfe_graph::{EdgeWeight, Graph, VertexId};
+use slfe_graph::{Degrees, EdgeWeight, Graph, VertexId};
 
 /// The `(input, output)` pair stored per vertex.
 pub type SpmvValue = (f32, f32);
@@ -41,11 +41,11 @@ impl GraphProgram for SpmvProgram {
         "spmv"
     }
 
-    fn initial_value(&self, v: VertexId, _graph: &Graph) -> SpmvValue {
+    fn initial_value(&self, v: VertexId, _degrees: &Degrees) -> SpmvValue {
         (self.input.get(v as usize).copied().unwrap_or(0.0), 0.0)
     }
 
-    fn initial_active(&self, _v: VertexId, _graph: &Graph) -> bool {
+    fn initial_active(&self, _v: VertexId, _degrees: &Degrees) -> bool {
         true
     }
 

@@ -7,7 +7,7 @@
 //! propagation level, and every update before that level is redundant (§2.2).
 
 use slfe_core::{AggregationKind, GraphProgram, ProgramResult, SlfeEngine};
-use slfe_graph::{EdgeWeight, Graph, VertexId};
+use slfe_graph::{Degrees, EdgeWeight, Graph, VertexId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -29,7 +29,7 @@ impl GraphProgram for SsspProgram {
         "sssp"
     }
 
-    fn initial_value(&self, v: VertexId, _graph: &Graph) -> f32 {
+    fn initial_value(&self, v: VertexId, _degrees: &Degrees) -> f32 {
         if v == self.root {
             0.0
         } else {
@@ -37,7 +37,7 @@ impl GraphProgram for SsspProgram {
         }
     }
 
-    fn initial_active(&self, v: VertexId, _graph: &Graph) -> bool {
+    fn initial_active(&self, v: VertexId, _degrees: &Degrees) -> bool {
         v == self.root
     }
 

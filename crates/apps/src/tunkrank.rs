@@ -13,7 +13,7 @@
 //! stored value; `vertex_update` rebuilds the share from the gathered influence.
 
 use slfe_core::{AggregationKind, GraphProgram, ProgramResult, SlfeEngine};
-use slfe_graph::{EdgeWeight, Graph, VertexId};
+use slfe_graph::{Degrees, EdgeWeight, Graph, VertexId};
 
 /// Default retweet probability.
 pub const DEFAULT_RETWEET_PROBABILITY: f32 = 0.5;
@@ -44,9 +44,9 @@ impl GraphProgram for TunkRankProgram {
         "tunkrank"
     }
 
-    fn initial_value(&self, v: VertexId, graph: &Graph) -> f32 {
+    fn initial_value(&self, v: VertexId, degrees: &Degrees) -> f32 {
         // Influence starts at zero, so the initial share is 1 / following(v).
-        let out = graph.out_degree(v);
+        let out = degrees.out_degree(v);
         if out > 0 {
             1.0 / out as f32
         } else {
@@ -54,7 +54,7 @@ impl GraphProgram for TunkRankProgram {
         }
     }
 
-    fn initial_active(&self, _v: VertexId, _graph: &Graph) -> bool {
+    fn initial_active(&self, _v: VertexId, _degrees: &Degrees) -> bool {
         true
     }
 
@@ -79,11 +79,11 @@ impl GraphProgram for TunkRankProgram {
         gathered
     }
 
-    fn vertex_update(&self, v: VertexId, value: f32, graph: &Graph) -> f32 {
+    fn vertex_update(&self, v: VertexId, value: f32, degrees: &Degrees) -> f32 {
         // `value` is the gathered influence TR(v); re-express it as the share this
         // vertex sends to everyone it follows.
         let share_numerator = 1.0 + self.retweet_probability * value;
-        let out = graph.out_degree(v);
+        let out = degrees.out_degree(v);
         if out > 0 {
             share_numerator / out as f32
         } else {

@@ -7,7 +7,7 @@
 
 use crate::sssp::OrderedF32;
 use slfe_core::{AggregationKind, GraphProgram, ProgramResult, SlfeEngine};
-use slfe_graph::{EdgeWeight, Graph, VertexId};
+use slfe_graph::{Degrees, EdgeWeight, Graph, VertexId};
 use std::collections::BinaryHeap;
 
 /// Widest Path as a [`GraphProgram`]; unreached vertices hold 0.0, the root holds
@@ -29,7 +29,7 @@ impl GraphProgram for WidestPathProgram {
         "widestpath"
     }
 
-    fn initial_value(&self, v: VertexId, _graph: &Graph) -> f32 {
+    fn initial_value(&self, v: VertexId, _degrees: &Degrees) -> f32 {
         if v == self.root {
             f32::INFINITY
         } else {
@@ -37,7 +37,7 @@ impl GraphProgram for WidestPathProgram {
         }
     }
 
-    fn initial_active(&self, v: VertexId, _graph: &Graph) -> bool {
+    fn initial_active(&self, v: VertexId, _degrees: &Degrees) -> bool {
         v == self.root
     }
 

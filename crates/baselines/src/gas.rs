@@ -9,7 +9,7 @@
 
 use slfe_cluster::{Cluster, ClusterConfig};
 use slfe_core::{AggregationKind, GraphProgram, ProgramResult};
-use slfe_graph::{Bitset, Graph, VertexId};
+use slfe_graph::{Bitset, Degrees, Graph, VertexId};
 use slfe_metrics::{
     Counters, ExecutionStats, IterationRecord, IterationTrace, Mode, PhaseBreakdown,
 };
@@ -96,6 +96,7 @@ pub struct GasEngine<'g> {
     graph: &'g Graph,
     cluster: Cluster,
     config: GasConfig,
+    degrees: Degrees,
 }
 
 impl<'g> GasEngine<'g> {
@@ -113,6 +114,7 @@ impl<'g> GasEngine<'g> {
             graph,
             cluster,
             config,
+            degrees: Degrees::of(graph),
         }
     }
 
@@ -136,9 +138,10 @@ impl<'g> GasEngine<'g> {
 
         let mut values: Vec<P::Value> = graph
             .vertices()
-            .map(|v| program.initial_value(v, graph))
+            .map(|v| program.initial_value(v, &self.degrees))
             .collect();
-        let mut active = Bitset::from_fn(n, |v| program.initial_active(v as VertexId, graph));
+        let mut active =
+            Bitset::from_fn(n, |v| program.initial_active(v as VertexId, &self.degrees));
         let mut active_count = active.count_ones();
         let mut last_changed_iter = vec![0u32; n];
 
@@ -339,7 +342,7 @@ impl<'g> GasEngine<'g> {
             old
         };
         if arithmetic {
-            new = program.vertex_update(v, new, self.graph);
+            new = program.vertex_update(v, new, &self.degrees);
             work += 1;
         }
         let changed = program.changed(old, new, self.config.tolerance);
@@ -390,14 +393,14 @@ mod tests {
         fn name(&self) -> &'static str {
             "sssp"
         }
-        fn initial_value(&self, v: VertexId, _g: &Graph) -> f32 {
+        fn initial_value(&self, v: VertexId, _d: &Degrees) -> f32 {
             if v == self.root {
                 0.0
             } else {
                 f32::INFINITY
             }
         }
-        fn initial_active(&self, v: VertexId, _g: &Graph) -> bool {
+        fn initial_active(&self, v: VertexId, _d: &Degrees) -> bool {
             v == self.root
         }
         fn identity(&self) -> f32 {

@@ -55,7 +55,7 @@ mod tests {
     fn runs_on_a_single_node_and_sends_no_messages() {
         let g = cc::symmetrize(&Dataset::Pokec.load_scaled(64_000));
         let engine = LigraEngine::build(&g, 4);
-        let result = engine.run(&cc::CcProgram);
+        let result = engine.run(&cc::CcProgram::for_graph(&g));
         assert_eq!(result.stats.num_nodes, 1);
         assert_eq!(result.stats.totals.messages_sent, 0);
         assert_eq!(result.stats.engine, "ligra");
@@ -71,8 +71,8 @@ mod tests {
         let g = cc::symmetrize(&Dataset::LiveJournal.load_scaled(96_000));
         let ligra = LigraEngine::build(&g, 4);
         let slfe = SlfeEngine::build(&g, ClusterConfig::new(1, 4), EngineConfig::default());
-        let a = ligra.run(&cc::CcProgram);
-        let b = slfe.run(&cc::CcProgram);
+        let a = ligra.run(&cc::CcProgram::default());
+        let b = slfe.run(&cc::CcProgram::default());
         assert_eq!(a.values, b.values);
         assert!(
             (b.stats.totals.work() as f64) < 1.5 * a.stats.totals.work() as f64,

@@ -238,7 +238,7 @@ fn main() {
         "cc" => serve(
             &options,
             sym,
-            |_: &Graph| cc::CcProgram,
+            cc::CcProgram::for_graph,
             EngineConfig::default(),
             BatchKind::Symmetric,
         ),

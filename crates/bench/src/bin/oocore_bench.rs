@@ -238,7 +238,9 @@ fn main() {
         points.push(measure("bfs", &rmat, &options, workers, || BfsProgram {
             root,
         }));
-        points.push(measure("cc", &sym, &options, workers, || cc::CcProgram));
+        points.push(measure("cc", &sym, &options, workers, || {
+            cc::CcProgram::default()
+        }));
         points.push(measure("widestpath", &rmat, &options, workers, || {
             WidestPathProgram { root }
         }));

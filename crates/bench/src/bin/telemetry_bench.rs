@@ -376,7 +376,7 @@ fn main() {
             &sym,
             &options,
             workers,
-            |_| cc::CcProgram,
+            cc::CcProgram::for_graph,
             f32_bits,
         ));
         overhead.push(measure_overhead(

@@ -388,7 +388,9 @@ pub fn fig10(ctx: &ExperimentContext) -> String {
             let engine = SlfeEngine::build(&graph, ClusterConfig::new(1, ctx.workers), config);
             let result = match app {
                 AppKind::Sssp => engine.run(&sssp::SsspProgram { root }),
-                AppKind::ConnectedComponents => engine.run(&slfe_apps::cc::CcProgram),
+                AppKind::ConnectedComponents => {
+                    engine.run(&slfe_apps::cc::CcProgram::for_graph(engine.graph()))
+                }
                 AppKind::WidestPath => {
                     engine.run(&slfe_apps::widestpath::WidestPathProgram { root })
                 }

@@ -165,7 +165,9 @@ pub fn run_app(engine: EngineKind, app: AppKind, graph: &Graph, cluster: Cluster
             graph,
             cluster,
         ),
-        AppKind::ConnectedComponents => run_program(engine, &cc::CcProgram, graph, cluster),
+        AppKind::ConnectedComponents => {
+            run_program(engine, &cc::CcProgram::for_graph(graph), graph, cluster)
+        }
         AppKind::WidestPath => run_program(
             engine,
             &widestpath::WidestPathProgram {

@@ -103,6 +103,18 @@ pub struct EngineConfig {
     /// run is bit-identical in values, counters and messages to an
     /// un-instrumented run (pinned by `tests/telemetry.rs`).
     pub telemetry: TelemetryConfig,
+    /// Physical layout policy for the serving layer's id-remap pass
+    /// ([`slfe_graph::ReorderPolicy`]). The engine itself never remaps — it
+    /// runs on whatever layout its graph has, and remapped runs are
+    /// value-transparent (bit-identical served values) by construction — but
+    /// `DeltaServer` reads this knob to decide how to reorder on its snapshot
+    /// path. `None` (the default) leaves the layout alone.
+    pub reorder: slfe_graph::ReorderPolicy,
+    /// Partition-migration trigger for the serving layer: when the
+    /// vertex-count imbalance (max/mean over nodes) exceeds this threshold,
+    /// the id-remap pass first migrates vertices from the most- to the
+    /// least-loaded node. `None` (the default) never migrates.
+    pub migration_imbalance_threshold: Option<f64>,
 }
 
 impl Default for EngineConfig {
@@ -120,6 +132,8 @@ impl Default for EngineConfig {
             storage_segment_bytes: 64 << 10,
             storage_dir: None,
             telemetry: TelemetryConfig::off(),
+            reorder: slfe_graph::ReorderPolicy::None,
+            migration_imbalance_threshold: None,
         }
     }
 }
@@ -200,6 +214,20 @@ impl EngineConfig {
         self
     }
 
+    /// Builder-style override of the serving layer's physical reorder policy.
+    pub fn with_reorder(mut self, policy: slfe_graph::ReorderPolicy) -> Self {
+        self.reorder = policy;
+        self
+    }
+
+    /// Builder-style override of the serving layer's migration trigger
+    /// (max/mean vertex-count imbalance; must be `>= 1.0`).
+    pub fn with_migration_imbalance_threshold(mut self, threshold: f64) -> Self {
+        assert!(threshold >= 1.0, "imbalance threshold is a max/mean ratio");
+        self.migration_imbalance_threshold = Some(threshold);
+        self
+    }
+
     /// The out-of-core storage parameters this configuration requests, if any.
     pub fn storage_config(&self) -> Option<slfe_graph::StorageConfig> {
         self.storage_budget_bytes
@@ -250,6 +278,13 @@ mod tests {
         assert!(!c.telemetry.enabled, "telemetry must default off");
         let c = c.with_telemetry(true);
         assert!(c.telemetry.enabled);
+        assert_eq!(c.reorder, slfe_graph::ReorderPolicy::None);
+        assert!(c.migration_imbalance_threshold.is_none());
+        let c = c
+            .with_reorder(slfe_graph::ReorderPolicy::DegreeDescending)
+            .with_migration_imbalance_threshold(1.25);
+        assert_eq!(c.reorder, slfe_graph::ReorderPolicy::DegreeDescending);
+        assert_eq!(c.migration_imbalance_threshold, Some(1.25));
     }
 
     #[test]

@@ -137,7 +137,7 @@ use crate::result::ProgramResult;
 use crate::rrg::RrGuidance;
 use slfe_cluster::{ChunkScheduler, Cluster, ClusterConfig, GlobalChunkLayout, WorkerPool};
 use slfe_graph::storage::{AdjacencyStore, StreamCursor};
-use slfe_graph::{Bitset, Graph, GraphStorage, VertexId};
+use slfe_graph::{Bitset, Degrees, Graph, GraphStorage, VertexId};
 use slfe_metrics::telemetry::{RunRecorder, SpanWindow, Telemetry};
 use slfe_metrics::{Counters, ExecutionStats, Mode, PhaseBreakdown};
 use std::sync::Arc;
@@ -451,6 +451,10 @@ pub struct SlfeEngine<'g> {
     /// difference is which bytes are resident (and the
     /// `segments_faulted`/`segment_bytes_read` counters).
     storage: Option<Arc<GraphStorage>>,
+    /// Per-vertex degree arrays handed to program callbacks in place of the
+    /// in-RAM graph ([`crate::GraphProgram`] hooks take `&Degrees`): two `u32`
+    /// per vertex, indexed by physical id. Built once per engine.
+    degrees: Degrees,
     /// Telemetry hub (span tracing + latency histograms), built from
     /// `config.telemetry` and attached to the storage buffer pool when one is
     /// present. Disabled by default; the disabled hub's begin/end are no-ops
@@ -606,11 +610,17 @@ impl<'g> SlfeEngine<'g> {
             layout,
             chunk_rr: std::sync::OnceLock::new(),
             storage,
+            degrees: Degrees::of(graph),
             telemetry,
             preprocessing_seconds,
             // No guidance BFS ran inside this constructor.
             preprocessing_wall_seconds: 0.0,
         }
+    }
+
+    /// The per-vertex degree view handed to program callbacks.
+    pub fn degrees(&self) -> &Degrees {
+        &self.degrees
     }
 
     /// Replace the telemetry hub — the serving path: `DeltaServer` keeps one
@@ -701,9 +711,9 @@ impl<'g> SlfeEngine<'g> {
         let n = graph.num_vertices();
         let values: Vec<P::Value> = graph
             .vertices()
-            .map(|v| program.initial_value(v, graph))
+            .map(|v| program.initial_value(v, &self.degrees))
             .collect();
-        let active = Bitset::from_fn(n, |v| program.initial_active(v as VertexId, graph));
+        let active = Bitset::from_fn(n, |v| program.initial_active(v as VertexId, &self.degrees));
         self.run_seeded(
             program,
             RunSeed {
@@ -804,7 +814,11 @@ impl<'g> SlfeEngine<'g> {
         );
         let mut values: Vec<P::Value> = (0..n)
             .map(|v| {
-                program.warm_start_value(v as VertexId, previous.values.get(v).copied(), graph)
+                program.warm_start_value(
+                    v as VertexId,
+                    previous.values.get(v).copied(),
+                    &self.degrees,
+                )
             })
             .collect();
 
@@ -856,7 +870,7 @@ impl<'g> SlfeEngine<'g> {
             if invalid.get(vi) {
                 continue;
             }
-            let initial = program.initial_value(v, graph);
+            let initial = program.initial_value(v, &self.degrees);
             if !program.changed(values[vi], initial, tolerance) {
                 // Still at its initial value: intrinsically supported.
                 continue;
@@ -1691,7 +1705,7 @@ impl<'g> SlfeEngine<'g> {
             old
         };
         if arithmetic {
-            new = program.vertex_update(dst, new, self.graph);
+            new = program.vertex_update(dst, new, &self.degrees);
             work += 1;
         }
         let changed = program.changed(old, new, tolerance);
@@ -2117,14 +2131,14 @@ mod tests {
         fn name(&self) -> &'static str {
             "test-sssp"
         }
-        fn initial_value(&self, v: VertexId, _graph: &Graph) -> f32 {
+        fn initial_value(&self, v: VertexId, _degrees: &Degrees) -> f32 {
             if v == self.root {
                 0.0
             } else {
                 f32::INFINITY
             }
         }
-        fn initial_active(&self, v: VertexId, _graph: &Graph) -> bool {
+        fn initial_active(&self, v: VertexId, _degrees: &Degrees) -> bool {
             v == self.root
         }
         fn identity(&self) -> f32 {
@@ -2165,10 +2179,10 @@ mod tests {
         fn name(&self) -> &'static str {
             "test-rank"
         }
-        fn initial_value(&self, _v: VertexId, _graph: &Graph) -> f32 {
+        fn initial_value(&self, _v: VertexId, _degrees: &Degrees) -> f32 {
             1.0 / self.n as f32
         }
-        fn initial_active(&self, _v: VertexId, _graph: &Graph) -> bool {
+        fn initial_active(&self, _v: VertexId, _degrees: &Degrees) -> bool {
             true
         }
         fn identity(&self) -> f32 {
@@ -2183,9 +2197,9 @@ mod tests {
         fn apply(&self, _dst: VertexId, _old: f32, gathered: f32) -> f32 {
             gathered
         }
-        fn vertex_update(&self, v: VertexId, value: f32, graph: &Graph) -> f32 {
+        fn vertex_update(&self, v: VertexId, value: f32, degrees: &Degrees) -> f32 {
             let rank = (1.0 - self.damping) / self.n as f32 + self.damping * value;
-            let out = graph.out_degree(v);
+            let out = degrees.out_degree(v);
             if out > 0 {
                 rank / out as f32
             } else {

@@ -36,4 +36,5 @@ pub use engine::SlfeEngine;
 pub use program::{AggregationKind, GraphProgram};
 pub use result::ProgramResult;
 pub use rrg::{RepairReport, RrGuidance};
+pub use slfe_graph::Degrees;
 pub use slfe_metrics::TelemetryConfig;

@@ -12,7 +12,7 @@
 //! | `vertexUpdate(vertexFunc)`     | [`GraphProgram::vertex_update`]              |
 //! | `edgeProc(..., Ruler)`         | handled by the engine from the RRG           |
 
-use slfe_graph::{EdgeWeight, Graph, VertexId};
+use slfe_graph::{Degrees, EdgeWeight, VertexId};
 
 /// The two aggregation families of Table 1. The family decides which
 /// redundancy-reduction rule applies (start late vs finish early) and whether the
@@ -41,6 +41,14 @@ impl std::fmt::Display for AggregationKind {
 /// Implementations must be cheap to call: the engine invokes these hooks once per
 /// edge/vertex per iteration, so anything expensive belongs in precomputed state on
 /// the program struct itself.
+///
+/// Per-vertex hooks receive a [`Degrees`] view — compact per-vertex out/in
+/// degree counts indexed by **physical** vertex id — instead of the whole
+/// in-RAM graph. That is all the structural information the registered
+/// applications ever read in a hook (PageRank and TunkRank divide by
+/// out-degree), and withholding adjacency keeps hooks compatible with
+/// out-of-core execution and physical id remapping: a hook can never observe
+/// neighbor-list order.
 pub trait GraphProgram: Sync {
     /// The per-vertex property type (distance, component label, rank, ...).
     type Value: Copy + PartialEq + Send + Sync + std::fmt::Debug;
@@ -52,10 +60,10 @@ pub trait GraphProgram: Sync {
     fn name(&self) -> &'static str;
 
     /// Initial property of vertex `v`.
-    fn initial_value(&self, v: VertexId, graph: &Graph) -> Self::Value;
+    fn initial_value(&self, v: VertexId, degrees: &Degrees) -> Self::Value;
 
     /// Whether `v` starts in the active set (e.g. only the SSSP root does).
-    fn initial_active(&self, v: VertexId, graph: &Graph) -> bool;
+    fn initial_active(&self, v: VertexId, degrees: &Degrees) -> bool;
 
     /// Identity element of [`GraphProgram::combine`]: `+inf` for a min fold, `0`
     /// for a sum fold. Pull mode starts each gather from this value.
@@ -82,7 +90,7 @@ pub trait GraphProgram: Sync {
 
     /// Per-vertex post-processing applied after the edge phase of an iteration
     /// (the paper's `vertexUpdate`, e.g. PageRank's damping). Defaults to identity.
-    fn vertex_update(&self, _v: VertexId, value: Self::Value, _graph: &Graph) -> Self::Value {
+    fn vertex_update(&self, _v: VertexId, value: Self::Value, _degrees: &Degrees) -> Self::Value {
         value
     }
 
@@ -127,9 +135,9 @@ pub trait GraphProgram: Sync {
         &self,
         v: VertexId,
         previous: Option<Self::Value>,
-        graph: &Graph,
+        degrees: &Degrees,
     ) -> Self::Value {
-        previous.unwrap_or_else(|| self.initial_value(v, graph))
+        previous.unwrap_or_else(|| self.initial_value(v, degrees))
     }
 }
 
@@ -149,10 +157,10 @@ mod tests {
         fn name(&self) -> &'static str {
             "min-label"
         }
-        fn initial_value(&self, v: VertexId, _graph: &Graph) -> u32 {
+        fn initial_value(&self, v: VertexId, _degrees: &Degrees) -> u32 {
             v
         }
-        fn initial_active(&self, _v: VertexId, _graph: &Graph) -> bool {
+        fn initial_active(&self, _v: VertexId, _degrees: &Degrees) -> bool {
             true
         }
         fn identity(&self) -> u32 {
@@ -171,9 +179,9 @@ mod tests {
 
     #[test]
     fn default_vertex_update_is_identity() {
-        let g = slfe_graph::generators::path(3);
+        let d = Degrees::of(&slfe_graph::generators::path(3));
         let p = MinLabel;
-        assert_eq!(p.vertex_update(1, 42, &g), 42);
+        assert_eq!(p.vertex_update(1, 42, &d), 42);
     }
 
     #[test]

@@ -694,6 +694,23 @@ impl RrGuidance {
         padded.level.resize(n, UNREACHED);
         padded
     }
+
+    /// Carry the guidance across a physical id remap: per-vertex arrays are
+    /// permuted by `step` (old-physical → new-physical), the scalar summary
+    /// (`max_level`, `work`, `used_fallback_root`) is unchanged. Sound because
+    /// generation and repair are permutation-equivariant — BFS levels and
+    /// `last_iter` depend only on the graph's structure, never on the id order
+    /// — so `generate(g.remapped(step))` equals
+    /// `generate(g).permuted(step)` guidance-for-guidance.
+    pub fn permuted(&self, step: &slfe_graph::IdRemap) -> Self {
+        Self {
+            last_iter: step.permuted_values(&self.last_iter),
+            level: step.permuted_values(&self.level),
+            max_level: self.max_level,
+            work: self.work,
+            used_fallback_root: self.used_fallback_root,
+        }
+    }
 }
 
 #[cfg(test)]

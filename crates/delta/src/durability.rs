@@ -36,8 +36,13 @@ use crate::server::ServerStats;
 const WAL_MAGIC: u32 = 0x534C_4657;
 /// Snapshot file magic ("SLFS").
 const SNAPSHOT_MAGIC: u32 = 0x534C_4653;
-/// Snapshot format version.
-const SNAPSHOT_VERSION: u32 = 1;
+/// Snapshot format version. Version 2 appends an id-remap section (the
+/// external→physical bijection of a physically reordered graph) after the
+/// partitioning; version-1 snapshots are still readable and load with the
+/// identity layout.
+const SNAPSHOT_VERSION: u32 = 2;
+/// Oldest snapshot version this build still reads.
+const SNAPSHOT_MIN_VERSION: u32 = 1;
 /// Bytes of a WAL frame header: magic, sequence, payload length, checksum.
 const WAL_HEADER_BYTES: usize = 4 + 8 + 4 + 4;
 
@@ -59,6 +64,13 @@ pub struct DurabilityConfig {
     /// within the budget are absorbed with no observable effect; disk-full
     /// errors are never retried.
     pub retry: RetryPolicy,
+    /// Run the configured id-remap policy ([`slfe_core::EngineConfig`]'s
+    /// `reorder` / `migration_imbalance_threshold`) on the snapshot path.
+    /// Riding the snapshot keeps recovery trivially correct: the WAL is
+    /// truncated right after the (post-remap) snapshot lands, so replay never
+    /// crosses a layout change. `true` by default; the policies themselves
+    /// default off, so nothing remaps unless explicitly configured.
+    pub remap_on_snapshot: bool,
 }
 
 impl DurabilityConfig {
@@ -71,6 +83,7 @@ impl DurabilityConfig {
             snapshot_wal_bytes: 1 << 20,
             max_dead_fraction: 0.5,
             retry: RetryPolicy::default(),
+            remap_on_snapshot: true,
         }
     }
 
@@ -95,6 +108,12 @@ impl DurabilityConfig {
     /// Set the I/O retry/backoff budget.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Enable or disable running the id-remap policy on the snapshot path.
+    pub fn with_remap_on_snapshot(mut self, enabled: bool) -> Self {
+        self.remap_on_snapshot = enabled;
         self
     }
 
@@ -482,6 +501,18 @@ pub(crate) fn write_snapshot<V: SnapshotValue>(
     for &o in state.owners {
         binary::put_u32(&mut out, o as u32);
     }
+    // Remap section (v2): the graph's adjacency was encoded physically exact
+    // above, so only the external→physical bijection travels here.
+    match state.graph.id_remap() {
+        Some(remap) if !remap.is_identity() => {
+            binary::put_u8(&mut out, 1);
+            binary::put_u64(&mut out, remap.len() as u64);
+            for ext in 0..remap.len() as u32 {
+                binary::put_u32(&mut out, remap.to_new(ext));
+            }
+        }
+        _ => binary::put_u8(&mut out, 0),
+    }
     let crc = binary::crc32(&out);
     binary::put_u32(&mut out, crc);
 
@@ -565,7 +596,8 @@ pub(crate) fn read_snapshot<V: SnapshotValue>(
     if r.u32() != Some(SNAPSHOT_MAGIC) {
         return Err(corrupt("bad magic"));
     }
-    if r.u32() != Some(SNAPSHOT_VERSION) {
+    let version = r.u32().ok_or_else(|| corrupt("truncated header"))?;
+    if !(SNAPSHOT_MIN_VERSION..=SNAPSHOT_VERSION).contains(&version) {
         return Err(corrupt("unknown version"));
     }
     if r.u8() != Some(V::TAG) {
@@ -622,6 +654,35 @@ pub(crate) fn read_snapshot<V: SnapshotValue>(
         }
         owners.push(o);
     }
+    let graph = if version >= 2 {
+        match r.u8() {
+            Some(0) => graph,
+            Some(1) => {
+                let len = r.u64().ok_or_else(|| corrupt("truncated remap"))? as usize;
+                if len > n {
+                    return Err(corrupt("remap larger than the graph"));
+                }
+                let mut forward = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let p = r.u32().ok_or_else(|| corrupt("truncated remap"))?;
+                    if p as usize >= len {
+                        return Err(corrupt("remap entry out of range"));
+                    }
+                    forward.push(p);
+                }
+                let mut seen = vec![false; len];
+                for &p in &forward {
+                    if std::mem::replace(&mut seen[p as usize], true) {
+                        return Err(corrupt("remap is not a bijection"));
+                    }
+                }
+                graph.with_remap(slfe_graph::IdRemap::from_forward(forward))
+            }
+            _ => return Err(corrupt("invalid remap flag")),
+        }
+    } else {
+        graph
+    };
     if !r.is_empty() {
         return Err(corrupt("trailing bytes"));
     }

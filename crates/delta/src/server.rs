@@ -9,13 +9,13 @@ use slfe_cluster::{Cluster, ClusterConfig, GlobalChunkLayout, LayoutPatchStats, 
 use slfe_core::{EngineConfig, GraphProgram, ProgramResult, RepairReport, RrGuidance, SlfeEngine};
 use slfe_graph::{
     is_disk_full, BatchEffect, FaultAction, FaultInjector, FaultPlan, FaultSite, Graph,
-    GraphStorage, UpdateBatch, VertexId,
+    GraphStorage, IdRemap, ReorderPolicy, UpdateBatch, VertexId,
 };
 use slfe_metrics::{
     DurabilityCounters, ExecutionStats, FaultCounters, MetricsRegistry, Telemetry,
     TelemetrySnapshot, HIST_BATCH_APPLY, HIST_WAL_FSYNC,
 };
-use slfe_partition::{ChunkingPartitioner, Partitioner, Partitioning};
+use slfe_partition::{contiguous_degree_layout, ChunkingPartitioner, Partitioner, Partitioning};
 use std::io;
 use std::sync::Arc;
 use std::time::Instant;
@@ -96,6 +96,13 @@ pub struct BatchOutcome {
     /// occupying the backing files (reclaimed by compaction on the snapshot
     /// path). 0 when in-memory.
     pub storage_dead_bytes: u64,
+    /// Vertex-count imbalance (max node load / mean node load) of the stable
+    /// partitioning after this batch's appended vertices joined it. `0.0`
+    /// only for an empty partitioning; `1.0` is perfectly balanced. Sustained
+    /// growth keeps this bounded (appends join the least-loaded node), and
+    /// when [`EngineConfig::migration_imbalance_threshold`] is set the
+    /// snapshot-path remap migrates vertices whenever it overshoots.
+    pub partition_imbalance: f64,
     /// Wall-clock seconds for the whole apply (graph patch + guidance + rerun).
     pub wall_seconds: f64,
     /// Wall-clock seconds the WAL fsync for this batch took (0.0 on a
@@ -131,20 +138,33 @@ pub struct ServerStats {
 /// `Heat` precomputes out-degree shares), the server is built from a *program
 /// factory* that re-instantiates the program for each graph version.
 ///
+/// **External ids at the API boundary.** Queries ([`DeltaServer::value`],
+/// [`DeltaServer::values`], [`DeltaServer::top_k_by`]), update batches,
+/// [`BatchOutcome::effect`], WAL frames and snapshots all speak the stable
+/// *external* vertex ids clients know. Internally the server may serve from a
+/// physically reordered layout ([`EngineConfig::reorder`] /
+/// [`EngineConfig::migration_imbalance_threshold`], applied on the snapshot
+/// path or via [`DeltaServer::remap_now`]); the cumulative
+/// [`slfe_graph::IdRemap`] on the graph translates at the boundary, and a
+/// remapped run is value-transparent — bit-identical served values. One
+/// consequence for the program factory: it receives the current
+/// (physical-layout) graph, so a factory that captures vertex ids (an SSSP
+/// root, a heat source) must translate them with [`Graph::to_physical`].
+///
 /// ```
 /// use slfe_delta::{DeltaServer, ServerConfig};
 /// use slfe_graph::{generators, UpdateBatch};
 /// # use slfe_core::{AggregationKind, GraphProgram};
-/// # use slfe_graph::{EdgeWeight, Graph, VertexId};
+/// # use slfe_graph::{Degrees, EdgeWeight, VertexId};
 /// # #[derive(Clone, Copy)] struct Sssp { root: VertexId }
 /// # impl GraphProgram for Sssp {
 /// #     type Value = f32;
 /// #     fn aggregation(&self) -> AggregationKind { AggregationKind::MinMax }
 /// #     fn name(&self) -> &'static str { "sssp" }
-/// #     fn initial_value(&self, v: VertexId, _g: &Graph) -> f32 {
+/// #     fn initial_value(&self, v: VertexId, _d: &Degrees) -> f32 {
 /// #         if v == self.root { 0.0 } else { f32::INFINITY }
 /// #     }
-/// #     fn initial_active(&self, v: VertexId, _g: &Graph) -> bool { v == self.root }
+/// #     fn initial_active(&self, v: VertexId, _d: &Degrees) -> bool { v == self.root }
 /// #     fn identity(&self) -> f32 { f32::INFINITY }
 /// #     fn edge_contribution(&self, _s: VertexId, v: f32, w: EdgeWeight) -> Option<f32> {
 /// #         v.is_finite().then_some(v + w)
@@ -196,6 +216,11 @@ where
     /// `None` runs in-memory.
     storage: Option<Arc<GraphStorage>>,
     result: ProgramResult<P::Value>,
+    /// External-id-ordered view of `result.values`, maintained only while the
+    /// graph carries a non-identity remap (`None` otherwise — the physical
+    /// vector *is* the external order then, and the view costs nothing).
+    /// Refreshed whenever `result` or the remap changes.
+    external_values: Option<Vec<P::Value>>,
     stats: ServerStats,
     /// Dirty vertices accumulated since the guidance was last brought up to
     /// date. The warm path never reads the rulers, so repair is deferred
@@ -278,7 +303,7 @@ where
         let result = engine.run(&program);
         telemetry.end(cold_span, "cold_run", "server", 0);
         drop(engine);
-        Ok(Self {
+        let mut server = Self {
             make_program,
             program,
             graph,
@@ -289,13 +314,48 @@ where
             layout,
             storage,
             result,
+            external_values: None,
             stats: ServerStats::default(),
             pending_guidance_dirty: Vec::new(),
             durability: None,
             telemetry,
             faults,
             health: Health::new(),
-        })
+        };
+        // The seed graph may already carry a remap (a test or a tool serving
+        // a pre-reordered layout): keep the external view consistent from the
+        // first query on.
+        server.refresh_external_values();
+        Ok(server)
+    }
+
+    /// Rebuild the external-id-ordered value view after `result.values` or
+    /// the graph's remap changed. Free (drops the cache) on an unremapped
+    /// graph.
+    fn refresh_external_values(&mut self) {
+        self.external_values = self.graph.id_remap().map(|remap| {
+            (0..self.result.values.len() as VertexId)
+                .map(|ext| self.result.values[remap.to_new(ext) as usize])
+                .collect()
+        });
+    }
+
+    /// Translate a physically-indexed [`BatchEffect`] to external ids (the
+    /// form [`BatchOutcome::effect`] reports). Sorted-ascending invariants
+    /// are restored after translation; a no-remap graph passes through
+    /// untouched.
+    fn external_effect(graph: &Graph, mut effect: BatchEffect) -> BatchEffect {
+        if graph.is_remapped() {
+            for v in effect.dirty.iter_mut() {
+                *v = graph.external_id(*v);
+            }
+            effect.dirty.sort_unstable();
+            for v in effect.worsened_dsts.iter_mut() {
+                *v = graph.external_id(*v);
+            }
+            effect.worsened_dsts.sort_unstable();
+        }
+        effect
     }
 
     /// Bring the guidance up to date with `graph`, draining `pending`.
@@ -435,6 +495,16 @@ where
     pub fn try_apply_committed(&mut self, batch: &UpdateBatch) -> Result<BatchOutcome, ApplyError> {
         let start = Instant::now();
         let batch_span = self.telemetry.begin();
+        // Batches arrive (and are WAL-logged) in external ids; translate the
+        // endpoints into the current physical layout on admission. Appended
+        // vertices sit beyond the remap and map to themselves.
+        let translated;
+        let batch = if self.graph.is_remapped() {
+            translated = batch.mapped(|v| self.graph.to_physical(v));
+            &translated
+        } else {
+            batch
+        };
         let (graph, effect) = self.graph.apply_batch(batch);
         let graph = Arc::new(graph);
         if effect.is_noop() {
@@ -462,6 +532,7 @@ where
                 segments_rewritten: 0,
                 storage_live_bytes,
                 storage_dead_bytes,
+                partition_imbalance: self.partitioning.imbalance(),
                 wall_seconds: wall.as_secs_f64(),
                 wal_fsync_seconds: 0.0,
                 degraded: false,
@@ -627,7 +698,7 @@ where
         self.telemetry
             .record_ns(HIST_BATCH_APPLY, wall.as_nanos() as u64);
         let outcome = BatchOutcome {
-            effect,
+            effect: Self::external_effect(&graph, effect),
             guidance,
             work: result.stats.totals.work(),
             iterations: result.stats.iterations,
@@ -638,6 +709,7 @@ where
             segments_rewritten,
             storage_live_bytes,
             storage_dead_bytes,
+            partition_imbalance: self.partitioning.imbalance(),
             wall_seconds: wall.as_secs_f64(),
             wal_fsync_seconds: 0.0,
             degraded: false,
@@ -653,22 +725,30 @@ where
         self.storage = storage;
         self.program = program;
         self.result = result;
+        self.refresh_external_values();
         Ok(outcome)
     }
 
-    /// Point query: the program's current value at `v` (`None` when `v` is
-    /// outside the current graph version).
+    /// Point query: the program's current value at external id `v` (`None`
+    /// when `v` is outside the current graph version).
     pub fn value(&self, v: VertexId) -> Option<P::Value> {
-        self.result.values.get(v as usize).copied()
+        self.result
+            .values
+            .get(self.graph.to_physical(v) as usize)
+            .copied()
     }
 
-    /// The full current value vector.
+    /// The full current value vector, indexed by **external** vertex id —
+    /// identical across physical layouts.
     pub fn values(&self) -> &[P::Value] {
-        &self.result.values
+        self.external_values
+            .as_deref()
+            .unwrap_or(&self.result.values)
     }
 
-    /// The `k` vertices ranked by `compare` (greatest first), ties broken by
-    /// vertex id ascending — deterministic regardless of worker count.
+    /// The `k` vertices (external ids) ranked by `compare` (greatest first),
+    /// ties broken by external id ascending — deterministic regardless of
+    /// worker count or physical layout.
     pub fn top_k_by(
         &self,
         k: usize,
@@ -679,7 +759,7 @@ where
             .values
             .iter()
             .enumerate()
-            .map(|(v, &value)| (v as VertexId, value))
+            .map(|(p, &value)| (self.graph.external_id(p as VertexId), value))
             .collect();
         ranked.sort_by(|a, b| compare(&b.1, &a.1).then(a.0.cmp(&b.0)));
         ranked.truncate(k);
@@ -734,6 +814,85 @@ where
     /// pending. (Test hook for pinning the warm path's repair work at zero.)
     pub fn pending_guidance_vertices(&self) -> usize {
         self.pending_guidance_dirty.len()
+    }
+
+    /// Run the configured physical-layout policy now: migrate vertices off
+    /// overloaded nodes when [`EngineConfig::migration_imbalance_threshold`]
+    /// is exceeded, then reorder ids partition-contiguously (degree-descending
+    /// within each partition under [`ReorderPolicy::DegreeDescending`]) and
+    /// rebuild every physical artifact — graph, guidance, values, layout,
+    /// segment store — under the new bijection. Returns `true` when a remap
+    /// was applied, `false` when no policy is configured or the layout is
+    /// already in place.
+    ///
+    /// On a durable server this normally runs by itself on the snapshot path
+    /// (gated by [`DurabilityConfig::remap_on_snapshot`]), where the WAL is
+    /// about to be trimmed — its external-id frames never cross a layout
+    /// change. Remapped runs are value-transparent: every query answers
+    /// bit-identically before and after.
+    pub fn remap_now(&mut self) -> io::Result<bool> {
+        let policy = self.config.engine.reorder;
+        let threshold = self.config.engine.migration_imbalance_threshold;
+        if policy == ReorderPolicy::None && threshold.is_none() {
+            return Ok(false);
+        }
+        // The guidance permutes with the graph, so it must match the current
+        // version's size (and content) before the rename.
+        self.sync_guidance();
+        let migrated = threshold.and_then(|t| self.partitioning.migrated_owners(t));
+        let partitioning = match migrated {
+            Some(owners) => Arc::new(Partitioning::from_owners(
+                owners,
+                self.partitioning.num_parts(),
+            )),
+            None => Arc::clone(&self.partitioning),
+        };
+        let step = contiguous_degree_layout(&self.graph, &partitioning, policy);
+        if step.is_identity() && Arc::ptr_eq(&partitioning, &self.partitioning) {
+            return Ok(false);
+        }
+        self.apply_remap(partitioning, &step)?;
+        Ok(true)
+    }
+
+    /// Rebuild every physical-id-indexed artifact under the remap `step`.
+    /// `partitioning` is the owner assignment in the *pre-step* id space
+    /// (possibly migrated). Everything fallible (the segment-store re-encode)
+    /// runs before any state is assigned, so an I/O error leaves the server
+    /// serving the old layout untouched.
+    fn apply_remap(&mut self, partitioning: Arc<Partitioning>, step: &IdRemap) -> io::Result<()> {
+        let graph = Arc::new(self.graph.remapped(step));
+        let owners = step.permuted_values(partitioning.owners());
+        let num_parts = partitioning.num_parts();
+        let partitioning = Arc::new(Partitioning::from_owners(owners, num_parts));
+        let cluster = Cluster::with_shared_partitioning(
+            Arc::clone(&partitioning),
+            self.config.cluster.clone(),
+        );
+        let layout = cluster.build_layout(&graph);
+        drop(cluster);
+        // Re-encode the out-of-core segments in the new order — the hot/cold
+        // clustering the reorder exists for lives in these files.
+        let storage = match self.config.engine.storage_config() {
+            Some(sc) => {
+                let mut s =
+                    GraphStorage::build_with_faults(&graph, &sc, Some(Arc::clone(&self.faults)))?;
+                s.set_recovery(&graph);
+                Some(Arc::new(s))
+            }
+            None => None,
+        };
+        self.rrg = self.rrg.permuted(step);
+        self.result.values = step.permuted_values(&self.result.values);
+        self.result.last_changed_iter = step.permuted_values(&self.result.last_changed_iter);
+        step.map_ids(&mut self.pending_guidance_dirty);
+        self.program = (self.make_program)(&graph);
+        self.graph = graph;
+        self.partitioning = partitioning;
+        self.layout = layout;
+        self.storage = storage;
+        self.refresh_external_values();
+        Ok(())
     }
 
     /// Durability activity counters, when this server is durable.
@@ -1000,6 +1159,11 @@ where
             );
         }
 
+        reg.gauge(
+            "slfe_partition_imbalance",
+            "Vertex-count imbalance (max/mean node load) of the stable partitioning",
+            self.partitioning.imbalance(),
+        );
         reg.counter(
             "slfe_server_batches_applied_total",
             "Update batches the server has applied",
@@ -1214,6 +1378,16 @@ where
         // The snapshot stores the guidance, so bring it up to date: recovery
         // then restores rulers identical to what a cold run would need.
         self.sync_guidance();
+        // Physical-layout policy rides the snapshot path too: the WAL is
+        // about to be trimmed, so every logged external-id batch is folded in
+        // before the id space is renamed, and the snapshot below records the
+        // new layout plus its bijection.
+        if self.durability.as_ref().unwrap().config.remap_on_snapshot {
+            if let Err(e) = self.remap_now() {
+                self.telemetry.end(snapshot_span, "snapshot", "server", 0);
+                return Err(e);
+            }
+        }
         // Compaction rides the snapshot path: rewrite live segments into a
         // fresh generation when too much of the backing files is dead bytes.
         let max_dead = self.durability.as_ref().unwrap().config.max_dead_fraction;
@@ -1369,6 +1543,7 @@ where
             layout,
             storage,
             result,
+            external_values: None,
             stats: snap.stats,
             pending_guidance_dirty: Vec::new(),
             durability: None,
@@ -1376,6 +1551,9 @@ where
             faults,
             health: Health::new(),
         };
+        // A snapshot of a remapped server restores its bijection with the
+        // graph; queries must answer in external order from the first read.
+        server.refresh_external_values();
         // Re-drive the unacknowledged suffix through the exact same path the
         // live server used. Entries at or below the snapshot's sequence are
         // already folded in (the process died between the snapshot rename

@@ -171,15 +171,43 @@ impl Adjacency {
         }
     }
 
+    /// Rebuild this adjacency under a physical-id permutation: vertex
+    /// `step.to_new(v)` of the result holds `v`'s list with every neighbor id
+    /// rewritten through `step`, **in the original entry order**. Because a
+    /// remap renames ids without reordering entries, a list sorted by the
+    /// external id of its neighbors stays sorted by that key — the property
+    /// that keeps pull-gather fold order (and so every float sum)
+    /// bit-identical across remaps.
+    pub fn remapped(&self, step: &crate::remap::IdRemap) -> Self {
+        let n = self.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(self.targets.len());
+        let mut weights = Vec::with_capacity(self.weights.len());
+        offsets.push(0);
+        for new_v in 0..n {
+            let old_v = step.to_old(new_v as VertexId) as usize;
+            let (lo, hi) = (self.offsets[old_v], self.offsets[old_v + 1]);
+            targets.extend(self.targets[lo..hi].iter().map(|&t| step.to_new(t)));
+            weights.extend_from_slice(&self.weights[lo..hi]);
+            offsets.push(targets.len());
+        }
+        Self {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
     /// Build a new adjacency by replacing the lists of a few vertices and copying
     /// every untouched range wholesale — the compacting rebuild behind
     /// [`crate::Graph::apply_batch`].
     ///
     /// `edits` maps a vertex to its complete replacement list and must be sorted by
-    /// vertex id with each replacement list sorted by neighbor id (the invariant
-    /// every list in this structure upholds). `new_num_vertices` may exceed the
-    /// current vertex count; vertices present in neither the old structure nor
-    /// `edits` get empty lists.
+    /// vertex id, with each replacement list in the graph's canonical neighbor
+    /// order (sorted by the neighbor's *external* id — which is plain id order
+    /// for an unremapped graph; `apply_batch` asserts it with the right key).
+    /// `new_num_vertices` may exceed the current vertex count; vertices present
+    /// in neither the old structure nor `edits` get empty lists.
     pub fn patched(
         &self,
         new_num_vertices: usize,
@@ -202,7 +230,6 @@ impl Adjacency {
                 .filter(|(ev, _)| *ev as usize == v)
                 .map(|(_, list)| list);
             if let Some(list) = edited {
-                debug_assert!(list.windows(2).all(|w| w[0].0 <= w[1].0));
                 targets.extend(list.iter().map(|(t, _)| *t));
                 weights.extend(list.iter().map(|(_, w)| *w));
                 edit_cursor += 1;

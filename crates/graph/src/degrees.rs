@@ -1,0 +1,71 @@
+//! Compact per-vertex degree arrays ([`Degrees`]) for program callbacks.
+//!
+//! Vertex programs that need structural information in their per-vertex hooks
+//! (PageRank and TunkRank divide by out-degree) used to receive the whole
+//! in-RAM [`crate::Graph`]. That coupling blocks two things: out-of-core
+//! execution cannot bound resident memory while callbacks may touch arbitrary
+//! adjacency, and a physical id remap would hand programs a graph whose
+//! neighbor lists are in remapped order. [`Degrees`] is the narrow view that
+//! remains: two `u32` per vertex, indexed by **physical** id — exactly what
+//! the degree-reading hooks need, nothing they could misuse.
+
+use crate::graph::Graph;
+use crate::types::VertexId;
+
+/// Per-vertex out/in degree counts, indexed by physical vertex id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degrees {
+    out: Vec<u32>,
+    incoming: Vec<u32>,
+}
+
+impl Degrees {
+    /// Extract the degree arrays of `graph` (`O(V)` time and `8·V` bytes).
+    pub fn of(graph: &Graph) -> Self {
+        Self {
+            out: graph
+                .vertices()
+                .map(|v| graph.out_degree(v) as u32)
+                .collect(),
+            incoming: graph
+                .vertices()
+                .map(|v| graph.in_degree(v) as u32)
+                .collect(),
+        }
+    }
+
+    /// Number of vertices covered.
+    pub fn num_vertices(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Out-degree of `v` (0 when out of range, mirroring an absent vertex).
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out.get(v as usize).copied().unwrap_or(0) as usize
+    }
+
+    /// In-degree of `v` (0 when out of range).
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.incoming.get(v as usize).copied().unwrap_or(0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn degrees_match_the_graph() {
+        let g = generators::rmat(200, 1400, 0.57, 0.19, 0.19, 9);
+        let d = Degrees::of(&g);
+        assert_eq!(d.num_vertices(), g.num_vertices());
+        for v in g.vertices() {
+            assert_eq!(d.out_degree(v), g.out_degree(v));
+            assert_eq!(d.in_degree(v), g.in_degree(v));
+        }
+        assert_eq!(d.out_degree(g.num_vertices() as VertexId + 5), 0);
+    }
+}

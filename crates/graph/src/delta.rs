@@ -118,6 +118,22 @@ impl UpdateBatch {
             .map(|(&(s, d), op)| (s, d, matches!(op, EdgeOp::Delete)))
     }
 
+    /// Rebuild the batch with every endpoint passed through `f` — the id
+    /// translation hook serving layers use to admit client batches staged in
+    /// external ids into a physically remapped graph. Resolution order is
+    /// preserved because the batch is already resolved (one op per pair) and
+    /// `f` is a bijection on the ids in play.
+    pub fn mapped(&self, mut f: impl FnMut(VertexId) -> VertexId) -> UpdateBatch {
+        let mut out = UpdateBatch::new();
+        for (src, dst, weight) in self.stages() {
+            match weight {
+                Some(w) => out.insert(f(src), f(dst), w),
+                None => out.delete(f(src), f(dst)),
+            };
+        }
+        out
+    }
+
     /// Iterate the resolved stages in key order, weights included:
     /// `(src, dst, Some(weight))` for an upsert, `(src, dst, None)` for a
     /// deletion. Unlike [`UpdateBatch::pairs`] this loses nothing the batch
@@ -243,12 +259,17 @@ impl Graph {
         let mut max_id: usize = self.num_vertices();
         let mut dirty: Vec<VertexId> = Vec::new();
         for (&(src, dst), &op) in &batch.ops {
-            // Adjacency lists are sorted by neighbor id, so the pair's copies sit
-            // in one contiguous range found by binary search — no linear scan of
-            // hub-degree lists on the serving hot path.
+            // Adjacency lists are sorted by the neighbor's *external* id
+            // (identical to the physical id on unremapped graphs), so the
+            // pair's copies sit in one contiguous range found by binary search
+            // — no linear scan of hub-degree lists on the serving hot path.
+            // Searching by external key and comparing for equality by it is
+            // sound because the remap is a bijection: key(d) == key(dst) ⟺
+            // d == dst.
             let (copies, first_weight) = if (src as usize) < self.num_vertices() {
+                let key = self.external_id(dst);
                 let neighbors = self.out_adjacency().neighbors(src);
-                let lo = neighbors.partition_point(|&d| d < dst);
+                let lo = neighbors.partition_point(|&d| self.external_id(d) < key);
                 let hi = lo + neighbors[lo..].partition_point(|&d| d == dst);
                 (hi - lo, self.out_adjacency().weights(src).get(lo).copied())
             } else {
@@ -303,14 +324,13 @@ impl Graph {
             return (self.clone(), effect);
         }
 
-        let out = self.out_adjacency().patched(
-            max_id,
-            &Self::direction_edits(self.out_adjacency(), &by_src),
-        );
+        let out = self
+            .out_adjacency()
+            .patched(max_id, &self.direction_edits(self.out_adjacency(), &by_src));
         let incoming = self
             .in_adjacency()
-            .patched(max_id, &Self::direction_edits(self.in_adjacency(), &by_dst));
-        let graph = Graph::from_parts(max_id, out, incoming);
+            .patched(max_id, &self.direction_edits(self.in_adjacency(), &by_dst));
+        let graph = Graph::from_parts_with_remap(max_id, out, incoming, self.remap_arc());
         debug_assert_eq!(
             graph.num_edges(),
             self.num_edges() + effect.edges_inserted - effect.edges_deleted
@@ -319,8 +339,10 @@ impl Graph {
     }
 
     /// Materialise the full replacement adjacency list of every touched vertex in
-    /// one direction: old list minus changed pairs, plus upserted pairs, sorted.
+    /// one direction: old list minus changed pairs, plus upserted pairs, sorted
+    /// by the neighbor's external id (the canonical list order).
     fn direction_edits(
+        &self,
         adjacency: &crate::Adjacency,
         staged: &DirectionEdits,
     ) -> Vec<(VertexId, Vec<(VertexId, EdgeWeight)>)> {
@@ -341,7 +363,10 @@ impl Graph {
                         list.push((other, weight));
                     }
                 }
-                list.sort_unstable_by_key(|&(other, _)| other);
+                list.sort_unstable_by_key(|&(other, _)| self.external_id(other));
+                debug_assert!(list
+                    .windows(2)
+                    .all(|w| self.external_id(w[0].0) < self.external_id(w[1].0)));
                 (key, list)
             })
             .collect()
@@ -634,6 +659,62 @@ mod tests {
         let mut bad_tag = bytes.clone();
         bad_tag[12] = 9;
         assert!(UpdateBatch::from_bytes(&bad_tag).is_none());
+    }
+
+    #[test]
+    fn apply_batch_on_remapped_graph_matches_unremapped() {
+        use crate::remap::IdRemap;
+        for seed in 0..4u64 {
+            let g = generators::rmat(150, 900, 0.57, 0.19, 0.19, seed + 11);
+            // Random permutation of the physical ids.
+            let n = g.num_vertices();
+            let mut forward: Vec<VertexId> = (0..n as VertexId).collect();
+            let mut rng = SplitMix64::seed_from_u64(seed * 17 + 3);
+            for i in (1..n).rev() {
+                let j = rng.range_u32(0, i as u32 + 1) as usize;
+                forward.swap(i, j);
+            }
+            let r = g.remapped(&IdRemap::from_forward(forward));
+
+            // Stage a batch in external ids, including growth beyond n.
+            let mut ext_batch = UpdateBatch::new();
+            for _ in 0..60 {
+                let src = rng.range_u32(0, n as u32 + 20);
+                let dst = rng.range_u32(0, n as u32 + 20);
+                if rng.next_f64() < 0.6 {
+                    ext_batch.insert(src, dst, rng.range_f32(0.5, 9.0));
+                } else {
+                    ext_batch.delete(src, dst);
+                }
+            }
+            let phys_batch = ext_batch.mapped(|v| r.to_physical(v));
+
+            let (g2, eff) = g.apply_batch(&ext_batch);
+            let (r2, eff_r) = r.apply_batch(&phys_batch);
+            r2.validate().unwrap();
+            assert_eq!(r2.num_vertices(), g2.num_vertices());
+            assert_eq!(r2.num_edges(), g2.num_edges());
+            for ext in g2.vertices() {
+                let p = r2.to_physical(ext);
+                let ext_nbrs: Vec<VertexId> = r2
+                    .out_neighbors(p)
+                    .iter()
+                    .map(|&u| r2.external_id(u))
+                    .collect();
+                assert_eq!(ext_nbrs, g2.out_neighbors(ext));
+                assert_eq!(r2.out_weights(p), g2.out_weights(ext));
+            }
+            // Effects agree modulo the id relabelling.
+            assert_eq!(eff_r.edges_inserted, eff.edges_inserted);
+            assert_eq!(eff_r.edges_deleted, eff.edges_deleted);
+            assert_eq!(eff_r.edges_reweighted, eff.edges_reweighted);
+            assert_eq!(eff_r.missing_deletes, eff.missing_deletes);
+            assert_eq!(eff_r.vertices_added, eff.vertices_added);
+            let mut dirty_ext: Vec<VertexId> =
+                eff_r.dirty.iter().map(|&v| r2.external_id(v)).collect();
+            dirty_ext.sort_unstable();
+            assert_eq!(dirty_ext, eff.dirty);
+        }
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! The immutable [`Graph`] type: CSR + CSC views over a directed weighted graph.
 
 use crate::csr::Adjacency;
+use crate::remap::IdRemap;
 use crate::types::{Edge, EdgeWeight, VertexId};
+use std::sync::Arc;
 
 // `Graph::apply_batch` lives in `crate::delta`.
 
@@ -10,11 +12,26 @@ use crate::types::{Edge, EdgeWeight, VertexId};
 /// Both directions are materialised because the SLFE computation model (paper §3.3)
 /// switches between *push* over outgoing edges and *pull* over incoming edges at
 /// runtime; the same is true of the Gemini and Ligra baselines.
+///
+/// Vertex ids come in two flavors. Every accessor on this type speaks
+/// **physical** ids — the indices of the CSR/CSC arrays. Graphs built from an
+/// edge list start with physical == *external* (client-visible) ids; a
+/// [`Graph::remapped`] graph carries the cumulative [`IdRemap`] between the
+/// two spaces, and serving layers translate at their API boundary via
+/// [`Graph::to_physical`] / [`Graph::external_id`]. Adjacency lists are
+/// always sorted by the **external** id of the neighbor (identity graphs get
+/// that for free; a remap renames entries without reordering them), which is
+/// what keeps order-sensitive float folds bit-identical across remaps.
 #[derive(Debug, Clone)]
 pub struct Graph {
     num_vertices: usize,
     out: Adjacency,
     incoming: Adjacency,
+    /// Cumulative external→physical bijection; `None` means the two id
+    /// spaces coincide (the common case, and the zero-cost fast path).
+    /// Physical ids at or beyond the remap's length are external ids
+    /// verbatim, so a graph grown by [`Graph::apply_batch`] keeps its remap.
+    remap: Option<Arc<IdRemap>>,
     /// Flat edge list, materialised lazily: the delta-apply path builds graphs
     /// from patched adjacencies on the serving hot path, and copying an `O(E)`
     /// edge vector there just to back the rarely-used [`Graph::edges`] accessor
@@ -45,6 +62,7 @@ impl Graph {
             num_vertices,
             out,
             incoming,
+            remap: None,
             edges: cell,
         }
     }
@@ -53,6 +71,17 @@ impl Graph {
     /// The edge list is derived from the CSR side on first use; its order is
     /// unspecified, as [`Graph::edges`] documents.
     pub(crate) fn from_parts(num_vertices: usize, out: Adjacency, incoming: Adjacency) -> Self {
+        Self::from_parts_with_remap(num_vertices, out, incoming, None)
+    }
+
+    /// [`Graph::from_parts`] that also carries over a cumulative id remap
+    /// (used by `apply_batch` so graph growth preserves the physical layout).
+    pub(crate) fn from_parts_with_remap(
+        num_vertices: usize,
+        out: Adjacency,
+        incoming: Adjacency,
+        remap: Option<Arc<IdRemap>>,
+    ) -> Self {
         debug_assert_eq!(out.num_vertices(), num_vertices);
         debug_assert_eq!(incoming.num_vertices(), num_vertices);
         debug_assert_eq!(out.num_edges(), incoming.num_edges());
@@ -60,6 +89,7 @@ impl Graph {
             num_vertices,
             out,
             incoming,
+            remap,
             edges: std::sync::OnceLock::new(),
         }
     }
@@ -142,9 +172,21 @@ impl Graph {
         self.incoming.neighbors_with_weights(v)
     }
 
-    /// `true` if the directed edge `src -> dst` exists.
+    /// `true` if the directed edge `src -> dst` exists (physical ids).
     pub fn has_edge(&self, src: VertexId, dst: VertexId) -> bool {
-        self.out.contains_edge(src, dst)
+        match &self.remap {
+            // Identity layout: lists are sorted by the physical id itself.
+            None => self.out.contains_edge(src, dst),
+            // Remapped layout: lists are sorted by external id, so search
+            // with the external key.
+            Some(remap) => {
+                let key = remap.to_old(dst);
+                self.out
+                    .neighbors(src)
+                    .binary_search_by_key(&key, |&u| remap.to_old(u))
+                    .is_ok()
+            }
+        }
     }
 
     /// Access the outgoing adjacency (CSR) directly.
@@ -157,10 +199,80 @@ impl Graph {
         &self.incoming
     }
 
-    /// Build a new graph with every edge direction flipped.
+    /// The cumulative external→physical remap, if any.
+    pub fn id_remap(&self) -> Option<&IdRemap> {
+        self.remap.as_deref()
+    }
+
+    /// Shared handle to the remap, for sibling modules assembling derived
+    /// graphs ([`Graph::apply_batch`]) and for programs whose *values* are
+    /// vertex names (CC labels vertices with external ids on a remapped
+    /// graph).
+    pub fn remap_arc(&self) -> Option<Arc<IdRemap>> {
+        self.remap.clone()
+    }
+
+    /// `true` when physical and external ids differ for at least one vertex.
+    pub fn is_remapped(&self) -> bool {
+        self.remap.as_deref().is_some_and(|r| !r.is_identity())
+    }
+
+    /// External (client-visible) id of physical vertex `p`.
+    #[inline]
+    pub fn external_id(&self, p: VertexId) -> VertexId {
+        match &self.remap {
+            None => p,
+            Some(remap) => remap.to_old(p),
+        }
+    }
+
+    /// Physical (array-index) id of external vertex `ext`.
+    #[inline]
+    pub fn to_physical(&self, ext: VertexId) -> VertexId {
+        match &self.remap {
+            None => ext,
+            Some(remap) => remap.to_new(ext),
+        }
+    }
+
+    /// Apply one more remap `step` (old-physical → new-physical), producing a
+    /// graph whose arrays are physically reordered while the cumulative
+    /// external↔physical bijection is composed so [`Graph::external_id`] stays
+    /// correct. Entry order within each adjacency list is preserved, which
+    /// keeps lists sorted by external id.
+    pub fn remapped(&self, step: &IdRemap) -> Graph {
+        let cumulative = match &self.remap {
+            None => step.clone(),
+            Some(prior) => prior.then(step),
+        };
+        let remap = (!cumulative.is_identity()).then(|| Arc::new(cumulative));
+        Self::from_parts_with_remap(
+            self.num_vertices,
+            self.out.remapped(step),
+            self.incoming.remapped(step),
+            remap,
+        )
+    }
+
+    /// Attach a cumulative external→physical remap to a graph whose arrays are
+    /// *already* in the remapped order (the snapshot-restore path, where the
+    /// adjacency was persisted post-remap and only the bijection travels
+    /// separately).
+    pub fn with_remap(mut self, remap: IdRemap) -> Graph {
+        self.remap = (!remap.is_identity()).then(|| Arc::new(remap));
+        self
+    }
+
+    /// Build a new graph with every edge direction flipped. Adjacency roles
+    /// swap (CSR↔CSC) rather than rebuilding from an edge list, so neighbor
+    /// lists stay in external-sorted order and any id remap is preserved.
     pub fn transpose(&self) -> Graph {
-        let edges = self.edges().iter().map(|e| e.reversed()).collect();
-        Graph::from_edges(self.num_vertices, edges)
+        Self::from_parts_with_remap(
+            self.num_vertices,
+            self.incoming.clone(),
+            self.out.clone(),
+            self.remap.clone(),
+        )
     }
 
     /// Consistency check used by tests and property tests: CSR and CSC must describe
@@ -254,5 +366,71 @@ mod tests {
         let g = diamond();
         assert_eq!(g.out_weights(0), &[1.0, 4.0]);
         assert_eq!(g.in_weights(3), &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn remapped_graph_relabels_consistently() {
+        let g = diamond();
+        let step = IdRemap::from_forward(vec![2, 0, 3, 1]);
+        let r = g.remapped(&step);
+        assert!(r.is_remapped());
+        assert!(!g.is_remapped());
+        r.validate().unwrap();
+        assert_eq!(r.num_edges(), g.num_edges());
+        for ext in g.vertices() {
+            let p = r.to_physical(ext);
+            assert_eq!(r.external_id(p), ext);
+            assert_eq!(r.out_degree(p), g.out_degree(ext));
+            assert_eq!(r.in_degree(p), g.in_degree(ext));
+            let ext_nbrs: Vec<VertexId> = r
+                .out_neighbors(p)
+                .iter()
+                .map(|&u| r.external_id(u))
+                .collect();
+            assert_eq!(ext_nbrs, g.out_neighbors(ext), "out list of external {ext}");
+            assert_eq!(r.out_weights(p), g.out_weights(ext));
+        }
+        for e in g.edges() {
+            assert!(r.has_edge(r.to_physical(e.src), r.to_physical(e.dst)));
+        }
+        assert!(!r.has_edge(r.to_physical(1), r.to_physical(0)));
+    }
+
+    #[test]
+    fn remap_composes_across_two_steps() {
+        let g = diamond();
+        let a = IdRemap::from_forward(vec![2, 0, 3, 1]);
+        let b = IdRemap::from_forward(vec![1, 3, 0, 2]);
+        let twice = g.remapped(&a).remapped(&b);
+        let direct = g.remapped(&a.then(&b));
+        for ext in g.vertices() {
+            assert_eq!(twice.to_physical(ext), direct.to_physical(ext));
+        }
+        twice.validate().unwrap();
+    }
+
+    #[test]
+    fn transpose_preserves_remap_and_external_sorting() {
+        let g = diamond();
+        let r = g.remapped(&IdRemap::from_forward(vec![3, 2, 1, 0]));
+        let t = r.transpose();
+        assert!(t.is_remapped());
+        assert!(t.has_edge(t.to_physical(1), t.to_physical(0)));
+        assert!(!t.has_edge(t.to_physical(0), t.to_physical(1)));
+        t.validate().unwrap();
+        // In-lists of the transpose are the (external-sorted) out-lists of r.
+        for v in r.vertices() {
+            assert_eq!(t.in_neighbors(v), r.out_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn identity_remap_is_free() {
+        let g = diamond();
+        let r = g.remapped(&IdRemap::identity());
+        assert!(!r.is_remapped());
+        assert!(r.id_remap().is_none());
+        assert_eq!(r.external_id(3), 3);
+        assert_eq!(r.to_physical(2), 2);
     }
 }

@@ -36,11 +36,13 @@ pub mod bitset;
 pub mod builder;
 pub mod csr;
 pub mod datasets;
+pub mod degrees;
 pub mod delta;
 pub mod faults;
 pub mod generators;
 pub mod graph;
 pub mod io;
+pub mod remap;
 pub mod rng;
 pub mod stats;
 pub mod storage;
@@ -49,12 +51,14 @@ pub mod types;
 pub use bitset::{AtomicBitset, Bitset};
 pub use builder::GraphBuilder;
 pub use csr::Adjacency;
+pub use degrees::Degrees;
 pub use delta::{BatchEffect, UpdateBatch};
 pub use faults::{
     is_disk_full, with_retries, FaultAction, FaultInjector, FaultKind, FaultPlan, FaultRule,
     FaultSite, RetryPolicy, ALL_FAULT_SITES,
 };
 pub use graph::Graph;
+pub use remap::{IdRemap, ReorderPolicy};
 pub use storage::{
     AdjacencyStore, AdjacencyView, BufferPool, GraphStorage, PoolCounters, SegmentedStore,
     StorageConfig, StreamCursor,

@@ -114,9 +114,12 @@ pub fn reachable_from(graph: &Graph, root: VertexId) -> usize {
 /// Pick the vertex with the largest out-degree; a sensible default SSSP/BFS root for
 /// skewed graphs (mirrors the paper's practice of rooting traversals at a hub).
 pub fn highest_out_degree_vertex(graph: &Graph) -> Option<VertexId> {
+    // Degree ties break on the *external* id so the choice is independent of
+    // the physical layout (on an unremapped graph this is exactly the old
+    // "last maximal vertex" behavior of a bare `max_by_key(out_degree)`).
     graph
         .vertices()
-        .max_by_key(|&v| graph.out_degree(v))
+        .max_by_key(|&v| (graph.out_degree(v), graph.external_id(v)))
         .filter(|_| graph.num_vertices() > 0)
 }
 

@@ -14,11 +14,13 @@ pub mod chunking;
 pub mod hash;
 pub mod partitioning;
 pub mod quality;
+pub mod reorder;
 
 pub use chunking::ChunkingPartitioner;
 pub use hash::HashPartitioner;
 pub use partitioning::Partitioning;
 pub use quality::PartitionQuality;
+pub use reorder::contiguous_degree_layout;
 
 use slfe_graph::Graph;
 

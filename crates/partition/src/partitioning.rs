@@ -127,6 +127,67 @@ impl Partitioning {
         cut
     }
 
+    /// Vertex-count imbalance: `max / mean` over the per-node vertex counts.
+    /// `1.0` is perfectly balanced; `0.0` for an empty partitioning. This is
+    /// the figure [`Partitioning::migrated_owners`] bounds and the serving
+    /// layer surfaces as the `slfe_partition_imbalance` gauge.
+    pub fn imbalance(&self) -> f64 {
+        let n = self.owner.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let max = self.parts.iter().map(|p| p.len()).max().unwrap_or(0);
+        let mean = n as f64 / self.parts.len() as f64;
+        max as f64 / mean
+    }
+
+    /// Plan a migration that brings [`Partitioning::imbalance`] down to
+    /// `threshold` (max/mean), by repeatedly moving the **highest-id** vertex
+    /// of the most-loaded node to the least-loaded node (ties to the lowest
+    /// node id). Returns the migrated owner array, or `None` when the
+    /// partitioning is already within the threshold (or a move can no longer
+    /// help: max−min spread ≤ 1 is as balanced as integer counts get).
+    ///
+    /// The highest-id-first rule keeps migration deterministic and biases
+    /// moves toward recently appended vertices — the ones `extend_to`'s
+    /// least-loaded rule would have spread out had they arrived after the
+    /// skew, and the ones with the least locality investment to lose.
+    pub fn migrated_owners(&self, threshold: f64) -> Option<Vec<NodeId>> {
+        assert!(threshold >= 1.0, "imbalance threshold is a max/mean ratio");
+        if self.parts.len() < 2 || self.imbalance() <= threshold {
+            return None;
+        }
+        let mut owner = self.owner.clone();
+        let mut parts = self.parts.clone();
+        let mean = owner.len() as f64 / parts.len() as f64;
+        let mut moved = false;
+        loop {
+            let (src, max) = parts
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i, p.len()))
+                .max_by_key(|&(i, c)| (c, usize::MAX - i))
+                .expect("at least two partitions");
+            let (dst, min) = parts
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i, p.len()))
+                .min_by_key(|&(i, c)| (c, i))
+                .expect("at least two partitions");
+            if max as f64 / mean <= threshold || max - min <= 1 {
+                break;
+            }
+            let v = parts[src].pop().expect("most-loaded node is non-empty");
+            owner[v as usize] = dst;
+            // Insert keeping the destination list ascending (migrated ids are
+            // not necessarily larger than the destination's existing ids).
+            let at = parts[dst].partition_point(|&u| u < v);
+            parts[dst].insert(at, v);
+            moved = true;
+        }
+        moved.then_some(owner)
+    }
+
     /// Check that every vertex of `graph` is assigned to exactly one existing part.
     pub fn validate(&self, graph: &Graph) -> Result<(), String> {
         if self.owner.len() != graph.num_vertices() {

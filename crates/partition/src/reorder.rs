@@ -1,0 +1,124 @@
+//! Physical layout policies: compute an [`IdRemap`] step that reorders a
+//! graph's physical ids for cache locality.
+//!
+//! The serving layer applies these on its snapshot path: the remapped graph's
+//! CSR/CSC arrays are laid out partition-contiguously (every node's owned
+//! vertices occupy one physical range), and — under
+//! [`ReorderPolicy::DegreeDescending`] — hub vertices cluster at the front of
+//! each partition's range. Hot hubs then share out-of-core segments, so a
+//! byte-budgeted [`slfe_graph::BufferPool`] keeps them resident while the
+//! cold tail faults rarely-touched segments on demand.
+
+use crate::partitioning::Partitioning;
+use slfe_graph::{Graph, IdRemap, ReorderPolicy, VertexId};
+
+/// Compute the remap step (old-physical → new-physical) that lays vertices
+/// out partition-contiguously in node-id order, ordering each partition's
+/// vertices by `policy`:
+///
+/// * [`ReorderPolicy::DegreeDescending`] — total degree (out + in)
+///   descending, ties by external id ascending. Hubs cluster into the hot
+///   segments at the front of the partition's range.
+/// * [`ReorderPolicy::None`] — external id ascending (a pure
+///   migration-compaction layout with no degree clustering).
+///
+/// The result is a bijection over all of `graph`'s physical ids; it returns
+/// [`IdRemap::Identity`] when the layout already matches. `partitioning` must
+/// cover the graph.
+pub fn contiguous_degree_layout(
+    graph: &Graph,
+    partitioning: &Partitioning,
+    policy: ReorderPolicy,
+) -> IdRemap {
+    assert_eq!(
+        partitioning.num_vertices(),
+        graph.num_vertices(),
+        "partitioning must cover the graph"
+    );
+    let mut forward = vec![0 as VertexId; graph.num_vertices()];
+    let mut next: VertexId = 0;
+    let mut scratch: Vec<VertexId> = Vec::new();
+    for node in 0..partitioning.num_parts() {
+        scratch.clear();
+        scratch.extend_from_slice(partitioning.vertices_of(node));
+        match policy {
+            ReorderPolicy::DegreeDescending => scratch.sort_by_key(|&v| {
+                let degree = graph.out_degree(v) + graph.in_degree(v);
+                (std::cmp::Reverse(degree), graph.external_id(v))
+            }),
+            ReorderPolicy::None => scratch.sort_by_key(|&v| graph.external_id(v)),
+        }
+        for &old in &scratch {
+            forward[old as usize] = next;
+            next += 1;
+        }
+    }
+    IdRemap::from_forward(forward)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slfe_graph::generators;
+
+    #[test]
+    fn layout_is_partition_contiguous_and_degree_sorted() {
+        let g = generators::rmat(120, 900, 0.57, 0.19, 0.19, 5);
+        let owners: Vec<usize> = (0..g.num_vertices()).map(|v| v % 3).collect();
+        let p = Partitioning::from_owners(owners, 3);
+        let step = contiguous_degree_layout(&g, &p, ReorderPolicy::DegreeDescending);
+        let r = g.remapped(&step);
+        r.validate().unwrap();
+        // Each node's vertices occupy one contiguous physical range, in
+        // non-increasing total-degree order.
+        let mut start = 0usize;
+        for node in 0..3 {
+            let len = p.vertices_of(node).len();
+            let mut prev = usize::MAX;
+            for new_v in start..start + len {
+                let old = step.to_old(new_v as VertexId);
+                assert_eq!(p.owner_of(old), node, "physical id {new_v}");
+                let degree = g.out_degree(old) + g.in_degree(old);
+                assert!(degree <= prev, "degrees must not increase within a node");
+                prev = degree;
+            }
+            start += len;
+        }
+        assert_eq!(start, g.num_vertices());
+    }
+
+    #[test]
+    fn identity_layout_collapses_to_identity() {
+        // A single partition of an already externally-sorted graph under
+        // ReorderPolicy::None is the existing layout.
+        let g = generators::path(10);
+        let p = Partitioning::from_owners(vec![0; 10], 1);
+        let step = contiguous_degree_layout(&g, &p, ReorderPolicy::None);
+        assert!(step.is_identity());
+    }
+
+    #[test]
+    fn migration_then_reorder_round_trips_externally() {
+        let g = generators::rmat(80, 500, 0.57, 0.19, 0.19, 7);
+        // Heavily skewed: node 0 owns everything, nodes 1..3 are empty.
+        let p = Partitioning::from_owners(vec![0; 80], 4);
+        assert!(p.imbalance() > 3.9);
+        let owners = p.migrated_owners(1.1).expect("skew must trigger migration");
+        let q = Partitioning::from_owners(owners, 4);
+        assert!(q.imbalance() <= 1.1);
+        let step = contiguous_degree_layout(&g, &q, ReorderPolicy::DegreeDescending);
+        let r = g.remapped(&step);
+        for ext in g.vertices() {
+            assert_eq!(r.external_id(r.to_physical(ext)), ext);
+        }
+    }
+
+    #[test]
+    fn migrated_owners_is_none_when_balanced() {
+        let p = Partitioning::from_owners(vec![0, 1, 0, 1], 2);
+        assert!(p.migrated_owners(1.5).is_none());
+        // Spread of one vertex cannot be improved.
+        let p = Partitioning::from_owners(vec![0, 1, 0], 2);
+        assert!(p.migrated_owners(1.0).is_none());
+    }
+}

@@ -289,7 +289,7 @@ fn crashpoint_sweep_cc() {
         "cc",
         8400,
         || cc::symmetrize(&generators::rmat(180, 800, 0.57, 0.19, 0.19, 930)),
-        |_: &Graph| cc::CcProgram,
+        cc::CcProgram::for_graph,
         EngineConfig::default(),
         BatchKind::Symmetric,
     );
@@ -886,7 +886,7 @@ fn disabled_fault_injection_is_bit_identical_for_every_app() {
         "cc",
         9730,
         || cc::symmetrize(&generators::rmat(180, 800, 0.57, 0.19, 0.19, 1110)),
-        |_: &Graph| cc::CcProgram,
+        cc::CcProgram::for_graph,
         EngineConfig::default(),
         BatchKind::Symmetric,
     );

@@ -167,7 +167,7 @@ fn every_registered_program_warm_equals_cold_on_random_batches() {
                     &sym,
                     &symmetric_batch(&sym, seed + 3, 18),
                     EngineConfig::default(),
-                    |_| cc::CcProgram,
+                    cc::CcProgram::for_graph,
                     |w, c, k| assert_bits_equal(w, c, k, app),
                 ),
                 AppKind::PageRank => check_warm_equals_cold(
@@ -255,20 +255,20 @@ fn bridge_deletions_invalidate_circularly_supported_values() {
         let cluster = ClusterConfig::new(2, workers);
         let check = |graph: &Graph, batch: &UpdateBatch, use_effect: bool| {
             let (mutated, effect) = graph.apply_batch(batch);
-            let previous =
-                SlfeEngine::build(graph, cluster.clone(), EngineConfig::default()).run(&CcProgram);
+            let previous = SlfeEngine::build(graph, cluster.clone(), EngineConfig::default())
+                .run(&CcProgram::default());
             let warm_engine = SlfeEngine::build(&mutated, cluster.clone(), EngineConfig::default());
             let warm = if use_effect {
-                warm_engine.run_from_effect(&CcProgram, &previous, &effect)
+                warm_engine.run_from_effect(&CcProgram::default(), &previous, &effect)
             } else {
                 warm_engine.run_from(
-                    &CcProgram,
+                    &CcProgram::default(),
                     &previous,
                     &effect.dirty_bitset(mutated.num_vertices()),
                 )
             };
             let cold = SlfeEngine::build(&mutated, cluster.clone(), EngineConfig::default())
-                .run(&CcProgram);
+                .run(&CcProgram::default());
             assert_eq!(warm.values, cold.values, "CC bridge cut diverges");
         };
         check(&cc_graph, &cc_batch, false);

@@ -59,7 +59,7 @@ fn every_engine_agrees_with_union_find_on_cc() {
     let graph = slfe::apps::cc::symmetrize(&Dataset::STwitter.load_scaled(32_000));
     let oracle = slfe::apps::cc::reference(&graph);
     let cluster = ClusterConfig::new(4, 2);
-    let program = slfe::apps::cc::CcProgram;
+    let program = slfe::apps::cc::CcProgram::default();
 
     let engines: Vec<(String, Vec<f32>)> = vec![
         (

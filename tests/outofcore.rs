@@ -109,7 +109,7 @@ fn every_registered_minmax_app_is_bit_identical_out_of_core() {
                 check_oocore_equals_memory(&rmat, app, |_| widestpath::WidestPathProgram { root })
             }
             AppKind::ConnectedComponents => {
-                check_oocore_equals_memory(&sym, app, |_| cc::CcProgram)
+                check_oocore_equals_memory(&sym, app, cc::CcProgram::for_graph)
             }
             _ => unreachable!("min/max filter above"),
         }

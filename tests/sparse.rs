@@ -110,7 +110,7 @@ fn every_registered_program_is_bit_identical_under_sparse_and_dense_scratch() {
             AppKind::ConnectedComponents => check_sparse_equals_dense(
                 &sym,
                 EngineConfig::default(),
-                |_| cc::CcProgram,
+                cc::CcProgram::for_graph,
                 |d, s, k| assert_bits_equal(d, s, k, app),
             ),
             // Arithmetic programs never push — the checks still pin that the

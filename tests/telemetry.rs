@@ -158,7 +158,7 @@ fn every_registered_program_is_bit_identical_under_telemetry() {
             AppKind::ConnectedComponents => check_telemetry_is_observation_only(
                 &sym,
                 EngineConfig::default(),
-                |_| cc::CcProgram,
+                cc::CcProgram::for_graph,
                 |d, s, k| assert_bits_equal(d, s, k, app),
             ),
             AppKind::PageRank => check_telemetry_is_observation_only(
